@@ -1,0 +1,44 @@
+//! Criterion bench: format-conversion cost from CSR into each storage
+//! format — the "preprocessing" cost a format selector amortizes, and the
+//! practical argument for predicting the right format up front.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_corpus::{GenKind, MatrixSpec};
+use spmv_matrix::{CsrMatrix, Format, SparseMatrix};
+
+fn bench_conversions(c: &mut Criterion) {
+    let csr: CsrMatrix<f64> = MatrixSpec {
+        name: "uniform".into(),
+        kind: GenKind::Uniform { n_rows: 30_000, n_cols: 30_000, nnz: 240_000 },
+        seed: 3,
+    }
+    .generate();
+
+    let mut group = c.benchmark_group("convert_from_csr");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    for fmt in Format::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(fmt.label()), &fmt, |b, &fmt| {
+            b.iter(|| SparseMatrix::from_csr(&csr, fmt).expect("convertible"));
+        });
+    }
+    group.finish();
+
+    // The reverse direction (back to CSR) matters for pipelines that change
+    // format dynamically.
+    let mut group = c.benchmark_group("convert_to_csr");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    for fmt in Format::ALL {
+        let m = SparseMatrix::from_csr(&csr, fmt).expect("convertible");
+        group.bench_with_input(BenchmarkId::from_parameter(fmt.label()), &m, |b, m| {
+            b.iter(|| m.to_csr());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_conversions
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: feature-extraction cost. The paper's pitch is that 7-17
+//! cheap features + a small model beat heavyweight approaches (CNNs over
+//! matrix images); this bench quantifies "cheap": a single O(nnz) pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_corpus::{GenKind, MatrixSpec};
+use spmv_features::extract;
+use spmv_matrix::CsrMatrix;
+
+fn bench_extract(c: &mut Criterion) {
+    let sizes = [20_000usize, 100_000, 400_000];
+    let mut group = c.benchmark_group("feature_extraction");
+    for &nnz in &sizes {
+        let csr: CsrMatrix<f64> = MatrixSpec {
+            name: "m".into(),
+            kind: GenKind::Uniform {
+                n_rows: nnz / 8,
+                n_cols: nnz / 8,
+                nnz,
+            },
+            seed: 9,
+        }
+        .generate();
+        group.throughput(Throughput::Elements(csr.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("all_17", nnz), &csr, |b, m| {
+            b.iter(|| extract(m));
+        });
+    }
+    group.finish();
+
+    // Structure matters for the run-length scan: contrast a clustered
+    // matrix (long runs) with a scattered one (every entry its own run).
+    let mut group = c.benchmark_group("feature_extraction_structure");
+    for (label, kind) in [
+        ("clustered", GenKind::Clustered { n_rows: 20_000, n_cols: 20_000, runs: 2, run_len: 10 }),
+        ("scattered", GenKind::Uniform { n_rows: 20_000, n_cols: 20_000, nnz: 400_000 }),
+    ] {
+        let csr: CsrMatrix<f64> = MatrixSpec { name: label.into(), kind, seed: 10 }.generate();
+        group.throughput(Throughput::Elements(csr.nnz() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &csr, |b, m| {
+            b.iter(|| extract(m));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_extract
+}
+criterion_main!(benches);

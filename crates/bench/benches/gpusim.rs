@@ -1,0 +1,56 @@
+//! Criterion bench: the GPU model itself. Label collection sweeps 2299
+//! matrices x 6 formats x 4 (machine, precision) cells; this bench
+//! documents why that is tractable — profiling is a single O(nnz) walk and
+//! each timing evaluation is O(1) on the profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_corpus::{GenKind, MatrixSpec};
+use spmv_gpusim::{GpuArch, KernelProfile, Simulator};
+use spmv_matrix::{CsrMatrix, Format, Precision, SparseMatrix};
+
+fn bench_profiling(c: &mut Criterion) {
+    let csr: CsrMatrix<f64> = MatrixSpec {
+        name: "m".into(),
+        kind: GenKind::Uniform {
+            n_rows: 40_000,
+            n_cols: 40_000,
+            nnz: 320_000,
+        },
+        seed: 11,
+    }
+    .generate();
+
+    let mut group = c.benchmark_group("profile_kernel");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    for fmt in Format::ALL {
+        let Ok(m) = SparseMatrix::from_csr(&csr, fmt) else {
+            continue;
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(fmt.label()), &m, |b, m| {
+            b.iter(|| KernelProfile::of(m));
+        });
+    }
+    group.finish();
+
+    // Timing evaluation on a fixed profile: the O(1) inner loop of the
+    // label sweep.
+    let m = SparseMatrix::from_csr(&csr, Format::Csr).expect("csr");
+    let profile = KernelProfile::of(&m);
+    let sim = Simulator::default();
+    let mut group = c.benchmark_group("measure_profile");
+    group.bench_function("50_reps_with_noise", |b| {
+        b.iter(|| sim.measure_profile(&profile, &GpuArch::P100, Precision::Double, 7));
+    });
+    let clean = Simulator::noiseless();
+    group.bench_function("noiseless", |b| {
+        b.iter(|| clean.measure_profile(&profile, &GpuArch::P100, Precision::Double, 7));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_profiling
+}
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion bench: training and inference cost of each model family on a
+//! format-selection-shaped dataset. Backs the paper's conclusion that
+//! "relatively inexpensive ML algorithms" suffice — inference is the number
+//! that matters for deployment at matrix-load time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spmv_ml::{
+    Classifier, DecisionTreeClassifier, FeatureMatrix, GbtClassifier, GbtParams, MlpClassifier,
+    MlpParams, SvmClassifier, SvmParams, TreeParams,
+};
+
+/// A synthetic 17-feature, 6-class dataset with learnable structure,
+/// shaped like the format-selection task.
+fn dataset(n: usize) -> (FeatureMatrix, Vec<usize>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut r: Vec<f64> = (0..17).map(|_| rng.gen::<f64>() * 10.0).collect();
+        let class = ((r[0] + r[5] * 2.0 + r[12]) as usize) % 6;
+        r[3] += class as f64; // leak a signal
+        rows.push(r);
+        y.push(class);
+    }
+    (FeatureMatrix::from_rows(&rows), y)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (x, y) = dataset(500);
+    let mut group = c.benchmark_group("train_500x17");
+    group.sample_size(10);
+    group.bench_function("decision_tree", |b| {
+        b.iter(|| {
+            let mut m = DecisionTreeClassifier::new(TreeParams::default());
+            m.fit(&x, &y, 6);
+            m
+        })
+    });
+    group.bench_function("xgboost_60x6", |b| {
+        b.iter(|| {
+            let mut m = GbtClassifier::new(GbtParams {
+                n_estimators: 60,
+                max_depth: 6,
+                ..GbtParams::default()
+            });
+            m.fit(&x, &y, 6);
+            m
+        })
+    });
+    group.bench_function("svm_ovo", |b| {
+        b.iter(|| {
+            let mut m = SvmClassifier::new(SvmParams::default());
+            m.fit(&x, &y, 6);
+            m
+        })
+    });
+    group.bench_function("mlp_96_48_16_20ep", |b| {
+        b.iter(|| {
+            let mut m = MlpClassifier::new(MlpParams {
+                epochs: 20,
+                ..MlpParams::default()
+            });
+            m.fit(&x, &y, 6);
+            m
+        })
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (x, y) = dataset(500);
+    let probe = x.row(0).to_vec();
+
+    let mut dt = DecisionTreeClassifier::new(TreeParams::default());
+    dt.fit(&x, &y, 6);
+    let mut gbt = GbtClassifier::new(GbtParams {
+        n_estimators: 60,
+        max_depth: 6,
+        ..GbtParams::default()
+    });
+    gbt.fit(&x, &y, 6);
+    let mut svm = SvmClassifier::new(SvmParams::default());
+    svm.fit(&x, &y, 6);
+    let mut mlp = MlpClassifier::new(MlpParams {
+        epochs: 20,
+        ..MlpParams::default()
+    });
+    mlp.fit(&x, &y, 6);
+
+    let mut group = c.benchmark_group("predict_one");
+    for (name, model) in [
+        ("decision_tree", &dt as &dyn Classifier),
+        ("xgboost", &gbt as &dyn Classifier),
+        ("svm", &svm as &dyn Classifier),
+        ("mlp", &mlp as &dyn Classifier),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, m| {
+            b.iter(|| m.predict_one(&probe));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_training, bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! `tables` bench target (`harness = false`): runs the full table/figure
+//! reproduction at Small scale so that `cargo bench --workspace`
+//! regenerates every artifact of the paper into `results/`.
+//!
+//! Respects `SPMV_REPRO_SCALE={tiny,quick,full}` (default `quick`).
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+use spmv_core::ablation::ablations;
+use spmv_core::extensions::extensions;
+use spmv_core::experiments::{
+    classification_tables, fig2, fig3, fig6, fig7, importance_figure, sec5a, slowdown_table,
+    table1, table14, ExperimentConfig,
+};
+use spmv_core::ModelKind;
+use spmv_matrix::Precision;
+
+fn main() {
+    // Criterion/bench targets run with the package directory as CWD;
+    // anchor at the workspace root so `results/` and the label caches are
+    // shared with the `repro` binary.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    std::env::set_current_dir(&root).expect("chdir to workspace root");
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    let cfg = match std::env::var("SPMV_REPRO_SCALE").as_deref() {
+        Ok("tiny") => ExperimentConfig::tiny(),
+        Ok("full") => ExperimentConfig::full(),
+        _ => ExperimentConfig::quick(),
+    };
+    let outdir = match cfg.scale {
+        spmv_corpus::CorpusScale::Tiny => "results/tiny",
+        spmv_corpus::CorpusScale::Small => "results",
+        spmv_corpus::CorpusScale::Full => "results/full",
+    };
+    std::fs::create_dir_all(outdir).expect("create results dir");
+    let t0 = Instant::now();
+    eprintln!("[tables] labeling corpus at {:?} scale...", cfg.scale);
+    let corpus = cfg.corpus();
+    eprintln!(
+        "[tables] {} matrices labeled/loaded in {:.1}s",
+        corpus.records.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mut results = vec![table1(&corpus), fig2(), fig3(), sec5a(&corpus)];
+    results.extend(classification_tables(&corpus, &cfg));
+    results.push(importance_figure("fig4", &corpus, Precision::Single, &cfg));
+    results.push(importance_figure("fig5", &corpus, Precision::Double, &cfg));
+    results.push(slowdown_table("table11", ModelKind::Svm, &corpus, &cfg));
+    results.push(slowdown_table("table12", ModelKind::MlpEnsemble, &corpus, &cfg));
+    results.push(slowdown_table("table13", ModelKind::Xgboost, &corpus, &cfg));
+    results.push(fig6(&corpus, &cfg));
+    results.push(fig7(&corpus, &cfg));
+    results.push(table14(&corpus, &cfg));
+    results.extend(ablations(&corpus, &cfg));
+    results.extend(extensions(&corpus, &cfg));
+
+    for r in &results {
+        let path = Path::new(outdir).join(format!("{}.txt", r.id));
+        let mut f = std::fs::File::create(&path).expect("write artifact");
+        f.write_all(r.body.as_bytes()).expect("write artifact");
+        println!("--- {} ---\n{}", r.title, r.body);
+    }
+    eprintln!(
+        "[tables] regenerated {} artifacts in {:.1}s",
+        results.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,124 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!   repro [--tiny | --quick | --full] [ids...]
+//!
+//! With no ids, all experiments run. Artifacts are written to
+//! `results/<id>.txt` and echoed to stdout. The labeled corpus is cached in
+//! `results/labels_<scale>.json`, so re-runs skip the measurement sweep.
+//!
+//! Scales: `--tiny` (~60 matrices, smoke test), `--quick` (default; ~460
+//! matrices), `--full` (2299 matrices — the paper's corpus size). All use
+//! pruned hyper-parameter grids unless `--paper-grids` adds the paper's
+//! exhaustive §IV-D grids (hours of CPU time).
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+use spmv_core::ablation::ablations;
+use spmv_core::extensions::extensions;
+use spmv_core::experiments::{
+    classification_tables, fig2, fig3, fig6, fig7, importance_figure, sec5a, slowdown_table,
+    table1, table14, ExperimentConfig, ExperimentResult,
+};
+use spmv_core::ModelKind;
+use spmv_matrix::Precision;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExperimentConfig::quick();
+    let mut ids: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--tiny" => cfg = ExperimentConfig::tiny(),
+            "--quick" => cfg = ExperimentConfig::quick(),
+            "--full" => cfg = ExperimentConfig::full(),
+            "--paper-grids" => cfg = cfg.clone().with_paper_grids(),
+            "--help" | "-h" => {
+                eprintln!("usage: repro [--tiny|--quick|--full] [--paper-grids] [table1 fig2 fig3 table4..table14 fig4..fig7 ablation ...]");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    let want = |id: &str| ids.is_empty() || ids.iter().any(|x| x == id);
+
+    // Each scale writes to its own directory so a full-scale run does not
+    // clobber the default Small-scale artifacts EXPERIMENTS.md references.
+    let outdir = match cfg.scale {
+        spmv_corpus::CorpusScale::Tiny => "results/tiny",
+        spmv_corpus::CorpusScale::Small => "results",
+        spmv_corpus::CorpusScale::Full => "results/full",
+    };
+    std::fs::create_dir_all(outdir).expect("create results dir");
+
+    eprintln!("[repro] collecting/loading labels ({:?} scale)...", cfg.scale);
+    let t0 = Instant::now();
+    let corpus = cfg.corpus();
+    eprintln!(
+        "[repro] {} labeled matrices in {:.1}s",
+        corpus.records.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mut results: Vec<ExperimentResult> = Vec::new();
+    // Artifacts flush as soon as each experiment completes, so a long run
+    // interrupted midway still leaves everything it finished on disk.
+    let mut run = |name: &str, f: &mut dyn FnMut() -> Vec<ExperimentResult>| {
+        if !name.split(',').any(want) {
+            return;
+        }
+        let t = Instant::now();
+        let rs = f();
+        eprintln!("[repro] {name} done in {:.1}s", t.elapsed().as_secs_f64());
+        for r in &rs {
+            let path = Path::new(outdir).join(format!("{}.txt", r.id));
+            let mut file = std::fs::File::create(&path).expect("write artifact");
+            file.write_all(r.body.as_bytes()).expect("write artifact");
+        }
+        results.extend(rs);
+    };
+
+    run("table1", &mut || vec![table1(&corpus)]);
+    run("fig2", &mut || vec![fig2()]);
+    run("fig3", &mut || vec![fig3()]);
+    run("sec5a", &mut || vec![sec5a(&corpus)]);
+    run(
+        "table4,table5,table6,table7,table8,table9,table10",
+        &mut || classification_tables(&corpus, &cfg),
+    );
+    run("fig4", &mut || {
+        vec![importance_figure("fig4", &corpus, Precision::Single, &cfg)]
+    });
+    run("fig5", &mut || {
+        vec![importance_figure("fig5", &corpus, Precision::Double, &cfg)]
+    });
+    run("table11", &mut || {
+        vec![slowdown_table("table11", ModelKind::Svm, &corpus, &cfg)]
+    });
+    run("table12", &mut || {
+        vec![slowdown_table("table12", ModelKind::MlpEnsemble, &corpus, &cfg)]
+    });
+    run("table13", &mut || {
+        vec![slowdown_table("table13", ModelKind::Xgboost, &corpus, &cfg)]
+    });
+    run("fig6", &mut || vec![fig6(&corpus, &cfg)]);
+    run("fig7", &mut || vec![fig7(&corpus, &cfg)]);
+    run("table14", &mut || vec![table14(&corpus, &cfg)]);
+    if ids.iter().any(|x| x == "ablation") {
+        run("ablation", &mut || ablations(&corpus, &cfg));
+    }
+    if ids.iter().any(|x| x == "extensions") {
+        run("extensions", &mut || extensions(&corpus, &cfg));
+    }
+
+    for r in &results {
+        println!("=== {} ({outdir}/{}.txt) ===\n{}", r.title, r.id, r.body);
+    }
+    eprintln!(
+        "[repro] wrote {} artifacts to results/ in {:.1}s total",
+        results.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}

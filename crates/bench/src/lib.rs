@@ -1,0 +1,1 @@
+//! Shared helpers for the benchmark suite live in the individual benches.

@@ -1,0 +1,178 @@
+//! The public façade a downstream user actually wants: given a sparse
+//! matrix, which format should I store it in, and how long will SpMV take?
+//!
+//! `FormatAdvisor` bundles the whole pipeline — feature extraction, the
+//! best direct classifier (XGBoost, per the paper's conclusion), and a
+//! combined time regressor — trained once on a labeled corpus for a chosen
+//! (GPU, precision) environment.
+
+use spmv_features::{extract, FeatureSet};
+use spmv_matrix::{CsrMatrix, Format, Scalar};
+use spmv_ml::{Classifier, GbtClassifier, GbtParams};
+
+use crate::classify::SearchBudget;
+use crate::dataset::{ClassificationTask, RegressionTask};
+use crate::env::Env;
+use crate::labels::LabeledCorpus;
+use crate::regress::{train_time_predictor, RegModelKind, TimePredictor};
+
+/// A trained format advisor for one environment. Serializable: train once
+/// (expensive — needs the labeled corpus), then [`FormatAdvisor::save`] the
+/// model and [`FormatAdvisor::load`] it at deployment without any corpus.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct FormatAdvisor {
+    env: Env,
+    set: FeatureSet,
+    formats: Vec<Format>,
+    classifier: GbtClassifier,
+    predictor: TimePredictor,
+}
+
+impl FormatAdvisor {
+    /// Train on a labeled corpus. Uses the paper's winning configuration:
+    /// XGBoost over the `imp.` feature subset for selection, an MLP
+    /// ensemble over the same features (+ format one-hot) for timing.
+    pub fn train(corpus: &LabeledCorpus, env: Env, budget: SearchBudget) -> FormatAdvisor {
+        let set = FeatureSet::Important;
+        let formats = Format::ALL.to_vec();
+
+        let ctask = ClassificationTask::build(corpus, env, &formats, set, true);
+        let mut classifier = GbtClassifier::new(GbtParams {
+            n_estimators: match budget {
+                SearchBudget::Quick => 60,
+                SearchBudget::Paper => 200,
+            },
+            max_depth: 6,
+            learning_rate: 0.1,
+            ..GbtParams::default()
+        });
+        classifier.fit(&ctask.x, &ctask.y, formats.len());
+
+        let rtask = RegressionTask::build(corpus, env, &formats, set);
+        let all: Vec<usize> = (0..rtask.len()).collect();
+        let predictor =
+            train_time_predictor(RegModelKind::MlpEnsemble, &rtask, &all, budget, corpus.suite_seed);
+
+        FormatAdvisor {
+            env,
+            set,
+            formats,
+            classifier,
+            predictor,
+        }
+    }
+
+    /// The environment this advisor was trained for.
+    pub fn env(&self) -> Env {
+        self.env
+    }
+
+    /// Recommend a storage format for `matrix`.
+    pub fn recommend<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> Format {
+        let features = extract(matrix).project(self.set);
+        self.formats[self
+            .classifier
+            .predict_one(&features)
+            .min(self.formats.len() - 1)]
+    }
+
+    /// Predict SpMV time (seconds) for `matrix` in every format,
+    /// best-first.
+    pub fn predict_times<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> Vec<(Format, f64)> {
+        let base = extract(matrix).project(self.set);
+        let mut out: Vec<(Format, f64)> = self
+            .formats
+            .iter()
+            .enumerate()
+            .map(|(k, &f)| {
+                let mut row = base.clone();
+                for j in 0..self.formats.len() {
+                    row.push(if j == k { 1.0 } else { 0.0 });
+                }
+                (f, self.predictor.predict_row(&row))
+            })
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        out
+    }
+
+    /// Indirect recommendation: the format with the fastest predicted time.
+    pub fn recommend_by_time<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> Format {
+        self.predict_times(matrix)[0].0
+    }
+
+    /// Persist the trained advisor as JSON.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
+    }
+
+    /// Load a previously saved advisor.
+    pub fn load(path: &std::path::Path) -> std::io::Result<FormatAdvisor> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(std::io::BufReader::new(file)).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::tests_support::tiny_labeled_corpus;
+    use spmv_matrix::TripletBuilder;
+
+    fn advisor() -> FormatAdvisor {
+        let corpus = tiny_labeled_corpus(61);
+        FormatAdvisor::train(&corpus, Env::ALL[1], SearchBudget::Quick)
+    }
+
+    fn banded_matrix() -> CsrMatrix<f64> {
+        let mut b = TripletBuilder::new(5000, 5000);
+        for r in 0..5000usize {
+            for c in r.saturating_sub(3)..(r + 4).min(5000) {
+                b.push_unchecked(r as u32, c as u32, 1.0);
+            }
+        }
+        b.build().to_csr()
+    }
+
+    #[test]
+    fn advisor_produces_a_recommendation() {
+        let a = advisor();
+        let m = banded_matrix();
+        let f = a.recommend(&m);
+        assert!(Format::ALL.contains(&f));
+        assert_eq!(a.env().label(), "K80c double");
+    }
+
+    #[test]
+    fn advisor_round_trips_through_disk() {
+        let a = advisor();
+        let m = banded_matrix();
+        let dir = std::env::temp_dir().join("spmv_advisor_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("advisor.json");
+        a.save(&path).unwrap();
+        let back = FormatAdvisor::load(&path).unwrap();
+        assert_eq!(back.recommend(&m), a.recommend(&m));
+        let ta = a.predict_times(&m);
+        let tb = back.predict_times(&m);
+        for ((fa, va), (fb, vb)) in ta.iter().zip(&tb) {
+            assert_eq!(fa, fb);
+            assert!((va - vb).abs() < 1e-12 * va.abs());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn predicted_times_are_positive_and_sorted() {
+        let a = advisor();
+        let m = banded_matrix();
+        let times = a.predict_times(&m);
+        assert_eq!(times.len(), 6);
+        assert!(times.iter().all(|(_, t)| *t > 0.0));
+        for w in times.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(a.recommend_by_time(&m), times[0].0);
+    }
+}

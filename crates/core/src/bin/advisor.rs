@@ -1,0 +1,146 @@
+//! `spmv-advisor` — the deployable face of the paper: read a MatrixMarket
+//! file, extract the seventeen features, and print the recommended storage
+//! format plus the predicted SpMV time of every format for a chosen GPU and
+//! precision.
+//!
+//! Usage:
+//!   spmv-advisor <matrix.mtx> [--gpu k80c|p100] [--precision single|double]
+//!                [--train-scale tiny|small] [--explain]
+//!
+//! `--explain` additionally prints the GPU model's per-format timing
+//! breakdown (launch / compute / DRAM / L2 / critical-path / atomics and
+//! the binding bottleneck) — the "why" behind the recommendation.
+//!
+//! The advisor trains on a cached synthetic corpus on first use (the cache
+//! lives next to the repro harness's, under `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use spmv_core::experiments::ExperimentConfig;
+use spmv_core::{Env, FormatAdvisor, SearchBudget};
+use spmv_corpus::CorpusScale;
+use spmv_features::{extract, FeatureId};
+use spmv_gpusim::{predict, KernelProfile};
+use spmv_matrix::{mm, Format, Precision, SparseMatrix};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<PathBuf> = None;
+    let mut arch_idx = 1usize; // P100
+    let mut precision = Precision::Double;
+    let mut scale = CorpusScale::Small;
+    let mut explain = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--gpu" => match args.next().as_deref() {
+                Some("k80c") | Some("K80c") => arch_idx = 0,
+                Some("p100") | Some("P100") => arch_idx = 1,
+                other => {
+                    eprintln!("unknown --gpu {other:?} (k80c|p100)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--precision" => match args.next().as_deref() {
+                Some("single") => precision = Precision::Single,
+                Some("double") => precision = Precision::Double,
+                other => {
+                    eprintln!("unknown --precision {other:?} (single|double)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--train-scale" => match args.next().as_deref() {
+                Some("tiny") => scale = CorpusScale::Tiny,
+                Some("small") => scale = CorpusScale::Small,
+                other => {
+                    eprintln!("unknown --train-scale {other:?} (tiny|small)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--explain" => explain = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: spmv-advisor <matrix.mtx> [--gpu k80c|p100] \
+                     [--precision single|double] [--train-scale tiny|small] [--explain]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => path = Some(PathBuf::from(other)),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("error: no input file; see --help");
+        return ExitCode::FAILURE;
+    };
+
+    // 1. Load the matrix.
+    let coo = match mm::read_matrix_market_file::<f64, _>(&path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let csr = coo.to_csr();
+    println!(
+        "{}: {} x {}, {} non-zeros",
+        path.display(),
+        csr.n_rows(),
+        csr.n_cols(),
+        csr.nnz()
+    );
+
+    // 2. Features.
+    let features = extract(&csr);
+    println!("\nfeatures (Table II):");
+    for f in FeatureId::ALL {
+        println!("  {:<11} = {:>14.4}   ({})", f.name(), features.get(f), f.describe());
+    }
+
+    // 3. Train (cached corpus) and advise.
+    let cfg = match scale {
+        CorpusScale::Tiny => ExperimentConfig::tiny(),
+        _ => ExperimentConfig::quick(),
+    };
+    let env = Env { arch_idx, precision };
+    eprintln!("\ntraining advisor for {} (corpus cached under results/)...", env.label());
+    let corpus = cfg.corpus();
+    let advisor = FormatAdvisor::train(&corpus, env, SearchBudget::Quick);
+
+    let rec = advisor.recommend(&csr);
+    println!("\nrecommended format ({}): {}", env.label(), rec.label());
+    println!("\npredicted SpMV times:");
+    for (fmt, t) in advisor.predict_times(&csr) {
+        let marker = if fmt == rec { "  <- classifier pick" } else { "" };
+        println!("  {:<10} {:>10.2} us{}", fmt.label(), t * 1e6, marker);
+    }
+
+    if explain {
+        println!("\nGPU-model breakdown on {} (simulator ground truth):", env.label());
+        println!(
+            "  {:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  bottleneck",
+            "format", "total us", "launch", "compute", "dram", "l2", "atomics"
+        );
+        for fmt in Format::ALL {
+            match SparseMatrix::from_csr(&csr, fmt) {
+                Ok(m) => {
+                    let p = KernelProfile::of(&m);
+                    let t = predict(&p, env.arch(), env.precision);
+                    println!(
+                        "  {:<10} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}  {}",
+                        fmt.label(),
+                        t.total_s * 1e6,
+                        t.launch_s * 1e6,
+                        t.compute_s * 1e6,
+                        t.dram_s * 1e6,
+                        t.l2_s * 1e6,
+                        t.atomic_s * 1e6,
+                        t.bottleneck()
+                    );
+                }
+                Err(e) => println!("  {:<10} conversion fails: {e}", fmt.label()),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

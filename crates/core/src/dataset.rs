@@ -1,0 +1,249 @@
+//! Assembling ML datasets from a labeled corpus: the classification task
+//! (predict the best format) and the regression task (predict the execution
+//! time of each format).
+
+use spmv_features::FeatureSet;
+use spmv_matrix::Format;
+use spmv_ml::FeatureMatrix;
+
+use crate::env::Env;
+use crate::labels::LabeledCorpus;
+
+/// Format-selection dataset for one environment and format subset.
+#[derive(Debug, Clone)]
+pub struct ClassificationTask {
+    /// Feature rows (raw, unscaled), projected onto the feature set.
+    pub x: FeatureMatrix,
+    /// Class index of the best format (position within `formats`).
+    pub y: Vec<usize>,
+    /// The class universe, in class-index order.
+    pub formats: Vec<Format>,
+    /// Actual measured time of every class for each sample (for slowdown
+    /// and tolerance analyses), same class order as `formats`.
+    pub class_times: Vec<Vec<f64>>,
+    /// Matrix names (diagnostics).
+    pub names: Vec<String>,
+}
+
+impl ClassificationTask {
+    /// Build the task. Per the paper §V-A, `drop_coo_best` removes the rare
+    /// samples whose best format is COO (the paper excludes them because
+    /// some other format is always within noise of COO when COO "wins").
+    pub fn build(
+        corpus: &LabeledCorpus,
+        env: Env,
+        formats: &[Format],
+        set: FeatureSet,
+        drop_coo_best: bool,
+    ) -> ClassificationTask {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut class_times = Vec::new();
+        let mut names = Vec::new();
+        for r in corpus.usable(formats) {
+            let ts = r.env_times(env);
+            let times: Vec<f64> = formats
+                .iter()
+                .map(|f| ts[f.class_id()].expect("usable record"))
+                .collect();
+            let best = times
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("non-empty formats");
+            if drop_coo_best && formats[best] == Format::Coo {
+                continue;
+            }
+            rows.push(r.features.project(set));
+            y.push(best);
+            class_times.push(times);
+            names.push(r.name.clone());
+        }
+        ClassificationTask {
+            x: FeatureMatrix::from_rows(&rows),
+            y,
+            formats: formats.to_vec(),
+            class_times,
+            names,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the task has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.formats.len()];
+        for &c in &self.y {
+            h[c] += 1;
+        }
+        h
+    }
+}
+
+/// Performance-modeling dataset: one sample per (matrix, format) pair.
+#[derive(Debug, Clone)]
+pub struct RegressionTask {
+    /// Feature rows: the matrix features plus a one-hot format encoding.
+    pub x: FeatureMatrix,
+    /// Measured time in seconds.
+    pub y: Vec<f64>,
+    /// Which corpus record each sample came from (groups samples of one
+    /// matrix together for indirect classification).
+    pub record_of: Vec<usize>,
+    /// Class index (within `formats`) of each sample's format.
+    pub format_of: Vec<usize>,
+    /// The format universe.
+    pub formats: Vec<Format>,
+    /// For each *record index used*, the actual per-class times.
+    pub class_times: Vec<Vec<f64>>,
+}
+
+impl RegressionTask {
+    /// Build the combined-format regression task (paper §VI-A): the format
+    /// is one-hot appended to the matrix features so a single model serves
+    /// all formats. Restricting `formats` to one format yields the paper's
+    /// individual models (§VI-B).
+    pub fn build(
+        corpus: &LabeledCorpus,
+        env: Env,
+        formats: &[Format],
+        set: FeatureSet,
+    ) -> RegressionTask {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut record_of = Vec::new();
+        let mut format_of = Vec::new();
+        let mut class_times = Vec::new();
+        for r in corpus.usable(formats) {
+            let ts = r.env_times(env);
+            let base = r.features.project(set);
+            let rec_idx = class_times.len();
+            let times: Vec<f64> = formats
+                .iter()
+                .map(|f| ts[f.class_id()].expect("usable record"))
+                .collect();
+            for (k, &t) in times.iter().enumerate() {
+                let mut row = base.clone();
+                if formats.len() > 1 {
+                    for j in 0..formats.len() {
+                        row.push(if j == k { 1.0 } else { 0.0 });
+                    }
+                }
+                rows.push(row);
+                y.push(t);
+                record_of.push(rec_idx);
+                format_of.push(k);
+            }
+            class_times.push(times);
+        }
+        RegressionTask {
+            x: FeatureMatrix::from_rows(&rows),
+            y,
+            record_of,
+            format_of,
+            formats: formats.to_vec(),
+            class_times,
+        }
+    }
+
+    /// Number of samples (matrix x format pairs).
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the task has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of distinct matrices.
+    pub fn n_records(&self) -> usize {
+        self.class_times.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::tests_support::tiny_labeled_corpus;
+
+    #[test]
+    fn classification_task_shapes() {
+        let corpus = tiny_labeled_corpus(7);
+        let env = Env::ALL[1];
+        let t = ClassificationTask::build(&corpus, env, &Format::BASIC, FeatureSet::Set12, false);
+        assert!(!t.is_empty());
+        assert_eq!(t.x.n_cols(), 11);
+        assert_eq!(t.x.n_rows(), t.len());
+        assert_eq!(t.class_times.len(), t.len());
+        assert!(t.y.iter().all(|&c| c < 3));
+        // Labels really are argmin of the recorded times.
+        for (c, ts) in t.y.iter().zip(&t.class_times) {
+            let m = ts.iter().copied().fold(f64::INFINITY, f64::min);
+            assert_eq!(ts[*c], m);
+        }
+    }
+
+    #[test]
+    fn coo_best_drop_removes_only_coo_winners() {
+        let corpus = tiny_labeled_corpus(8);
+        let env = Env::ALL[0];
+        let keep = ClassificationTask::build(&corpus, env, &Format::ALL, FeatureSet::Set1, false);
+        let drop = ClassificationTask::build(&corpus, env, &Format::ALL, FeatureSet::Set1, true);
+        let coo_idx = Format::ALL.iter().position(|&f| f == Format::Coo).unwrap();
+        let coo_wins = keep.y.iter().filter(|&&c| c == coo_idx).count();
+        assert_eq!(keep.len() - drop.len(), coo_wins);
+        assert!(drop.y.iter().all(|&c| c != coo_idx));
+    }
+
+    #[test]
+    fn regression_task_one_hot() {
+        let corpus = tiny_labeled_corpus(9);
+        let env = Env::ALL[3];
+        let t = RegressionTask::build(&corpus, env, &Format::ALL, FeatureSet::Set1);
+        assert_eq!(t.len(), t.n_records() * 6);
+        assert_eq!(t.x.n_cols(), 5 + 6);
+        // One-hot column matches format_of.
+        for i in 0..t.len() {
+            let row = t.x.row(i);
+            let hot: Vec<usize> = (0..6).filter(|&j| row[5 + j] == 1.0).collect();
+            assert_eq!(hot, vec![t.format_of[i]]);
+        }
+        assert!(t.y.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn single_format_regression_has_no_one_hot() {
+        let corpus = tiny_labeled_corpus(10);
+        let t = RegressionTask::build(
+            &corpus,
+            Env::ALL[0],
+            &[Format::Csr5],
+            FeatureSet::Important,
+        );
+        assert_eq!(t.x.n_cols(), 7);
+        assert_eq!(t.len(), t.n_records());
+    }
+
+    #[test]
+    fn class_histogram_sums_to_len() {
+        let corpus = tiny_labeled_corpus(11);
+        let t = ClassificationTask::build(
+            &corpus,
+            Env::ALL[2],
+            &Format::ALL,
+            FeatureSet::Set123,
+            true,
+        );
+        assert_eq!(t.class_histogram().iter().sum::<usize>(), t.len());
+    }
+}

@@ -1,0 +1,56 @@
+//! Experiment environments: the (GPU, precision) grid the paper's tables
+//! iterate over.
+
+use serde::{Deserialize, Serialize};
+use spmv_gpusim::GpuArch;
+use spmv_matrix::Precision;
+
+/// One (machine, precision) cell of the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Env {
+    /// Index into [`GpuArch::PAPER_MACHINES`] (0 = K80c, 1 = P100).
+    pub arch_idx: usize,
+    /// Scalar precision.
+    pub precision: Precision,
+}
+
+impl Env {
+    /// All four environments in the paper's table row order:
+    /// K80c single, K80c double, P100 single, P100 double.
+    pub const ALL: [Env; 4] = [
+        Env { arch_idx: 0, precision: Precision::Single },
+        Env { arch_idx: 0, precision: Precision::Double },
+        Env { arch_idx: 1, precision: Precision::Single },
+        Env { arch_idx: 1, precision: Precision::Double },
+    ];
+
+    /// The architecture description.
+    pub fn arch(&self) -> &'static GpuArch {
+        &GpuArch::PAPER_MACHINES[self.arch_idx]
+    }
+
+    /// Row label like `"K80c single"`.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.arch().name, self.precision.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_envs_in_table_order() {
+        let labels: Vec<String> = Env::ALL.iter().map(Env::label).collect();
+        assert_eq!(
+            labels,
+            vec!["K80c single", "K80c double", "P100 single", "P100 double"]
+        );
+    }
+
+    #[test]
+    fn arch_resolution() {
+        assert_eq!(Env::ALL[0].arch().name, "K80c");
+        assert_eq!(Env::ALL[2].arch().name, "P100");
+    }
+}

@@ -1,0 +1,161 @@
+//! Indirect classification (paper §VI-C): use the time regressor as a
+//! format selector — predict every format's time, pick the argmin — and
+//! score it with a tolerance: a choice is "correct" if its *actual* time is
+//! within `(1 + tolerance)` of the actual best (0 % tolerance = strict).
+
+
+use crate::classify::SearchBudget;
+use crate::dataset::RegressionTask;
+use crate::regress::{record_split, train_time_predictor, RegModelKind};
+
+/// Outcome of an indirect-classification evaluation.
+#[derive(Debug, Clone)]
+pub struct IndirectOutcome {
+    /// Accuracy at the given tolerance.
+    pub accuracy: f64,
+    /// Chosen class index per test record.
+    pub chosen: Vec<usize>,
+    /// Actual best class index per test record.
+    pub best: Vec<usize>,
+    /// Actual per-class times for each test record.
+    pub class_times: Vec<Vec<f64>>,
+}
+
+/// Train a combined regressor on 80 % of matrices, then classify the held
+/// out matrices by predicted-argmin.
+pub fn evaluate_indirect(
+    kind: RegModelKind,
+    task: &RegressionTask,
+    split_seed: u64,
+    budget: SearchBudget,
+    tolerance: f64,
+) -> IndirectOutcome {
+    let (train_idx, test_idx) = record_split(task, 0.2, split_seed);
+    let predictor = train_time_predictor(kind, task, &train_idx, budget, split_seed);
+
+    // Group test samples by record: record -> [(class, sample idx)].
+    use std::collections::BTreeMap;
+    let mut by_record: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+    for &i in &test_idx {
+        by_record
+            .entry(task.record_of[i])
+            .or_default()
+            .push((task.format_of[i], i));
+    }
+
+    let mut chosen = Vec::new();
+    let mut best = Vec::new();
+    let mut class_times = Vec::new();
+    let mut correct = 0usize;
+    for (rec, samples) in &by_record {
+        // Predicted argmin over the record's formats.
+        let c = samples
+            .iter()
+            .map(|&(k, i)| (k, predictor.predict_row(task.x.row(i))))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(k, _)| k)
+            .expect("record has samples");
+        let actual = &task.class_times[*rec];
+        let b = actual
+            .iter()
+            .enumerate()
+            .min_by(|x, y| x.1.total_cmp(y.1))
+            .map(|(k, _)| k)
+            .expect("non-empty");
+        if actual[c] <= actual[b] * (1.0 + tolerance) {
+            correct += 1;
+        }
+        chosen.push(c);
+        best.push(b);
+        class_times.push(actual.clone());
+    }
+    let n = by_record.len().max(1);
+    IndirectOutcome {
+        accuracy: correct as f64 / n as f64,
+        chosen,
+        best,
+        class_times,
+    }
+}
+
+/// Tolerance sweep: train the regressor once, score the indirect selector
+/// at several tolerances (the expensive part is training, not scoring).
+pub fn indirect_tolerance_sweep(
+    kind: RegModelKind,
+    task: &RegressionTask,
+    split_seed: u64,
+    budget: SearchBudget,
+    tolerances: &[f64],
+) -> Vec<f64> {
+    let (train_idx, test_idx) = record_split(task, 0.2, split_seed);
+    let predictor = train_time_predictor(kind, task, &train_idx, budget, split_seed);
+
+    use std::collections::BTreeMap;
+    let mut by_record: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+    for &i in &test_idx {
+        by_record
+            .entry(task.record_of[i])
+            .or_default()
+            .push((task.format_of[i], i));
+    }
+    // Per-record ratio of chosen-actual-time to best-actual-time.
+    let ratios: Vec<f64> = by_record
+        .iter()
+        .map(|(rec, samples)| {
+            let c = samples
+                .iter()
+                .map(|&(k, i)| (k, predictor.predict_row(task.x.row(i))))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(k, _)| k)
+                .expect("record has samples");
+            let actual = &task.class_times[*rec];
+            let best = actual.iter().copied().fold(f64::INFINITY, f64::min);
+            actual[c] / best
+        })
+        .collect();
+    let n = ratios.len().max(1) as f64;
+    tolerances
+        .iter()
+        .map(|tol| ratios.iter().filter(|&&r| r <= 1.0 + tol).count() as f64 / n)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Env;
+    use crate::labels::tests_support::tiny_labeled_corpus;
+    use spmv_features::FeatureSet;
+    use spmv_matrix::Format;
+
+    fn task() -> RegressionTask {
+        let corpus = tiny_labeled_corpus(41);
+        RegressionTask::build(&corpus, Env::ALL[0], &Format::ALL, FeatureSet::Important)
+    }
+
+    #[test]
+    fn tolerance_never_decreases_accuracy() {
+        let t = task();
+        let strict = evaluate_indirect(RegModelKind::Mlp, &t, 3, SearchBudget::Quick, 0.0);
+        let tol = evaluate_indirect(RegModelKind::Mlp, &t, 3, SearchBudget::Quick, 0.05);
+        assert!(tol.accuracy >= strict.accuracy);
+        assert_eq!(strict.chosen.len(), strict.best.len());
+    }
+
+    #[test]
+    fn infinite_tolerance_is_always_correct() {
+        let t = task();
+        let out = evaluate_indirect(RegModelKind::Mlp, &t, 5, SearchBudget::Quick, 1e9);
+        assert_eq!(out.accuracy, 1.0);
+    }
+
+    #[test]
+    fn best_really_is_argmin() {
+        let t = task();
+        let out = evaluate_indirect(RegModelKind::Mlp, &t, 7, SearchBudget::Quick, 0.0);
+        for (b, ts) in out.best.iter().zip(&out.class_times) {
+            let m = ts.iter().copied().fold(f64::INFINITY, f64::min);
+            assert_eq!(ts[*b], m);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Ground-truth label collection (paper §IV-B): run every matrix in every
+//! format on every (machine, precision) cell and record the averaged
+//! execution time. This is the expensive step, so results are cached to
+//! JSON and collection is parallelized over matrices.
+
+use std::path::Path;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use spmv_corpus::SyntheticSuite;
+use spmv_features::{extract, FeatureVector};
+use spmv_gpusim::{cell_seed, GpuArch, KernelProfile, Simulator};
+use spmv_matrix::{CsrMatrix, Format, Precision, SparseMatrix};
+
+use crate::env::Env;
+
+/// Number of formats (indexing follows [`Format::ALL`]).
+pub const N_FORMATS: usize = 6;
+
+/// Measured times for one matrix: `times[arch][precision][format]`,
+/// `None` when the format conversion failed (ELL padding blow-up) — the
+/// paper likewise drops matrices that "failed to execute for one or more
+/// storage formats".
+pub type CellTimes = [[[Option<f64>; N_FORMATS]; 2]; 2];
+
+/// One labeled matrix: its features plus the full measurement grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatrixRecord {
+    /// Matrix name from the corpus.
+    pub name: String,
+    /// Census bucket index (Table I row).
+    pub bucket: usize,
+    /// Generator family label.
+    pub family: String,
+    /// Rows, columns, and stored non-zeros.
+    pub shape: (usize, usize, usize),
+    /// The seventeen features.
+    pub features: FeatureVector,
+    /// The measurement grid.
+    pub times: CellTimes,
+}
+
+impl MatrixRecord {
+    /// Times for one environment, per format.
+    pub fn env_times(&self, env: Env) -> &[Option<f64>; N_FORMATS] {
+        &self.times[env.arch_idx][env.precision.idx()]
+    }
+
+    /// The fastest format among `formats` for `env` (`None` if any needed
+    /// time is missing).
+    pub fn best_format(&self, env: Env, formats: &[Format]) -> Option<Format> {
+        let ts = self.env_times(env);
+        let mut best: Option<(Format, f64)> = None;
+        for &f in formats {
+            let t = ts[f.class_id()]?;
+            if best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((f, t));
+            }
+        }
+        best.map(|(f, _)| f)
+    }
+
+    /// Whether all formats in the subset were measurable.
+    pub fn complete_for(&self, formats: &[Format]) -> bool {
+        Env::ALL.iter().all(|&e| {
+            formats
+                .iter()
+                .all(|f| self.env_times(e)[f.class_id()].is_some())
+        })
+    }
+}
+
+/// A fully labeled corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabeledCorpus {
+    /// Seed the suite was sampled from.
+    pub suite_seed: u64,
+    /// [`spmv_gpusim::MODEL_VERSION`] the labels were measured under; a
+    /// cache from an older model is re-collected rather than reused.
+    #[serde(default)]
+    pub model_version: u32,
+    /// All labeled matrices.
+    pub records: Vec<MatrixRecord>,
+}
+
+/// Measure one CSR matrix in all formats on the whole environment grid.
+/// The kernel profile is architecture- and precision-independent, so each
+/// format is profiled once and timed four times.
+pub fn measure_matrix(csr: &CsrMatrix<f64>, sim: &Simulator, noise_seed: u64) -> CellTimes {
+    let mut times: CellTimes = [[[None; N_FORMATS]; 2]; 2];
+    for fmt in Format::ALL {
+        let Ok(m) = SparseMatrix::from_csr(csr, fmt) else {
+            continue; // conversion failed; leave None
+        };
+        let profile = KernelProfile::of(&m);
+        for (ai, arch) in GpuArch::PAPER_MACHINES.iter().enumerate() {
+            for prec in Precision::ALL {
+                let seed = cell_seed(noise_seed, fmt, arch, prec);
+                let meas = sim.measure_profile(&profile, arch, prec, seed);
+                times[ai][prec.idx()][fmt.class_id()] = Some(meas.time_s);
+            }
+        }
+    }
+    times
+}
+
+impl LabeledCorpus {
+    /// Label every matrix of `suite`, running `threads` workers.
+    pub fn collect(suite: &SyntheticSuite, sim: &Simulator, threads: usize) -> LabeledCorpus {
+        let n = suite.specs.len();
+        let results: Vec<Mutex<Option<MatrixRecord>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let threads = threads.clamp(1, n.max(1));
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let spec = &suite.specs[i];
+                    let csr: CsrMatrix<f64> = spec.generate();
+                    let features = extract(&csr);
+                    let times = measure_matrix(&csr, sim, spec.seed);
+                    *results[i].lock() = Some(MatrixRecord {
+                        name: spec.name.clone(),
+                        bucket: suite.bucket_of[i],
+                        family: spec.kind.family().to_string(),
+                        shape: (csr.n_rows(), csr.n_cols(), csr.nnz()),
+                        features,
+                        times,
+                    });
+                });
+            }
+        })
+        .expect("label worker panicked");
+        LabeledCorpus {
+            suite_seed: suite.seed,
+            model_version: spmv_gpusim::MODEL_VERSION,
+            records: results
+                .into_iter()
+                .map(|m| m.into_inner().expect("record produced"))
+                .collect(),
+        }
+    }
+
+    /// Records usable for a study over `formats` (all conversions worked).
+    pub fn usable(&self, formats: &[Format]) -> Vec<&MatrixRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.complete_for(formats))
+            .collect()
+    }
+
+    /// Save as JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(std::io::BufWriter::new(file), self)
+            .map_err(std::io::Error::other)
+    }
+
+    /// Load from JSON.
+    pub fn load(path: &Path) -> std::io::Result<LabeledCorpus> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(std::io::BufReader::new(file)).map_err(std::io::Error::other)
+    }
+
+    /// Load from cache if present, else collect and cache.
+    pub fn load_or_collect(
+        suite: &SyntheticSuite,
+        sim: &Simulator,
+        threads: usize,
+        cache: &Path,
+    ) -> LabeledCorpus {
+        if cache.exists() {
+            if let Ok(c) = Self::load(cache) {
+                if c.suite_seed == suite.seed
+                    && c.records.len() == suite.len()
+                    && c.model_version == spmv_gpusim::MODEL_VERSION
+                {
+                    return c;
+                }
+            }
+        }
+        let c = Self::collect(suite, sim, threads);
+        if let Some(dir) = cache.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = c.save(cache);
+        c
+    }
+}
+
+/// Shared helpers for this crate's unit tests.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use spmv_corpus::CorpusScale;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    /// Tiny labeled corpus, memoized per seed (label collection is cheap at
+    /// Tiny scale but many tests ask for one).
+    pub(crate) fn tiny_labeled_corpus(seed: u64) -> LabeledCorpus {
+        static CACHE: OnceLock<Mutex<HashMap<u64, LabeledCorpus>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut guard = cache.lock().expect("cache lock");
+        guard
+            .entry(seed)
+            .or_insert_with(|| {
+                let suite = SyntheticSuite::sample(CorpusScale::Tiny, seed);
+                LabeledCorpus::collect(&suite, &Simulator::default(), 2)
+            })
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_corpus::CorpusScale;
+
+    fn tiny_corpus() -> LabeledCorpus {
+        let suite = SyntheticSuite::sample(CorpusScale::Tiny, 5);
+        LabeledCorpus::collect(&suite, &Simulator::default(), 2)
+    }
+
+    #[test]
+    fn collection_labels_every_matrix() {
+        let suite = SyntheticSuite::sample(CorpusScale::Tiny, 5);
+        let c = LabeledCorpus::collect(&suite, &Simulator::default(), 2);
+        assert_eq!(c.records.len(), suite.len());
+        for r in &c.records {
+            // CSR/COO/HYB/merge/CSR5 conversions never fail; check present.
+            for &f in &[Format::Coo, Format::Csr, Format::Hyb, Format::MergeCsr, Format::Csr5] {
+                for env in Env::ALL {
+                    assert!(
+                        r.env_times(env)[f.class_id()].is_some(),
+                        "{}: {f} missing",
+                        r.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collection_is_deterministic_and_thread_count_invariant() {
+        let suite = SyntheticSuite::sample(CorpusScale::Tiny, 6);
+        let a = LabeledCorpus::collect(&suite, &Simulator::default(), 1);
+        let b = LabeledCorpus::collect(&suite, &Simulator::default(), 4);
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.name, rb.name);
+            assert_eq!(ra.times, rb.times);
+        }
+    }
+
+    #[test]
+    fn best_format_picks_minimum() {
+        let c = tiny_corpus();
+        let env = Env::ALL[0];
+        for r in c.records.iter().take(10) {
+            if let Some(best) = r.best_format(env, &Format::ALL) {
+                let ts = r.env_times(env);
+                let bt = ts[best.class_id()].expect("best has a time");
+                for f in Format::ALL {
+                    if let Some(t) = ts[f.class_id()] {
+                        assert!(bt <= t, "{}: {best} not fastest", r.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let c = tiny_corpus();
+        let dir = std::env::temp_dir().join("spmv_core_test_labels");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.json");
+        c.save(&path).unwrap();
+        let back = LabeledCorpus::load(&path).unwrap();
+        assert_eq!(back.records.len(), c.records.len());
+        assert_eq!(back.records[0].times, c.records[0].times);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn usable_filters_incomplete() {
+        let mut c = tiny_corpus();
+        let total = c.records.len();
+        // CSR never fails to convert.
+        assert_eq!(c.usable(&[Format::Csr]).len(), total);
+        // Some skewed matrices naturally fail ELL conversion (the paper's
+        // "failed for one or more storage formats" case).
+        let baseline = c.usable(&Format::BASIC).len();
+        assert!(baseline <= total);
+        // Poison one currently-complete record's ELL cell.
+        let victim = c
+            .records
+            .iter()
+            .position(|r| r.complete_for(&Format::BASIC))
+            .expect("some complete record");
+        c.records[victim].times[0][0][Format::Ell.class_id()] = None;
+        assert_eq!(c.usable(&Format::BASIC).len(), baseline - 1);
+    }
+}
+

@@ -1,0 +1,36 @@
+//! # spmv-core
+//!
+//! The paper's pipeline, end to end: corpus → features → simulated GPU
+//! measurements (labels) → direct classification / performance modeling /
+//! indirect classification → tables and figures.
+//!
+//! The crate's public façade for downstream users is [`FormatAdvisor`]:
+//! train once on a labeled corpus, then ask it which format to store a new
+//! matrix in and what each format's SpMV time will be.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod advisor;
+pub mod classify;
+pub mod dataset;
+pub mod env;
+pub mod experiments;
+pub mod extensions;
+pub mod indirect;
+pub mod labels;
+pub mod regress;
+pub mod report;
+pub mod slowdown;
+
+pub use ablation::ablations;
+pub use advisor::FormatAdvisor;
+pub use classify::{evaluate_classifier, xgboost_importance, EvalOutcome, ModelKind, SearchBudget};
+pub use dataset::{ClassificationTask, RegressionTask};
+pub use env::Env;
+pub use experiments::{ExperimentConfig, ExperimentResult};
+pub use extensions::extensions;
+pub use indirect::{evaluate_indirect, IndirectOutcome};
+pub use labels::{measure_matrix, LabeledCorpus, MatrixRecord, N_FORMATS};
+pub use regress::{evaluate_regressor, train_time_predictor, RegModelKind, RegressOutcome, TimePredictor};
+pub use slowdown::slowdown_of;

@@ -1,0 +1,111 @@
+//! Plain-text table and bar-chart rendering for the reproduction harness.
+//! Every table/figure of the paper is regenerated as text into `results/`.
+
+/// Render an aligned text table. `header` and every row must share a length.
+pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> String {
+    let n_cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        assert_eq!(row.len(), n_cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let rule: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    out.push_str(&rule);
+    out.push('\n');
+    out.push_str(&fmt_row(header));
+    out.push('\n');
+    out.push_str(&rule);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    out
+}
+
+/// Render a horizontal ASCII bar chart (for the "figures").
+pub fn render_bars(title: &str, items: &[(String, f64)], unit: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let max = items.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(1e-30);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, v) in items {
+        let n = ((v / max) * 50.0).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} | {} {v:.3} {unit}\n",
+            "#".repeat(n)
+        ));
+    }
+    out
+}
+
+/// Percentage formatting helper (paper tables print whole percents).
+pub fn pct(v: f64) -> String {
+    format!("{:.0}%", v * 100.0)
+}
+
+/// One-decimal formatting helper.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = render_table(
+            "Table T",
+            &["a".into(), "bb".into()],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(s.contains("Table T"));
+        assert!(s.contains("333"));
+        // All data lines share one width.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        render_table("t", &["a".into()], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = render_bars(
+            "Fig",
+            &[("x".into(), 1.0), ("y".into(), 2.0)],
+            "GFLOPS",
+        );
+        let x_hashes = s.lines().nth(1).unwrap().matches('#').count();
+        let y_hashes = s.lines().nth(2).unwrap().matches('#').count();
+        assert_eq!(y_hashes, 50);
+        assert_eq!(x_hashes, 25);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.876), "88%");
+        assert_eq!(f1(12.34), "12.3");
+    }
+}

@@ -1,0 +1,78 @@
+//! Mis-prediction slowdown analysis (paper Tables XI-XIII): what does a
+//! wrong format choice actually cost at runtime?
+
+use spmv_ml::SlowdownTable;
+
+use crate::classify::EvalOutcome;
+use crate::dataset::ClassificationTask;
+
+/// Relative tie tolerance when attributing "no slowdown" (measurement noise
+/// makes sub-percent differences meaningless).
+pub const TIE_EPS: f64 = 0.01;
+
+/// Tally the slowdown histogram for a classifier's held-out predictions.
+pub fn slowdown_of(task: &ClassificationTask, outcome: &EvalOutcome) -> SlowdownTable {
+    let pairs: Vec<(f64, f64)> = outcome
+        .test_idx
+        .iter()
+        .zip(&outcome.predictions)
+        .map(|(&i, &chosen)| {
+            let times = &task.class_times[i];
+            let best = times.iter().copied().fold(f64::INFINITY, f64::min);
+            (times[chosen], best)
+        })
+        .collect();
+    SlowdownTable::tally(&pairs, TIE_EPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{evaluate_classifier, ModelKind, SearchBudget};
+    use crate::dataset::ClassificationTask;
+    use crate::env::Env;
+    use crate::labels::tests_support::tiny_labeled_corpus;
+    use spmv_features::FeatureSet;
+    use spmv_matrix::Format;
+
+    #[test]
+    fn slowdown_counts_cover_test_set() {
+        let corpus = tiny_labeled_corpus(51);
+        let task = ClassificationTask::build(
+            &corpus,
+            Env::ALL[3],
+            &Format::ALL,
+            FeatureSet::Set12,
+            true,
+        );
+        let out = evaluate_classifier(ModelKind::DecisionTree, &task, 1, SearchBudget::Quick);
+        let t = slowdown_of(&task, &out);
+        assert_eq!(t.none + t.above_1x, out.test_idx.len());
+        // Buckets are cumulative.
+        assert!(t.above_1x >= t.above_1_2x);
+        assert!(t.above_1_2x >= t.above_1_5x);
+        assert!(t.above_1_5x >= t.above_2x);
+    }
+
+    #[test]
+    fn perfect_predictions_have_no_slowdown() {
+        let corpus = tiny_labeled_corpus(51);
+        let task = ClassificationTask::build(
+            &corpus,
+            Env::ALL[0],
+            &Format::BASIC,
+            FeatureSet::Set123,
+            false,
+        );
+        // Fabricate a perfect outcome.
+        let out = EvalOutcome {
+            accuracy: 1.0,
+            predictions: task.y.clone(),
+            test_idx: (0..task.len()).collect(),
+            truth: task.y.clone(),
+        };
+        let t = slowdown_of(&task, &out);
+        assert_eq!(t.above_1x, 0);
+        assert_eq!(t.none, task.len());
+    }
+}

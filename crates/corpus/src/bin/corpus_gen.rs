@@ -1,0 +1,87 @@
+//! `corpus-gen` — export the synthetic suite as MatrixMarket files, so the
+//! corpus can be consumed by external SpMV codes (or inspected by hand).
+//!
+//! Usage: `corpus-gen <output-dir> [--scale tiny|small|full] [--seed N] [--limit N]`
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use spmv_corpus::{CorpusScale, SyntheticSuite};
+use spmv_matrix::{mm, CsrMatrix};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut out: Option<PathBuf> = None;
+    let mut scale = CorpusScale::Tiny;
+    let mut seed = 20180801u64;
+    let mut limit = usize::MAX;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => match args.next().as_deref() {
+                Some("tiny") => scale = CorpusScale::Tiny,
+                Some("small") => scale = CorpusScale::Small,
+                Some("full") => scale = CorpusScale::Full,
+                other => {
+                    eprintln!("unknown --scale {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => {
+                seed = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--seed needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--limit" => {
+                limit = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--limit needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: corpus-gen <output-dir> [--scale tiny|small|full] [--seed N] [--limit N]");
+                return ExitCode::SUCCESS;
+            }
+            other => out = Some(PathBuf::from(other)),
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("error: no output directory; see --help");
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("cannot create {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+
+    let suite = SyntheticSuite::sample(scale, seed);
+    let n = suite.len().min(limit);
+    eprintln!("exporting {n} of {} matrices to {}", suite.len(), out.display());
+    for spec in suite.specs.iter().take(n) {
+        let csr: CsrMatrix<f64> = spec.generate();
+        let path = out.join(format!("{}.mtx", spec.name));
+        if let Err(e) = mm::write_matrix_market_file(&csr.to_coo(), &path) {
+            eprintln!("failed writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    // A manifest with the generator specs, for bit-exact regeneration.
+    let manifest = out.join("manifest.json");
+    match std::fs::File::create(&manifest)
+        .map_err(|e| e.to_string())
+        .and_then(|f| serde_json::to_writer_pretty(f, &suite).map_err(|e| e.to_string()))
+    {
+        Ok(()) => eprintln!("wrote {}", manifest.display()),
+        Err(e) => {
+            eprintln!("failed writing manifest: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,32 @@
+//! Integration: suite matrices survive a MatrixMarket export/import round
+//! trip bit-exactly (values are f64-printed with ryu, which round-trips).
+
+use spmv_corpus::{CorpusScale, SyntheticSuite};
+use spmv_matrix::{mm, CooMatrix, CsrMatrix};
+
+#[test]
+fn suite_matrices_round_trip_through_matrix_market() {
+    let suite = SyntheticSuite::sample(CorpusScale::Tiny, 77);
+    for spec in suite.specs.iter().step_by(11) {
+        let csr: CsrMatrix<f64> = spec.generate();
+        let coo = csr.to_coo();
+        let mut buf = Vec::new();
+        mm::write_matrix_market(&coo, &mut buf).expect("write");
+        let back: CooMatrix<f64> = mm::read_matrix_market(buf.as_slice()).expect("read");
+        assert_eq!(back, coo, "{} did not round trip", spec.name);
+    }
+}
+
+#[test]
+fn manifest_regenerates_identical_matrices() {
+    // The manifest (serde'd suite) must regenerate every matrix
+    // bit-identically — the property corpus-gen relies on.
+    let suite = SyntheticSuite::sample(CorpusScale::Tiny, 78);
+    let json = serde_json::to_string(&suite).expect("serialize");
+    let back: SyntheticSuite = serde_json::from_str(&json).expect("parse");
+    for (a, b) in suite.specs.iter().zip(&back.specs).step_by(7) {
+        let ma: CsrMatrix<f64> = a.generate();
+        let mb: CsrMatrix<f64> = b.generate();
+        assert_eq!(ma, mb, "{}", a.name);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the corpus generators: every family produces a
+//! structurally valid matrix with the advertised shape properties, for
+//! arbitrary parameters, deterministically.
+
+use proptest::prelude::*;
+use spmv_corpus::{CorpusScale, GenKind, MatrixSpec, SyntheticSuite};
+use spmv_matrix::CsrMatrix;
+
+fn gen(kind: GenKind, seed: u64) -> CsrMatrix<f64> {
+    MatrixSpec {
+        name: "p".into(),
+        kind,
+        seed,
+    }
+    .generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uniform_respects_shape(rows in 1usize..200, cols in 1usize..200, nnz in 0usize..800, seed in 0u64..100) {
+        let m = gen(GenKind::Uniform { n_rows: rows, n_cols: cols, nnz }, seed);
+        prop_assert_eq!(m.shape(), (rows, cols));
+        prop_assert!(m.nnz() <= nnz);
+        // Collisions lose only a modest fraction at these densities.
+        if nnz > 0 && (nnz as f64) < 0.2 * (rows * cols) as f64 {
+            prop_assert!(m.nnz() as f64 >= 0.5 * nnz as f64, "lost too many: {} of {}", m.nnz(), nnz);
+        }
+    }
+
+    #[test]
+    fn banded_never_leaves_band(n in 1usize..200, w in 0usize..20, fill in 0.1f64..1.0, seed in 0u64..100) {
+        let m = gen(GenKind::Banded { n, half_width: w, fill }, seed);
+        for r in 0..n {
+            let (cols, _) = m.row(r);
+            for &c in cols {
+                prop_assert!((c as i64 - r as i64).unsigned_abs() as usize <= w);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_rows_bounded_by_offsets(n in 1usize..300, seed in 0u64..100) {
+        let m = gen(GenKind::Diagonal { n, offsets: vec![-3, 0, 5, 11] }, seed);
+        prop_assert!(m.max_row_len() <= 4);
+        // Main diagonal always present.
+        for r in 0..n {
+            prop_assert!(m.get(r, r).is_some(), "row {r} lost its diagonal");
+        }
+    }
+
+    #[test]
+    fn stencils_have_bounded_degree(gx in 2usize..25, gy in 2usize..25, gz in 2usize..8) {
+        let m2 = gen(GenKind::Stencil2D { gx, gy }, 0);
+        prop_assert_eq!(m2.shape(), (gx * gy, gx * gy));
+        prop_assert!(m2.max_row_len() <= 5);
+        prop_assert!(m2.row_lens().all(|l| l >= 3));
+        let m3 = gen(GenKind::Stencil3D { gx, gy, gz }, 0);
+        prop_assert_eq!(m3.shape(), (gx * gy * gz, gx * gy * gz));
+        prop_assert!(m3.max_row_len() <= 7);
+        prop_assert!(m3.row_lens().all(|l| l >= 4));
+    }
+
+    #[test]
+    fn rmat_shape_is_power_of_two(scale in 3u32..12, nnz in 1usize..2000, seed in 0u64..50) {
+        let m = gen(GenKind::RMat { scale, nnz, probs: (0.57, 0.19, 0.19) }, seed);
+        prop_assert_eq!(m.n_rows(), 1usize << scale);
+        prop_assert!(m.nnz() <= nnz);
+    }
+
+    #[test]
+    fn rowskew_respects_caps(rows in 1usize..150, min_len in 1usize..6, alpha in 0.6f64..2.0, seed in 0u64..50) {
+        let cols = rows.max(32);
+        let m = gen(GenKind::RowSkew { n_rows: rows, n_cols: cols, min_len, alpha, max_len: 24 }, seed);
+        prop_assert!(m.max_row_len() <= 24);
+        // Duplicate columns collapse, so rows may fall below min_len, but
+        // never to zero.
+        prop_assert!(m.row_lens().all(|l| l >= 1));
+    }
+
+    #[test]
+    fn clustered_runs_are_bounded(rows in 1usize..100, runs in 1usize..6, run_len in 1usize..12, seed in 0u64..50) {
+        let cols = (runs * run_len * 4).max(16);
+        let m = gen(GenKind::Clustered { n_rows: rows, n_cols: cols, runs, run_len, }, seed);
+        for r in 0..rows {
+            let l = m.row_len(r);
+            prop_assert!(l >= run_len && l <= runs * run_len, "row {r} len {l}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed(seed in 0u64..200) {
+        let k = GenKind::Uniform { n_rows: 50, n_cols: 50, nnz: 300 };
+        let a = gen(k.clone(), seed);
+        let b = gen(k, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn suite_sampling_is_deterministic_and_named_uniquely(seed in 0u64..30) {
+        let a = SyntheticSuite::sample(CorpusScale::Tiny, seed);
+        let b = SyntheticSuite::sample(CorpusScale::Tiny, seed);
+        prop_assert_eq!(&a.specs, &b.specs);
+        let mut names: Vec<&str> = a.specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        prop_assert_eq!(names.len(), a.specs.len());
+    }
+}

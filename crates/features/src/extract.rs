@@ -1,0 +1,252 @@
+//! Feature extraction: one O(nnz) pass over a CSR matrix.
+
+use serde::{Deserialize, Serialize};
+use spmv_matrix::{CsrMatrix, Scalar};
+
+use crate::names::{FeatureId, FeatureSet, FEATURE_COUNT};
+
+/// A dense vector of all seventeen features in canonical order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    values: [f64; FEATURE_COUNT],
+}
+
+impl FeatureVector {
+    /// Value of one feature.
+    pub fn get(&self, f: FeatureId) -> f64 {
+        self.values[f.index()]
+    }
+
+    /// All values in canonical order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Project onto a feature subset (column order = the set's order).
+    pub fn project(&self, set: FeatureSet) -> Vec<f64> {
+        set.features().iter().map(|&f| self.get(f)).collect()
+    }
+
+    /// Log-compressed copy: `sign(v) * ln(1 + |v|)` per feature. The count
+    /// features span seven orders of magnitude across the corpus; models
+    /// with scale-sensitive geometry (SVM, MLP) train on this.
+    pub fn log1p(&self) -> FeatureVector {
+        let mut values = self.values;
+        for v in &mut values {
+            *v = v.signum() * (1.0 + v.abs()).ln();
+        }
+        FeatureVector { values }
+    }
+}
+
+/// Extract all seventeen features from a CSR matrix.
+pub fn extract<T: Scalar>(m: &CsrMatrix<T>) -> FeatureVector {
+    let n_rows = m.n_rows();
+    let n_cols = m.n_cols();
+    let nnz = m.nnz();
+
+    // Per-row nnz statistics.
+    let mut nnz_min = usize::MAX;
+    let mut nnz_max = 0usize;
+    let mut sum_sq = 0.0f64;
+    // Per-row run ("contiguous nnz chunk") statistics.
+    let mut runs_tot = 0usize;
+    let mut runs_min = usize::MAX;
+    let mut runs_max = 0usize;
+    let mut runs_sum_sq = 0.0f64;
+    // Run-size statistics (over all runs of the matrix).
+    let mut size_min = usize::MAX;
+    let mut size_max = 0usize;
+    let mut size_sum = 0usize; // == nnz, kept for clarity of the mean
+    let mut size_sum_sq = 0.0f64;
+
+    for r in 0..n_rows {
+        let (cols, _) = m.row(r);
+        let len = cols.len();
+        nnz_min = nnz_min.min(len);
+        nnz_max = nnz_max.max(len);
+        sum_sq += (len * len) as f64;
+
+        // Count contiguous column runs in this row.
+        let mut row_runs = 0usize;
+        let mut i = 0usize;
+        while i < len {
+            let mut j = i + 1;
+            while j < len && cols[j] == cols[j - 1] + 1 {
+                j += 1;
+            }
+            let size = j - i;
+            row_runs += 1;
+            size_min = size_min.min(size);
+            size_max = size_max.max(size);
+            size_sum += size;
+            size_sum_sq += (size * size) as f64;
+            i = j;
+        }
+        runs_tot += row_runs;
+        runs_min = runs_min.min(row_runs);
+        runs_max = runs_max.max(row_runs);
+        runs_sum_sq += (row_runs * row_runs) as f64;
+    }
+
+    let rows_f = n_rows.max(1) as f64;
+    let nnz_mu = nnz as f64 / rows_f;
+    let nnz_sigma = (sum_sq / rows_f - nnz_mu * nnz_mu).max(0.0).sqrt();
+    let runs_mu = runs_tot as f64 / rows_f;
+    let runs_sigma = (runs_sum_sq / rows_f - runs_mu * runs_mu).max(0.0).sqrt();
+    let n_runs_f = runs_tot.max(1) as f64;
+    let size_mu = size_sum as f64 / n_runs_f;
+    let size_sigma = (size_sum_sq / n_runs_f - size_mu * size_mu).max(0.0).sqrt();
+    let cells = (n_rows as f64) * (n_cols as f64);
+    // Table I reports density as a percentage; we follow that convention.
+    let density = if cells > 0.0 { 100.0 * nnz as f64 / cells } else { 0.0 };
+
+    let zero_if_empty = |v: usize| if n_rows == 0 { 0 } else { v };
+    let mut values = [0.0; FEATURE_COUNT];
+    let mut set = |f: FeatureId, v: f64| values[f.index()] = v;
+    set(FeatureId::NRows, n_rows as f64);
+    set(FeatureId::NCols, n_cols as f64);
+    set(FeatureId::NnzTot, nnz as f64);
+    set(FeatureId::NnzMu, nnz_mu);
+    set(FeatureId::NnzFrac, density);
+    set(FeatureId::NnzMax, nnz_max as f64);
+    set(FeatureId::NnzSigma, nnz_sigma);
+    set(FeatureId::NnzbMu, runs_mu);
+    set(FeatureId::NnzbSigma, runs_sigma);
+    set(FeatureId::SnzbMu, size_mu);
+    set(FeatureId::SnzbSigma, size_sigma);
+    set(
+        FeatureId::NnzMin,
+        zero_if_empty(if nnz_min == usize::MAX { 0 } else { nnz_min }) as f64,
+    );
+    set(FeatureId::NnzbTot, runs_tot as f64);
+    set(
+        FeatureId::NnzbMin,
+        zero_if_empty(if runs_min == usize::MAX { 0 } else { runs_min }) as f64,
+    );
+    set(FeatureId::NnzbMax, runs_max as f64);
+    set(
+        FeatureId::SnzbMin,
+        if size_min == usize::MAX { 0 } else { size_min } as f64,
+    );
+    set(FeatureId::SnzbMax, size_max as f64);
+
+    FeatureVector { values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_matrix::TripletBuilder;
+
+    /// [1 1 0 1]    rows: len 3 (runs: [0,1],[3] -> 2 runs)
+    /// [0 0 0 0]    len 0, 0 runs
+    /// [1 1 1 1]    len 4, 1 run
+    fn sample() -> CsrMatrix<f64> {
+        let mut b = TripletBuilder::new(3, 4);
+        for c in [0, 1, 3] {
+            b.push(0, c, 1.0).unwrap();
+        }
+        for c in 0..4 {
+            b.push(2, c, 1.0).unwrap();
+        }
+        b.build().to_csr()
+    }
+
+    #[test]
+    fn set1_values() {
+        let f = extract(&sample());
+        assert_eq!(f.get(FeatureId::NRows), 3.0);
+        assert_eq!(f.get(FeatureId::NCols), 4.0);
+        assert_eq!(f.get(FeatureId::NnzTot), 7.0);
+        assert!((f.get(FeatureId::NnzMu) - 7.0 / 3.0).abs() < 1e-12);
+        assert!((f.get(FeatureId::NnzFrac) - 100.0 * 7.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_length_stats() {
+        let f = extract(&sample());
+        assert_eq!(f.get(FeatureId::NnzMax), 4.0);
+        assert_eq!(f.get(FeatureId::NnzMin), 0.0);
+        // lengths 3,0,4: mean 7/3, var = (9+0+16)/3 - 49/9 = 25/3-49/9=26/9
+        let expect = (26.0f64 / 9.0).sqrt();
+        assert!((f.get(FeatureId::NnzSigma) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_stats() {
+        let f = extract(&sample());
+        // runs per row: 2, 0, 1 -> tot 3, mu 1, max 2, min 0
+        assert_eq!(f.get(FeatureId::NnzbTot), 3.0);
+        assert!((f.get(FeatureId::NnzbMu) - 1.0).abs() < 1e-12);
+        assert_eq!(f.get(FeatureId::NnzbMax), 2.0);
+        assert_eq!(f.get(FeatureId::NnzbMin), 0.0);
+        // run sizes: 2, 1, 4 -> mu 7/3, min 1, max 4
+        assert!((f.get(FeatureId::SnzbMu) - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(f.get(FeatureId::SnzbMin), 1.0);
+        assert_eq!(f.get(FeatureId::SnzbMax), 4.0);
+    }
+
+    #[test]
+    fn dense_row_is_one_run() {
+        let mut b = TripletBuilder::new(1, 64);
+        for c in 0..64 {
+            b.push(0, c, 1.0).unwrap();
+        }
+        let f = extract(&b.build().to_csr());
+        assert_eq!(f.get(FeatureId::NnzbTot), 1.0);
+        assert_eq!(f.get(FeatureId::SnzbMax), 64.0);
+        assert_eq!(f.get(FeatureId::NnzbSigma), 0.0);
+    }
+
+    #[test]
+    fn scattered_row_is_all_singleton_runs() {
+        let mut b = TripletBuilder::new(1, 100);
+        for c in (0..100).step_by(2) {
+            b.push(0, c, 1.0).unwrap();
+        }
+        let f = extract(&b.build().to_csr());
+        assert_eq!(f.get(FeatureId::NnzbTot), 50.0);
+        assert_eq!(f.get(FeatureId::SnzbMu), 1.0);
+        assert_eq!(f.get(FeatureId::SnzbSigma), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let m = CsrMatrix::<f32>::from_parts(0, 0, vec![0], vec![], vec![]).unwrap();
+        let f = extract(&m);
+        assert!(f.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn projection_matches_set_order() {
+        let f = extract(&sample());
+        let p = f.project(FeatureSet::Set1);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0], 3.0); // n_rows first
+        assert_eq!(p[2], 7.0); // nnz_tot third
+        let imp = f.project(FeatureSet::Important);
+        assert_eq!(imp.len(), 7);
+        assert_eq!(imp[0], 3.0); // n_rows leads the imp. set too
+        assert_eq!(imp[1], 4.0); // then nnz_max
+    }
+
+    #[test]
+    fn log1p_compresses_monotonically() {
+        let f = extract(&sample());
+        let l = f.log1p();
+        for (a, b) in f.as_slice().iter().zip(l.as_slice()) {
+            assert!(*b <= *a + 1e-12);
+            assert!((*a == 0.0) == (*b == 0.0));
+        }
+        assert!((l.get(FeatureId::NRows) - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = extract(&sample());
+        let json = serde_json::to_string(&f).unwrap();
+        let back: FeatureVector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+}

@@ -1,0 +1,222 @@
+//! Feature identities, canonical ordering, and the paper's feature sets.
+
+use serde::{Deserialize, Serialize};
+
+/// Total number of features (Table II).
+pub const FEATURE_COUNT: usize = 17;
+
+/// The seventeen features, in canonical order (set 1, then 2, then 3).
+/// Names match the paper's feature-importance figures (Figs. 4-5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // names are the documentation; described in `describe`
+pub enum FeatureId {
+    NRows,
+    NCols,
+    NnzTot,
+    NnzMu,
+    NnzFrac,
+    NnzMax,
+    NnzSigma,
+    NnzbMu,
+    NnzbSigma,
+    SnzbMu,
+    SnzbSigma,
+    NnzMin,
+    NnzbTot,
+    NnzbMin,
+    NnzbMax,
+    SnzbMin,
+    SnzbMax,
+}
+
+impl FeatureId {
+    /// All features in canonical order.
+    pub const ALL: [FeatureId; FEATURE_COUNT] = [
+        FeatureId::NRows,
+        FeatureId::NCols,
+        FeatureId::NnzTot,
+        FeatureId::NnzMu,
+        FeatureId::NnzFrac,
+        FeatureId::NnzMax,
+        FeatureId::NnzSigma,
+        FeatureId::NnzbMu,
+        FeatureId::NnzbSigma,
+        FeatureId::SnzbMu,
+        FeatureId::SnzbSigma,
+        FeatureId::NnzMin,
+        FeatureId::NnzbTot,
+        FeatureId::NnzbMin,
+        FeatureId::NnzbMax,
+        FeatureId::SnzbMin,
+        FeatureId::SnzbMax,
+    ];
+
+    /// Canonical index (position in [`FeatureId::ALL`]).
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&f| f == self)
+            .expect("feature in ALL")
+    }
+
+    /// Name as printed in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureId::NRows => "n_rows",
+            FeatureId::NCols => "n_cols",
+            FeatureId::NnzTot => "nnz_tot",
+            FeatureId::NnzMu => "nnz_mu",
+            FeatureId::NnzFrac => "nnz_frac",
+            FeatureId::NnzMax => "nnz_max",
+            FeatureId::NnzSigma => "nnz_sigma",
+            FeatureId::NnzbMu => "nnzb_mu",
+            FeatureId::NnzbSigma => "nnzb_sigma",
+            FeatureId::SnzbMu => "snzb_mu",
+            FeatureId::SnzbSigma => "snzb_sigma",
+            FeatureId::NnzMin => "nnz_min",
+            FeatureId::NnzbTot => "nnzb_tot",
+            FeatureId::NnzbMin => "nnzb_min",
+            FeatureId::NnzbMax => "nnzb_max",
+            FeatureId::SnzbMin => "snzb_min",
+            FeatureId::SnzbMax => "snzb_max",
+        }
+    }
+
+    /// One-line description (Table II wording).
+    pub fn describe(self) -> &'static str {
+        match self {
+            FeatureId::NRows => "number of rows",
+            FeatureId::NCols => "number of columns",
+            FeatureId::NnzTot => "number of non-zero elements",
+            FeatureId::NnzMu => "average nnz per row",
+            FeatureId::NnzFrac => "density of the matrix",
+            FeatureId::NnzMax => "maximum nnz in a row",
+            FeatureId::NnzSigma => "standard deviation of nnz per row",
+            FeatureId::NnzbMu => "avg count of contiguous nnz chunks per row",
+            FeatureId::NnzbSigma => "std dev of contiguous-chunk count per row",
+            FeatureId::SnzbMu => "avg size of contiguous nnz chunks",
+            FeatureId::SnzbSigma => "std dev of contiguous-chunk sizes",
+            FeatureId::NnzMin => "minimum nnz in a row",
+            FeatureId::NnzbTot => "total count of contiguous nnz chunks",
+            FeatureId::NnzbMin => "min contiguous-chunk count in a row",
+            FeatureId::NnzbMax => "max contiguous-chunk count in a row",
+            FeatureId::SnzbMin => "min contiguous-chunk size",
+            FeatureId::SnzbMax => "max contiguous-chunk size",
+        }
+    }
+}
+
+/// The feature subsets the paper's tables sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureSet {
+    /// Set 1 only: 5 O(1) features (Tables IV, VII).
+    Set1,
+    /// Sets 1+2: the 11 features of Sedaghati et al. (Tables V, VIII).
+    Set12,
+    /// Sets 1+2+3: all 17 (Tables VI, IX).
+    Set123,
+    /// The paper's top-7 "imp." features by XGBoost F-score (Table X).
+    Important,
+}
+
+impl FeatureSet {
+    /// All sweeps in the order the figures plot them.
+    pub const ALL: [FeatureSet; 4] = [
+        FeatureSet::Set1,
+        FeatureSet::Set12,
+        FeatureSet::Set123,
+        FeatureSet::Important,
+    ];
+
+    /// Label used in table/figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureSet::Set1 => "feature set 1",
+            FeatureSet::Set12 => "feature sets 1+2",
+            FeatureSet::Set123 => "feature sets 1+2+3",
+            FeatureSet::Important => "imp. features",
+        }
+    }
+
+    /// The member features.
+    pub fn features(self) -> &'static [FeatureId] {
+        use FeatureId::*;
+        match self {
+            FeatureSet::Set1 => &[NRows, NCols, NnzTot, NnzMu, NnzFrac],
+            FeatureSet::Set12 => &[
+                NRows, NCols, NnzTot, NnzMu, NnzFrac, NnzMax, NnzSigma, NnzbMu, NnzbSigma,
+                SnzbMu, SnzbSigma,
+            ],
+            FeatureSet::Set123 => &FeatureId::ALL,
+            // §V-D: top-7 across both machines and precisions.
+            FeatureSet::Important => &[NRows, NnzMax, NnzTot, NnzSigma, NnzFrac, NnzbTot, NnzMu],
+        }
+    }
+
+    /// Canonical column indices of the member features.
+    pub fn indices(self) -> Vec<usize> {
+        self.features().iter().map(|f| f.index()).collect()
+    }
+
+    /// Number of member features.
+    pub fn len(self) -> usize {
+        self.features().len()
+    }
+
+    /// Never empty; provided for clippy symmetry.
+    pub fn is_empty(self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_is_consistent() {
+        for (i, f) in FeatureId::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+    }
+
+    #[test]
+    fn set_sizes_match_paper() {
+        assert_eq!(FeatureSet::Set1.len(), 5);
+        assert_eq!(FeatureSet::Set12.len(), 11);
+        assert_eq!(FeatureSet::Set123.len(), 17);
+        assert_eq!(FeatureSet::Important.len(), 7);
+    }
+
+    #[test]
+    fn subsets_nest() {
+        let s1 = FeatureSet::Set1.indices();
+        let s12 = FeatureSet::Set12.indices();
+        let s123 = FeatureSet::Set123.indices();
+        assert!(s1.iter().all(|i| s12.contains(i)));
+        assert!(s12.iter().all(|i| s123.contains(i)));
+    }
+
+    #[test]
+    fn important_features_match_section_vd() {
+        let names: Vec<&str> = FeatureSet::Important
+            .features()
+            .iter()
+            .map(|f| f.name())
+            .collect();
+        for expect in ["n_rows", "nnz_max", "nnz_tot", "nnz_sigma", "nnz_frac", "nnzb_tot", "nnz_mu"] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn names_unique_and_described() {
+        let mut names: Vec<&str> = FeatureId::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FEATURE_COUNT);
+        for f in FeatureId::ALL {
+            assert!(!f.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for feature extraction: on arbitrary matrices the
+//! seventeen features obey the algebraic relationships Table II implies.
+
+use proptest::prelude::*;
+use spmv_features::{extract, FeatureId, FeatureSet};
+use spmv_matrix::{CsrMatrix, TripletBuilder};
+
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (1usize..50, 1usize..50)
+        .prop_flat_map(|(r, c)| {
+            let entry = (0..r, 0..c);
+            (Just(r), Just(c), proptest::collection::vec(entry, 0..250))
+        })
+        .prop_map(|(r, c, entries)| {
+            let mut b = TripletBuilder::new(r, c);
+            for (i, j) in entries {
+                b.push(i, j, 1.0).expect("in bounds");
+            }
+            b.build().to_csr()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn invariants_hold(m in arb_matrix()) {
+        let f = extract(&m);
+        let g = |id: FeatureId| f.get(id);
+
+        // Set-1 identities.
+        prop_assert_eq!(g(FeatureId::NRows) as usize, m.n_rows());
+        prop_assert_eq!(g(FeatureId::NCols) as usize, m.n_cols());
+        prop_assert_eq!(g(FeatureId::NnzTot) as usize, m.nnz());
+        let mu = m.nnz() as f64 / m.n_rows() as f64;
+        prop_assert!((g(FeatureId::NnzMu) - mu).abs() < 1e-9);
+        let density = 100.0 * m.nnz() as f64 / (m.n_rows() * m.n_cols()) as f64;
+        prop_assert!((g(FeatureId::NnzFrac) - density).abs() < 1e-9);
+
+        // Order relations.
+        prop_assert!(g(FeatureId::NnzMin) <= g(FeatureId::NnzMu) + 1e-12);
+        prop_assert!(g(FeatureId::NnzMu) <= g(FeatureId::NnzMax) + 1e-12);
+        prop_assert!(g(FeatureId::NnzbMin) <= g(FeatureId::NnzbMu) + 1e-12);
+        prop_assert!(g(FeatureId::NnzbMu) <= g(FeatureId::NnzbMax) + 1e-12);
+        prop_assert!(g(FeatureId::SnzbMin) <= g(FeatureId::SnzbMu) + 1e-12);
+        prop_assert!(g(FeatureId::SnzbMu) <= g(FeatureId::SnzbMax) + 1e-12);
+
+        // Runs never exceed entries; run sizes sum to nnz.
+        prop_assert!(g(FeatureId::NnzbTot) <= g(FeatureId::NnzTot));
+        if m.nnz() > 0 {
+            prop_assert!(g(FeatureId::NnzbTot) >= 1.0);
+            let total_run_size = g(FeatureId::SnzbMu) * g(FeatureId::NnzbTot);
+            prop_assert!((total_run_size - m.nnz() as f64).abs() < 1e-6 * m.nnz() as f64);
+        }
+
+        // Sigma relations: sigma^2 >= 0 and bounded by max deviation.
+        prop_assert!(g(FeatureId::NnzSigma) >= 0.0);
+        prop_assert!(g(FeatureId::NnzSigma) <= g(FeatureId::NnzMax) + 1e-9);
+    }
+
+    #[test]
+    fn projection_lengths_and_membership(m in arb_matrix()) {
+        let f = extract(&m);
+        for set in FeatureSet::ALL {
+            let p = f.project(set);
+            prop_assert_eq!(p.len(), set.len());
+            for (v, id) in p.iter().zip(set.features()) {
+                prop_assert_eq!(*v, f.get(*id));
+            }
+        }
+    }
+
+    #[test]
+    fn log1p_preserves_order_and_sign(m in arb_matrix()) {
+        let f = extract(&m);
+        let l = f.log1p();
+        for (a, b) in f.as_slice().iter().zip(l.as_slice()) {
+            prop_assert!(b.is_finite());
+            prop_assert!(a.signum() == b.signum() || *a == 0.0);
+        }
+    }
+
+    #[test]
+    fn extraction_is_permutation_invariant_to_row_content(m in arb_matrix()) {
+        // Extracting twice yields identical results (pure function).
+        prop_assert_eq!(extract(&m), extract(&m));
+    }
+}

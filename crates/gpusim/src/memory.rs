@@ -1,0 +1,191 @@
+//! Warp-level memory-access analysis: coalescing of the `x`-vector gather
+//! and a simple capacity/reuse cache model.
+//!
+//! The dominant irregular traffic in SpMV is the gather `x[col[i]]`. For a
+//! warp-wide access, the hardware issues one transaction per distinct
+//! cache line touched by the 32 lanes; fully coalesced access costs 1-8
+//! transactions, fully scattered costs 32. We count this exactly by walking
+//! the column streams in warp-shaped chunks — this is what makes the model
+//! sensitive to the *spatial* structure the paper's feature set 3 captures.
+
+/// Transactions are counted at two granularities simultaneously because one
+/// 32-byte sector holds 8 `f32` or 4 `f64` elements.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GatherCount {
+    /// Warp-access count (number of 32-wide access groups analyzed).
+    pub accesses: f64,
+    /// Total distinct-line transactions at `f32` granularity.
+    pub tx_single: f64,
+    /// Total distinct-line transactions at `f64` granularity.
+    pub tx_double: f64,
+}
+
+impl GatherCount {
+    /// Transactions for one precision (`false` = single, `true` = double).
+    pub fn tx(&self, double: bool) -> f64 {
+        if double {
+            self.tx_double
+        } else {
+            self.tx_single
+        }
+    }
+
+    /// Accumulate another count.
+    pub fn merge(&mut self, other: GatherCount) {
+        self.accesses += other.accesses;
+        self.tx_single += other.tx_single;
+        self.tx_double += other.tx_double;
+    }
+}
+
+/// Count distinct cache lines touched by each consecutive `warp`-sized chunk
+/// of `cols`. `line_bytes` is the transaction granularity; elements per line
+/// are `line_bytes/4` (f32) and `line_bytes/8` (f64).
+pub fn count_gather(cols: &[u32], warp: usize, line_bytes: usize) -> GatherCount {
+    debug_assert!(warp > 0 && warp <= 64);
+    let shift_single = (line_bytes / 4).trailing_zeros();
+    let shift_double = (line_bytes / 8).trailing_zeros();
+    let mut out = GatherCount::default();
+    let mut seen = [0u32; 64];
+    for chunk in cols.chunks(warp) {
+        out.accesses += 1.0;
+        out.tx_single += distinct_after_shift(chunk, shift_single, &mut seen);
+        out.tx_double += distinct_after_shift(chunk, shift_double, &mut seen);
+    }
+    out
+}
+
+/// Count distinct values of `c >> shift` in a warp-sized chunk. O(w^2) with
+/// w <= 64 and early-exit, which beats hashing at this size.
+fn distinct_after_shift(chunk: &[u32], shift: u32, seen: &mut [u32; 64]) -> f64 {
+    let mut n = 0usize;
+    'outer: for &c in chunk {
+        let line = c >> shift;
+        for &s in seen.iter().take(n) {
+            if s == line {
+                continue 'outer;
+            }
+        }
+        seen[n] = line;
+        n += 1;
+    }
+    n as f64
+}
+
+/// Estimated DRAM traffic (bytes) for the x-vector gather, given the
+/// transaction count, the x footprint, and the reuse ratio.
+///
+/// Model: if the touched footprint fits comfortably in L2, each line is
+/// fetched from DRAM once (compulsory misses) and all further transactions
+/// hit L2. Otherwise the hit probability decays with the footprint/L2 ratio
+/// — a smooth stand-in for reuse-distance analysis that is monotone in the
+/// quantities that matter (footprint, reuse, capacity).
+pub fn gather_dram_bytes(
+    transactions: f64,
+    line_bytes: f64,
+    x_footprint_bytes: f64,
+    l2_bytes: f64,
+) -> f64 {
+    let total = transactions * line_bytes;
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // Compulsory traffic: every distinct x line must arrive once.
+    let compulsory = x_footprint_bytes.min(total);
+    if x_footprint_bytes <= 0.75 * l2_bytes {
+        // Fits: beyond compulsory misses, a small conflict-miss leak.
+        compulsory + 0.03 * (total - compulsory).max(0.0)
+    } else {
+        // Capacity-limited: hit rate shrinks as footprint outgrows L2.
+        let hit = (0.75 * l2_bytes / x_footprint_bytes).clamp(0.0, 1.0) * 0.85;
+        compulsory.max(total * (1.0 - hit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_columns_cost_few_transactions() {
+        // 32 consecutive columns: one f32 line (8 elems/line -> 4 lines at
+        // 32B) — wait: 32B line = 8 f32; 32 consecutive cols span 4 lines.
+        let cols: Vec<u32> = (0..32).collect();
+        let g = count_gather(&cols, 32, 32);
+        assert_eq!(g.accesses, 1.0);
+        assert_eq!(g.tx_single, 4.0); // 32 / 8
+        assert_eq!(g.tx_double, 8.0); // 32 / 4
+    }
+
+    #[test]
+    fn scattered_columns_cost_one_transaction_each() {
+        let cols: Vec<u32> = (0..32).map(|i| i * 1000).collect();
+        let g = count_gather(&cols, 32, 32);
+        assert_eq!(g.tx_single, 32.0);
+        assert_eq!(g.tx_double, 32.0);
+    }
+
+    #[test]
+    fn identical_columns_cost_one_transaction() {
+        let cols = vec![77u32; 32];
+        let g = count_gather(&cols, 32, 32);
+        assert_eq!(g.tx_single, 1.0);
+        assert_eq!(g.tx_double, 1.0);
+    }
+
+    #[test]
+    fn partial_chunks_counted() {
+        let cols: Vec<u32> = (0..40).collect();
+        let g = count_gather(&cols, 32, 32);
+        assert_eq!(g.accesses, 2.0);
+        // chunk 1: cols 0..32 -> 4 lines; chunk 2: cols 32..40 -> 1 line.
+        assert_eq!(g.tx_single, 5.0);
+    }
+
+    #[test]
+    fn double_needs_at_least_as_many_transactions() {
+        let cols: Vec<u32> = (0..256).map(|i| (i * 37) % 500).collect();
+        let g = count_gather(&cols, 32, 32);
+        assert!(g.tx_double >= g.tx_single);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = count_gather(&[0, 1, 2], 32, 32);
+        let b = count_gather(&[100, 200], 32, 32);
+        let mut m = a;
+        m.merge(b);
+        assert_eq!(m.accesses, 2.0);
+        assert_eq!(m.tx_single, a.tx_single + b.tx_single);
+    }
+
+    #[test]
+    fn cache_model_fits_in_l2() {
+        // Small footprint, heavy reuse: DRAM traffic ~= footprint.
+        let bytes = gather_dram_bytes(10_000.0, 32.0, 4_096.0, 1.5e6);
+        assert!(bytes < 4096.0 + 0.04 * 10_000.0 * 32.0);
+        assert!(bytes >= 4096.0);
+    }
+
+    #[test]
+    fn cache_model_thrashes_when_oversized() {
+        // Footprint 10x L2: most transactions go to DRAM.
+        let total = 1e6 * 32.0;
+        let bytes = gather_dram_bytes(1e6, 32.0, 15e6, 1.5e6);
+        assert!(bytes > 0.8 * total, "bytes = {bytes}, total = {total}");
+    }
+
+    #[test]
+    fn cache_model_monotone_in_footprint() {
+        let t = 1e5;
+        let small = gather_dram_bytes(t, 32.0, 1e5, 1.5e6);
+        let medium = gather_dram_bytes(t, 32.0, 2e6, 1.5e6);
+        let large = gather_dram_bytes(t, 32.0, 2e7, 1.5e6);
+        assert!(small <= medium && medium <= large);
+    }
+
+    #[test]
+    fn zero_transactions_zero_bytes() {
+        assert_eq!(gather_dram_bytes(0.0, 32.0, 100.0, 1e6), 0.0);
+    }
+}

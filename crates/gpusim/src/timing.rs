@@ -1,0 +1,203 @@
+//! The roofline-style timing composition: profile + architecture +
+//! precision → predicted kernel time.
+//!
+//! `time = launch + max(compute, dram, l2, critical-path) + atomics`,
+//! where each term is derived from the [`KernelProfile`]'s counts and the
+//! [`GpuArch`]'s rates. The `max` captures that a GPU kernel is limited by
+//! its tightest bottleneck while the others hide underneath it; the atomic
+//! term adds serialization that cannot overlap.
+
+use spmv_matrix::Precision;
+
+use crate::arch::GpuArch;
+use crate::memory::gather_dram_bytes;
+use crate::profile::{cost, KernelProfile};
+
+/// Timing breakdown for one kernel on one machine at one precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBreakdown {
+    /// Kernel launch overhead (s).
+    pub launch_s: f64,
+    /// Lane-throughput-limited compute time (s).
+    pub compute_s: f64,
+    /// DRAM-bandwidth-limited time (s).
+    pub dram_s: f64,
+    /// L2-bandwidth-limited time (s).
+    pub l2_s: f64,
+    /// Critical-path (heaviest warp) time (s).
+    pub critical_s: f64,
+    /// Atomic serialization time (s).
+    pub atomic_s: f64,
+    /// Total predicted time (s).
+    pub total_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Which term is the binding bottleneck (largest of the overlappable
+    /// terms).
+    pub fn bottleneck(&self) -> &'static str {
+        let items = [
+            (self.compute_s, "compute"),
+            (self.dram_s, "dram"),
+            (self.l2_s, "l2"),
+            (self.critical_s, "critical-path"),
+        ];
+        items
+            .iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("non-empty")
+            .1
+    }
+}
+
+/// Predict the kernel time for `profile` on `arch` at `prec`.
+pub fn predict(profile: &KernelProfile, arch: &GpuArch, prec: Precision) -> TimeBreakdown {
+    let i = prec.idx();
+    let double = prec == Precision::Double;
+
+    // --- compute term -----------------------------------------------------
+    // Occupancy: a kernel with fewer threads than needed to hide latency
+    // cannot reach full lane throughput. Saturation at ~1/4 of the resident
+    // ceiling is the usual rule of thumb for memory-bound kernels.
+    let saturation = 0.25 * arch.max_resident_threads();
+    let util = (profile.parallel_threads / saturation).clamp(0.02, 1.0);
+    // f64 arithmetic runs on fewer units; only the FP fraction of the
+    // instruction mix slows down.
+    let fp_penalty = if double {
+        0.65 + 0.35 / arch.fp64_derate
+    } else {
+        1.0
+    };
+    let compute_s = profile.lane_work * fp_penalty / (arch.lane_rate() * util);
+
+    // --- memory terms ------------------------------------------------------
+    let line = arch.line_bytes as f64;
+    let x_dram = gather_dram_bytes(
+        profile.gather_tx[i],
+        line,
+        profile.x_footprint[i],
+        arch.l2_bytes as f64,
+    );
+    let dram_bytes = profile.matrix_bytes[i] + profile.write_bytes[i] + x_dram;
+    let dram_s = dram_bytes / (arch.dram_bw_gbs * 1e9);
+    // All traffic (including L2 hits) crosses the L2 crossbar. The default
+    // gather cost already assumes the texture/read-only path serves x (all
+    // modern SpMV kernels use __ldg); *disabling* it — as the related work
+    // the paper criticizes in §VII did — removes the per-SM read-only
+    // cache's absorption and roughly doubles the gather's effective L2
+    // pressure.
+    let tex = if arch.texture_gather { 1.0 } else { 2.2 };
+    let l2_bytes =
+        profile.matrix_bytes[i] + profile.write_bytes[i] + profile.gather_tx[i] * line * tex;
+    let l2_s = l2_bytes / (arch.l2_bw_gbs * 1e9);
+
+    // --- serialization terms -----------------------------------------------
+    let critical_s = profile.critical_steps * arch.clock_period_s() / arch.ipc_efficiency
+        * if double { fp_penalty } else { 1.0 };
+    let atomic_s = profile.atomics * cost::ATOMIC_COLLISION
+        / (arch.atomics_per_clock * arch.clock_mhz * 1e6);
+
+    let launch_s = profile.launches * arch.launch_us * 1e-6;
+    // Imperfect overlap: a real kernel never hides its secondary bottlenecks
+    // completely under the binding one (latency exposure, issue pressure,
+    // replayed transactions). The leak term is what keeps formats with the
+    // same DRAM traffic but different instruction mixes measurably apart —
+    // without it every mid-size matrix ties and format choice degenerates
+    // to noise, which contradicts the measured spreads the paper reports.
+    const OVERLAP_LEAK: f64 = 0.3;
+    let terms = [compute_s, dram_s, l2_s, critical_s];
+    let peak = terms.iter().copied().fold(0.0f64, f64::max);
+    let rest: f64 = terms.iter().sum::<f64>() - peak;
+    let body = (peak + OVERLAP_LEAK * rest) * profile.imbalance;
+    TimeBreakdown {
+        launch_s,
+        compute_s,
+        dram_s,
+        l2_s,
+        critical_s,
+        atomic_s,
+        total_s: launch_s + body + atomic_s,
+    }
+}
+
+/// Predicted time in seconds (shorthand).
+pub fn predict_seconds(profile: &KernelProfile, arch: &GpuArch, prec: Precision) -> f64 {
+    predict(profile, arch, prec).total_s
+}
+
+/// Achieved GFLOPS implied by a time.
+pub fn gflops(flops: f64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        0.0
+    } else {
+        flops / seconds / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_matrix::{Format, SparseMatrix, TripletBuilder};
+
+    fn profile_of(n: usize, w: usize, fmt: Format) -> KernelProfile {
+        let mut b = TripletBuilder::new(n, n);
+        for r in 0..n {
+            for c in r.saturating_sub(w)..(r + w + 1).min(n) {
+                b.push_unchecked(r as u32, c as u32, 1.0f64);
+            }
+        }
+        let csr = b.build().to_csr();
+        KernelProfile::of(&SparseMatrix::from_csr(&csr, fmt).unwrap())
+    }
+
+    #[test]
+    fn double_is_slower_than_single() {
+        let p = profile_of(2000, 8, Format::Csr);
+        for arch in [GpuArch::K80C, GpuArch::P100] {
+            let s = predict_seconds(&p, &arch, Precision::Single);
+            let d = predict_seconds(&p, &arch, Precision::Double);
+            assert!(d > s, "{}: double {d} <= single {s}", arch.name);
+        }
+    }
+
+    #[test]
+    fn p100_beats_k80_on_large_matrices() {
+        let p = profile_of(20_000, 8, Format::Csr);
+        for prec in Precision::ALL {
+            let k = predict_seconds(&p, &GpuArch::K80C, prec);
+            let pp = predict_seconds(&p, &GpuArch::P100, prec);
+            assert!(pp < k, "{prec}: P100 {pp} >= K80 {k}");
+        }
+    }
+
+    #[test]
+    fn tiny_kernels_are_launch_bound() {
+        let p = profile_of(16, 1, Format::Csr);
+        let t = predict(&p, &GpuArch::P100, Precision::Single);
+        assert!(t.launch_s > 0.5 * t.total_s, "{t:?}");
+    }
+
+    #[test]
+    fn breakdown_total_is_consistent() {
+        let prof = profile_of(5000, 16, Format::MergeCsr);
+        let t = predict(&prof, &GpuArch::K80C, Precision::Double);
+        let peak = t.compute_s.max(t.dram_s).max(t.l2_s).max(t.critical_s);
+        let rest = t.compute_s + t.dram_s + t.l2_s + t.critical_s - peak;
+        let body = (peak + 0.3 * rest) * prof.imbalance;
+        assert!((t.total_s - (t.launch_s + body + t.atomic_s)).abs() < 1e-12 * t.total_s);
+        assert!(!t.bottleneck().is_empty());
+    }
+
+    #[test]
+    fn gflops_helper() {
+        assert_eq!(gflops(2e9, 1.0), 2.0);
+        assert_eq!(gflops(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn large_matrices_hit_bandwidth_or_compute_not_launch() {
+        let p = profile_of(100_000, 8, Format::Csr);
+        let t = predict(&p, &GpuArch::P100, Precision::Double);
+        assert!(t.launch_s < 0.2 * t.total_s, "{t:?}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Calibration tests: the simulator must reproduce the *qualitative* format
+//! behaviour the paper reports (§III, Fig. 3), because that behaviour is
+//! what makes the format-selection ML problem non-trivial:
+//!
+//! 1. no single format wins across a structurally diverse corpus;
+//! 2. ELL wins (or ties) on regular low-variance matrices and collapses on
+//!    row-skewed ones;
+//! 3. merge-CSR and CSR5 are insensitive to skew (stable, near-best on
+//!    irregular matrices);
+//! 4. COO is stable but rarely the winner;
+//! 5. HYB sits between ELL and COO on mixed structure.
+
+use spmv_corpus::{GenKind, MatrixSpec};
+use spmv_gpusim::{GpuArch, Simulator};
+use spmv_matrix::{CsrMatrix, Format, Precision, SparseMatrix};
+
+/// Noise-free times for all six formats on one matrix.
+fn times(csr: &CsrMatrix<f64>, arch: &GpuArch, prec: Precision) -> Vec<(Format, f64)> {
+    let sim = Simulator::noiseless();
+    Format::ALL
+        .iter()
+        .filter_map(|&f| {
+            SparseMatrix::from_csr(csr, f)
+                .ok()
+                .map(|m| (f, sim.measure(&m, arch, prec, 0).time_s))
+        })
+        .collect()
+}
+
+fn best(times: &[(Format, f64)]) -> Format {
+    times
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty")
+        .0
+}
+
+fn time_of(times: &[(Format, f64)], f: Format) -> f64 {
+    times.iter().find(|(g, _)| *g == f).map(|(_, t)| *t).unwrap_or(f64::INFINITY)
+}
+
+fn gen(kind: GenKind, seed: u64) -> CsrMatrix<f64> {
+    MatrixSpec {
+        name: "cal".into(),
+        kind,
+        seed,
+    }
+    .generate()
+}
+
+#[test]
+fn ell_competitive_on_regular_matrices() {
+    // A dense band: uniform row lengths, perfectly coalescible.
+    let m = gen(
+        GenKind::Banded {
+            n: 40_000,
+            half_width: 8,
+            fill: 1.0,
+        },
+        1,
+    );
+    for arch in &GpuArch::PAPER_MACHINES {
+        let ts = times(&m, arch, Precision::Double);
+        let ell = time_of(&ts, Format::Ell);
+        let worst_competitor = time_of(&ts, Format::Coo);
+        assert!(
+            ell < worst_competitor,
+            "{}: ELL {ell} should beat COO {worst_competitor} on a regular band",
+            arch.name
+        );
+        // ELL within 1.3x of the winner on regular structure.
+        let bt = ts.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min);
+        assert!(ell <= 1.3 * bt, "{}: ELL {ell} vs best {bt}", arch.name);
+    }
+}
+
+#[test]
+fn skew_breaks_ell_and_csr_but_not_merge_or_csr5() {
+    let m = gen(
+        GenKind::RowSkew {
+            n_rows: 30_000,
+            n_cols: 30_000,
+            min_len: 2,
+            alpha: 0.9,
+            max_len: 3_000,
+        },
+        2,
+    );
+    for arch in &GpuArch::PAPER_MACHINES {
+        let ts = times(&m, arch, Precision::Double);
+        let winner = best(&ts);
+        assert!(
+            matches!(winner, Format::MergeCsr | Format::Csr5 | Format::Hyb | Format::Coo),
+            "{}: skewed matrix won by {winner}, times {ts:?}",
+            arch.name
+        );
+        // The balanced formats beat plain CSR clearly.
+        let csr = time_of(&ts, Format::Csr);
+        let merge = time_of(&ts, Format::MergeCsr);
+        let csr5 = time_of(&ts, Format::Csr5);
+        assert!(merge < csr, "{}: merge {merge} !< csr {csr}", arch.name);
+        assert!(csr5 < csr, "{}: csr5 {csr5} !< csr {csr}", arch.name);
+    }
+}
+
+#[test]
+fn power_law_graphs_favor_balanced_formats() {
+    let m = gen(
+        GenKind::RMat {
+            scale: 15,
+            nnz: 400_000,
+            probs: (0.57, 0.19, 0.19),
+        },
+        3,
+    );
+    let ts = times(&m, &GpuArch::P100, Precision::Double);
+    let winner = best(&ts);
+    assert!(
+        matches!(winner, Format::MergeCsr | Format::Csr5 | Format::Hyb | Format::Coo),
+        "rmat won by {winner}: {ts:?}"
+    );
+}
+
+#[test]
+fn coo_is_stable_but_rarely_best() {
+    // Across a diverse set, COO should never be catastrophically slow
+    // relative to the winner, yet should win at most rarely.
+    let mats: Vec<CsrMatrix<f64>> = vec![
+        gen(GenKind::Banded { n: 20_000, half_width: 4, fill: 1.0 }, 10),
+        gen(GenKind::Stencil2D { gx: 150, gy: 150 }, 11),
+        gen(GenKind::Uniform { n_rows: 20_000, n_cols: 20_000, nnz: 160_000 }, 12),
+        gen(GenKind::RMat { scale: 14, nnz: 200_000, probs: (0.57, 0.19, 0.19) }, 13),
+        gen(GenKind::Clustered { n_rows: 10_000, n_cols: 10_000, runs: 3, run_len: 6 }, 14),
+        gen(GenKind::RowSkew { n_rows: 15_000, n_cols: 15_000, min_len: 2, alpha: 1.0, max_len: 2_000 }, 15),
+    ];
+    let mut coo_wins = 0;
+    for m in &mats {
+        let ts = times(m, &GpuArch::K80C, Precision::Single);
+        let bt = ts.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min);
+        let coo = time_of(&ts, Format::Coo);
+        assert!(coo <= 6.0 * bt, "COO unstable: {coo} vs best {bt}");
+        if best(&ts) == Format::Coo {
+            coo_wins += 1;
+        }
+    }
+    assert!(coo_wins <= 1, "COO won {coo_wins}/6 diverse matrices");
+}
+
+#[test]
+fn no_single_format_wins_everywhere() {
+    let mats: Vec<CsrMatrix<f64>> = vec![
+        gen(GenKind::Banded { n: 30_000, half_width: 6, fill: 1.0 }, 20),
+        gen(GenKind::Stencil3D { gx: 30, gy: 30, gz: 30 }, 21),
+        gen(GenKind::Uniform { n_rows: 25_000, n_cols: 25_000, nnz: 250_000 }, 22),
+        gen(GenKind::RMat { scale: 15, nnz: 300_000, probs: (0.57, 0.19, 0.19) }, 23),
+        gen(GenKind::RowSkew { n_rows: 20_000, n_cols: 20_000, min_len: 2, alpha: 0.9, max_len: 3_000 }, 24),
+        gen(GenKind::Block { grid: 1_500, block_size: 8, blocks_per_row: 2 }, 25),
+        gen(GenKind::Diagonal { n: 50_000, offsets: vec![-80, -1, 0, 1, 80] }, 26),
+        gen(GenKind::Clustered { n_rows: 12_000, n_cols: 12_000, runs: 4, run_len: 8 }, 27),
+    ];
+    for arch in &GpuArch::PAPER_MACHINES {
+        let winners: std::collections::HashSet<Format> = mats
+            .iter()
+            .map(|m| best(&times(m, arch, Precision::Double)))
+            .collect();
+        assert!(
+            winners.len() >= 3,
+            "{}: only {:?} ever win — format selection would be trivial",
+            arch.name,
+            winners
+        );
+    }
+}
+
+#[test]
+fn merge_and_csr5_have_low_spread_across_structures() {
+    // Fig. 2 / §III: the balanced formats show consistent GFLOPS as a
+    // function of nnz. Check: across same-nnz matrices of very different
+    // structure, merge-CSR time spread is much smaller than ELL time spread.
+    let regular = gen(GenKind::Banded { n: 25_000, half_width: 5, fill: 1.0 }, 30);
+    let irregular = gen(
+        GenKind::RowSkew { n_rows: 40_000, n_cols: 40_000, min_len: 2, alpha: 0.95, max_len: 4_000 },
+        31,
+    );
+    let arch = GpuArch::P100;
+    let t_reg = times(&regular, &arch, Precision::Double);
+    let t_irr = times(&irregular, &arch, Precision::Double);
+    let nnz_ratio = irregular.nnz() as f64 / regular.nnz() as f64;
+
+    let spread = |f: Format| {
+        (time_of(&t_irr, f) / time_of(&t_reg, f)) / nnz_ratio
+    };
+    let merge_spread = spread(Format::MergeCsr);
+    let ell_spread = spread(Format::Ell);
+    assert!(
+        merge_spread < 0.5 * ell_spread,
+        "merge spread {merge_spread} not << ELL spread {ell_spread}"
+    );
+}
+
+#[test]
+fn precision_and_machine_shift_absolute_times_not_sanity() {
+    let m = gen(GenKind::Stencil2D { gx: 200, gy: 200 }, 40);
+    for arch in &GpuArch::PAPER_MACHINES {
+        for prec in Precision::ALL {
+            let ts = times(&m, arch, prec);
+            for (f, t) in &ts {
+                assert!(t.is_finite() && *t > 0.0, "{} {prec} {f}: bad time {t}", arch.name);
+                // SpMV on a 200x200 stencil should take microseconds to
+                // low milliseconds on any of these machines.
+                assert!(*t > 1e-7 && *t < 1e-1, "{} {prec} {f}: implausible {t}", arch.name);
+            }
+        }
+    }
+}

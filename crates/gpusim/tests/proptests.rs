@@ -1,0 +1,118 @@
+//! Property-based tests for the GPU model: on arbitrary matrices the
+//! simulator produces finite, positive, monotone-sane timings and exact
+//! conservation properties (flops, footprints, transaction bounds).
+
+use proptest::prelude::*;
+use spmv_gpusim::{GpuArch, KernelProfile, Simulator};
+use spmv_matrix::{CsrMatrix, Format, Precision, SparseMatrix, TripletBuilder};
+
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (1usize..60, 1usize..60)
+        .prop_flat_map(|(r, c)| {
+            let entry = (0..r, 0..c);
+            (Just(r), Just(c), proptest::collection::vec(entry, 1..300))
+        })
+        .prop_map(|(r, c, entries)| {
+            let mut b = TripletBuilder::new(r, c);
+            for (i, j) in entries {
+                b.push(i, j, 1.0).expect("in bounds");
+            }
+            b.build().to_csr()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn profiles_conserve_counts(m in arb_matrix()) {
+        for fmt in Format::ALL {
+            if let Ok(sm) = SparseMatrix::from_csr(&m, fmt) {
+                let p = KernelProfile::of(&sm);
+                prop_assert_eq!(p.nnz, m.nnz(), "{}", fmt);
+                prop_assert_eq!(p.flops, 2.0 * m.nnz() as f64);
+                // A gather transaction can serve at most one lane; at least
+                // one per 32 columns touched.
+                let nnz_eq = match fmt {
+                    // ELL issues gathers for padding slots too.
+                    Format::Ell => sm.storage_bytes() as f64 / 12.0,
+                    Format::Hyb => p.nnz as f64 * 3.0, // head padding bound
+                    _ => p.nnz as f64,
+                };
+                prop_assert!(p.gather_tx[0] <= nnz_eq + 1.0, "{}: {} > {}", fmt, p.gather_tx[0], nnz_eq);
+                prop_assert!(p.gather_tx[1] >= p.gather_tx[0]);
+                prop_assert!(p.lane_work >= p.nnz as f64 * 0.9);
+                prop_assert!(p.imbalance >= 1.0);
+                // f64 values move at least as many bytes; short rows can
+                // tie exactly after sector rounding (64 B covers both).
+                prop_assert!(p.matrix_bytes[1] >= p.matrix_bytes[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn timings_are_finite_positive_and_ordered(m in arb_matrix(), seed in 0u64..100) {
+        let sim = Simulator::default();
+        for fmt in Format::ALL {
+            if let Ok(sm) = SparseMatrix::from_csr(&m, fmt) {
+                for arch in &GpuArch::PAPER_MACHINES {
+                    let s = sim.measure(&sm, arch, Precision::Single, seed).time_s;
+                    let d = sim.measure(&sm, arch, Precision::Double, seed).time_s;
+                    prop_assert!(s.is_finite() && s > 0.0);
+                    prop_assert!(d.is_finite() && d > 0.0);
+                }
+                // Noiseless: double >= single (strictly more bytes).
+                let clean = Simulator::noiseless();
+                for arch in &GpuArch::PAPER_MACHINES {
+                    let s = clean.measure(&sm, arch, Precision::Single, 0).time_s;
+                    let d = clean.measure(&sm, arch, Precision::Double, 0).time_s;
+                    prop_assert!(d >= s, "{fmt} on {}: double {d} < single {s}", arch.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adding_rows_never_speeds_up_csr(m in arb_matrix()) {
+        // Grow the matrix by duplicating it block-diagonally: strictly more
+        // work must never predict strictly less time (noiseless).
+        let clean = Simulator::noiseless();
+        let small = SparseMatrix::from_csr(&m, Format::Csr).expect("csr");
+        let t_small = clean.measure(&small, &GpuArch::K80C, Precision::Double, 0).time_s;
+
+        let (r, c) = m.shape();
+        let mut b = TripletBuilder::new(2 * r, 2 * c);
+        for row in 0..r {
+            let (cols, vals) = m.row(row);
+            for (&cc, &v) in cols.iter().zip(vals) {
+                b.push(row, cc as usize, v).expect("in bounds");
+                b.push(row + r, cc as usize + c, v).expect("in bounds");
+            }
+        }
+        let big = b.build().to_csr();
+        let big_m = SparseMatrix::from_csr(&big, Format::Csr).expect("csr");
+        let t_big = clean.measure(&big_m, &GpuArch::K80C, Precision::Double, 0).time_s;
+        // Hard invariants: strictly more work and traffic.
+        let p_small = KernelProfile::of(&small);
+        let p_big = KernelProfile::of(&big_m);
+        prop_assert!(p_big.lane_work >= p_small.lane_work);
+        prop_assert!(p_big.matrix_bytes[1] >= p_small.matrix_bytes[1]);
+        // Time: the block-grouping imbalance estimate can shift when rows
+        // repack into different 8-row blocks, so allow its bounded slack.
+        prop_assert!(
+            t_big >= t_small / 3.0,
+            "doubling work sped CSR up wildly: {t_small} -> {t_big}"
+        );
+    }
+
+    #[test]
+    fn measurement_noise_is_bounded(m in arb_matrix(), seed in 0u64..50) {
+        let sim = Simulator::default();
+        let clean = Simulator::noiseless();
+        let sm = SparseMatrix::from_csr(&m, Format::Csr).expect("csr");
+        let noisy = sim.measure(&sm, &GpuArch::P100, Precision::Single, seed).time_s;
+        let base = clean.measure(&sm, &GpuArch::P100, Precision::Single, seed).time_s;
+        // 50-rep mean of 2.5% log-normal jitter stays within ~2%.
+        prop_assert!((noisy / base - 1.0).abs() < 0.05, "{noisy} vs {base}");
+    }
+}

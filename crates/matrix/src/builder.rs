@@ -1,0 +1,229 @@
+//! Triplet (coordinate-list) builder: the mutable entry point for assembling
+//! sparse matrices before freezing them into a compute format.
+//!
+//! Generators and the MatrixMarket reader push `(row, col, value)` triplets in
+//! arbitrary order; [`TripletBuilder::build`] sorts them row-major,
+//! deduplicates by summing (the MatrixMarket convention for repeated
+//! coordinates), drops explicit zeros on request, and yields a canonical
+//! [`CooMatrix`].
+
+use crate::coo::CooMatrix;
+use crate::error::{MatrixError, Result};
+use crate::scalar::Scalar;
+
+/// Accumulates `(row, col, value)` triplets for a matrix of fixed shape.
+#[derive(Debug, Clone)]
+pub struct TripletBuilder<T> {
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<T>,
+    keep_explicit_zeros: bool,
+}
+
+impl<T: Scalar> TripletBuilder<T> {
+    /// New builder for an `n_rows x n_cols` matrix.
+    ///
+    /// # Panics
+    /// If either dimension exceeds `u32::MAX` (indices are stored as `u32`).
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        assert!(
+            n_rows <= u32::MAX as usize && n_cols <= u32::MAX as usize,
+            "matrix dimensions must fit in u32"
+        );
+        Self {
+            n_rows,
+            n_cols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+            keep_explicit_zeros: false,
+        }
+    }
+
+    /// Pre-allocate space for `nnz` triplets.
+    pub fn with_capacity(n_rows: usize, n_cols: usize, nnz: usize) -> Self {
+        let mut b = Self::new(n_rows, n_cols);
+        b.rows.reserve(nnz);
+        b.cols.reserve(nnz);
+        b.vals.reserve(nnz);
+        b
+    }
+
+    /// Keep entries whose value is exactly zero (default: dropped at build).
+    pub fn keep_explicit_zeros(mut self, keep: bool) -> Self {
+        self.keep_explicit_zeros = keep;
+        self
+    }
+
+    /// Number of triplets pushed so far (before dedup).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Declared shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n_rows, self.n_cols)
+    }
+
+    /// Push one triplet, validating bounds.
+    pub fn push(&mut self, row: usize, col: usize, val: T) -> Result<()> {
+        if row >= self.n_rows || col >= self.n_cols {
+            return Err(MatrixError::IndexOutOfBounds {
+                row,
+                col,
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+            });
+        }
+        self.rows.push(row as u32);
+        self.cols.push(col as u32);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Push one triplet without bounds checking (caller guarantees validity).
+    ///
+    /// Generators that produce indices from the shape by construction use this
+    /// to avoid per-entry branches on multi-million-nnz matrices.
+    #[inline]
+    pub fn push_unchecked(&mut self, row: u32, col: u32, val: T) {
+        debug_assert!((row as usize) < self.n_rows && (col as usize) < self.n_cols);
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Freeze into a canonical [`CooMatrix`]: row-major sorted, duplicate
+    /// coordinates summed, explicit zeros dropped (unless kept).
+    pub fn build(self) -> CooMatrix<T> {
+        let TripletBuilder {
+            n_rows,
+            n_cols,
+            rows,
+            cols,
+            vals,
+            keep_explicit_zeros,
+        } = self;
+        let mut order: Vec<u32> = (0..rows.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            let i = i as usize;
+            ((rows[i] as u64) << 32) | cols[i] as u64
+        });
+
+        let mut out_rows: Vec<u32> = Vec::with_capacity(rows.len());
+        let mut out_cols: Vec<u32> = Vec::with_capacity(rows.len());
+        let mut out_vals: Vec<T> = Vec::with_capacity(rows.len());
+        for &i in &order {
+            let i = i as usize;
+            let (r, c, v) = (rows[i], cols[i], vals[i]);
+            if let (Some(&lr), Some(&lc)) = (out_rows.last(), out_cols.last()) {
+                if lr == r && lc == c {
+                    // MatrixMarket convention: repeated coordinates sum.
+                    *out_vals.last_mut().expect("parallel arrays") += v;
+                    continue;
+                }
+            }
+            out_rows.push(r);
+            out_cols.push(c);
+            out_vals.push(v);
+        }
+
+        if !keep_explicit_zeros {
+            let mut w = 0;
+            for i in 0..out_vals.len() {
+                if out_vals[i] != T::ZERO {
+                    out_rows[w] = out_rows[i];
+                    out_cols[w] = out_cols[i];
+                    out_vals[w] = out_vals[i];
+                    w += 1;
+                }
+            }
+            out_rows.truncate(w);
+            out_cols.truncate(w);
+            out_vals.truncate(w);
+        }
+
+        CooMatrix::from_sorted_parts(n_rows, n_cols, out_rows, out_cols, out_vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sorts_row_major() {
+        let mut b = TripletBuilder::<f64>::new(3, 3);
+        b.push(2, 0, 1.0).unwrap();
+        b.push(0, 2, 2.0).unwrap();
+        b.push(0, 1, 3.0).unwrap();
+        b.push(1, 1, 4.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.row_indices(), &[0, 0, 1, 2]);
+        assert_eq!(m.col_indices(), &[1, 2, 1, 0]);
+        assert_eq!(m.values(), &[3.0, 2.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn duplicates_sum() {
+        let mut b = TripletBuilder::<f32>::new(2, 2);
+        b.push(1, 1, 1.5).unwrap();
+        b.push(1, 1, 2.5).unwrap();
+        b.push(0, 0, 1.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.values(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn explicit_zeros_dropped_by_default() {
+        let mut b = TripletBuilder::<f64>::new(2, 2);
+        b.push(0, 0, 0.0).unwrap();
+        b.push(0, 1, 1.0).unwrap();
+        // two entries cancelling also vanish
+        b.push(1, 0, 2.0).unwrap();
+        b.push(1, 0, -2.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.col_indices(), &[1]);
+    }
+
+    #[test]
+    fn explicit_zeros_kept_on_request() {
+        let mut b = TripletBuilder::<f64>::new(2, 2).keep_explicit_zeros(true);
+        b.push(0, 0, 0.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut b = TripletBuilder::<f64>::new(2, 2);
+        assert!(b.push(2, 0, 1.0).is_err());
+        assert!(b.push(0, 2, 1.0).is_err());
+        assert!(b.push(1, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn empty_build() {
+        let m = TripletBuilder::<f64>::new(4, 5).build();
+        assert_eq!(m.shape(), (4, 5));
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn capacity_and_len() {
+        let mut b = TripletBuilder::<f64>::with_capacity(2, 2, 8);
+        assert!(b.is_empty());
+        b.push(0, 0, 1.0).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.shape(), (2, 2));
+    }
+}

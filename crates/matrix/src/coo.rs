@@ -1,0 +1,260 @@
+//! COO (coordinate) storage — the simplest sparse format (paper §II-A1).
+//!
+//! Three parallel dense arrays hold the row indices, column indices, and
+//! values of every non-zero. The canonical invariant maintained here is
+//! row-major coordinate order with no duplicates, which makes conversion to
+//! CSR a single counting pass and keeps SpMV's output writes sequential.
+
+use crate::builder::TripletBuilder;
+use crate::csr::CsrMatrix;
+use crate::error::{MatrixError, Result};
+use crate::scalar::Scalar;
+
+/// Coordinate-format sparse matrix (row-major sorted, deduplicated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix<T> {
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> CooMatrix<T> {
+    /// Build from parts that are already row-major sorted and deduplicated.
+    /// Used by [`TripletBuilder`]; validated in debug builds.
+    pub(crate) fn from_sorted_parts(
+        n_rows: usize,
+        n_cols: usize,
+        rows: Vec<u32>,
+        cols: Vec<u32>,
+        vals: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(rows.len(), cols.len());
+        debug_assert_eq!(rows.len(), vals.len());
+        debug_assert!(rows
+            .windows(2)
+            .zip(cols.windows(2))
+            .all(|(r, c)| (r[0], c[0]) < (r[1], c[1])));
+        Self {
+            n_rows,
+            n_cols,
+            rows,
+            cols,
+            vals,
+        }
+    }
+
+    /// Validate and build from arbitrary-order triplet arrays.
+    pub fn from_triplets(
+        n_rows: usize,
+        n_cols: usize,
+        rows: &[usize],
+        cols: &[usize],
+        vals: &[T],
+    ) -> Result<Self> {
+        if rows.len() != cols.len() || rows.len() != vals.len() {
+            return Err(MatrixError::InvalidStructure(format!(
+                "triplet arrays disagree: {} rows, {} cols, {} vals",
+                rows.len(),
+                cols.len(),
+                vals.len()
+            )));
+        }
+        let mut b = TripletBuilder::with_capacity(n_rows, n_cols, rows.len());
+        for ((&r, &c), &v) in rows.iter().zip(cols).zip(vals) {
+            b.push(r, c, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Matrix shape as `(n_rows, n_cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n_rows, self.n_cols)
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Row index of each non-zero (row-major sorted).
+    pub fn row_indices(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Column index of each non-zero.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.cols
+    }
+
+    /// Value of each non-zero.
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Iterate `(row, col, value)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r as usize, c as usize, v))
+    }
+
+    /// Storage footprint in bytes: two index arrays plus the value array.
+    /// This is what the GPU model charges for streaming the matrix itself.
+    pub fn storage_bytes(&self) -> usize {
+        self.nnz() * (2 * std::mem::size_of::<u32>() + T::BYTES)
+    }
+
+    /// Sequential SpMV: `y = A * x`.
+    ///
+    /// Mirrors the GPU COO algorithm's math (product per non-zero followed by
+    /// a per-row reduction); sequentially the row-major order makes the
+    /// reduction a running accumulation.
+    ///
+    /// # Panics
+    /// If `x.len() != n_cols` or `y.len() != n_rows`.
+    pub fn spmv(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.n_cols, "x length must equal n_cols");
+        assert_eq!(y.len(), self.n_rows, "y length must equal n_rows");
+        y.fill(T::ZERO);
+        for ((&r, &c), &v) in self.rows.iter().zip(&self.cols).zip(&self.vals) {
+            y[r as usize] += v * x[c as usize];
+        }
+    }
+
+    /// Convert to CSR with a counting pass over the sorted row indices.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut row_ptr = vec![0u32; self.n_rows + 1];
+        for &r in &self.rows {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.n_rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix::from_parts_unchecked(
+            self.n_rows,
+            self.n_cols,
+            row_ptr,
+            self.cols.clone(),
+            self.vals.clone(),
+        )
+    }
+
+    /// Transpose (also yields canonical row-major order for the transpose).
+    pub fn transpose(&self) -> CooMatrix<T> {
+        let mut b = TripletBuilder::with_capacity(self.n_cols, self.n_rows, self.nnz());
+        for (r, c, v) in self.iter() {
+            b.push_unchecked(c as u32, r as u32, v);
+        }
+        b.build()
+    }
+
+    /// Dense row-major rendering, for tests and tiny examples only.
+    pub fn to_dense(&self) -> Vec<Vec<T>> {
+        let mut d = vec![vec![T::ZERO; self.n_cols]; self.n_rows];
+        for (r, c, v) in self.iter() {
+            d[r][c] = v;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooMatrix<f64> {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        CooMatrix::from_triplets(
+            3,
+            3,
+            &[0, 0, 1, 2, 2],
+            &[0, 2, 1, 0, 2],
+            &[1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        m.spmv(&x, &mut y);
+        assert_eq!(y, [7.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn spmv_overwrites_y() {
+        let m = sample();
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [9.0; 3];
+        m.spmv(&x, &mut y);
+        assert_eq!(y, [3.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length")]
+    fn spmv_checks_x_len() {
+        let m = sample();
+        let mut y = [0.0; 3];
+        m.spmv(&[1.0, 2.0], &mut y);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 3));
+        assert_eq!(t.transpose(), m);
+        assert_eq!(t.to_dense()[2][0], 2.0);
+    }
+
+    #[test]
+    fn to_csr_preserves_entries() {
+        let m = sample();
+        let c = m.to_csr();
+        assert_eq!(c.nnz(), 5);
+        let x = [1.0, 2.0, 3.0];
+        let mut y0 = [0.0; 3];
+        let mut y1 = [0.0; 3];
+        m.spmv(&x, &mut y0);
+        c.spmv(&x, &mut y1);
+        assert_eq!(y0, y1);
+    }
+
+    #[test]
+    fn mismatched_triplets_rejected() {
+        let e = CooMatrix::<f64>::from_triplets(2, 2, &[0], &[0, 1], &[1.0]);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn storage_bytes_counts_three_arrays() {
+        let m = sample();
+        assert_eq!(m.storage_bytes(), 5 * (4 + 4 + 8));
+    }
+
+    #[test]
+    fn empty_rows_supported() {
+        let m = CooMatrix::<f64>::from_triplets(4, 4, &[3], &[3], &[1.0]).unwrap();
+        let mut y = [0.0; 4];
+        m.spmv(&[1.0; 4], &mut y);
+        assert_eq!(y, [0.0, 0.0, 0.0, 1.0]);
+    }
+}

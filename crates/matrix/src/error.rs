@@ -1,0 +1,115 @@
+//! Error types for matrix construction, conversion, and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, converting, or reading sparse matrices.
+#[derive(Debug)]
+pub enum MatrixError {
+    /// An entry's row or column index is outside the declared shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Declared number of rows.
+        n_rows: usize,
+        /// Declared number of columns.
+        n_cols: usize,
+    },
+    /// A conversion would allocate more padded storage than the caller's cap
+    /// allows (ELL on a skewed matrix — the paper's "failed to execute for one
+    /// or more storage formats" case).
+    PaddingOverflow {
+        /// Padded element count the conversion would need.
+        required: usize,
+        /// Maximum permitted by the caller.
+        cap: usize,
+    },
+    /// Structural invariant violated (e.g. row pointer not monotone).
+    InvalidStructure(String),
+    /// MatrixMarket parse failure with 1-based line number.
+    Parse {
+        /// Line at which parsing failed.
+        line: usize,
+        /// Human-readable cause.
+        msg: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::IndexOutOfBounds {
+                row,
+                col,
+                n_rows,
+                n_cols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) outside {n_rows}x{n_cols} matrix"
+            ),
+            MatrixError::PaddingOverflow { required, cap } => write!(
+                f,
+                "padded storage of {required} elements exceeds cap of {cap}"
+            ),
+            MatrixError::InvalidStructure(msg) => write!(f, "invalid structure: {msg}"),
+            MatrixError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            MatrixError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MatrixError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MatrixError {
+    fn from(e: std::io::Error) -> Self {
+        MatrixError::Io(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MatrixError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            n_rows: 4,
+            n_cols: 4,
+        };
+        assert!(e.to_string().contains("(5, 7)"));
+        let e = MatrixError::PaddingOverflow {
+            required: 100,
+            cap: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = MatrixError::Parse {
+            line: 3,
+            msg: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: MatrixError = io.into();
+        assert!(matches!(e, MatrixError::Io(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

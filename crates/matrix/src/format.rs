@@ -1,0 +1,251 @@
+//! The six storage formats under study, plus a unified matrix wrapper that
+//! dispatches SpMV and conversion by format.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::csr5::Csr5Matrix;
+use crate::ell::EllMatrix;
+use crate::error::Result;
+use crate::hyb::HybMatrix;
+use crate::merge::MergeCsrMatrix;
+use crate::scalar::Scalar;
+
+/// The storage formats evaluated by the paper, in its canonical order
+/// (Fig. 3's legend): COO, ELL, CSR, HYB, merge-based CSR, CSR5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Format {
+    /// Coordinate list.
+    Coo,
+    /// ELLPACK padded column-major.
+    Ell,
+    /// Compressed sparse row.
+    Csr,
+    /// Hybrid ELL + COO.
+    Hyb,
+    /// Merge-path balanced CSR.
+    MergeCsr,
+    /// Tiled, transposed CSR extension.
+    Csr5,
+}
+
+impl Format {
+    /// All six formats (the paper's 6-format study).
+    pub const ALL: [Format; 6] = [
+        Format::Coo,
+        Format::Ell,
+        Format::Csr,
+        Format::Hyb,
+        Format::MergeCsr,
+        Format::Csr5,
+    ];
+
+    /// The three basic formats of the paper's first study (Tables IV-VI).
+    pub const BASIC: [Format; 3] = [Format::Ell, Format::Csr, Format::Hyb];
+
+    /// Stable index used as the ML class id (0..6 in `ALL` order).
+    pub fn class_id(self) -> usize {
+        Format::ALL
+            .iter()
+            .position(|&f| f == self)
+            .expect("format present in ALL")
+    }
+
+    /// Inverse of [`Format::class_id`].
+    pub fn from_class_id(id: usize) -> Option<Format> {
+        Format::ALL.get(id).copied()
+    }
+
+    /// Short label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Format::Coo => "COO",
+            Format::Ell => "ELL",
+            Format::Csr => "CSR",
+            Format::Hyb => "HYB",
+            Format::MergeCsr => "merge-CSR",
+            Format::Csr5 => "CSR5",
+        }
+    }
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A sparse matrix stored in one concrete format, with uniform SpMV and
+/// conversion entry points. This is what the measurement harness iterates
+/// over when collecting ground-truth labels.
+#[derive(Debug, Clone)]
+pub enum SparseMatrix<T> {
+    /// COO-format payload.
+    Coo(CooMatrix<T>),
+    /// ELL-format payload.
+    Ell(EllMatrix<T>),
+    /// CSR-format payload.
+    Csr(CsrMatrix<T>),
+    /// HYB-format payload.
+    Hyb(HybMatrix<T>),
+    /// Merge-based-CSR payload.
+    MergeCsr(MergeCsrMatrix<T>),
+    /// CSR5-format payload.
+    Csr5(Csr5Matrix<T>),
+}
+
+impl<T: Scalar> SparseMatrix<T> {
+    /// Convert a CSR matrix into `format`. ELL conversion can fail on
+    /// heavily skewed matrices (padding cap) — the paper's "failed for one
+    /// or more storage formats" case.
+    pub fn from_csr(csr: &CsrMatrix<T>, format: Format) -> Result<Self> {
+        Ok(match format {
+            Format::Coo => SparseMatrix::Coo(csr.to_coo()),
+            Format::Ell => SparseMatrix::Ell(EllMatrix::from_csr(csr)?),
+            Format::Csr => SparseMatrix::Csr(csr.clone()),
+            Format::Hyb => SparseMatrix::Hyb(HybMatrix::from_csr(csr)),
+            Format::MergeCsr => SparseMatrix::MergeCsr(MergeCsrMatrix::from_csr(csr)),
+            Format::Csr5 => SparseMatrix::Csr5(Csr5Matrix::from_csr(csr)),
+        })
+    }
+
+    /// Which format this payload is in.
+    pub fn format(&self) -> Format {
+        match self {
+            SparseMatrix::Coo(_) => Format::Coo,
+            SparseMatrix::Ell(_) => Format::Ell,
+            SparseMatrix::Csr(_) => Format::Csr,
+            SparseMatrix::Hyb(_) => Format::Hyb,
+            SparseMatrix::MergeCsr(_) => Format::MergeCsr,
+            SparseMatrix::Csr5(_) => Format::Csr5,
+        }
+    }
+
+    /// Matrix shape as `(n_rows, n_cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            SparseMatrix::Coo(m) => m.shape(),
+            SparseMatrix::Ell(m) => m.shape(),
+            SparseMatrix::Csr(m) => m.shape(),
+            SparseMatrix::Hyb(m) => m.shape(),
+            SparseMatrix::MergeCsr(m) => m.shape(),
+            SparseMatrix::Csr5(m) => m.shape(),
+        }
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        match self {
+            SparseMatrix::Coo(m) => m.nnz(),
+            SparseMatrix::Ell(m) => m.nnz(),
+            SparseMatrix::Csr(m) => m.nnz(),
+            SparseMatrix::Hyb(m) => m.nnz(),
+            SparseMatrix::MergeCsr(m) => m.nnz(),
+            SparseMatrix::Csr5(m) => m.nnz(),
+        }
+    }
+
+    /// Storage footprint in bytes for this representation.
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            SparseMatrix::Coo(m) => m.storage_bytes(),
+            SparseMatrix::Ell(m) => m.storage_bytes(),
+            SparseMatrix::Csr(m) => m.storage_bytes(),
+            SparseMatrix::Hyb(m) => m.storage_bytes(),
+            SparseMatrix::MergeCsr(m) => m.storage_bytes(),
+            SparseMatrix::Csr5(m) => m.storage_bytes(),
+        }
+    }
+
+    /// Sequential SpMV: `y = A * x`.
+    pub fn spmv(&self, x: &[T], y: &mut [T]) {
+        match self {
+            SparseMatrix::Coo(m) => m.spmv(x, y),
+            SparseMatrix::Ell(m) => m.spmv(x, y),
+            SparseMatrix::Csr(m) => m.spmv(x, y),
+            SparseMatrix::Hyb(m) => m.spmv(x, y),
+            SparseMatrix::MergeCsr(m) => m.spmv(x, y),
+            SparseMatrix::Csr5(m) => m.spmv(x, y),
+        }
+    }
+
+    /// Convert back to CSR regardless of current format.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        match self {
+            SparseMatrix::Coo(m) => m.to_csr(),
+            SparseMatrix::Ell(m) => m.to_csr(),
+            SparseMatrix::Csr(m) => m.clone(),
+            SparseMatrix::Hyb(m) => m.to_csr(),
+            SparseMatrix::MergeCsr(m) => m.csr().clone(),
+            SparseMatrix::Csr5(m) => m.to_csr(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TripletBuilder;
+
+    fn sample_csr() -> CsrMatrix<f64> {
+        let mut b = TripletBuilder::new(10, 10);
+        for r in 0..10usize {
+            for k in 0..=(r % 4) {
+                b.push(r, (r * 3 + k * 2) % 10, (r + k + 1) as f64)
+                    .unwrap();
+            }
+        }
+        b.build().to_csr()
+    }
+
+    #[test]
+    fn class_ids_round_trip() {
+        for f in Format::ALL {
+            assert_eq!(Format::from_class_id(f.class_id()), Some(f));
+        }
+        assert_eq!(Format::from_class_id(6), None);
+    }
+
+    #[test]
+    fn all_formats_produce_identical_spmv() {
+        let csr = sample_csr();
+        let x: Vec<f64> = (0..10).map(|i| 1.0 + 0.1 * i as f64).collect();
+        let mut expect = vec![0.0; 10];
+        csr.spmv(&x, &mut expect);
+        for fmt in Format::ALL {
+            let m = SparseMatrix::from_csr(&csr, fmt).unwrap();
+            assert_eq!(m.format(), fmt);
+            assert_eq!(m.nnz(), csr.nnz());
+            assert_eq!(m.shape(), csr.shape());
+            let mut y = vec![0.0; 10];
+            m.spmv(&x, &mut y);
+            for (r, (a, b)) in expect.iter().zip(&y).enumerate() {
+                assert!((a - b).abs() < 1e-12, "{fmt} row {r}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn to_csr_round_trips() {
+        let csr = sample_csr();
+        for fmt in Format::ALL {
+            let m = SparseMatrix::from_csr(&csr, fmt).unwrap();
+            assert_eq!(m.to_csr(), csr, "{fmt} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Format::Csr5.label(), "CSR5");
+        assert_eq!(Format::MergeCsr.to_string(), "merge-CSR");
+        assert_eq!(Format::BASIC, [Format::Ell, Format::Csr, Format::Hyb]);
+    }
+
+    #[test]
+    fn storage_ordering_is_sane() {
+        let csr = sample_csr();
+        let coo = SparseMatrix::from_csr(&csr, Format::Coo).unwrap();
+        let c = SparseMatrix::from_csr(&csr, Format::Csr).unwrap();
+        // COO stores a row index per nnz; CSR compresses it.
+        assert!(coo.storage_bytes() > c.storage_bytes() - 4 * (csr.n_rows() + 1));
+    }
+}

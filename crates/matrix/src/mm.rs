@@ -1,0 +1,303 @@
+//! MatrixMarket (`.mtx`) coordinate-format I/O.
+//!
+//! Supports the subset the SuiteSparse collection uses for SpMV studies:
+//! `matrix coordinate {real|integer|pattern} {general|symmetric|skew-symmetric}`.
+//! Pattern matrices get unit values; symmetric matrices are expanded to full
+//! storage (mirroring off-diagonal entries), matching what SpMV codes do
+//! before timing.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::builder::TripletBuilder;
+use crate::coo::CooMatrix;
+use crate::error::{MatrixError, Result};
+use crate::scalar::Scalar;
+
+/// Value field of the MatrixMarket header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MmField {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Symmetry field of the MatrixMarket header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MmSymmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+fn parse_header(line: &str) -> Result<(MmField, MmSymmetry)> {
+    let err = |msg: &str| MatrixError::Parse {
+        line: 1,
+        msg: msg.to_string(),
+    };
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    if toks.len() < 5 || !toks[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(err("expected '%%MatrixMarket matrix coordinate ...'"));
+    }
+    if !toks[1].eq_ignore_ascii_case("matrix") || !toks[2].eq_ignore_ascii_case("coordinate") {
+        return Err(err("only 'matrix coordinate' objects are supported"));
+    }
+    let field = match toks[3].to_ascii_lowercase().as_str() {
+        "real" => MmField::Real,
+        "integer" => MmField::Integer,
+        "pattern" => MmField::Pattern,
+        other => return Err(err(&format!("unsupported field '{other}'"))),
+    };
+    let sym = match toks[4].to_ascii_lowercase().as_str() {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        "skew-symmetric" => MmSymmetry::SkewSymmetric,
+        other => return Err(err(&format!("unsupported symmetry '{other}'"))),
+    };
+    Ok((field, sym))
+}
+
+/// Read a MatrixMarket coordinate matrix from any reader.
+pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CooMatrix<T>> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut line_no = 0usize;
+
+    let header = loop {
+        line_no += 1;
+        match lines.next() {
+            Some(l) => {
+                let l = l?;
+                if !l.trim().is_empty() {
+                    break l;
+                }
+            }
+            None => {
+                return Err(MatrixError::Parse {
+                    line: line_no,
+                    msg: "empty file".into(),
+                })
+            }
+        }
+    };
+    let (field, sym) = parse_header(&header)?;
+
+    // Skip comments to the size line.
+    let size_line = loop {
+        line_no += 1;
+        match lines.next() {
+            Some(l) => {
+                let l = l?;
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break l;
+            }
+            None => {
+                return Err(MatrixError::Parse {
+                    line: line_no,
+                    msg: "missing size line".into(),
+                })
+            }
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>().map_err(|_| MatrixError::Parse {
+                line: line_no,
+                msg: format!("bad size token '{t}'"),
+            })
+        })
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(MatrixError::Parse {
+            line: line_no,
+            msg: "size line must be 'rows cols nnz'".into(),
+        });
+    }
+    let (n_rows, n_cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let cap = match sym {
+        MmSymmetry::General => nnz,
+        _ => 2 * nnz,
+    };
+    let mut b = TripletBuilder::with_capacity(n_rows, n_cols, cap);
+    let mut seen = 0usize;
+    for l in lines {
+        line_no += 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut toks = t.split_whitespace();
+        let parse_idx = |tok: Option<&str>, line: usize| -> Result<usize> {
+            let tok = tok.ok_or(MatrixError::Parse {
+                line,
+                msg: "truncated entry line".into(),
+            })?;
+            let v: usize = tok.parse().map_err(|_| MatrixError::Parse {
+                line,
+                msg: format!("bad index '{tok}'"),
+            })?;
+            if v == 0 {
+                return Err(MatrixError::Parse {
+                    line,
+                    msg: "MatrixMarket indices are 1-based".into(),
+                });
+            }
+            Ok(v - 1)
+        };
+        let r = parse_idx(toks.next(), line_no)?;
+        let c = parse_idx(toks.next(), line_no)?;
+        let v = match field {
+            MmField::Pattern => T::ONE,
+            _ => {
+                let tok = toks.next().ok_or(MatrixError::Parse {
+                    line: line_no,
+                    msg: "missing value".into(),
+                })?;
+                let f: f64 = tok.parse().map_err(|_| MatrixError::Parse {
+                    line: line_no,
+                    msg: format!("bad value '{tok}'"),
+                })?;
+                T::from_f64(f)
+            }
+        };
+        b.push(r, c, v)?;
+        match sym {
+            MmSymmetry::General => {}
+            MmSymmetry::Symmetric if r != c => b.push(c, r, v)?,
+            MmSymmetry::SkewSymmetric if r != c => b.push(c, r, -v)?,
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(MatrixError::Parse {
+            line: line_no,
+            msg: format!("header promised {nnz} entries, found {seen}"),
+        });
+    }
+    Ok(b.build())
+}
+
+/// Read a MatrixMarket file from disk.
+pub fn read_matrix_market_file<T: Scalar, P: AsRef<Path>>(path: P) -> Result<CooMatrix<T>> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Write a matrix in `general real` coordinate format.
+pub fn write_matrix_market<T: Scalar, W: Write>(m: &CooMatrix<T>, writer: W) -> Result<()> {
+    let mut w = std::io::BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", m.n_rows(), m.n_cols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {}", r + 1, c + 1, v.to_f64())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a MatrixMarket file to disk.
+pub fn write_matrix_market_file<T: Scalar, P: AsRef<Path>>(
+    m: &CooMatrix<T>,
+    path: P,
+) -> Result<()> {
+    write_matrix_market(m, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_general_real() {
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   % a comment\n\
+                   3 4 3\n\
+                   1 1 1.5\n\
+                   2 3 -2.0\n\
+                   3 4 4e2\n";
+        let m: CooMatrix<f64> = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.to_dense()[1][2], -2.0);
+        assert_eq!(m.to_dense()[2][3], 400.0);
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let src = "%%MatrixMarket matrix coordinate real symmetric\n\
+                   3 3 3\n\
+                   1 1 1.0\n\
+                   2 1 2.0\n\
+                   3 2 3.0\n";
+        let m: CooMatrix<f64> = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 5); // diagonal stays single
+        let d = m.to_dense();
+        assert_eq!(d[0][1], 2.0);
+        assert_eq!(d[1][0], 2.0);
+        assert_eq!(d[1][2], 3.0);
+    }
+
+    #[test]
+    fn parse_skew_symmetric_negates() {
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                   2 2 1\n\
+                   2 1 5.0\n";
+        let m: CooMatrix<f64> = read_matrix_market(src.as_bytes()).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d[1][0], 5.0);
+        assert_eq!(d[0][1], -5.0);
+    }
+
+    #[test]
+    fn parse_pattern_gets_unit_values() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n\
+                   2 2 2\n\
+                   1 2\n\
+                   2 1\n";
+        let m: CooMatrix<f32> = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.values(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(read_matrix_market::<f64, _>("".as_bytes()).is_err());
+        assert!(read_matrix_market::<f64, _>("%%MatrixMarket matrix array real general\n1 1 1\n".as_bytes()).is_err());
+        // 0-based index
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market::<f64, _>(src.as_bytes()).is_err());
+        // entry count mismatch
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market::<f64, _>(src.as_bytes()).is_err());
+        // out-of-range coordinate
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market::<f64, _>(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let m = CooMatrix::<f64>::from_triplets(
+            3,
+            3,
+            &[0, 1, 2],
+            &[2, 0, 1],
+            &[1.25, -3.5, 7.0],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back: CooMatrix<f64> = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn integer_field_parses_as_real() {
+        let src = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 1 42\n";
+        let m: CooMatrix<f64> = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.values(), &[42.0]);
+    }
+}

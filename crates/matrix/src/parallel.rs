@@ -1,0 +1,471 @@
+//! Multi-threaded CPU SpMV kernels that mirror the GPU work decompositions
+//! the paper studies: row-parallel CSR/ELL, nnz-parallel COO, merge-path
+//! partitioned CSR, and tile-parallel CSR5 with carry calibration.
+//!
+//! These are real parallel implementations (crossbeam scoped threads), used
+//! by the throughput benchmarks and to validate that each decomposition is
+//! algebraically exact — the same property the GPU cost model assumes.
+
+use std::marker::PhantomData;
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::csr5::Csr5Matrix;
+use crate::ell::EllMatrix;
+use crate::format::SparseMatrix;
+use crate::hyb::HybMatrix;
+use crate::merge::MergeCsrMatrix;
+use crate::scalar::Scalar;
+
+/// Shared mutable output vector handed to worker threads.
+///
+/// # Safety contract
+/// Callers must guarantee that no two threads write the same index, or that
+/// all writes to a shared index happen on one thread. Every kernel below
+/// documents why its decomposition satisfies this (disjoint row ranges,
+/// row-aligned chunking, or carry side-channels).
+struct UnsafeSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send> Sync for UnsafeSlice<'_, T> {}
+
+impl<'a, T: Scalar> UnsafeSlice<'a, T> {
+    fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// # Safety
+    /// `i < len` and no concurrent access to index `i`.
+    #[inline]
+    unsafe fn write(&self, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = v;
+    }
+
+    /// # Safety
+    /// `i < len` and no concurrent access to index `i`.
+    #[inline]
+    unsafe fn add(&self, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) += v;
+    }
+}
+
+/// Default worker count: one per available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `0..n` into at most `parts` contiguous ranges of near-equal length.
+fn even_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.clamp(1, n.max(1));
+    (0..parts)
+        .map(|p| (n * p / parts, n * (p + 1) / parts))
+        .filter(|(s, e)| s < e)
+        .collect()
+}
+
+/// Split rows into contiguous chunks balanced by **non-zero count** (the CPU
+/// analogue of assigning equal work rather than equal rows).
+fn nnz_balanced_row_ranges(row_ptr: &[u32], parts: usize) -> Vec<(usize, usize)> {
+    let n_rows = row_ptr.len() - 1;
+    let nnz = *row_ptr.last().expect("row_ptr non-empty") as usize;
+    if n_rows == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n_rows);
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0usize);
+    for p in 1..parts {
+        let target = (nnz * p / parts) as u32;
+        // First row whose start offset reaches the target.
+        let r = row_ptr.partition_point(|&v| v < target);
+        bounds.push(r.min(n_rows));
+    }
+    bounds.push(n_rows);
+    bounds.dedup();
+    bounds.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// Parallel CSR SpMV: contiguous row chunks balanced by nnz, one thread per
+/// chunk. Safe because chunks write disjoint row ranges.
+pub fn csr_spmv_parallel<T: Scalar>(m: &CsrMatrix<T>, x: &[T], y: &mut [T], threads: usize) {
+    assert_eq!(x.len(), m.n_cols(), "x length must equal n_cols");
+    assert_eq!(y.len(), m.n_rows(), "y length must equal n_rows");
+    let ranges = nnz_balanced_row_ranges(m.row_ptr(), threads);
+    let out = UnsafeSlice::new(y);
+    crossbeam::scope(|scope| {
+        for &(lo, hi) in &ranges {
+            let out = &out;
+            scope.spawn(move |_| {
+                for r in lo..hi {
+                    let (cols, vals) = m.row(r);
+                    let mut acc = T::ZERO;
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        acc += v * x[c as usize];
+                    }
+                    // SAFETY: row ranges are disjoint across threads.
+                    unsafe { out.write(r, acc) };
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+}
+
+/// Parallel ELL SpMV: even row chunks (ELL is load-balanced by construction,
+/// padding included). Safe: disjoint row ranges.
+pub fn ell_spmv_parallel<T: Scalar>(m: &EllMatrix<T>, x: &[T], y: &mut [T], threads: usize) {
+    assert_eq!(x.len(), m.n_cols(), "x length must equal n_cols");
+    assert_eq!(y.len(), m.n_rows(), "y length must equal n_rows");
+    let n_rows = m.n_rows();
+    let width = m.width();
+    let cols = m.col_plane();
+    let vals = m.val_plane();
+    let out = UnsafeSlice::new(y);
+    crossbeam::scope(|scope| {
+        for (lo, hi) in even_ranges(n_rows, threads) {
+            let out = &out;
+            scope.spawn(move |_| {
+                for r in lo..hi {
+                    let mut acc = T::ZERO;
+                    for k in 0..width {
+                        let i = k * n_rows + r;
+                        acc += vals[i] * x[cols[i] as usize];
+                    }
+                    // SAFETY: row ranges are disjoint across threads.
+                    unsafe { out.write(r, acc) };
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+}
+
+/// Parallel COO SpMV: the nnz space is chunked, then each chunk boundary is
+/// advanced to the next row boundary so chunks own disjoint row ranges (the
+/// GPU version instead uses a segmented reduction; row-aligned chunking is
+/// the CPU-friendly equivalent with identical arithmetic).
+pub fn coo_spmv_parallel<T: Scalar>(m: &CooMatrix<T>, x: &[T], y: &mut [T], threads: usize) {
+    assert_eq!(x.len(), m.n_cols(), "x length must equal n_cols");
+    assert_eq!(y.len(), m.n_rows(), "y length must equal n_rows");
+    y.fill(T::ZERO);
+    let nnz = m.nnz();
+    if nnz == 0 {
+        return;
+    }
+    let rows = m.row_indices();
+    let cols = m.col_indices();
+    let vals = m.values();
+    // Row-aligned chunk boundaries.
+    let mut bounds = vec![0usize];
+    for (_, e) in even_ranges(nnz, threads) {
+        let mut b = e;
+        while b < nnz && b > 0 && rows[b] == rows[b - 1] {
+            b += 1;
+        }
+        if b > *bounds.last().expect("non-empty") {
+            bounds.push(b);
+        }
+    }
+    if *bounds.last().expect("non-empty") != nnz {
+        bounds.push(nnz);
+    }
+    let out = UnsafeSlice::new(y);
+    crossbeam::scope(|scope| {
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let out = &out;
+            scope.spawn(move |_| {
+                for i in lo..hi {
+                    // SAFETY: chunks are row-aligned, so each row index is
+                    // touched by exactly one thread.
+                    unsafe { out.add(rows[i] as usize, vals[i] * x[cols[i] as usize]) };
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+}
+
+/// Parallel HYB SpMV: parallel ELL pass, then a row-aligned parallel COO
+/// accumulation. The COO pass adds onto rows the ELL pass wrote, but the ELL
+/// pass has fully completed (scope join) before it starts.
+pub fn hyb_spmv_parallel<T: Scalar>(m: &HybMatrix<T>, x: &[T], y: &mut [T], threads: usize) {
+    ell_spmv_parallel(m.ell_part(), x, y, threads);
+    let coo = m.coo_part();
+    if coo.nnz() == 0 {
+        return;
+    }
+    // Accumulating variant of the COO pass (no zero-fill).
+    let rows = coo.row_indices();
+    let cols = coo.col_indices();
+    let vals = coo.values();
+    let nnz = coo.nnz();
+    let mut bounds = vec![0usize];
+    for (_, e) in even_ranges(nnz, threads) {
+        let mut b = e;
+        while b < nnz && b > 0 && rows[b] == rows[b - 1] {
+            b += 1;
+        }
+        if b > *bounds.last().expect("non-empty") {
+            bounds.push(b);
+        }
+    }
+    if *bounds.last().expect("non-empty") != nnz {
+        bounds.push(nnz);
+    }
+    let out = UnsafeSlice::new(y);
+    crossbeam::scope(|scope| {
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let out = &out;
+            scope.spawn(move |_| {
+                for i in lo..hi {
+                    // SAFETY: row-aligned chunks; disjoint rows per thread.
+                    unsafe { out.add(rows[i] as usize, vals[i] * x[cols[i] as usize]) };
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+}
+
+/// Parallel merge-based CSR SpMV: equal merge-path segments per thread,
+/// carry fix-up applied by the caller thread afterwards — exactly the
+/// decomposition of Merrill & Garland.
+pub fn merge_spmv_parallel<T: Scalar>(
+    m: &MergeCsrMatrix<T>,
+    x: &[T],
+    y: &mut [T],
+    threads: usize,
+) {
+    assert_eq!(x.len(), m.n_cols(), "x length must equal n_cols");
+    assert_eq!(y.len(), m.n_rows(), "y length must equal n_rows");
+    let parts = threads.clamp(1, m.merge_items().max(1));
+    let cuts = m.partition(parts);
+    let out = UnsafeSlice::new(y);
+    let mut carries = vec![None; cuts.len() - 1];
+    crossbeam::scope(|scope| {
+        for (i, (w, slot)) in cuts.windows(2).zip(carries.iter_mut()).enumerate() {
+            let out = &out;
+            let (start, end) = (w[0], w[1]);
+            scope.spawn(move |_| {
+                let _ = i;
+                // SAFETY: segment i writes rows [start.row, end.row), which
+                // are disjoint across segments; the open boundary row is
+                // returned as a carry, not written.
+                let mut local = vec![T::ZERO; end.row - start.row];
+                let carry = m.spmv_segment_into(start, end, x, &mut local);
+                for (k, v) in local.into_iter().enumerate() {
+                    unsafe { out.write(start.row + k, v) };
+                }
+                *slot = Some(carry);
+            });
+        }
+    })
+    .expect("worker panicked");
+    let carries: Vec<_> = carries.into_iter().map(|c| c.expect("carry set")).collect();
+    m.apply_carries(&carries, y);
+}
+
+/// Parallel CSR5 SpMV: contiguous tile chunks per thread. Rows started
+/// within a chunk are written directly (exclusive to that chunk by
+/// construction); the partial sum for the row carried *into* the chunk is
+/// returned on the side and applied by the caller — CSR5's "calibration".
+pub fn csr5_spmv_parallel<T: Scalar>(m: &Csr5Matrix<T>, x: &[T], y: &mut [T], threads: usize) {
+    assert_eq!(x.len(), m.n_cols(), "x length must equal n_cols");
+    assert_eq!(y.len(), m.n_rows(), "y length must equal n_rows");
+    y.fill(T::ZERO);
+    let raw = m.raw();
+    let n_tiles = raw.tile_ptr.len().saturating_sub(1);
+    let chunks = even_ranges(n_tiles, threads);
+    let out = UnsafeSlice::new(y);
+    let mut carries: Vec<Option<(usize, T)>> = vec![None; chunks.len()];
+    crossbeam::scope(|scope| {
+        for (&(t_lo, t_hi), slot) in chunks.iter().zip(carries.iter_mut()) {
+            let out = &out;
+            scope.spawn(move |_| {
+                let cfg = raw.cfg;
+                let tile_nnz = cfg.tile_nnz();
+                let mut acc = T::ZERO;
+                let mut cur_row: Option<usize> = None;
+                let mut carry_sum = T::ZERO;
+                for t in t_lo..t_hi {
+                    let base = t * tile_nnz;
+                    let mut seg_idx = raw.starts_ptr[t] as usize;
+                    for lane in 0..cfg.omega {
+                        let flags = raw.bit_flags[t * cfg.omega + lane];
+                        for s in 0..cfg.sigma {
+                            if flags & (1u64 << s) != 0 {
+                                match cur_row {
+                                    // SAFETY: rows started inside this chunk
+                                    // are written only by this chunk; other
+                                    // chunks' contributions to them arrive
+                                    // via their carry side-channel.
+                                    Some(r) => unsafe { out.add(r, acc) },
+                                    None => carry_sum += acc,
+                                }
+                                acc = T::ZERO;
+                                cur_row = Some(raw.starts[seg_idx] as usize);
+                                seg_idx += 1;
+                            }
+                            let pos = base + s * cfg.omega + lane;
+                            acc += raw.vals_t[pos] * x[raw.cols_t[pos] as usize];
+                        }
+                    }
+                }
+                match cur_row {
+                    Some(r) => unsafe { out.add(r, acc) },
+                    None => carry_sum += acc,
+                }
+                let carry_row = raw.tile_ptr[t_lo] as usize;
+                *slot = Some((carry_row, carry_sum));
+            });
+        }
+    })
+    .expect("worker panicked");
+    for c in carries.into_iter().flatten() {
+        let (row, sum) = c;
+        if row < y.len() {
+            y[row] += sum;
+        }
+    }
+    // CSR-ordered tail on the caller thread.
+    for ((&r, &c), &v) in raw
+        .tail_rows
+        .iter()
+        .zip(raw.tail_cols)
+        .zip(raw.tail_vals)
+    {
+        y[r as usize] += v * x[c as usize];
+    }
+}
+
+/// Parallel SpMV dispatch over any [`SparseMatrix`].
+pub fn spmv_parallel<T: Scalar>(m: &SparseMatrix<T>, x: &[T], y: &mut [T], threads: usize) {
+    match m {
+        SparseMatrix::Coo(m) => coo_spmv_parallel(m, x, y, threads),
+        SparseMatrix::Ell(m) => ell_spmv_parallel(m, x, y, threads),
+        SparseMatrix::Csr(m) => csr_spmv_parallel(m, x, y, threads),
+        SparseMatrix::Hyb(m) => hyb_spmv_parallel(m, x, y, threads),
+        SparseMatrix::MergeCsr(m) => merge_spmv_parallel(m, x, y, threads),
+        SparseMatrix::Csr5(m) => csr5_spmv_parallel(m, x, y, threads),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TripletBuilder;
+    use crate::format::Format;
+
+    fn pseudo_random_csr(n: usize, m: usize, avg: usize, seed: u64) -> CsrMatrix<f64> {
+        let mut b = TripletBuilder::new(n, m);
+        let mut state = seed | 1;
+        for r in 0..n {
+            // Skewed row lengths: some rows much longer than average.
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let len = if state.is_multiple_of(17) { avg * 8 } else { (state as usize % (2 * avg)).max(1) };
+            for _ in 0..len {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let c = (state >> 33) as usize % m;
+                let v = ((state >> 13) & 0x3ff) as f64 / 128.0 - 4.0;
+                b.push(r, c, v).unwrap();
+            }
+        }
+        b.build().to_csr()
+    }
+
+    fn check_all_formats(csr: &CsrMatrix<f64>, threads: usize) {
+        let x: Vec<f64> = (0..csr.n_cols()).map(|i| ((i * 7 + 3) % 13) as f64 - 6.0).collect();
+        let mut expect = vec![0.0; csr.n_rows()];
+        csr.spmv(&x, &mut expect);
+        for fmt in Format::ALL {
+            let m = SparseMatrix::from_csr(csr, fmt).unwrap();
+            let mut y = vec![f64::NAN; csr.n_rows()];
+            spmv_parallel(&m, &x, &mut y, threads);
+            for (r, (a, b)) in expect.iter().zip(&y).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9 * a.abs().max(1.0),
+                    "{fmt} threads={threads} row={r}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_all_formats() {
+        let csr = pseudo_random_csr(300, 200, 6, 42);
+        for threads in [1, 2, 3, 8] {
+            check_all_formats(&csr, threads);
+        }
+    }
+
+    #[test]
+    fn parallel_handles_empty_matrix() {
+        let csr = CsrMatrix::<f64>::from_parts(0, 0, vec![0], vec![], vec![]).unwrap();
+        check_all_formats(&csr, 4);
+    }
+
+    #[test]
+    fn parallel_handles_single_giant_row() {
+        let mut b = TripletBuilder::new(3, 4000);
+        for c in 0..4000 {
+            b.push(1, c, 1.0 / (c + 1) as f64).unwrap();
+        }
+        let csr = b.build().to_csr();
+        check_all_formats(&csr, 8);
+    }
+
+    #[test]
+    fn parallel_handles_many_empty_rows() {
+        let mut b = TripletBuilder::new(500, 10);
+        for r in (0..500).step_by(37) {
+            b.push(r, r % 10, r as f64).unwrap();
+        }
+        let csr = b.build().to_csr();
+        check_all_formats(&csr, 5);
+    }
+
+    #[test]
+    fn nnz_balanced_ranges_cover_all_rows() {
+        let csr = pseudo_random_csr(101, 50, 4, 7);
+        let ranges = nnz_balanced_row_ranges(csr.row_ptr(), 8);
+        assert_eq!(ranges.first().expect("non-empty").0, 0);
+        assert_eq!(ranges.last().expect("non-empty").1, 101);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+        }
+    }
+
+    #[test]
+    fn even_ranges_edge_cases() {
+        assert!(even_ranges(0, 4).is_empty());
+        assert_eq!(even_ranges(3, 10).len(), 3);
+        let r = even_ranges(10, 3);
+        assert_eq!(r.iter().map(|(s, e)| e - s).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn more_threads_than_work() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 1, 5.0).unwrap();
+        let csr = b.build().to_csr();
+        check_all_formats(&csr, 64);
+    }
+}

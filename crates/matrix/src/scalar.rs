@@ -1,0 +1,189 @@
+//! Floating-point scalar abstraction.
+//!
+//! The paper evaluates every experiment at both single and double precision;
+//! all kernels and models in this workspace are generic over [`Scalar`] so the
+//! same code path serves both. The trait is deliberately minimal: SpMV only
+//! needs add/mul/zero plus conversions for I/O and feature extraction.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A real scalar usable as a sparse-matrix element (`f32` or `f64`).
+pub trait Scalar:
+    Copy
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + AddAssign
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Size of one element in bytes (4 for `f32`, 8 for `f64`) — used by the
+    /// GPU memory-traffic model.
+    const BYTES: usize;
+
+    /// Lossy conversion from `f64` (used by generators and MatrixMarket I/O).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (used by feature extraction and checks).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Fused reference for error checks: `max(|a|, |b|)`.
+    fn max_abs(a: Self, b: Self) -> Self {
+        let (a, b) = (a.abs(), b.abs());
+        if a > b {
+            a
+        } else {
+            b
+        }
+    }
+    /// Relative equality within `tol` (absolute fallback near zero).
+    fn approx_eq(self, other: Self, tol: f64) -> bool {
+        let (a, b) = (self.to_f64(), other.to_f64());
+        let scale = a.abs().max(b.abs()).max(1.0);
+        (a - b).abs() <= tol * scale
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+}
+
+/// The two precisions evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Precision {
+    /// 32-bit IEEE-754 (`float` in the paper's tables).
+    Single,
+    /// 64-bit IEEE-754 (`double`).
+    Double,
+}
+
+impl Precision {
+    /// Bytes per matrix/vector element at this precision.
+    pub const fn bytes(self) -> usize {
+        match self {
+            Precision::Single => 4,
+            Precision::Double => 8,
+        }
+    }
+
+    /// All precisions, in the order the paper's tables list them.
+    pub const ALL: [Precision; 2] = [Precision::Single, Precision::Double];
+
+    /// Stable index (0 = single, 1 = double) for per-precision tables.
+    pub const fn idx(self) -> usize {
+        match self {
+            Precision::Single => 0,
+            Precision::Double => 1,
+        }
+    }
+
+    /// Short label used in table output ("single"/"double").
+    pub const fn label(self) -> &'static str {
+        match self {
+            Precision::Single => "single",
+            Precision::Double => "double",
+        }
+    }
+}
+
+impl Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_ieee() {
+        assert_eq!(<f32 as Scalar>::ZERO, 0.0f32);
+        assert_eq!(<f64 as Scalar>::ONE, 1.0f64);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::Single.bytes(), 4);
+        assert_eq!(Precision::Double.bytes(), 8);
+        assert_eq!(Precision::ALL.len(), 2);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v = 3.25f64;
+        assert_eq!(f64::from_f64(v).to_f64(), v);
+        assert_eq!(f32::from_f64(v).to_f64(), 3.25);
+    }
+
+    #[test]
+    fn approx_eq_scales() {
+        assert!(1.0e9f64.approx_eq(1.0e9 + 1.0, 1e-6));
+        assert!(!1.0f64.approx_eq(1.1, 1e-6));
+        // near zero, tolerance is absolute
+        assert!(0.0f32.approx_eq(1e-9, 1e-6));
+    }
+
+    #[test]
+    fn max_abs_picks_larger_magnitude() {
+        assert_eq!(f64::max_abs(-3.0, 2.0), 3.0);
+        assert_eq!(f32::max_abs(1.0, -4.0), 4.0);
+    }
+
+    #[test]
+    fn precision_labels() {
+        assert_eq!(Precision::Single.to_string(), "single");
+        assert_eq!(Precision::Double.to_string(), "double");
+    }
+}

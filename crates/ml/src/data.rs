@@ -1,0 +1,238 @@
+//! Dataset containers, splits, and cross-validation folds.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Row-major dense feature matrix (samples x features).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    data: Vec<f64>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl FeatureMatrix {
+    /// Build from per-sample rows; all rows must share one length.
+    ///
+    /// # Panics
+    /// If rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "inconsistent row lengths");
+            data.extend_from_slice(r);
+        }
+        Self { data, n_rows, n_cols }
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != n_rows * n_cols`.
+    pub fn from_flat(data: Vec<f64>, n_rows: usize, n_cols: usize) -> Self {
+        assert_eq!(data.len(), n_rows * n_cols, "flat buffer size mismatch");
+        Self { data, n_rows, n_cols }
+    }
+
+    /// Number of samples.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// One sample's feature row.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// One cell.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n_cols + j]
+    }
+
+    /// Mutable cell access (used by scalers).
+    #[inline]
+    pub fn get_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        &mut self.data[i * self.n_cols + j]
+    }
+
+    /// New matrix containing the given sample rows, in order.
+    pub fn select_rows(&self, idx: &[usize]) -> FeatureMatrix {
+        let mut data = Vec::with_capacity(idx.len() * self.n_cols);
+        for &i in idx {
+            data.extend_from_slice(self.row(i));
+        }
+        FeatureMatrix {
+            data,
+            n_rows: idx.len(),
+            n_cols: self.n_cols,
+        }
+    }
+
+    /// New matrix containing the given feature columns, in order.
+    pub fn select_cols(&self, cols: &[usize]) -> FeatureMatrix {
+        let mut data = Vec::with_capacity(self.n_rows * cols.len());
+        for i in 0..self.n_rows {
+            let row = self.row(i);
+            for &c in cols {
+                data.push(row[c]);
+            }
+        }
+        FeatureMatrix {
+            data,
+            n_rows: self.n_rows,
+            n_cols: cols.len(),
+        }
+    }
+}
+
+/// Index split into train and test parts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Split {
+    /// Training sample indices.
+    pub train: Vec<usize>,
+    /// Held-out sample indices.
+    pub test: Vec<usize>,
+}
+
+/// Shuffled train/test split (the paper uses 80/20).
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> Split {
+    assert!((0.0..1.0).contains(&test_fraction), "fraction in [0,1)");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    let test = idx[..n_test].to_vec();
+    let train = idx[n_test..].to_vec();
+    Split { train, test }
+}
+
+/// Stratified train/test split: each class keeps the same test fraction.
+pub fn stratified_split(labels: &[usize], test_fraction: f64, seed: u64) -> Split {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for c in 0..n_classes {
+        let mut members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == c).collect();
+        members.shuffle(&mut rng);
+        let n_test = ((members.len() as f64) * test_fraction).round() as usize;
+        test.extend_from_slice(&members[..n_test]);
+        train.extend_from_slice(&members[n_test..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    Split { train, test }
+}
+
+/// `k`-fold cross-validation splits over `n` samples.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<Split> {
+    assert!(k >= 2, "need at least 2 folds");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    (0..k)
+        .map(|f| {
+            let lo = n * f / k;
+            let hi = n * (f + 1) / k;
+            let test = idx[lo..hi].to_vec();
+            let mut train = Vec::with_capacity(n - test.len());
+            train.extend_from_slice(&idx[..lo]);
+            train.extend_from_slice(&idx[hi..]);
+            Split { train, test }
+        })
+        .collect()
+}
+
+/// Select elements of `values` at `idx`.
+pub fn gather<T: Copy>(values: &[T], idx: &[usize]) -> Vec<T> {
+    idx.iter().map(|&i| values[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shapes_and_access() {
+        let m = FeatureMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!((m.n_rows(), m.n_cols()), (3, 2));
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let m = FeatureMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let r = m.select_rows(&[1, 0, 1]);
+        assert_eq!(r.n_rows(), 3);
+        assert_eq!(r.row(0), &[4.0, 5.0, 6.0]);
+        let c = m.select_cols(&[2, 0]);
+        assert_eq!(c.row(1), &[6.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn ragged_rows_rejected() {
+        FeatureMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn split_is_partition() {
+        let s = train_test_split(100, 0.2, 7);
+        assert_eq!(s.test.len(), 20);
+        assert_eq!(s.train.len(), 80);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        assert_eq!(train_test_split(50, 0.3, 1), train_test_split(50, 0.3, 1));
+        assert_ne!(train_test_split(50, 0.3, 1), train_test_split(50, 0.3, 2));
+    }
+
+    #[test]
+    fn stratified_preserves_class_ratios() {
+        // 80 of class 0, 20 of class 1.
+        let labels: Vec<usize> = (0..100).map(|i| usize::from(i >= 80)).collect();
+        let s = stratified_split(&labels, 0.25, 3);
+        let test_c1 = s.test.iter().filter(|&&i| labels[i] == 1).count();
+        assert_eq!(test_c1, 5);
+        assert_eq!(s.test.len(), 25);
+    }
+
+    #[test]
+    fn kfold_covers_everything_once() {
+        let folds = kfold(23, 5, 11);
+        assert_eq!(folds.len(), 5);
+        let mut seen = [0usize; 23];
+        for f in &folds {
+            for &i in &f.test {
+                seen[i] += 1;
+            }
+            assert_eq!(f.train.len() + f.test.len(), 23);
+            // No overlap between train and test.
+            for &i in &f.test {
+                assert!(!f.train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each sample tested exactly once");
+    }
+
+    #[test]
+    fn gather_reorders() {
+        assert_eq!(gather(&[10, 20, 30], &[2, 0]), vec![30, 10]);
+    }
+}

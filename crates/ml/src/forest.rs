@@ -1,0 +1,302 @@
+//! Random forest — the third ensemble family alongside XGBoost and MLP
+//! ensembles ("we explore a set of base and ensemble ML algorithms",
+//! paper §I-A). Bagged CART trees over bootstrap samples with per-tree
+//! feature subsampling, majority/average vote.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::data::FeatureMatrix;
+use crate::model::{Classifier, Regressor};
+use crate::tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeParams};
+
+/// Random-forest hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth parameters.
+    pub tree: TreeParams,
+    /// Features sampled per tree (0 = sqrt(n_features), the usual default).
+    pub max_features: usize,
+    /// Bootstrap sample size as a fraction of the training set.
+    pub sample_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        Self {
+            n_trees: 60,
+            tree: TreeParams {
+                max_depth: 16,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+            },
+            max_features: 0,
+            sample_fraction: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+fn resolve_max_features(requested: usize, n_features: usize) -> usize {
+    if requested == 0 {
+        ((n_features as f64).sqrt().round() as usize).clamp(1, n_features)
+    } else {
+        requested.clamp(1, n_features)
+    }
+}
+
+/// One bagged member: the feature subset it saw plus its tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Member<M> {
+    features: Vec<usize>,
+    tree: M,
+}
+
+fn bootstrap<R: Rng>(n: usize, fraction: f64, rng: &mut R) -> Vec<usize> {
+    let k = ((n as f64 * fraction).round() as usize).max(1);
+    (0..k).map(|_| rng.gen_range(0..n)).collect()
+}
+
+fn sample_features<R: Rng>(n_features: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    // Partial Fisher-Yates over the feature indices.
+    let mut idx: Vec<usize> = (0..n_features).collect();
+    for i in 0..k.min(n_features) {
+        let j = rng.gen_range(i..n_features);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+/// Random-forest classifier (majority vote over bagged CART trees).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForestClassifier {
+    /// Hyper-parameters.
+    pub params: ForestParams,
+    members: Vec<Member<DecisionTreeClassifier>>,
+    n_classes: usize,
+}
+
+impl RandomForestClassifier {
+    /// New forest with the given parameters.
+    pub fn new(params: ForestParams) -> Self {
+        Self {
+            params,
+            members: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.members.len()
+    }
+}
+
+impl Classifier for RandomForestClassifier {
+    fn fit(&mut self, x: &FeatureMatrix, y: &[usize], n_classes: usize) {
+        assert_eq!(x.n_rows(), y.len());
+        self.n_classes = n_classes;
+        self.members.clear();
+        if x.n_rows() == 0 {
+            return;
+        }
+        let k = resolve_max_features(self.params.max_features, x.n_cols());
+        let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed);
+        for _ in 0..self.params.n_trees {
+            let rows = bootstrap(x.n_rows(), self.params.sample_fraction, &mut rng);
+            let features = sample_features(x.n_cols(), k, &mut rng);
+            let sub = x.select_rows(&rows).select_cols(&features);
+            let sub_y: Vec<usize> = rows.iter().map(|&i| y[i]).collect();
+            let mut tree = DecisionTreeClassifier::new(self.params.tree);
+            tree.fit(&sub, &sub_y, n_classes);
+            self.members.push(Member { features, tree });
+        }
+    }
+
+    fn predict_one(&self, row: &[f64]) -> usize {
+        let p = self.predict_proba_one(row, self.n_classes.max(1));
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn predict_proba_one(&self, row: &[f64], n_classes: usize) -> Vec<f64> {
+        let mut acc = vec![0.0; n_classes];
+        for m in &self.members {
+            let sub: Vec<f64> = m.features.iter().map(|&f| row[f]).collect();
+            for (a, p) in acc.iter_mut().zip(m.tree.predict_proba_one(&sub, n_classes)) {
+                *a += p;
+            }
+        }
+        let k = self.members.len().max(1) as f64;
+        for a in &mut acc {
+            *a /= k;
+        }
+        acc
+    }
+}
+
+/// Random-forest regressor (averaged bagged CART regressors).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForestRegressor {
+    /// Hyper-parameters.
+    pub params: ForestParams,
+    members: Vec<Member<DecisionTreeRegressor>>,
+}
+
+impl RandomForestRegressor {
+    /// New forest with the given parameters.
+    pub fn new(params: ForestParams) -> Self {
+        Self {
+            params,
+            members: Vec::new(),
+        }
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn fit(&mut self, x: &FeatureMatrix, y: &[f64]) {
+        assert_eq!(x.n_rows(), y.len());
+        self.members.clear();
+        if x.n_rows() == 0 {
+            return;
+        }
+        let k = resolve_max_features(self.params.max_features, x.n_cols());
+        let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed ^ 0xf0f0);
+        for _ in 0..self.params.n_trees {
+            let rows = bootstrap(x.n_rows(), self.params.sample_fraction, &mut rng);
+            let features = sample_features(x.n_cols(), k, &mut rng);
+            let sub = x.select_rows(&rows).select_cols(&features);
+            let sub_y: Vec<f64> = rows.iter().map(|&i| y[i]).collect();
+            let mut tree = DecisionTreeRegressor::new(self.params.tree);
+            tree.fit(&sub, &sub_y);
+            self.members.push(Member { features, tree });
+        }
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        if self.members.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .members
+            .iter()
+            .map(|m| {
+                let sub: Vec<f64> = m.features.iter().map(|&f| row[f]).collect();
+                m.tree.predict_one(&sub)
+            })
+            .sum();
+        sum / self.members.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    fn blobs() -> (FeatureMatrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..3usize {
+            let (cx, cy) = [(0.0, 0.0), (6.0, 6.0), (0.0, 6.0)][c];
+            for i in 0..30 {
+                let dx = ((i * 31 + c * 17) % 20) as f64 / 10.0 - 1.0;
+                let dy = ((i * 47 + c * 13) % 20) as f64 / 10.0 - 1.0;
+                // A noise feature the forest should survive.
+                rows.push(vec![cx + dx, cy + dy, ((i * 7919) % 13) as f64]);
+                y.push(c);
+            }
+        }
+        (FeatureMatrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn forest_separates_blobs() {
+        let (x, y) = blobs();
+        let mut f = RandomForestClassifier::new(ForestParams {
+            n_trees: 30,
+            ..ForestParams::default()
+        });
+        f.fit(&x, &y, 3);
+        assert!(accuracy(&f.predict(&x), &y) > 0.95);
+        assert_eq!(f.n_trees(), 30);
+    }
+
+    #[test]
+    fn forest_probabilities_are_distributions() {
+        let (x, y) = blobs();
+        let mut f = RandomForestClassifier::new(ForestParams {
+            n_trees: 15,
+            ..ForestParams::default()
+        });
+        f.fit(&x, &y, 3);
+        let p = f.predict_proba_one(x.row(0), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn forest_is_deterministic_per_seed() {
+        let (x, y) = blobs();
+        let mut a = RandomForestClassifier::new(ForestParams::default());
+        a.fit(&x, &y, 3);
+        let mut b = RandomForestClassifier::new(ForestParams::default());
+        b.fit(&x, &y, 3);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn regressor_beats_single_tree_on_noisy_data() {
+        // Noisy linear target: bagging should smooth single-tree overfit.
+        let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..80)
+            .map(|i| i as f64 + ((i * 7919) % 11) as f64 - 5.0)
+            .collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let mut forest = RandomForestRegressor::new(ForestParams {
+            n_trees: 40,
+            sample_fraction: 0.7,
+            ..ForestParams::default()
+        });
+        forest.fit(&x, &y);
+        // Predict the clean trend at held-out midpoints.
+        let err: f64 = (0..79)
+            .map(|i| {
+                let p = forest.predict_one(&[i as f64 + 0.5]);
+                (p - (i as f64 + 0.5)).abs()
+            })
+            .sum::<f64>()
+            / 79.0;
+        assert!(err < 5.0, "mean abs err {err}");
+    }
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(resolve_max_features(0, 17), 4);
+        assert_eq!(resolve_max_features(0, 4), 2);
+        assert_eq!(resolve_max_features(100, 9), 9);
+        assert_eq!(resolve_max_features(3, 9), 3);
+    }
+
+    #[test]
+    fn empty_fit_is_safe() {
+        let x = FeatureMatrix::from_rows(&[]);
+        let mut f = RandomForestClassifier::new(ForestParams::default());
+        f.fit(&x, &[], 2);
+        assert_eq!(f.n_trees(), 0);
+        let mut r = RandomForestRegressor::new(ForestParams::default());
+        r.fit(&x, &[]);
+        assert_eq!(r.predict_one(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,466 @@
+//! Gradient-boosted trees in the XGBoost formulation (paper §II-B4):
+//! second-order Taylor objective, regularized leaf weights
+//! `w* = -G/(H + lambda)`, split gain
+//! `1/2 [G_L^2/(H_L+lambda) + G_R^2/(H_R+lambda) - G^2/(H+lambda)] - gamma`,
+//! shrinkage, softmax multi-class, and split-count ("F-score") feature
+//! importance — the quantity plotted in the paper's Figs. 4-5.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::FeatureMatrix;
+use crate::model::{Classifier, Regressor};
+
+/// Boosting hyper-parameters (the paper grid-searches `n_estimators`,
+/// `max_depth`, and `learning_rate`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbtParams {
+    /// Boosting rounds.
+    pub n_estimators: usize,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// L2 regularization on leaf weights (XGBoost `lambda`).
+    pub lambda: f64,
+    /// Minimum gain to make a split (XGBoost `gamma`).
+    pub gamma: f64,
+    /// Minimum hessian mass per child (XGBoost `min_child_weight`).
+    pub min_child_weight: f64,
+}
+
+impl Default for GbtParams {
+    fn default() -> Self {
+        Self {
+            n_estimators: 100,
+            max_depth: 6,
+            learning_rate: 0.1,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+        }
+    }
+}
+
+/// One regression tree over (gradient, hessian) statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum GNode {
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    Leaf(f64),
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GradTree {
+    nodes: Vec<GNode>,
+}
+
+impl GradTree {
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut n = 0usize;
+        loop {
+            match &self.nodes[n] {
+                GNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => n = if row[*feature] <= *threshold { *left } else { *right },
+                GNode::Leaf(w) => return *w,
+            }
+        }
+    }
+
+    /// Fit a tree to gradients/hessians; `splits_per_feature` accumulates
+    /// the F-score importance.
+    fn fit(
+        x: &FeatureMatrix,
+        g: &[f64],
+        h: &[f64],
+        params: &GbtParams,
+        splits_per_feature: &mut [f64],
+    ) -> GradTree {
+        let idx: Vec<usize> = (0..x.n_rows()).collect();
+        let mut nodes = Vec::new();
+        Self::grow(x, g, h, &idx, 0, params, &mut nodes, splits_per_feature);
+        GradTree { nodes }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grow(
+        x: &FeatureMatrix,
+        g: &[f64],
+        h: &[f64],
+        idx: &[usize],
+        depth: usize,
+        params: &GbtParams,
+        nodes: &mut Vec<GNode>,
+        splits_per_feature: &mut [f64],
+    ) -> usize {
+        let gsum: f64 = idx.iter().map(|&i| g[i]).sum();
+        let hsum: f64 = idx.iter().map(|&i| h[i]).sum();
+        let leaf_weight = -gsum / (hsum + params.lambda);
+        let make_leaf = |nodes: &mut Vec<GNode>| {
+            nodes.push(GNode::Leaf(leaf_weight));
+            nodes.len() - 1
+        };
+        if depth >= params.max_depth || idx.len() < 2 {
+            return make_leaf(nodes);
+        }
+
+        let parent_score = gsum * gsum / (hsum + params.lambda);
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut pairs: Vec<(f64, f64, f64)> = Vec::with_capacity(idx.len());
+        for f in 0..x.n_cols() {
+            pairs.clear();
+            pairs.extend(idx.iter().map(|&i| (x.get(i, f), g[i], h[i])));
+            pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            let (mut gl, mut hl) = (0.0f64, 0.0f64);
+            for k in 0..pairs.len() - 1 {
+                gl += pairs[k].1;
+                hl += pairs[k].2;
+                if pairs[k].0 == pairs[k + 1].0 {
+                    continue;
+                }
+                let (gr, hr) = (gsum - gl, hsum - hl);
+                if hl < params.min_child_weight || hr < params.min_child_weight {
+                    continue;
+                }
+                let gain = 0.5
+                    * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
+                        - parent_score)
+                    - params.gamma;
+                if gain > 1e-12 && best.is_none_or(|(_, _, bg)| gain > bg) {
+                    best = Some((f, 0.5 * (pairs[k].0 + pairs[k + 1].0), gain));
+                }
+            }
+        }
+        match best {
+            None => make_leaf(nodes),
+            Some((feature, threshold, _)) => {
+                splits_per_feature[feature] += 1.0;
+                let (mut li, mut ri) = (Vec::new(), Vec::new());
+                for &i in idx {
+                    if x.get(i, feature) <= threshold {
+                        li.push(i);
+                    } else {
+                        ri.push(i);
+                    }
+                }
+                let slot = nodes.len();
+                nodes.push(GNode::Leaf(0.0));
+                let left = Self::grow(x, g, h, &li, depth + 1, params, nodes, splits_per_feature);
+                let right = Self::grow(x, g, h, &ri, depth + 1, params, nodes, splits_per_feature);
+                nodes[slot] = GNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                slot
+            }
+        }
+    }
+}
+
+/// Multi-class gradient-boosted classifier (softmax objective).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GbtClassifier {
+    /// Hyper-parameters.
+    pub params: GbtParams,
+    n_classes: usize,
+    n_features: usize,
+    /// `trees[round][class]`.
+    trees: Vec<Vec<GradTree>>,
+    importance: Vec<f64>,
+}
+
+impl GbtClassifier {
+    /// New classifier with the given parameters.
+    pub fn new(params: GbtParams) -> Self {
+        Self {
+            params,
+            n_classes: 0,
+            n_features: 0,
+            trees: Vec::new(),
+            importance: Vec::new(),
+        }
+    }
+
+    /// Split-count ("F-score") feature importance, one entry per feature.
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.importance
+    }
+
+    fn scores(&self, row: &[f64]) -> Vec<f64> {
+        let mut s = vec![0.0; self.n_classes];
+        for round in &self.trees {
+            for (k, tree) in round.iter().enumerate() {
+                s[k] += self.params.learning_rate * tree.predict(row);
+            }
+        }
+        s
+    }
+}
+
+fn softmax(scores: &[f64], out: &mut [f64]) {
+    let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut z = 0.0;
+    for (o, &s) in out.iter_mut().zip(scores) {
+        *o = (s - m).exp();
+        z += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= z;
+    }
+}
+
+impl Classifier for GbtClassifier {
+    fn fit(&mut self, x: &FeatureMatrix, y: &[usize], n_classes: usize) {
+        assert_eq!(x.n_rows(), y.len());
+        let n = x.n_rows();
+        self.n_classes = n_classes;
+        self.n_features = x.n_cols();
+        self.trees.clear();
+        self.importance = vec![0.0; x.n_cols()];
+        if n == 0 || n_classes == 0 {
+            return;
+        }
+        // Binary case also uses the softmax formulation for uniformity.
+        let mut scores = vec![0.0f64; n * n_classes];
+        let mut probs = vec![0.0f64; n_classes];
+        let mut g = vec![0.0f64; n];
+        let mut h = vec![0.0f64; n];
+        for _ in 0..self.params.n_estimators {
+            let mut round = Vec::with_capacity(n_classes);
+            // Compute gradients per class from current scores.
+            for k in 0..n_classes {
+                for i in 0..n {
+                    softmax(&scores[i * n_classes..(i + 1) * n_classes], &mut probs);
+                    let p = probs[k];
+                    let target = if y[i] == k { 1.0 } else { 0.0 };
+                    g[i] = p - target;
+                    h[i] = (p * (1.0 - p)).max(1e-6);
+                }
+                let tree = GradTree::fit(x, &g, &h, &self.params, &mut self.importance);
+                for i in 0..n {
+                    scores[i * n_classes + k] += self.params.learning_rate * tree.predict(x.row(i));
+                }
+                round.push(tree);
+            }
+            self.trees.push(round);
+        }
+    }
+
+    fn predict_one(&self, row: &[f64]) -> usize {
+        self.scores(row)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn predict_proba_one(&self, row: &[f64], n_classes: usize) -> Vec<f64> {
+        let s = self.scores(row);
+        let mut p = vec![0.0; n_classes];
+        softmax(&s[..n_classes.min(s.len())], &mut p);
+        p
+    }
+}
+
+/// Gradient-boosted regressor (squared-error objective; hessian = 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GbtRegressor {
+    /// Hyper-parameters.
+    pub params: GbtParams,
+    base: f64,
+    trees: Vec<GradTree>,
+    importance: Vec<f64>,
+}
+
+impl GbtRegressor {
+    /// New regressor with the given parameters.
+    pub fn new(params: GbtParams) -> Self {
+        Self {
+            params,
+            base: 0.0,
+            trees: Vec::new(),
+            importance: Vec::new(),
+        }
+    }
+
+    /// Split-count feature importance.
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.importance
+    }
+}
+
+impl Regressor for GbtRegressor {
+    fn fit(&mut self, x: &FeatureMatrix, y: &[f64]) {
+        assert_eq!(x.n_rows(), y.len());
+        let n = x.n_rows();
+        self.trees.clear();
+        self.importance = vec![0.0; x.n_cols()];
+        if n == 0 {
+            self.base = 0.0;
+            return;
+        }
+        self.base = y.iter().sum::<f64>() / n as f64;
+        let mut pred = vec![self.base; n];
+        let mut g = vec![0.0f64; n];
+        let h = vec![1.0f64; n];
+        for _ in 0..self.params.n_estimators {
+            for ((gi, &pi), &yi) in g.iter_mut().zip(&pred).zip(y) {
+                *gi = pi - yi;
+            }
+            let tree = GradTree::fit(x, &g, &h, &self.params, &mut self.importance);
+            for (i, p) in pred.iter_mut().enumerate() {
+                *p += self.params.learning_rate * tree.predict(x.row(i));
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        self.base
+            + self.params.learning_rate
+                * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    fn three_class_blobs() -> (FeatureMatrix, Vec<usize>) {
+        let centers = [(0.0, 0.0), (5.0, 5.0), (0.0, 5.0)];
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for k in 0..30 {
+                let dx = ((k * 37 + c * 11) % 10) as f64 / 10.0 - 0.5;
+                let dy = ((k * 53 + c * 7) % 10) as f64 / 10.0 - 0.5;
+                rows.push(vec![cx + dx, cy + dy]);
+                y.push(c);
+            }
+        }
+        (FeatureMatrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn classifier_separates_blobs() {
+        let (x, y) = three_class_blobs();
+        let mut m = GbtClassifier::new(GbtParams {
+            n_estimators: 20,
+            max_depth: 3,
+            ..GbtParams::default()
+        });
+        m.fit(&x, &y, 3);
+        assert!(accuracy(&m.predict(&x), &y) > 0.98);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_favor_truth() {
+        let (x, y) = three_class_blobs();
+        let mut m = GbtClassifier::new(GbtParams {
+            n_estimators: 15,
+            max_depth: 3,
+            ..GbtParams::default()
+        });
+        m.fit(&x, &y, 3);
+        let p = m.predict_proba_one(x.row(0), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[y[0]] > 0.5);
+    }
+
+    #[test]
+    fn importance_ignores_noise_features() {
+        // Feature 0 decides the label; feature 1 is constant noise.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64, ((i * 7919) % 13) as f64])
+            .collect();
+        let y: Vec<usize> = (0..60).map(|i| usize::from(i >= 30)).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let mut m = GbtClassifier::new(GbtParams {
+            n_estimators: 10,
+            max_depth: 2,
+            ..GbtParams::default()
+        });
+        m.fit(&x, &y, 2);
+        let imp = m.feature_importance();
+        assert!(imp[0] > 3.0 * imp[1].max(0.5), "importance {imp:?}");
+    }
+
+    #[test]
+    fn regressor_fits_quadratic() {
+        let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * r[0]).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let mut m = GbtRegressor::new(GbtParams {
+            n_estimators: 120,
+            max_depth: 4,
+            learning_rate: 0.2,
+            ..GbtParams::default()
+        });
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        let mse: f64 = pred
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64;
+        assert!(mse < 0.5, "mse = {mse}");
+    }
+
+    #[test]
+    fn shrinkage_regularizes() {
+        // With tiny learning rate and few rounds, predictions stay near the
+        // base score.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64 * 10.0).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let mut m = GbtRegressor::new(GbtParams {
+            n_estimators: 1,
+            learning_rate: 0.01,
+            ..GbtParams::default()
+        });
+        m.fit(&x, &y);
+        let base = y.iter().sum::<f64>() / 20.0;
+        assert!((m.predict_one(&[0.0]) - base).abs() < 10.0);
+    }
+
+    #[test]
+    fn gamma_prunes_splits() {
+        let (x, y) = three_class_blobs();
+        let mut free = GbtClassifier::new(GbtParams {
+            n_estimators: 5,
+            gamma: 0.0,
+            ..GbtParams::default()
+        });
+        free.fit(&x, &y, 3);
+        let mut strict = GbtClassifier::new(GbtParams {
+            n_estimators: 5,
+            gamma: 1e9,
+            ..GbtParams::default()
+        });
+        strict.fit(&x, &y, 3);
+        let free_splits: f64 = free.feature_importance().iter().sum();
+        let strict_splits: f64 = strict.feature_importance().iter().sum();
+        assert!(strict_splits < free_splits);
+        assert_eq!(strict_splits, 0.0, "infinite gamma must forbid all splits");
+    }
+
+    #[test]
+    fn empty_fit_predicts_default() {
+        let x = FeatureMatrix::from_rows(&[]);
+        let mut m = GbtRegressor::new(GbtParams::default());
+        m.fit(&x, &[]);
+        assert_eq!(m.predict_one(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Grid search with k-fold cross-validation — the paper's
+//! `GridSearchCV` step (§IV-D): "performs an exhaustive search over a range
+//! of supplied parameters and finds the best parameter set".
+
+use crate::data::{gather, kfold, FeatureMatrix};
+use crate::metrics::{accuracy, relative_mean_error};
+use crate::model::{Classifier, Regressor};
+
+/// Result of a grid search: the winning parameter set and its CV score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridResult<P> {
+    /// Best parameter set.
+    pub params: P,
+    /// Its mean cross-validated score (accuracy, or negative RME).
+    pub score: f64,
+    /// Mean CV score of every candidate, in candidate order.
+    pub all_scores: Vec<f64>,
+}
+
+/// Exhaustive search over `candidates`, scoring each by mean k-fold CV
+/// accuracy of the classifier `make` builds.
+pub fn grid_search_classifier<P, M, F>(
+    candidates: &[P],
+    make: F,
+    x: &FeatureMatrix,
+    y: &[usize],
+    n_classes: usize,
+    k: usize,
+    seed: u64,
+) -> GridResult<P>
+where
+    P: Clone,
+    M: Classifier,
+    F: Fn(&P) -> M,
+{
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let folds = kfold(x.n_rows(), k, seed);
+    let mut all_scores = Vec::with_capacity(candidates.len());
+    for p in candidates {
+        let mut score = 0.0;
+        for f in &folds {
+            let mut m = make(p);
+            m.fit(&x.select_rows(&f.train), &gather(y, &f.train), n_classes);
+            let pred = m.predict(&x.select_rows(&f.test));
+            score += accuracy(&pred, &gather(y, &f.test));
+        }
+        all_scores.push(score / folds.len() as f64);
+    }
+    let best = all_scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    GridResult {
+        params: candidates[best].clone(),
+        score: all_scores[best],
+        all_scores,
+    }
+}
+
+/// Exhaustive search over `candidates`, scoring each by mean k-fold CV
+/// **negative RME** of the regressor `make` builds (higher = better).
+pub fn grid_search_regressor<P, M, F>(
+    candidates: &[P],
+    make: F,
+    x: &FeatureMatrix,
+    y: &[f64],
+    k: usize,
+    seed: u64,
+) -> GridResult<P>
+where
+    P: Clone,
+    M: Regressor,
+    F: Fn(&P) -> M,
+{
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let folds = kfold(x.n_rows(), k, seed);
+    let mut all_scores = Vec::with_capacity(candidates.len());
+    for p in candidates {
+        let mut score = 0.0;
+        for f in &folds {
+            let mut m = make(p);
+            m.fit(&x.select_rows(&f.train), &gather(y, &f.train));
+            let pred = m.predict(&x.select_rows(&f.test));
+            score -= relative_mean_error(&pred, &gather(y, &f.test));
+        }
+        all_scores.push(score / folds.len() as f64);
+    }
+    let best = all_scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    GridResult {
+        params: candidates[best].clone(),
+        score: all_scores[best],
+        all_scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeParams};
+
+    fn stripes() -> (FeatureMatrix, Vec<usize>) {
+        // Label alternates every 4 units: needs depth >= 3 to fit well.
+        let rows: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..120).map(|i| (i / 15) % 2).collect();
+        (FeatureMatrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn deeper_trees_win_when_needed() {
+        let (x, y) = stripes();
+        let candidates = vec![1usize, 2, 6];
+        let r = grid_search_classifier(
+            &candidates,
+            |&d| {
+                DecisionTreeClassifier::new(TreeParams {
+                    max_depth: d,
+                    ..TreeParams::default()
+                })
+            },
+            &x,
+            &y,
+            2,
+            5,
+            42,
+        );
+        assert_eq!(r.params, 6);
+        assert_eq!(r.all_scores.len(), 3);
+        assert!(r.score >= r.all_scores[0]);
+    }
+
+    #[test]
+    fn regressor_grid_prefers_capacity_for_steps() {
+        let rows: Vec<Vec<f64>> = (0..90).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..90).map(|i| ((i / 10) + 1) as f64).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let r = grid_search_regressor(
+            &[1usize, 8],
+            |&d| {
+                DecisionTreeRegressor::new(TreeParams {
+                    max_depth: d,
+                    ..TreeParams::default()
+                })
+            },
+            &x,
+            &y,
+            3,
+            7,
+        );
+        assert_eq!(r.params, 8);
+        // Negative-RME score: best should be close to zero.
+        assert!(r.score > -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_grid_rejected() {
+        let (x, y) = stripes();
+        grid_search_classifier(
+            &Vec::<usize>::new(),
+            |_| DecisionTreeClassifier::new(TreeParams::default()),
+            &x,
+            &y,
+            2,
+            3,
+            0,
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Evaluation metrics: classification accuracy/confusion, the paper's
+//! relative mean error (RME) for performance modeling, and the slowdown
+//! statistics of Tables XI-XIII.
+
+/// Fraction of predictions equal to the truth.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(truth).filter(|(a, b)| a == b).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Confusion matrix: `m[truth][pred]` counts.
+pub fn confusion_matrix(pred: &[usize], truth: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(pred.len(), truth.len());
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Relative mean error (paper §VI):
+/// `RME = (1/n) * sum |pred_i - measured_i| / measured_i`.
+pub fn relative_mean_error(pred: &[f64], measured: &[f64]) -> f64 {
+    assert_eq!(pred.len(), measured.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = pred
+        .iter()
+        .zip(measured)
+        .map(|(&p, &m)| (p - m).abs() / m.abs().max(f64::MIN_POSITIVE))
+        .sum();
+    sum / pred.len() as f64
+}
+
+/// Slowdown of choosing format with time `chosen` instead of `best`
+/// (1.0 = no slowdown).
+pub fn slowdown(chosen_time: f64, best_time: f64) -> f64 {
+    if best_time <= 0.0 {
+        1.0
+    } else {
+        (chosen_time / best_time).max(1.0)
+    }
+}
+
+/// The slowdown histogram of Tables XI-XIII: for each test sample, compare
+/// the predicted format's time with the true best time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlowdownTable {
+    /// Predicted format was the best (no slowdown).
+    pub none: usize,
+    /// Any slowdown at all (> 1x; cumulative over the next columns).
+    pub above_1x: usize,
+    /// Slowdown >= 1.2x.
+    pub above_1_2x: usize,
+    /// Slowdown >= 1.5x.
+    pub above_1_5x: usize,
+    /// Slowdown >= 2.0x.
+    pub above_2x: usize,
+}
+
+impl SlowdownTable {
+    /// Tally slowdowns from per-sample (chosen, best) times. A sample whose
+    /// chosen time is within `tie_eps` of the best counts as "no slowdown"
+    /// (measurement noise makes exact ties meaningless).
+    pub fn tally(pairs: &[(f64, f64)], tie_eps: f64) -> SlowdownTable {
+        let mut t = SlowdownTable::default();
+        for &(chosen, best) in pairs {
+            let s = slowdown(chosen, best);
+            if s <= 1.0 + tie_eps {
+                t.none += 1;
+            } else {
+                t.above_1x += 1;
+                if s >= 1.2 {
+                    t.above_1_2x += 1;
+                }
+                if s >= 1.5 {
+                    t.above_1_5x += 1;
+                }
+                if s >= 2.0 {
+                    t.above_2x += 1;
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[5], &[5]), 1.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 2], &[0, 1, 2, 2], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1);
+        assert_eq!(m[2][2], 1);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn rme_matches_hand_computation() {
+        // |1-2|/2 + |3-3|/3 = 0.5 -> /2 = 0.25
+        let r = relative_mean_error(&[1.0, 3.0], &[2.0, 3.0]);
+        assert!((r - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rme_perfect_prediction_is_zero() {
+        assert_eq!(relative_mean_error(&[4.0, 5.0], &[4.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn slowdown_floors_at_one() {
+        assert_eq!(slowdown(0.5, 1.0), 1.0); // chosen faster than "best" (noise)
+        assert_eq!(slowdown(2.0, 1.0), 2.0);
+        assert_eq!(slowdown(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn slowdown_table_buckets_are_cumulative() {
+        let pairs = [
+            (1.0, 1.0),  // none
+            (1.1, 1.0),  // >1x
+            (1.3, 1.0),  // >1x, >=1.2
+            (1.7, 1.0),  // >1x, >=1.2, >=1.5
+            (2.5, 1.0),  // all buckets
+        ];
+        let t = SlowdownTable::tally(&pairs, 1e-9);
+        assert_eq!(t.none, 1);
+        assert_eq!(t.above_1x, 4);
+        assert_eq!(t.above_1_2x, 3);
+        assert_eq!(t.above_1_5x, 2);
+        assert_eq!(t.above_2x, 1);
+    }
+
+    #[test]
+    fn slowdown_table_tie_epsilon() {
+        let pairs = [(1.004, 1.0)];
+        assert_eq!(SlowdownTable::tally(&pairs, 0.01).none, 1);
+        assert_eq!(SlowdownTable::tally(&pairs, 1e-6).above_1x, 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Common model traits: every classifier/regressor in this crate trains on
+//! a [`FeatureMatrix`] and predicts per-row, which is all the experiment
+//! pipeline needs.
+
+use crate::data::FeatureMatrix;
+
+/// A multi-class classifier.
+pub trait Classifier {
+    /// Fit to `x` with integer labels `y` in `0..n_classes`.
+    fn fit(&mut self, x: &FeatureMatrix, y: &[usize], n_classes: usize);
+
+    /// Predict the class of one sample.
+    fn predict_one(&self, row: &[f64]) -> usize;
+
+    /// Predict classes for every row of `x`.
+    fn predict(&self, x: &FeatureMatrix) -> Vec<usize> {
+        (0..x.n_rows()).map(|i| self.predict_one(x.row(i))).collect()
+    }
+
+    /// Class-probability estimates for one sample, if the model provides
+    /// them (uniform fallback otherwise).
+    fn predict_proba_one(&self, row: &[f64], n_classes: usize) -> Vec<f64> {
+        let mut p = vec![0.0; n_classes];
+        p[self.predict_one(row).min(n_classes.saturating_sub(1))] = 1.0;
+        p
+    }
+}
+
+/// A scalar regressor.
+pub trait Regressor {
+    /// Fit to `x` with real targets `y`.
+    fn fit(&mut self, x: &FeatureMatrix, y: &[f64]);
+
+    /// Predict the target of one sample.
+    fn predict_one(&self, row: &[f64]) -> f64;
+
+    /// Predict targets for every row of `x`.
+    fn predict(&self, x: &FeatureMatrix) -> Vec<f64> {
+        (0..x.n_rows()).map(|i| self.predict_one(x.row(i))).collect()
+    }
+}

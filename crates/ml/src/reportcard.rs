@@ -1,0 +1,169 @@
+//! Classification report: per-class precision, recall, F1, and support,
+//! plus a rendered confusion matrix — the diagnostics behind the paper's
+//! aggregate accuracy numbers (which formats get confused with which).
+
+use crate::metrics::confusion_matrix;
+
+/// Per-class diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// Precision: of the samples predicted as this class, how many were.
+    pub precision: f64,
+    /// Recall: of the samples truly this class, how many were found.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub f1: f64,
+    /// True-class sample count.
+    pub support: usize,
+}
+
+/// Full classification report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationReport {
+    /// One entry per class, in class-index order.
+    pub per_class: Vec<ClassStats>,
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// Unweighted mean of per-class F1 ("macro F1").
+    pub macro_f1: f64,
+    /// Raw confusion counts, `confusion[truth][pred]`.
+    pub confusion: Vec<Vec<usize>>,
+}
+
+/// Build a report from predictions and ground truth.
+pub fn classification_report(
+    pred: &[usize],
+    truth: &[usize],
+    n_classes: usize,
+) -> ClassificationReport {
+    let confusion = confusion_matrix(pred, truth, n_classes);
+    let mut per_class = Vec::with_capacity(n_classes);
+    #[allow(clippy::needless_range_loop)] // c indexes rows AND columns
+    for c in 0..n_classes {
+        let tp = confusion[c][c];
+        let fp: usize = (0..n_classes).filter(|&t| t != c).map(|t| confusion[t][c]).sum();
+        let fn_: usize = (0..n_classes).filter(|&p| p != c).map(|p| confusion[c][p]).sum();
+        let support = tp + fn_;
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if support == 0 { 0.0 } else { tp as f64 / support as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        per_class.push(ClassStats {
+            precision,
+            recall,
+            f1,
+            support,
+        });
+    }
+    let correct: usize = (0..n_classes).map(|c| confusion[c][c]).sum();
+    let total: usize = pred.len();
+    let scored: Vec<&ClassStats> = per_class.iter().filter(|s| s.support > 0).collect();
+    let macro_f1 = if scored.is_empty() {
+        0.0
+    } else {
+        scored.iter().map(|s| s.f1).sum::<f64>() / scored.len() as f64
+    };
+    ClassificationReport {
+        per_class,
+        accuracy: if total == 0 { 0.0 } else { correct as f64 / total as f64 },
+        macro_f1,
+        confusion,
+    }
+}
+
+impl ClassificationReport {
+    /// Render the report as an aligned text block; `class_names` labels the
+    /// rows (pass format labels).
+    pub fn render(&self, class_names: &[&str]) -> String {
+        assert_eq!(class_names.len(), self.per_class.len());
+        let mut out = String::new();
+        let w = class_names.iter().map(|n| n.len()).max().unwrap_or(5).max(5);
+        out.push_str(&format!(
+            "{:<w$}  {:>9}  {:>7}  {:>6}  {:>7}\n",
+            "class", "precision", "recall", "f1", "support"
+        ));
+        for (name, s) in class_names.iter().zip(&self.per_class) {
+            out.push_str(&format!(
+                "{:<w$}  {:>9.2}  {:>7.2}  {:>6.2}  {:>7}\n",
+                name, s.precision, s.recall, s.f1, s.support
+            ));
+        }
+        out.push_str(&format!(
+            "accuracy {:.2}  macro-F1 {:.2}\n\nconfusion (rows = truth):\n",
+            self.accuracy, self.macro_f1
+        ));
+        out.push_str(&format!("{:<w$}", ""));
+        for name in class_names {
+            out.push_str(&format!(" {:>w$}", name));
+        }
+        out.push('\n');
+        for (name, row) in class_names.iter().zip(&self.confusion) {
+            out.push_str(&format!("{name:<w$}"));
+            for v in row {
+                out.push_str(&format!(" {v:>w$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let r = classification_report(&[0, 1, 2, 1], &[0, 1, 2, 1], 3);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.macro_f1, 1.0);
+        for s in &r.per_class {
+            assert_eq!(s.f1, 1.0);
+        }
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // truth: [0,0,1,1], pred: [0,1,1,1]
+        let r = classification_report(&[0, 1, 1, 1], &[0, 0, 1, 1], 2);
+        // class 0: tp 1, fp 0, fn 1 -> precision 1, recall .5, f1 2/3.
+        let c0 = &r.per_class[0];
+        assert!((c0.precision - 1.0).abs() < 1e-12);
+        assert!((c0.recall - 0.5).abs() < 1e-12);
+        assert!((c0.f1 - 2.0 / 3.0).abs() < 1e-12);
+        // class 1: tp 2, fp 1, fn 0 -> precision 2/3, recall 1.
+        let c1 = &r.per_class[1];
+        assert!((c1.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c1.recall, 1.0);
+        assert_eq!(r.accuracy, 0.75);
+    }
+
+    #[test]
+    fn absent_class_does_not_poison_macro_f1() {
+        // Class 2 never occurs in truth; macro-F1 averages only classes
+        // with support.
+        let r = classification_report(&[0, 1], &[0, 1], 3);
+        assert_eq!(r.per_class[2].support, 0);
+        assert_eq!(r.macro_f1, 1.0);
+    }
+
+    #[test]
+    fn render_contains_all_classes() {
+        let r = classification_report(&[0, 1, 1], &[0, 1, 0], 2);
+        let s = r.render(&["ELL", "CSR"]);
+        assert!(s.contains("ELL"));
+        assert!(s.contains("CSR"));
+        assert!(s.contains("precision"));
+        assert!(s.contains("confusion"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn render_checks_name_count() {
+        let r = classification_report(&[0], &[0], 2);
+        r.render(&["only-one"]);
+    }
+}

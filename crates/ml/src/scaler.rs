@@ -1,0 +1,123 @@
+//! Feature standardization (zero mean, unit variance per column) — required
+//! by the scale-sensitive models (SVM's RBF kernel, MLP optimization).
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::FeatureMatrix;
+
+/// Per-column standardizer: `x' = (x - mean) / std`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit to the training matrix. Constant columns get std 1 (pass-through
+    /// after centering) so they do not explode.
+    pub fn fit(x: &FeatureMatrix) -> StandardScaler {
+        let (n, d) = (x.n_rows(), x.n_cols());
+        let mut means = vec![0.0; d];
+        let mut stds = vec![0.0; d];
+        if n == 0 {
+            return StandardScaler { means, stds: vec![1.0; d] };
+        }
+        for i in 0..n {
+            for (j, m) in means.iter_mut().enumerate() {
+                *m += x.get(i, j);
+            }
+        }
+        for m in &mut means {
+            *m /= n as f64;
+        }
+        for i in 0..n {
+            for j in 0..d {
+                let c = x.get(i, j) - means[j];
+                stds[j] += c * c;
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n as f64).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        StandardScaler { means, stds }
+    }
+
+    /// Transform a matrix in place.
+    pub fn transform(&self, x: &mut FeatureMatrix) {
+        assert_eq!(x.n_cols(), self.means.len(), "dimension mismatch");
+        for i in 0..x.n_rows() {
+            for j in 0..x.n_cols() {
+                let v = x.get_mut(i, j);
+                *v = (*v - self.means[j]) / self.stds[j];
+            }
+        }
+    }
+
+    /// Transform one sample row.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "dimension mismatch");
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Fit on `x` and transform it, returning the scaler.
+    pub fn fit_transform(x: &mut FeatureMatrix) -> StandardScaler {
+        let s = StandardScaler::fit(x);
+        s.transform(x);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_columns() {
+        let mut x = FeatureMatrix::from_rows(&[
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+        ]);
+        let s = StandardScaler::fit_transform(&mut x);
+        // Means zero.
+        for j in 0..2 {
+            let mean: f64 = (0..3).map(|i| x.get(i, j)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            let var: f64 = (0..3).map(|i| x.get(i, j).powi(2)).sum::<f64>() / 3.0;
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+        // transform_row agrees with matrix transform.
+        let row = s.transform_row(&[2.0, 20.0]);
+        assert!(row[0].abs() < 1e-12 && row[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_survives() {
+        let mut x = FeatureMatrix::from_rows(&[vec![5.0], vec![5.0]]);
+        StandardScaler::fit_transform(&mut x);
+        assert_eq!(x.get(0, 0), 0.0);
+        assert!(x.get(1, 0).is_finite());
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let x = FeatureMatrix::from_rows(&[]);
+        let s = StandardScaler::fit(&x);
+        let mut x2 = x;
+        s.transform(&mut x2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_row_rejected() {
+        let x = FeatureMatrix::from_rows(&[vec![1.0, 2.0]]);
+        let s = StandardScaler::fit(&x);
+        s.transform_row(&[1.0]);
+    }
+}

@@ -1,0 +1,339 @@
+//! Support vector machine classifier (paper §II-B2): RBF kernel, SMO
+//! training (simplified Platt), one-vs-one multi-class with majority vote —
+//! the scheme scikit-learn's `SVC` uses, which is what the paper ran.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::data::FeatureMatrix;
+use crate::model::Classifier;
+
+/// SVM hyper-parameters (the paper grid-searches `c` and `gamma`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvmParams {
+    /// Soft-margin penalty.
+    pub c: f64,
+    /// RBF kernel width: `k(a,b) = exp(-gamma * |a-b|^2)`.
+    pub gamma: f64,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// Passes over the data without any alpha update before stopping.
+    pub max_passes: usize,
+    /// Hard cap on optimization sweeps.
+    pub max_iters: usize,
+    /// RNG seed for the SMO partner-choice heuristic.
+    pub seed: u64,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        Self {
+            c: 100.0,
+            gamma: 0.1,
+            tol: 1e-3,
+            max_passes: 5,
+            max_iters: 200,
+            seed: 0,
+        }
+    }
+}
+
+fn rbf(a: &[f64], b: &[f64], gamma: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-gamma * d2).exp()
+}
+
+/// One binary SVM trained by SMO on labels in {-1, +1}.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BinarySvm {
+    support: Vec<Vec<f64>>,
+    alphas_y: Vec<f64>, // alpha_i * y_i for support vectors
+    b: f64,
+    gamma: f64,
+}
+
+impl BinarySvm {
+    fn decision(&self, row: &[f64]) -> f64 {
+        self.support
+            .iter()
+            .zip(&self.alphas_y)
+            .map(|(sv, ay)| ay * rbf(sv, row, self.gamma))
+            .sum::<f64>()
+            + self.b
+    }
+
+    /// Simplified SMO (Platt 1998 / Stanford CS229 variant) with a
+    /// precomputed kernel matrix.
+    fn train(x: &FeatureMatrix, y: &[f64], p: &SvmParams) -> BinarySvm {
+        let n = x.n_rows();
+        let mut alphas = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        // Precompute the kernel (training sets per class pair are small).
+        let mut kernel = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let k = rbf(x.row(i), x.row(j), p.gamma);
+                kernel[i * n + j] = k;
+                kernel[j * n + i] = k;
+            }
+        }
+        let f = |alphas: &[f64], b: f64, i: usize| -> f64 {
+            let mut s = b;
+            for j in 0..n {
+                if alphas[j] != 0.0 {
+                    s += alphas[j] * y[j] * kernel[j * n + i];
+                }
+            }
+            s
+        };
+
+        let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut passes = 0usize;
+        let mut iters = 0usize;
+        while passes < p.max_passes && iters < p.max_iters {
+            iters += 1;
+            let mut changed = 0usize;
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let ei = f(&alphas, b, i) - y[i];
+                if (y[i] * ei < -p.tol && alphas[i] < p.c) || (y[i] * ei > p.tol && alphas[i] > 0.0)
+                {
+                    // Pick a random partner j != i.
+                    let mut j = i;
+                    while j == i {
+                        j = order[rng.gen_range(0..n)];
+                    }
+                    let ej = f(&alphas, b, j) - y[j];
+                    let (ai_old, aj_old) = (alphas[i], alphas[j]);
+                    let (lo, hi) = if y[i] != y[j] {
+                        ((aj_old - ai_old).max(0.0), (p.c + aj_old - ai_old).min(p.c))
+                    } else {
+                        ((ai_old + aj_old - p.c).max(0.0), (ai_old + aj_old).min(p.c))
+                    };
+                    if lo >= hi {
+                        continue;
+                    }
+                    let eta = 2.0 * kernel[i * n + j] - kernel[i * n + i] - kernel[j * n + j];
+                    if eta >= 0.0 {
+                        continue;
+                    }
+                    let mut aj = aj_old - y[j] * (ei - ej) / eta;
+                    aj = aj.clamp(lo, hi);
+                    if (aj - aj_old).abs() < 1e-6 {
+                        continue;
+                    }
+                    let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+                    alphas[i] = ai;
+                    alphas[j] = aj;
+                    let b1 = b - ei
+                        - y[i] * (ai - ai_old) * kernel[i * n + i]
+                        - y[j] * (aj - aj_old) * kernel[i * n + j];
+                    let b2 = b - ej
+                        - y[i] * (ai - ai_old) * kernel[i * n + j]
+                        - y[j] * (aj - aj_old) * kernel[j * n + j];
+                    b = if ai > 0.0 && ai < p.c {
+                        b1
+                    } else if aj > 0.0 && aj < p.c {
+                        b2
+                    } else {
+                        0.5 * (b1 + b2)
+                    };
+                    changed += 1;
+                }
+            }
+            passes = if changed == 0 { passes + 1 } else { 0 };
+        }
+
+        // Keep only support vectors.
+        let mut support = Vec::new();
+        let mut alphas_y = Vec::new();
+        for i in 0..n {
+            if alphas[i] > 1e-9 {
+                support.push(x.row(i).to_vec());
+                alphas_y.push(alphas[i] * y[i]);
+            }
+        }
+        BinarySvm {
+            support,
+            alphas_y,
+            b,
+            gamma: p.gamma,
+        }
+    }
+}
+
+/// One-vs-one multi-class SVM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SvmClassifier {
+    /// Hyper-parameters.
+    pub params: SvmParams,
+    n_classes: usize,
+    /// `(class_a, class_b, model)` for every pair `a < b`.
+    machines: Vec<(usize, usize, BinarySvm)>,
+}
+
+impl SvmClassifier {
+    /// New classifier with the given parameters.
+    pub fn new(params: SvmParams) -> Self {
+        Self {
+            params,
+            n_classes: 0,
+            machines: Vec::new(),
+        }
+    }
+
+    /// Total support vectors across all pairwise machines.
+    pub fn n_support_vectors(&self) -> usize {
+        self.machines.iter().map(|(_, _, m)| m.support.len()).sum()
+    }
+}
+
+impl Classifier for SvmClassifier {
+    fn fit(&mut self, x: &FeatureMatrix, y: &[usize], n_classes: usize) {
+        assert_eq!(x.n_rows(), y.len());
+        self.n_classes = n_classes;
+        self.machines.clear();
+        for a in 0..n_classes {
+            for b in (a + 1)..n_classes {
+                let idx: Vec<usize> = (0..y.len()).filter(|&i| y[i] == a || y[i] == b).collect();
+                if idx.is_empty() {
+                    continue;
+                }
+                let sub_x = x.select_rows(&idx);
+                let sub_y: Vec<f64> = idx
+                    .iter()
+                    .map(|&i| if y[i] == a { 1.0 } else { -1.0 })
+                    .collect();
+                // Degenerate pair (one class absent): skip, votes fall to others.
+                if sub_y.iter().all(|&v| v == 1.0) || sub_y.iter().all(|&v| v == -1.0) {
+                    continue;
+                }
+                let mut p = self.params;
+                p.seed = p.seed.wrapping_add((a * 31 + b) as u64);
+                self.machines.push((a, b, BinarySvm::train(&sub_x, &sub_y, &p)));
+            }
+        }
+    }
+
+    fn predict_one(&self, row: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes.max(1)];
+        let mut margins = vec![0.0f64; self.n_classes.max(1)];
+        for (a, b, m) in &self.machines {
+            let d = m.decision(row);
+            if d >= 0.0 {
+                votes[*a] += 1;
+                margins[*a] += d;
+            } else {
+                votes[*b] += 1;
+                margins[*b] -= d;
+            }
+        }
+        // Majority vote; ties broken by accumulated margin.
+        (0..votes.len())
+            .max_by(|&i, &j| {
+                votes[i]
+                    .cmp(&votes[j])
+                    .then(margins[i].total_cmp(&margins[j]))
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    fn blobs(k: usize, per: usize, spread: f64) -> (FeatureMatrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..k {
+            let cx = (c as f64) * 4.0;
+            let cy = (c as f64 % 2.0) * 4.0;
+            for i in 0..per {
+                let dx = ((i * 37 + c * 11) % 21) as f64 / 20.0 - 0.5;
+                let dy = ((i * 53 + c * 7) % 21) as f64 / 20.0 - 0.5;
+                rows.push(vec![cx + dx * spread, cy + dy * spread]);
+                y.push(c);
+            }
+        }
+        (FeatureMatrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn binary_separable() {
+        let (x, y) = blobs(2, 25, 1.0);
+        let mut m = SvmClassifier::new(SvmParams::default());
+        m.fit(&x, &y, 2);
+        assert_eq!(accuracy(&m.predict(&x), &y), 1.0);
+        assert!(m.n_support_vectors() > 0);
+    }
+
+    #[test]
+    fn multiclass_ovo_votes() {
+        let (x, y) = blobs(4, 20, 1.0);
+        let mut m = SvmClassifier::new(SvmParams::default());
+        m.fit(&x, &y, 4);
+        assert!(accuracy(&m.predict(&x), &y) > 0.95);
+        // 4 classes -> 6 pairwise machines.
+        assert_eq!(m.machines.len(), 6);
+    }
+
+    #[test]
+    fn nonlinear_boundary_via_rbf() {
+        // Concentric rings: inner class 0, outer class 1.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let t = i as f64 * 0.21;
+            let r = if i % 2 == 0 { 1.0 } else { 3.5 };
+            rows.push(vec![r * t.cos(), r * t.sin()]);
+            y.push(i % 2);
+        }
+        let x = FeatureMatrix::from_rows(&rows);
+        let mut m = SvmClassifier::new(SvmParams {
+            c: 1000.0,
+            gamma: 0.5,
+            ..SvmParams::default()
+        });
+        m.fit(&x, &y, 2);
+        assert!(accuracy(&m.predict(&x), &y) > 0.95);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = blobs(3, 15, 1.5);
+        let mut a = SvmClassifier::new(SvmParams::default());
+        a.fit(&x, &y, 3);
+        let mut b = SvmClassifier::new(SvmParams::default());
+        b.fit(&x, &y, 3);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn missing_class_pair_is_skipped() {
+        // Only classes 0 and 2 present out of 3.
+        let x = FeatureMatrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![5.0, 5.0],
+            vec![5.1, 4.9],
+        ]);
+        let y = vec![0, 0, 2, 2];
+        let mut m = SvmClassifier::new(SvmParams::default());
+        m.fit(&x, &y, 3);
+        let pred = m.predict_one(&[5.0, 5.0]);
+        assert_eq!(pred, 2);
+    }
+
+    #[test]
+    fn rbf_kernel_properties() {
+        let a = [1.0, 2.0];
+        assert!((rbf(&a, &a, 0.7) - 1.0).abs() < 1e-12);
+        assert!(rbf(&a, &[3.0, 4.0], 0.7) < 1.0);
+        assert!(rbf(&a, &[3.0, 4.0], 0.7) > 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! ε-insensitive support vector regression (SVR) with an RBF kernel —
+//! the second regressor of Benatia et al.'s performance-modeling study
+//! (paper §VII: "proposed to use multi-layer perceptron (MLP) and support
+//! vector regression (SVR) to predict the performance").
+//!
+//! Trained by a SMO-style coordinate-ascent on the dual with paired
+//! variables `(alpha_i - alpha_i*)` folded into one signed coefficient
+//! `beta_i in [-C, C]` — the standard simplification for ε-SVR.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::data::FeatureMatrix;
+use crate::model::Regressor;
+
+/// SVR hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvrParams {
+    /// Box constraint on the signed dual coefficients.
+    pub c: f64,
+    /// RBF kernel width.
+    pub gamma: f64,
+    /// Width of the ε-insensitive tube.
+    pub epsilon: f64,
+    /// Convergence tolerance on coefficient updates.
+    pub tol: f64,
+    /// Maximum optimization sweeps.
+    pub max_iters: usize,
+    /// Partner-choice RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SvrParams {
+    fn default() -> Self {
+        Self {
+            c: 100.0,
+            gamma: 0.1,
+            epsilon: 0.05,
+            tol: 1e-4,
+            max_iters: 300,
+            seed: 0,
+        }
+    }
+}
+
+fn rbf(a: &[f64], b: &[f64], gamma: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-gamma * d2).exp()
+}
+
+/// RBF ε-SVR regressor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SvrRegressor {
+    /// Hyper-parameters.
+    pub params: SvrParams,
+    support: Vec<Vec<f64>>,
+    betas: Vec<f64>,
+    bias: f64,
+    /// Target standardization (SVR geometry is scale-sensitive).
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl SvrRegressor {
+    /// New regressor with the given parameters.
+    pub fn new(params: SvrParams) -> Self {
+        Self {
+            params,
+            support: Vec::new(),
+            betas: Vec::new(),
+            bias: 0.0,
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    /// Number of support vectors retained after training.
+    pub fn n_support_vectors(&self) -> usize {
+        self.support.len()
+    }
+
+    fn raw_predict(&self, row: &[f64]) -> f64 {
+        self.support
+            .iter()
+            .zip(&self.betas)
+            .map(|(sv, b)| b * rbf(sv, row, self.params.gamma))
+            .sum::<f64>()
+            + self.bias
+    }
+}
+
+impl Regressor for SvrRegressor {
+    fn fit(&mut self, x: &FeatureMatrix, y: &[f64]) {
+        assert_eq!(x.n_rows(), y.len());
+        let n = x.n_rows();
+        self.support.clear();
+        self.betas.clear();
+        self.bias = 0.0;
+        if n == 0 {
+            return;
+        }
+        // Standardize targets.
+        self.y_mean = y.iter().sum::<f64>() / n as f64;
+        let var = y.iter().map(|v| (v - self.y_mean).powi(2)).sum::<f64>() / n as f64;
+        self.y_std = var.sqrt().max(1e-9);
+        let yy: Vec<f64> = y.iter().map(|v| (v - self.y_mean) / self.y_std).collect();
+
+        // Precompute the kernel.
+        let mut kernel = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let k = rbf(x.row(i), x.row(j), self.params.gamma);
+                kernel[i * n + j] = k;
+                kernel[j * n + i] = k;
+            }
+        }
+
+        let p = self.params;
+        let mut beta = vec![0.0f64; n];
+        let mut bias = 0.0f64;
+        // f(i) without bias.
+        let f = |beta: &[f64], i: usize| -> f64 {
+            let mut s = 0.0;
+            for j in 0..n {
+                if beta[j] != 0.0 {
+                    s += beta[j] * kernel[j * n + i];
+                }
+            }
+            s
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..p.max_iters {
+            order.shuffle(&mut rng);
+            let mut max_delta = 0.0f64;
+            for &i in &order {
+                // Coordinate-wise update: minimize the dual wrt beta_i with
+                // the ε-insensitive subgradient (prox step on beta_i).
+                let err = f(&beta, i) + bias - yy[i];
+                let kii = kernel[i * n + i].max(1e-12);
+                // Subgradient of eps-insensitive loss wrt beta_i.
+                let raw = beta[i] - (err - p.epsilon * err.signum() * f64::from(err.abs() > p.epsilon)) / kii;
+                let candidate = if err.abs() <= p.epsilon {
+                    // Inside the tube: shrink toward zero.
+                    beta[i] * 0.9
+                } else {
+                    raw
+                };
+                let new = candidate.clamp(-p.c, p.c);
+                let delta = new - beta[i];
+                if delta.abs() > 1e-12 {
+                    beta[i] = new;
+                    // Keep the bias as the running mean residual.
+                    bias -= delta * kernel[i * n + i] / n as f64;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            // Recentre the bias on the current residuals.
+            let mean_err: f64 = (0..n).map(|i| yy[i] - f(&beta, i)).sum::<f64>() / n as f64;
+            bias = mean_err;
+            if max_delta < p.tol {
+                break;
+            }
+        }
+
+        for (i, &b) in beta.iter().enumerate() {
+            if b.abs() > 1e-9 {
+                self.support.push(x.row(i).to_vec());
+                self.betas.push(b);
+            }
+        }
+        self.bias = bias;
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        self.raw_predict(row) * self.y_std + self.y_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave_data() -> (FeatureMatrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| (r[0]).sin() * 3.0 + 5.0).collect();
+        (FeatureMatrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn svr_fits_smooth_function() {
+        let (x, y) = wave_data();
+        let mut m = SvrRegressor::new(SvrParams {
+            gamma: 1.0,
+            epsilon: 0.02,
+            ..SvrParams::default()
+        });
+        m.fit(&x, &y);
+        let mae: f64 = (0..x.n_rows())
+            .map(|i| (m.predict_one(x.row(i)) - y[i]).abs())
+            .sum::<f64>()
+            / x.n_rows() as f64;
+        assert!(mae < 0.5, "mae = {mae}");
+        assert!(m.n_support_vectors() > 0);
+    }
+
+    #[test]
+    fn svr_interpolates_between_samples() {
+        let (x, y) = wave_data();
+        let mut m = SvrRegressor::new(SvrParams {
+            gamma: 1.0,
+            epsilon: 0.02,
+            ..SvrParams::default()
+        });
+        m.fit(&x, &y);
+        // Midpoint between samples 20 and 21.
+        let p = m.predict_one(&[2.05]);
+        let expect = (2.05f64).sin() * 3.0 + 5.0;
+        assert!((p - expect).abs() < 0.6, "{p} vs {expect}");
+    }
+
+    #[test]
+    fn svr_handles_constant_targets() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y = vec![7.5; 20];
+        let x = FeatureMatrix::from_rows(&rows);
+        let mut m = SvrRegressor::new(SvrParams::default());
+        m.fit(&x, &y);
+        assert!((m.predict_one(&[3.0]) - 7.5).abs() < 0.5);
+    }
+
+    #[test]
+    fn svr_is_deterministic() {
+        let (x, y) = wave_data();
+        let mut a = SvrRegressor::new(SvrParams::default());
+        a.fit(&x, &y);
+        let mut b = SvrRegressor::new(SvrParams::default());
+        b.fit(&x, &y);
+        assert_eq!(a.predict_one(&[1.0]), b.predict_one(&[1.0]));
+    }
+
+    #[test]
+    fn empty_fit_is_safe() {
+        let x = FeatureMatrix::from_rows(&[]);
+        let mut m = SvrRegressor::new(SvrParams::default());
+        m.fit(&x, &[]);
+        assert_eq!(m.predict_one(&[1.0]), 0.0);
+        assert_eq!(m.n_support_vectors(), 0);
+    }
+}

@@ -1,0 +1,475 @@
+//! CART decision trees (paper §II-B1): exact greedy splits, Gini impurity
+//! for classification, variance reduction for regression.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::FeatureMatrix;
+use crate::model::{Classifier, Regressor};
+
+/// Tree growth parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 16,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+        }
+    }
+}
+
+/// Internal node storage (indices into the node arena).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    /// Leaf payload: class counts (classifier) or mean target (regressor)
+    /// stored as a vector to share the arena type.
+    Leaf(Vec<f64>),
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn leaf_of(&self, row: &[f64]) -> &[f64] {
+        let mut n = 0usize;
+        loop {
+            match &self.nodes[n] {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    n = if row[*feature] <= *threshold { *left } else { *right };
+                }
+                Node::Leaf(payload) => return payload,
+            }
+        }
+    }
+
+    fn depth_from(&self, n: usize) -> usize {
+        match &self.nodes[n] {
+            Node::Leaf(_) => 0,
+            Node::Split { left, right, .. } => {
+                1 + self.depth_from(*left).max(self.depth_from(*right))
+            }
+        }
+    }
+}
+
+/// Best split of `idx` on any feature, by impurity decrease.
+/// `impurity(members) -> (impurity_value, weight)` over a label accessor is
+/// specialized by the two builders below, so the scan stays monomorphic.
+struct SplitChoice {
+    feature: usize,
+    threshold: f64,
+    left: Vec<usize>,
+    right: Vec<usize>,
+}
+
+/// CART classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTreeClassifier {
+    /// Growth parameters.
+    pub params: TreeParams,
+    tree: Option<Tree>,
+    n_classes: usize,
+}
+
+impl DecisionTreeClassifier {
+    /// New classifier with the given parameters.
+    pub fn new(params: TreeParams) -> Self {
+        Self {
+            params,
+            tree: None,
+            n_classes: 0,
+        }
+    }
+
+    /// Depth of the grown tree (0 = single leaf / unfit).
+    pub fn depth(&self) -> usize {
+        self.tree.as_ref().map_or(0, |t| t.depth_from(0))
+    }
+
+    fn gini(counts: &[f64], total: f64) -> f64 {
+        if total <= 0.0 {
+            return 0.0;
+        }
+        1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
+    }
+
+    fn best_split(
+        &self,
+        x: &FeatureMatrix,
+        y: &[usize],
+        idx: &[usize],
+    ) -> Option<SplitChoice> {
+        let n = idx.len() as f64;
+        let mut parent_counts = vec![0.0; self.n_classes];
+        for &i in idx {
+            parent_counts[y[i]] += 1.0;
+        }
+        let parent_gini = Self::gini(&parent_counts, n);
+        if parent_gini == 0.0 {
+            return None; // pure node
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        let mut pairs: Vec<(f64, usize)> = Vec::with_capacity(idx.len());
+        for f in 0..x.n_cols() {
+            pairs.clear();
+            pairs.extend(idx.iter().map(|&i| (x.get(i, f), y[i])));
+            pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            let mut left_counts = vec![0.0; self.n_classes];
+            let mut n_left = 0.0;
+            for k in 0..pairs.len() - 1 {
+                left_counts[pairs[k].1] += 1.0;
+                n_left += 1.0;
+                if pairs[k].0 == pairs[k + 1].0 {
+                    continue; // can't split between equal values
+                }
+                let n_right = n - n_left;
+                if (n_left as usize) < self.params.min_samples_leaf
+                    || (n_right as usize) < self.params.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_counts: Vec<f64> = parent_counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(p, l)| p - l)
+                    .collect();
+                let gain = parent_gini
+                    - (n_left / n) * Self::gini(&left_counts, n_left)
+                    - (n_right / n) * Self::gini(&right_counts, n_right);
+                if best.is_none_or(|(_, _, g)| gain > g + 1e-15) {
+                    let threshold = 0.5 * (pairs[k].0 + pairs[k + 1].0);
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        // Like sklearn's CART, accept the best valid split even at zero gain
+        // (otherwise XOR-like interactions are unlearnable greedily); purity
+        // and depth limits still bound growth.
+        let (feature, threshold, gain) = best?;
+        if gain < 0.0 {
+            return None;
+        }
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        for &i in idx {
+            if x.get(i, feature) <= threshold {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        Some(SplitChoice {
+            feature,
+            threshold,
+            left,
+            right,
+        })
+    }
+
+    fn grow(&self, x: &FeatureMatrix, y: &[usize], idx: &[usize], depth: usize, nodes: &mut Vec<Node>) -> usize {
+        let make_leaf = |nodes: &mut Vec<Node>, idx: &[usize]| {
+            let mut counts = vec![0.0; self.n_classes];
+            for &i in idx {
+                counts[y[i]] += 1.0;
+            }
+            let total: f64 = counts.iter().sum();
+            if total > 0.0 {
+                for c in &mut counts {
+                    *c /= total;
+                }
+            }
+            nodes.push(Node::Leaf(counts));
+            nodes.len() - 1
+        };
+        if depth >= self.params.max_depth || idx.len() < self.params.min_samples_split {
+            return make_leaf(nodes, idx);
+        }
+        match self.best_split(x, y, idx) {
+            None => make_leaf(nodes, idx),
+            Some(s) => {
+                let slot = nodes.len();
+                nodes.push(Node::Leaf(Vec::new())); // placeholder
+                let left = self.grow(x, y, &s.left, depth + 1, nodes);
+                let right = self.grow(x, y, &s.right, depth + 1, nodes);
+                nodes[slot] = Node::Split {
+                    feature: s.feature,
+                    threshold: s.threshold,
+                    left,
+                    right,
+                };
+                slot
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTreeClassifier {
+    fn fit(&mut self, x: &FeatureMatrix, y: &[usize], n_classes: usize) {
+        assert_eq!(x.n_rows(), y.len());
+        assert!(n_classes >= 1);
+        self.n_classes = n_classes;
+        let idx: Vec<usize> = (0..x.n_rows()).collect();
+        let mut nodes = Vec::new();
+        self.grow(x, y, &idx, 0, &mut nodes);
+        self.tree = Some(Tree { nodes });
+    }
+
+    fn predict_one(&self, row: &[f64]) -> usize {
+        let probs = self
+            .tree
+            .as_ref()
+            .expect("fit before predict")
+            .leaf_of(row);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn predict_proba_one(&self, row: &[f64], n_classes: usize) -> Vec<f64> {
+        let probs = self
+            .tree
+            .as_ref()
+            .expect("fit before predict")
+            .leaf_of(row);
+        let mut p = probs.to_vec();
+        p.resize(n_classes, 0.0);
+        p
+    }
+}
+
+/// CART regressor (variance-reduction splits, mean-value leaves).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTreeRegressor {
+    /// Growth parameters.
+    pub params: TreeParams,
+    tree: Option<Tree>,
+}
+
+impl DecisionTreeRegressor {
+    /// New regressor with the given parameters.
+    pub fn new(params: TreeParams) -> Self {
+        Self { params, tree: None }
+    }
+
+    fn best_split(&self, x: &FeatureMatrix, y: &[f64], idx: &[usize]) -> Option<SplitChoice> {
+        let n = idx.len() as f64;
+        let sum: f64 = idx.iter().map(|&i| y[i]).sum();
+        let sum_sq: f64 = idx.iter().map(|&i| y[i] * y[i]).sum();
+        let parent_sse = sum_sq - sum * sum / n;
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(idx.len());
+        for f in 0..x.n_cols() {
+            pairs.clear();
+            pairs.extend(idx.iter().map(|&i| (x.get(i, f), y[i])));
+            pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            let (mut ls, mut lss, mut nl) = (0.0f64, 0.0f64, 0.0f64);
+            for k in 0..pairs.len() - 1 {
+                ls += pairs[k].1;
+                lss += pairs[k].1 * pairs[k].1;
+                nl += 1.0;
+                if pairs[k].0 == pairs[k + 1].0 {
+                    continue;
+                }
+                let nr = n - nl;
+                if (nl as usize) < self.params.min_samples_leaf
+                    || (nr as usize) < self.params.min_samples_leaf
+                {
+                    continue;
+                }
+                let rs = sum - ls;
+                let rss = sum_sq - lss;
+                let sse = (lss - ls * ls / nl) + (rss - rs * rs / nr);
+                let gain = parent_sse - sse;
+                if best.is_none_or(|(_, _, g)| gain > g + 1e-15) {
+                    best = Some((f, 0.5 * (pairs[k].0 + pairs[k + 1].0), gain));
+                }
+            }
+        }
+        let (feature, threshold, gain) = best?;
+        if gain <= 1e-12 * (1.0 + parent_sse.abs()) {
+            return None;
+        }
+        let _ = gain;
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        for &i in idx {
+            if x.get(i, feature) <= threshold {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        Some(SplitChoice {
+            feature,
+            threshold,
+            left,
+            right,
+        })
+    }
+
+    fn grow(&self, x: &FeatureMatrix, y: &[f64], idx: &[usize], depth: usize, nodes: &mut Vec<Node>) -> usize {
+        let make_leaf = |nodes: &mut Vec<Node>, idx: &[usize]| {
+            let mean = if idx.is_empty() {
+                0.0
+            } else {
+                idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64
+            };
+            nodes.push(Node::Leaf(vec![mean]));
+            nodes.len() - 1
+        };
+        if depth >= self.params.max_depth || idx.len() < self.params.min_samples_split {
+            return make_leaf(nodes, idx);
+        }
+        match self.best_split(x, y, idx) {
+            None => make_leaf(nodes, idx),
+            Some(s) => {
+                let slot = nodes.len();
+                nodes.push(Node::Leaf(Vec::new()));
+                let left = self.grow(x, y, &s.left, depth + 1, nodes);
+                let right = self.grow(x, y, &s.right, depth + 1, nodes);
+                nodes[slot] = Node::Split {
+                    feature: s.feature,
+                    threshold: s.threshold,
+                    left,
+                    right,
+                };
+                slot
+            }
+        }
+    }
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn fit(&mut self, x: &FeatureMatrix, y: &[f64]) {
+        assert_eq!(x.n_rows(), y.len());
+        let idx: Vec<usize> = (0..x.n_rows()).collect();
+        let mut nodes = Vec::new();
+        self.grow(x, y, &idx, 0, &mut nodes);
+        self.tree = Some(Tree { nodes });
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        self.tree
+            .as_ref()
+            .expect("fit before predict")
+            .leaf_of(row)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (FeatureMatrix, Vec<usize>) {
+        // XOR is not linearly separable but a depth-2 tree nails it.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for jitter in 0..5 {
+                    rows.push(vec![a as f64 + jitter as f64 * 0.01, b as f64 - jitter as f64 * 0.01]);
+                    y.push(a ^ b);
+                }
+            }
+        }
+        (FeatureMatrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn classifier_learns_xor() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTreeClassifier::new(TreeParams::default());
+        t.fit(&x, &y, 2);
+        assert_eq!(t.predict(&x), y);
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn classifier_respects_max_depth() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTreeClassifier::new(TreeParams {
+            max_depth: 1,
+            ..TreeParams::default()
+        });
+        t.fit(&x, &y, 2);
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn pure_node_stops_growing() {
+        let x = FeatureMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let mut t = DecisionTreeClassifier::new(TreeParams::default());
+        t.fit(&x, &[1, 1, 1], 2);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict_one(&[9.0]), 1);
+    }
+
+    #[test]
+    fn proba_reflects_leaf_composition() {
+        // One leaf forced to hold a 2:1 mix.
+        let x = FeatureMatrix::from_rows(&[vec![0.0], vec![0.0], vec![0.0], vec![1.0]]);
+        let mut t = DecisionTreeClassifier::new(TreeParams::default());
+        t.fit(&x, &[0, 0, 1, 1], 2);
+        let p = t.predict_proba_one(&[0.0], 2);
+        assert!((p[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regressor_fits_step_function() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { 5.0 }).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let mut t = DecisionTreeRegressor::new(TreeParams::default());
+        t.fit(&x, &y);
+        assert!((t.predict_one(&[3.0]) - 1.0).abs() < 1e-9);
+        assert!((t.predict_one(&[30.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regressor_min_samples_leaf() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let mut t = DecisionTreeRegressor::new(TreeParams {
+            min_samples_leaf: 5,
+            ..TreeParams::default()
+        });
+        t.fit(&x, &y);
+        // Only one split possible (5|5).
+        let tree = t.tree.as_ref().expect("tree grown");
+        assert!(tree.depth_from(0) <= 1);
+    }
+
+    #[test]
+    fn duplicate_feature_values_never_split_between_equals() {
+        let x = FeatureMatrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]);
+        let mut t = DecisionTreeClassifier::new(TreeParams::default());
+        t.fit(&x, &[0, 1, 0, 1], 2);
+        // No valid split exists; must stay a leaf and pick the majority.
+        assert_eq!(t.depth(), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the ML stack: metric identities, split
+//! invariants, scaler algebra, and model sanity on arbitrary data.
+
+use proptest::prelude::*;
+use spmv_ml::{
+    accuracy, confusion_matrix, kfold, relative_mean_error, stratified_split, train_test_split,
+    Classifier, DecisionTreeClassifier, DecisionTreeRegressor, FeatureMatrix, Regressor,
+    SlowdownTable, StandardScaler, TreeParams,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn accuracy_equals_confusion_trace(
+        labels in proptest::collection::vec((0usize..5, 0usize..5), 1..100)
+    ) {
+        let (pred, truth): (Vec<usize>, Vec<usize>) = labels.into_iter().unzip();
+        let acc = accuracy(&pred, &truth);
+        let cm = confusion_matrix(&pred, &truth, 5);
+        let trace: usize = (0..5).map(|i| cm[i][i]).sum();
+        prop_assert!((acc - trace as f64 / pred.len() as f64).abs() < 1e-12);
+        let total: usize = cm.iter().flatten().sum();
+        prop_assert_eq!(total, pred.len());
+    }
+
+    #[test]
+    fn rme_is_nonnegative_and_zero_iff_exact(
+        measured in proptest::collection::vec(0.1f64..100.0, 1..50),
+        noise in proptest::collection::vec(-0.5f64..0.5, 1..50)
+    ) {
+        let n = measured.len().min(noise.len());
+        let measured = &measured[..n];
+        let pred: Vec<f64> = measured.iter().zip(&noise[..n]).map(|(m, d)| m * (1.0 + d)).collect();
+        let rme = relative_mean_error(&pred, measured);
+        prop_assert!(rme >= 0.0);
+        // RME of relative perturbations equals mean |perturbation|.
+        let expect: f64 = noise[..n].iter().map(|d| d.abs()).sum::<f64>() / n as f64;
+        prop_assert!((rme - expect).abs() < 1e-9, "rme {rme} vs {expect}");
+        prop_assert_eq!(relative_mean_error(measured, measured), 0.0);
+    }
+
+    #[test]
+    fn splits_partition_indices(n in 2usize..300, frac in 0.05f64..0.6, seed in 0u64..50) {
+        let s = train_test_split(n, frac, seed);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stratified_split_preserves_every_class(
+        labels in proptest::collection::vec(0usize..4, 20..200),
+        seed in 0u64..20
+    ) {
+        let s = stratified_split(&labels, 0.25, seed);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all.len(), labels.len());
+        // Any class with >= 4 members keeps at least one sample in train.
+        for c in 0..4 {
+            let members = labels.iter().filter(|&&l| l == c).count();
+            if members >= 4 {
+                let in_train = s.train.iter().filter(|&&i| labels[i] == c).count();
+                prop_assert!(in_train >= 1, "class {c} lost from train");
+            }
+        }
+    }
+
+    #[test]
+    fn kfold_tests_each_sample_once(n in 4usize..200, k in 2usize..6, seed in 0u64..20) {
+        let folds = kfold(n, k, seed);
+        let mut seen = vec![0usize; n];
+        for f in &folds {
+            for &i in &f.test {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn scaler_standardizes_any_matrix(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e3f64..1e3, 3..=3), 2..60
+        )
+    ) {
+        let mut x = FeatureMatrix::from_rows(&rows);
+        StandardScaler::fit_transform(&mut x);
+        for j in 0..3 {
+            let n = x.n_rows() as f64;
+            let mean: f64 = (0..x.n_rows()).map(|i| x.get(i, j)).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-6, "col {j} mean {mean}");
+            let var: f64 = (0..x.n_rows()).map(|i| x.get(i, j).powi(2)).sum::<f64>() / n;
+            // Either standardized (var 1) or the column was constant (var 0).
+            prop_assert!(var < 1.0 + 1e-6, "col {j} var {var}");
+        }
+    }
+
+    #[test]
+    fn slowdown_table_counts_are_consistent(
+        pairs in proptest::collection::vec((0.1f64..10.0, 0.1f64..10.0), 0..80)
+    ) {
+        // Force best <= chosen by sorting the pair.
+        let pairs: Vec<(f64, f64)> = pairs
+            .into_iter()
+            .map(|(a, b)| (a.max(b), a.min(b)))
+            .collect();
+        let t = SlowdownTable::tally(&pairs, 1e-9);
+        prop_assert_eq!(t.none + t.above_1x, pairs.len());
+        prop_assert!(t.above_1x >= t.above_1_2x);
+        prop_assert!(t.above_1_2x >= t.above_1_5x);
+        prop_assert!(t.above_1_5x >= t.above_2x);
+    }
+
+    #[test]
+    fn tree_classifier_predictions_stay_in_range(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 2..=2), 4..60
+        ),
+        seed in 0u64..10
+    ) {
+        let y: Vec<usize> = (0..rows.len()).map(|i| (i as u64 + seed) as usize % 3).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let mut t = DecisionTreeClassifier::new(TreeParams::default());
+        t.fit(&x, &y, 3);
+        for p in t.predict(&x) {
+            prop_assert!(p < 3);
+        }
+    }
+
+    #[test]
+    fn tree_regressor_interpolates_within_target_range(
+        targets in proptest::collection::vec(-50.0f64..50.0, 4..60)
+    ) {
+        let rows: Vec<Vec<f64>> = (0..targets.len()).map(|i| vec![i as f64]).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let mut t = DecisionTreeRegressor::new(TreeParams::default());
+        t.fit(&x, &targets);
+        let lo = targets.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = targets.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for i in 0..targets.len() {
+            let p = t.predict_one(&[i as f64]);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "prediction {p} outside [{lo}, {hi}]");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Corpus explorer: sample the SuiteSparse-shaped synthetic suite, print
+//! its Table-I-style census, and show which format wins each structural
+//! family on both GPUs — the "no single format wins" observation (§III)
+//! that motivates the whole paper.
+//!
+//! Run with: `cargo run --release --example corpus_explorer`
+
+use std::collections::BTreeMap;
+
+use spmv_core::{Env, LabeledCorpus};
+use spmv_corpus::{bucket_labels, CorpusScale, SyntheticSuite};
+use spmv_features::FeatureId;
+use spmv_gpusim::Simulator;
+use spmv_matrix::Format;
+
+fn main() {
+    let suite = SyntheticSuite::sample(CorpusScale::Tiny, 2024);
+    println!("sampled {} matrices; labeling...", suite.len());
+    let corpus = LabeledCorpus::collect(&suite, &Simulator::default(), 4);
+
+    // Census (Table I shape).
+    println!("\n{:<10} {:>6} {:>10} {:>10} {:>10} {:>9} {:>10}",
+        "nnz range", "count", "avg rows", "avg cols", "density%", "nnz_mu", "nnz_sigma");
+    for (bi, label) in bucket_labels().iter().enumerate() {
+        let members: Vec<_> = corpus.records.iter().filter(|r| r.bucket == bi).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let n = members.len() as f64;
+        let avg = |id: FeatureId| members.iter().map(|r| r.features.get(id)).sum::<f64>() / n;
+        println!(
+            "{:<10} {:>6} {:>10.0} {:>10.0} {:>10.2} {:>9.1} {:>10.1}",
+            label,
+            members.len(),
+            avg(FeatureId::NRows),
+            avg(FeatureId::NCols),
+            avg(FeatureId::NnzFrac),
+            avg(FeatureId::NnzMu),
+            avg(FeatureId::NnzSigma),
+        );
+    }
+
+    // Winner census per family and environment.
+    for env in [Env::ALL[1], Env::ALL[3]] {
+        println!("\nbest format by family — {}:", env.label());
+        let mut tab: BTreeMap<(String, Format), usize> = BTreeMap::new();
+        for r in corpus.usable(&Format::ALL) {
+            if let Some(best) = r.best_format(env, &Format::ALL) {
+                *tab.entry((r.family.clone(), best)).or_default() += 1;
+            }
+        }
+        let mut by_family: BTreeMap<String, Vec<(Format, usize)>> = BTreeMap::new();
+        for ((fam, fmt), count) in tab {
+            by_family.entry(fam).or_default().push((fmt, count));
+        }
+        for (fam, mut wins) in by_family {
+            wins.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            let cells: Vec<String> = wins.iter().map(|(f, c)| format!("{f}:{c}")).collect();
+            println!("  {:<10} {}", fam, cells.join("  "));
+        }
+    }
+    println!("\nDifferent structures, different winners — hence learned format selection.");
+}

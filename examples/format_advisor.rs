@@ -1,0 +1,64 @@
+//! Format advisor: train the paper's winning pipeline (XGBoost over the
+//! top-7 features) on a synthetic corpus, then ask it to pick storage
+//! formats for unseen matrices of very different structure — and check the
+//! recommendations against the simulator's ground truth.
+//!
+//! Run with: `cargo run --release --example format_advisor`
+
+use spmv_core::{Env, FormatAdvisor, LabeledCorpus, SearchBudget};
+use spmv_corpus::{CorpusScale, GenKind, MatrixSpec, SyntheticSuite};
+use spmv_gpusim::Simulator;
+use spmv_matrix::{CsrMatrix, Format, SparseMatrix};
+
+fn main() {
+    // 1. Label a training corpus (cached after the first run).
+    let suite = SyntheticSuite::sample(CorpusScale::Tiny, 99);
+    println!("labeling {} training matrices...", suite.len());
+    let corpus = LabeledCorpus::collect(&suite, &Simulator::default(), 4);
+
+    // 2. Train the advisor for P100 / double precision.
+    let env = Env { arch_idx: 1, precision: spmv_matrix::Precision::Double };
+    println!("training advisor for {}...", env.label());
+    let advisor = FormatAdvisor::train(&corpus, env, SearchBudget::Quick);
+
+    // 3. Unseen matrices spanning the structural spectrum.
+    let probes: Vec<(&str, GenKind)> = vec![
+        ("regular band", GenKind::Banded { n: 30_000, half_width: 5, fill: 1.0 }),
+        ("2-D stencil", GenKind::Stencil2D { gx: 180, gy: 180 }),
+        ("uniform random", GenKind::Uniform { n_rows: 20_000, n_cols: 20_000, nnz: 150_000 }),
+        ("power-law graph", GenKind::RMat { scale: 14, nnz: 180_000, probs: (0.57, 0.19, 0.19) }),
+        ("skewed rows", GenKind::RowSkew { n_rows: 18_000, n_cols: 18_000, min_len: 2, alpha: 0.9, max_len: 2_000 }),
+    ];
+
+    let sim = Simulator::default();
+    println!("\n{:<16} {:>12} {:>12} {:>14} {:>10}", "matrix", "recommended", "actual best", "rec. time (us)", "slowdown");
+    for (i, (name, kind)) in probes.into_iter().enumerate() {
+        let m: CsrMatrix<f64> = MatrixSpec { name: name.into(), kind, seed: 1000 + i as u64 }.generate();
+        let rec = advisor.recommend(&m);
+
+        // Ground truth from the simulator.
+        let mut best: Option<(Format, f64)> = None;
+        let mut rec_time = f64::NAN;
+        for fmt in Format::ALL {
+            if let Ok(sm) = SparseMatrix::from_csr(&m, fmt) {
+                let t = sim.measure(&sm, env.arch(), env.precision, 5).time_s;
+                if fmt == rec {
+                    rec_time = t;
+                }
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((fmt, t));
+                }
+            }
+        }
+        let (bf, bt) = best.expect("some format measurable");
+        println!(
+            "{:<16} {:>12} {:>12} {:>14.2} {:>9.2}x",
+            name,
+            rec.label(),
+            bf.label(),
+            rec_time * 1e6,
+            rec_time / bt
+        );
+    }
+    println!("\n(slowdown 1.00x = the advisor picked the true best format)");
+}

@@ -1,0 +1,50 @@
+//! Performance modeling: train the paper's MLP-ensemble time regressor and
+//! compare predicted vs simulator-measured SpMV times on held-out matrices,
+//! reporting the relative mean error (RME) the paper uses (§VI).
+//!
+//! Run with: `cargo run --release --example performance_model`
+
+use spmv_core::{
+    evaluate_regressor, Env, LabeledCorpus, RegModelKind, RegressionTask, SearchBudget,
+};
+use spmv_corpus::{CorpusScale, SyntheticSuite};
+use spmv_features::FeatureSet;
+use spmv_gpusim::Simulator;
+use spmv_matrix::Format;
+
+fn main() {
+    let suite = SyntheticSuite::sample(CorpusScale::Tiny, 123);
+    println!("labeling {} matrices...", suite.len());
+    let corpus = LabeledCorpus::collect(&suite, &Simulator::default(), 4);
+
+    let env = Env { arch_idx: 0, precision: spmv_matrix::Precision::Double };
+    println!("environment: {}\n", env.label());
+
+    // Combined model over all six formats (features + format one-hot).
+    let task = RegressionTask::build(&corpus, env, &Format::ALL, FeatureSet::Set123);
+    println!(
+        "regression task: {} samples ({} matrices x 6 formats)",
+        task.len(),
+        task.n_records()
+    );
+
+    for kind in RegModelKind::ALL {
+        let out = evaluate_regressor(kind, &task, 7, SearchBudget::Quick);
+        println!("\n{}: overall RME = {:.1}%", kind.label(), out.rme * 100.0);
+        for (fmt, rme) in Format::ALL.iter().zip(&out.per_format_rme) {
+            println!("  {:<10} RME = {:.1}%", fmt.label(), rme * 100.0);
+        }
+        // Show a few example predictions.
+        if kind == RegModelKind::MlpEnsemble {
+            println!("\n  sample predictions (us):  predicted  measured");
+            for i in (0..out.predictions.len()).step_by(out.predictions.len() / 5 + 1) {
+                println!(
+                    "    {:>20.2}  {:>9.2}",
+                    out.predictions[i] * 1e6,
+                    out.measured[i] * 1e6
+                );
+            }
+        }
+    }
+    println!("\nThe ensemble should match or beat the single MLP (paper Fig. 6).");
+}

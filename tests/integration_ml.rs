@@ -1,0 +1,92 @@
+//! Cross-crate integration: the ML stack trained on real (simulated) label
+//! data — not toy blobs — reproduces the paper's qualitative findings on a
+//! tiny corpus: structure features beat O(1) features, and every model
+//! family clears the majority-class baseline.
+
+use spmv_core::{
+    evaluate_classifier, evaluate_regressor, ClassificationTask, Env, LabeledCorpus, ModelKind,
+    RegModelKind, RegressionTask, SearchBudget,
+};
+use spmv_corpus::{CorpusScale, SyntheticSuite};
+use spmv_features::FeatureSet;
+use spmv_gpusim::Simulator;
+use spmv_matrix::Format;
+
+fn corpus() -> LabeledCorpus {
+    let suite = SyntheticSuite::sample(CorpusScale::Tiny, 2718);
+    LabeledCorpus::collect(&suite, &Simulator::default(), 4)
+}
+
+#[test]
+fn structure_features_add_information_over_o1_features() {
+    let corpus = corpus();
+    let env = Env::ALL[1]; // K80c double
+    let t1 = ClassificationTask::build(&corpus, env, &Format::BASIC, FeatureSet::Set1, false);
+    let t12 = ClassificationTask::build(&corpus, env, &Format::BASIC, FeatureSet::Set12, false);
+    // Average over a few split seeds to damp small-sample noise.
+    let avg = |task: &ClassificationTask| -> f64 {
+        [1u64, 2, 3]
+            .iter()
+            .map(|&s| evaluate_classifier(ModelKind::Xgboost, task, s, SearchBudget::Quick).accuracy)
+            .sum::<f64>()
+            / 3.0
+    };
+    let a1 = avg(&t1);
+    let a12 = avg(&t12);
+    assert!(
+        a12 + 0.02 >= a1,
+        "richer features should not hurt: set1 {a1:.2} vs set12 {a12:.2}"
+    );
+}
+
+#[test]
+fn all_model_families_beat_majority_class() {
+    let corpus = corpus();
+    let env = Env::ALL[3]; // P100 double
+    let task = ClassificationTask::build(&corpus, env, &Format::ALL, FeatureSet::Set12, true);
+    let hist = task.class_histogram();
+    let majority = *hist.iter().max().expect("non-empty") as f64 / task.len() as f64;
+    for kind in ModelKind::ALL {
+        let acc = evaluate_classifier(kind, &task, 9, SearchBudget::Quick).accuracy;
+        assert!(
+            acc > majority - 0.15,
+            "{}: {acc:.2} far below majority {majority:.2}",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn regression_rme_is_far_below_trivial_predictor() {
+    let corpus = corpus();
+    let env = Env::ALL[0];
+    let task = RegressionTask::build(&corpus, env, &Format::ALL, FeatureSet::Set123);
+    let out = evaluate_regressor(RegModelKind::MlpEnsemble, &task, 11, SearchBudget::Quick);
+    // Trivial predictor: the global mean time. Its RME on a corpus spanning
+    // orders of magnitude is enormous (>> 1).
+    let mean = task.y.iter().sum::<f64>() / task.y.len() as f64;
+    let trivial: f64 = out
+        .measured
+        .iter()
+        .map(|m| (mean - m).abs() / m)
+        .sum::<f64>()
+        / out.measured.len() as f64;
+    assert!(
+        out.rme < 0.5 * trivial,
+        "model RME {:.2} not far below trivial {:.2}",
+        out.rme,
+        trivial
+    );
+}
+
+#[test]
+fn labels_are_stable_across_collection_runs() {
+    let suite = SyntheticSuite::sample(CorpusScale::Tiny, 555);
+    let a = LabeledCorpus::collect(&suite, &Simulator::default(), 1);
+    let b = LabeledCorpus::collect(&suite, &Simulator::default(), 3);
+    assert_eq!(a.records.len(), b.records.len());
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.times, rb.times, "{}", ra.name);
+        assert_eq!(ra.features, rb.features);
+    }
+}

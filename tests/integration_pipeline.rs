@@ -1,0 +1,99 @@
+//! End-to-end pipeline integration: corpus → labels → experiments →
+//! rendered artifacts, plus the public `FormatAdvisor` façade, at Tiny
+//! scale.
+
+use spmv_core::experiments::{
+    accuracy_table, classification_tables, fig2, fig6, importance_figure, slowdown_table, table1,
+    table14, ExperimentConfig,
+};
+use spmv_core::{Env, FormatAdvisor, LabeledCorpus, ModelKind, SearchBudget};
+use spmv_corpus::{CorpusScale, GenKind, MatrixSpec, SyntheticSuite};
+use spmv_features::FeatureSet;
+use spmv_gpusim::Simulator;
+use spmv_matrix::{CsrMatrix, Format, Precision};
+
+fn tiny_corpus() -> LabeledCorpus {
+    let suite = SyntheticSuite::sample(CorpusScale::Tiny, 20180801);
+    LabeledCorpus::collect(&suite, &Simulator::default(), 4)
+}
+
+#[test]
+fn experiment_artifacts_render_end_to_end() {
+    let corpus = tiny_corpus();
+    let cfg = ExperimentConfig::tiny();
+
+    let t1 = table1(&corpus);
+    assert!(t1.body.contains("nnz range"));
+
+    let t4 = accuracy_table(
+        "table4",
+        "Table IV (tiny)",
+        &corpus,
+        &Format::BASIC,
+        FeatureSet::Set1,
+        &cfg,
+    );
+    assert!(t4.body.contains("XGBST"));
+    assert!(t4.body.contains('%'));
+
+    let f2 = fig2();
+    assert!(f2.body.contains("CSR5"));
+
+    let f4 = importance_figure("fig4", &corpus, Precision::Single, &cfg);
+    assert!(f4.body.contains("nnz_tot"));
+
+    let sd = slowdown_table("table13", ModelKind::DecisionTree, &corpus, &cfg);
+    assert!(sd.body.contains("no slowdown"));
+}
+
+#[test]
+fn regression_and_indirect_artifacts_render() {
+    let corpus = tiny_corpus();
+    let cfg = ExperimentConfig::tiny();
+    let f6 = fig6(&corpus, &cfg);
+    assert!(f6.body.contains("MLP regressor"));
+    assert!(f6.body.contains("K80c"));
+    let t14 = table14(&corpus, &cfg);
+    assert!(t14.body.contains("5% tol."));
+}
+
+#[test]
+fn full_classification_table_set_has_seven_tables() {
+    let corpus = tiny_corpus();
+    let cfg = ExperimentConfig::tiny();
+    let tables = classification_tables(&corpus, &cfg);
+    let ids: Vec<&str> = tables.iter().map(|t| t.id).collect();
+    assert_eq!(
+        ids,
+        vec!["table4", "table5", "table6", "table7", "table8", "table9", "table10"]
+    );
+    for t in &tables {
+        // Four environment rows in each.
+        assert_eq!(t.body.matches("K80c").count(), 2, "{}", t.id);
+        assert_eq!(t.body.matches("P100").count(), 2, "{}", t.id);
+    }
+}
+
+#[test]
+fn advisor_end_to_end_recommends_sensibly() {
+    let corpus = tiny_corpus();
+    let env = Env::ALL[1];
+    let advisor = FormatAdvisor::train(&corpus, env, SearchBudget::Quick);
+
+    // A strongly regular matrix: the recommendation should be one of the
+    // formats that actually handles regular structure well (not COO).
+    let regular: CsrMatrix<f64> = MatrixSpec {
+        name: "probe".into(),
+        kind: GenKind::Stencil2D { gx: 120, gy: 120 },
+        seed: 77,
+    }
+    .generate();
+    let rec = advisor.recommend(&regular);
+    assert_ne!(rec, Format::Coo, "COO almost never wins (paper V-A)");
+
+    // Predicted times must rank the recommendation near the top quarter.
+    let times = advisor.predict_times(&regular);
+    assert_eq!(times.len(), 6);
+    let pos = times.iter().position(|(f, _)| *f == advisor.recommend_by_time(&regular));
+    assert_eq!(pos, Some(0));
+}
