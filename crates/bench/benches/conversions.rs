@@ -9,7 +9,11 @@ use spmv_matrix::{CsrMatrix, Format, SparseMatrix};
 fn bench_conversions(c: &mut Criterion) {
     let csr: CsrMatrix<f64> = MatrixSpec {
         name: "uniform".into(),
-        kind: GenKind::Uniform { n_rows: 30_000, n_cols: 30_000, nnz: 240_000 },
+        kind: GenKind::Uniform {
+            n_rows: 30_000,
+            n_cols: 30_000,
+            nnz: 240_000,
+        },
         seed: 3,
     }
     .generate();

@@ -32,10 +32,30 @@ fn bench_extract(c: &mut Criterion) {
     // matrix (long runs) with a scattered one (every entry its own run).
     let mut group = c.benchmark_group("feature_extraction_structure");
     for (label, kind) in [
-        ("clustered", GenKind::Clustered { n_rows: 20_000, n_cols: 20_000, runs: 2, run_len: 10 }),
-        ("scattered", GenKind::Uniform { n_rows: 20_000, n_cols: 20_000, nnz: 400_000 }),
+        (
+            "clustered",
+            GenKind::Clustered {
+                n_rows: 20_000,
+                n_cols: 20_000,
+                runs: 2,
+                run_len: 10,
+            },
+        ),
+        (
+            "scattered",
+            GenKind::Uniform {
+                n_rows: 20_000,
+                n_cols: 20_000,
+                nnz: 400_000,
+            },
+        ),
     ] {
-        let csr: CsrMatrix<f64> = MatrixSpec { name: label.into(), kind, seed: 10 }.generate();
+        let csr: CsrMatrix<f64> = MatrixSpec {
+            name: label.into(),
+            kind,
+            seed: 10,
+        }
+        .generate();
         group.throughput(Throughput::Elements(csr.nnz() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(label), &csr, |b, m| {
             b.iter(|| extract(m));

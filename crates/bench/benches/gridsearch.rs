@@ -1,0 +1,125 @@
+//! Criterion bench: the parallel deterministic training engine.
+//!
+//! Two dimensions, matching EXPERIMENTS.md's before/after numbers:
+//! - grid-search CV throughput at 1, 2, and all-core thread budgets (the
+//!   (candidate x fold) cells are independent and run on the executor);
+//! - `GbtClassifier::fit` with exact-greedy vs histogram split finding —
+//!   the algorithmic speedup that holds even on one core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spmv_ml::{
+    grid_search_classifier, thread_budget, Classifier, DecisionTreeClassifier, Executor,
+    FeatureMatrix, GbtClassifier, GbtParams, SplitMethod, TreeParams,
+};
+
+/// Synthetic 17-feature, 6-class dataset shaped like the format-selection
+/// task (same generator as the ml_models bench).
+fn dataset(n: usize) -> (FeatureMatrix, Vec<usize>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut r: Vec<f64> = (0..17).map(|_| rng.gen::<f64>() * 10.0).collect();
+        let class = ((r[0] + r[5] * 2.0 + r[12]) as usize) % 6;
+        r[3] += class as f64; // leak a signal
+        rows.push(r);
+        y.push(class);
+    }
+    (FeatureMatrix::from_rows(&rows), y)
+}
+
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, thread_budget(None)];
+    counts.dedup();
+    counts
+}
+
+/// 5-fold CV over a 6-point depth grid — 30 independent training cells.
+fn bench_grid_search(c: &mut Criterion) {
+    let (x, y) = dataset(400);
+    let grid: Vec<usize> = vec![2, 4, 6, 8, 12, 16];
+    let mut group = c.benchmark_group("grid_search_cv_dt_400x17");
+    group.sample_size(10);
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads_{threads}")),
+            &threads,
+            |b, &t| {
+                let exec = Executor::new(t);
+                b.iter(|| {
+                    grid_search_classifier(
+                        &exec,
+                        &grid,
+                        |&d| {
+                            DecisionTreeClassifier::new(TreeParams {
+                                max_depth: d,
+                                ..TreeParams::default()
+                            })
+                        },
+                        &x,
+                        &y,
+                        6,
+                        5,
+                        42,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// One boosted-classifier fit: exact-greedy vs histogram split finding,
+/// and the per-class-tree parallel path at each thread budget.
+fn bench_gbt_fit(c: &mut Criterion) {
+    let (x, y) = dataset(600);
+    let mut group = c.benchmark_group("gbt_fit_600x17");
+    group.sample_size(10);
+    for (name, method) in [
+        ("exact", SplitMethod::Exact),
+        ("hist_256", SplitMethod::Hist { max_bins: 256 }),
+        ("hist_64", SplitMethod::Hist { max_bins: 64 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = GbtClassifier::new(GbtParams {
+                    n_estimators: 40,
+                    max_depth: 6,
+                    split_method: method,
+                    ..GbtParams::default()
+                });
+                m.fit(&x, &y, 6);
+                m
+            })
+        });
+    }
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("hist_256_threads_{threads}")),
+            &threads,
+            |b, &t| {
+                let exec = Executor::new(t);
+                b.iter(|| {
+                    let mut m = GbtClassifier::new(GbtParams {
+                        n_estimators: 40,
+                        max_depth: 6,
+                        ..GbtParams::default()
+                    });
+                    m.fit_with(&exec, &x, &y, 6);
+                    m
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_grid_search, bench_gbt_fit
+}
+criterion_main!(benches);

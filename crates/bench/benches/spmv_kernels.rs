@@ -13,7 +13,11 @@ fn matrices() -> Vec<(&'static str, CsrMatrix<f64>)> {
             "banded_200k",
             MatrixSpec {
                 name: "banded".into(),
-                kind: GenKind::Banded { n: 20_000, half_width: 5, fill: 1.0 },
+                kind: GenKind::Banded {
+                    n: 20_000,
+                    half_width: 5,
+                    fill: 1.0,
+                },
                 seed: 1,
             }
             .generate(),
@@ -22,7 +26,11 @@ fn matrices() -> Vec<(&'static str, CsrMatrix<f64>)> {
             "rmat_200k",
             MatrixSpec {
                 name: "rmat".into(),
-                kind: GenKind::RMat { scale: 14, nnz: 200_000, probs: (0.57, 0.19, 0.19) },
+                kind: GenKind::RMat {
+                    scale: 14,
+                    nnz: 200_000,
+                    probs: (0.57, 0.19, 0.19),
+                },
                 seed: 2,
             }
             .generate(),

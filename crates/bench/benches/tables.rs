@@ -9,11 +9,11 @@ use std::path::Path;
 use std::time::Instant;
 
 use spmv_core::ablation::ablations;
-use spmv_core::extensions::extensions;
 use spmv_core::experiments::{
     classification_tables, fig2, fig3, fig6, fig7, importance_figure, sec5a, slowdown_table,
     table1, table14, ExperimentConfig,
 };
+use spmv_core::extensions::extensions;
 use spmv_core::ModelKind;
 use spmv_matrix::Precision;
 
@@ -49,7 +49,12 @@ fn main() {
     results.push(importance_figure("fig4", &corpus, Precision::Single, &cfg));
     results.push(importance_figure("fig5", &corpus, Precision::Double, &cfg));
     results.push(slowdown_table("table11", ModelKind::Svm, &corpus, &cfg));
-    results.push(slowdown_table("table12", ModelKind::MlpEnsemble, &corpus, &cfg));
+    results.push(slowdown_table(
+        "table12",
+        ModelKind::MlpEnsemble,
+        &corpus,
+        &cfg,
+    ));
     results.push(slowdown_table("table13", ModelKind::Xgboost, &corpus, &cfg));
     results.push(fig6(&corpus, &cfg));
     results.push(fig7(&corpus, &cfg));

@@ -25,11 +25,23 @@ fn main() {
         }
         margins.sort_by(|a, b| a.total_cmp(b));
         let q = |p: f64| margins[(p * (margins.len() - 1) as f64) as usize];
-        println!("{}: wins {:?}", env.label(), Format::ALL.iter().zip(&wins).map(|(f, w)| format!("{f}:{w}")).collect::<Vec<_>>());
-        println!("  runner-up margin: p25={:.1}% p50={:.1}% p75={:.1}%  <1%: {:.0}%  <3%: {:.0}%",
-            q(0.25)*100.0, q(0.5)*100.0, q(0.75)*100.0,
+        println!(
+            "{}: wins {:?}",
+            env.label(),
+            Format::ALL
+                .iter()
+                .zip(&wins)
+                .map(|(f, w)| format!("{f}:{w}"))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "  runner-up margin: p25={:.1}% p50={:.1}% p75={:.1}%  <1%: {:.0}%  <3%: {:.0}%",
+            q(0.25) * 100.0,
+            q(0.5) * 100.0,
+            q(0.75) * 100.0,
             margins.iter().filter(|&&m| m < 0.01).count() as f64 / margins.len() as f64 * 100.0,
-            margins.iter().filter(|&&m| m < 0.03).count() as f64 / margins.len() as f64 * 100.0);
+            margins.iter().filter(|&&m| m < 0.03).count() as f64 / margins.len() as f64 * 100.0
+        );
         // 3-format (ELL/CSR/HYB) study distribution.
         let mut wins3 = [0usize; 3];
         for r in corpus.usable(&Format::BASIC) {
@@ -37,12 +49,19 @@ fn main() {
             let best = Format::BASIC
                 .iter()
                 .enumerate()
-                .min_by(|a, b| ts[a.1.class_id()].unwrap().total_cmp(&ts[b.1.class_id()].unwrap()))
+                .min_by(|a, b| {
+                    ts[a.1.class_id()]
+                        .unwrap()
+                        .total_cmp(&ts[b.1.class_id()].unwrap())
+                })
                 .map(|(i, _)| i)
                 .unwrap();
             wins3[best] += 1;
         }
-        println!("  3-format wins: ELL:{} CSR:{} HYB:{}", wins3[0], wins3[1], wins3[2]);
+        println!(
+            "  3-format wins: ELL:{} CSR:{} HYB:{}",
+            wins3[0], wins3[1], wins3[2]
+        );
         if env.arch_idx == 0 && env.precision == spmv_matrix::Precision::Double {
             // Family x winner cross-tab plus HYB's median gap to the winner.
             use std::collections::BTreeMap;
@@ -51,13 +70,21 @@ fn main() {
             for r in corpus.usable(&Format::BASIC) {
                 let ts = r.env_times(env);
                 let t = |f: Format| ts[f.class_id()].unwrap();
-                let best = Format::BASIC.iter().copied().min_by(|a, b| t(*a).total_cmp(&t(*b))).unwrap();
+                let best = Format::BASIC
+                    .iter()
+                    .copied()
+                    .min_by(|a, b| t(*a).total_cmp(&t(*b)))
+                    .unwrap();
                 *tab.entry((r.family.clone(), best.label())).or_default() += 1;
                 let bt = t(best);
                 hyb_gap.push(t(Format::Hyb) / bt - 1.0);
             }
             hyb_gap.sort_by(|a, b| a.total_cmp(b));
-            println!("  HYB gap to winner: p10={:.1}% p50={:.1}%", hyb_gap[hyb_gap.len()/10]*100.0, hyb_gap[hyb_gap.len()/2]*100.0);
+            println!(
+                "  HYB gap to winner: p10={:.1}% p50={:.1}%",
+                hyb_gap[hyb_gap.len() / 10] * 100.0,
+                hyb_gap[hyb_gap.len() / 2] * 100.0
+            );
             for ((fam, w), c) in &tab {
                 println!("    {fam:<10} -> {w:<4} x{c}");
             }

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! Usage:
-//!   repro [--tiny | --quick | --full] [ids...]
+//!   repro [--tiny | --quick | --full] [--threads N] [ids...]
 //!
 //! With no ids, all experiments run. Artifacts are written to
 //! `results/<id>.txt` and echoed to stdout. The labeled corpus is cached in
@@ -11,17 +11,21 @@
 //! matrices), `--full` (2299 matrices — the paper's corpus size). All use
 //! pruned hyper-parameter grids unless `--paper-grids` adds the paper's
 //! exhaustive §IV-D grids (hours of CPU time).
+//!
+//! `--threads N` caps the worker threads used for label collection and the
+//! experiment-cell sweeps (default: the `SPMV_THREADS` environment
+//! variable, else all cores). Results are byte-identical at any setting.
 
 use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
 
 use spmv_core::ablation::ablations;
-use spmv_core::extensions::extensions;
 use spmv_core::experiments::{
     classification_tables, fig2, fig3, fig6, fig7, importance_figure, sec5a, slowdown_table,
     table1, table14, ExperimentConfig, ExperimentResult,
 };
+use spmv_core::extensions::extensions;
 use spmv_core::ModelKind;
 use spmv_matrix::Precision;
 
@@ -29,19 +33,34 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ExperimentConfig::quick();
     let mut ids: Vec<String> = Vec::new();
-    for a in &args {
+    let mut threads_flag: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--tiny" => cfg = ExperimentConfig::tiny(),
             "--quick" => cfg = ExperimentConfig::quick(),
             "--full" => cfg = ExperimentConfig::full(),
             "--paper-grids" => cfg = cfg.clone().with_paper_grids(),
+            "--threads" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+                threads_flag = Some(n);
+            }
             "--help" | "-h" => {
-                eprintln!("usage: repro [--tiny|--quick|--full] [--paper-grids] [table1 fig2 fig3 table4..table14 fig4..fig7 ablation ...]");
+                eprintln!("usage: repro [--tiny|--quick|--full] [--paper-grids] [--threads N] [table1 fig2 fig3 table4..table14 fig4..fig7 ablation ...]");
                 return;
             }
             other => ids.push(other.to_string()),
         }
     }
+    // Applied after scale selection: --tiny/--quick/--full replace cfg
+    // wholesale, and the flag must win over SPMV_THREADS and core count.
+    cfg.threads = spmv_ml::thread_budget(threads_flag);
     let want = |id: &str| ids.is_empty() || ids.iter().any(|x| x == id);
 
     // Each scale writes to its own directory so a full-scale run does not
@@ -53,7 +72,10 @@ fn main() {
     };
     std::fs::create_dir_all(outdir).expect("create results dir");
 
-    eprintln!("[repro] collecting/loading labels ({:?} scale)...", cfg.scale);
+    eprintln!(
+        "[repro] collecting/loading labels ({:?} scale, {} threads)...",
+        cfg.scale, cfg.threads
+    );
     let t0 = Instant::now();
     let corpus = cfg.corpus();
     eprintln!(
@@ -98,7 +120,12 @@ fn main() {
         vec![slowdown_table("table11", ModelKind::Svm, &corpus, &cfg)]
     });
     run("table12", &mut || {
-        vec![slowdown_table("table12", ModelKind::MlpEnsemble, &corpus, &cfg)]
+        vec![slowdown_table(
+            "table12",
+            ModelKind::MlpEnsemble,
+            &corpus,
+            &cfg,
+        )]
     });
     run("table13", &mut || {
         vec![slowdown_table("table13", ModelKind::Xgboost, &corpus, &cfg)]

@@ -50,8 +50,13 @@ impl FormatAdvisor {
 
         let rtask = RegressionTask::build(corpus, env, &formats, set);
         let all: Vec<usize> = (0..rtask.len()).collect();
-        let predictor =
-            train_time_predictor(RegModelKind::MlpEnsemble, &rtask, &all, budget, corpus.suite_seed);
+        let predictor = train_time_predictor(
+            RegModelKind::MlpEnsemble,
+            &rtask,
+            &all,
+            budget,
+            corpus.suite_seed,
+        );
 
         FormatAdvisor {
             env,

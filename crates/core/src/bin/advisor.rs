@@ -94,7 +94,12 @@ fn main() -> ExitCode {
     let features = extract(&csr);
     println!("\nfeatures (Table II):");
     for f in FeatureId::ALL {
-        println!("  {:<11} = {:>14.4}   ({})", f.name(), features.get(f), f.describe());
+        println!(
+            "  {:<11} = {:>14.4}   ({})",
+            f.name(),
+            features.get(f),
+            f.describe()
+        );
     }
 
     // 3. Train (cached corpus) and advise.
@@ -102,8 +107,14 @@ fn main() -> ExitCode {
         CorpusScale::Tiny => ExperimentConfig::tiny(),
         _ => ExperimentConfig::quick(),
     };
-    let env = Env { arch_idx, precision };
-    eprintln!("\ntraining advisor for {} (corpus cached under results/)...", env.label());
+    let env = Env {
+        arch_idx,
+        precision,
+    };
+    eprintln!(
+        "\ntraining advisor for {} (corpus cached under results/)...",
+        env.label()
+    );
     let corpus = cfg.corpus();
     let advisor = FormatAdvisor::train(&corpus, env, SearchBudget::Quick);
 
@@ -111,12 +122,19 @@ fn main() -> ExitCode {
     println!("\nrecommended format ({}): {}", env.label(), rec.label());
     println!("\npredicted SpMV times:");
     for (fmt, t) in advisor.predict_times(&csr) {
-        let marker = if fmt == rec { "  <- classifier pick" } else { "" };
+        let marker = if fmt == rec {
+            "  <- classifier pick"
+        } else {
+            ""
+        };
         println!("  {:<10} {:>10.2} us{}", fmt.label(), t * 1e6, marker);
     }
 
     if explain {
-        println!("\nGPU-model breakdown on {} (simulator ground truth):", env.label());
+        println!(
+            "\nGPU-model breakdown on {} (simulator ground truth):",
+            env.label()
+        );
         println!(
             "  {:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  bottleneck",
             "format", "total us", "launch", "compute", "dram", "l2", "atomics"

@@ -3,9 +3,9 @@
 //! hyper-parameters, report held-out accuracy.
 
 use spmv_ml::{
-    grid_search_classifier, stratified_split, Classifier, DecisionTreeClassifier, FeatureMatrix,
-    GbtClassifier, GbtParams, MlpClassifier, MlpParams, StandardScaler, SvmClassifier, SvmParams,
-    TreeParams,
+    grid_search_classifier, stratified_split, Classifier, DecisionTreeClassifier, Executor,
+    FeatureMatrix, GbtClassifier, GbtParams, MlpClassifier, MlpParams, StandardScaler,
+    SvmClassifier, SvmParams, TreeParams,
 };
 
 use crate::dataset::ClassificationTask;
@@ -103,8 +103,10 @@ fn mlp_params(budget: SearchBudget) -> MlpParams {
 }
 
 /// Train `kind` on the task's train split (grid-searched where the paper
-/// grid-searches) and evaluate on the held-out split.
+/// grid-searches) and evaluate on the held-out split. Grid-search CV
+/// cells run on `exec`; results are identical at any thread count.
 pub fn evaluate_classifier(
+    exec: &Executor,
     kind: ModelKind,
     task: &ClassificationTask,
     split_seed: u64,
@@ -126,6 +128,7 @@ pub fn evaluate_classifier(
                 SearchBudget::Paper => vec![4, 8, 16, 32],
             };
             let best = grid_search_classifier(
+                exec,
                 &grid,
                 |&d| {
                     DecisionTreeClassifier::new(TreeParams {
@@ -181,6 +184,7 @@ pub fn evaluate_classifier(
                 }
             };
             let best = grid_search_classifier(
+                exec,
                 &grid,
                 |&(c, gamma)| {
                     SvmClassifier::new(SvmParams {
@@ -244,6 +248,7 @@ pub fn evaluate_classifier(
                 }
             };
             let best = grid_search_classifier(
+                exec,
                 &grid,
                 |&(n, d, lr)| {
                     GbtClassifier::new(GbtParams {
@@ -304,7 +309,13 @@ mod tests {
 
     fn task() -> ClassificationTask {
         let corpus = tiny_labeled_corpus(21);
-        ClassificationTask::build(&corpus, Env::ALL[0], &Format::BASIC, FeatureSet::Set12, false)
+        ClassificationTask::build(
+            &corpus,
+            Env::ALL[0],
+            &Format::BASIC,
+            FeatureSet::Set12,
+            false,
+        )
     }
 
     #[test]
@@ -312,7 +323,7 @@ mod tests {
         let t = task();
         let majority = *t.class_histogram().iter().max().unwrap() as f64 / t.len() as f64;
         for kind in [ModelKind::DecisionTree, ModelKind::Xgboost] {
-            let out = evaluate_classifier(kind, &t, 1, SearchBudget::Quick);
+            let out = evaluate_classifier(&Executor::serial(), kind, &t, 1, SearchBudget::Quick);
             assert!(
                 out.accuracy >= majority * 0.7,
                 "{}: acc {} vs majority {majority}",
@@ -326,7 +337,13 @@ mod tests {
     #[test]
     fn outcome_indices_are_consistent() {
         let t = task();
-        let out = evaluate_classifier(ModelKind::DecisionTree, &t, 3, SearchBudget::Quick);
+        let out = evaluate_classifier(
+            &Executor::serial(),
+            ModelKind::DecisionTree,
+            &t,
+            3,
+            SearchBudget::Quick,
+        );
         for (&i, &truth) in out.test_idx.iter().zip(&out.truth) {
             assert_eq!(t.y[i], truth);
         }
@@ -335,13 +352,8 @@ mod tests {
     #[test]
     fn importance_has_one_entry_per_feature() {
         let corpus = tiny_labeled_corpus(21);
-        let t = ClassificationTask::build(
-            &corpus,
-            Env::ALL[1],
-            &Format::ALL,
-            FeatureSet::Set123,
-            true,
-        );
+        let t =
+            ClassificationTask::build(&corpus, Env::ALL[1], &Format::ALL, FeatureSet::Set123, true);
         let imp = xgboost_importance(&t, 0);
         assert_eq!(imp.len(), 17);
         assert!(imp.iter().sum::<f64>() > 0.0);

@@ -224,12 +224,7 @@ mod tests {
     #[test]
     fn single_format_regression_has_no_one_hot() {
         let corpus = tiny_labeled_corpus(10);
-        let t = RegressionTask::build(
-            &corpus,
-            Env::ALL[0],
-            &[Format::Csr5],
-            FeatureSet::Important,
-        );
+        let t = RegressionTask::build(&corpus, Env::ALL[0], &[Format::Csr5], FeatureSet::Important);
         assert_eq!(t.x.n_cols(), 7);
         assert_eq!(t.len(), t.n_records());
     }
@@ -237,13 +232,8 @@ mod tests {
     #[test]
     fn class_histogram_sums_to_len() {
         let corpus = tiny_labeled_corpus(11);
-        let t = ClassificationTask::build(
-            &corpus,
-            Env::ALL[2],
-            &Format::ALL,
-            FeatureSet::Set123,
-            true,
-        );
+        let t =
+            ClassificationTask::build(&corpus, Env::ALL[2], &Format::ALL, FeatureSet::Set123, true);
         assert_eq!(t.class_histogram().iter().sum::<usize>(), t.len());
     }
 }

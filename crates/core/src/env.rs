@@ -18,10 +18,22 @@ impl Env {
     /// All four environments in the paper's table row order:
     /// K80c single, K80c double, P100 single, P100 double.
     pub const ALL: [Env; 4] = [
-        Env { arch_idx: 0, precision: Precision::Single },
-        Env { arch_idx: 0, precision: Precision::Double },
-        Env { arch_idx: 1, precision: Precision::Single },
-        Env { arch_idx: 1, precision: Precision::Double },
+        Env {
+            arch_idx: 0,
+            precision: Precision::Single,
+        },
+        Env {
+            arch_idx: 0,
+            precision: Precision::Double,
+        },
+        Env {
+            arch_idx: 1,
+            precision: Precision::Single,
+        },
+        Env {
+            arch_idx: 1,
+            precision: Precision::Double,
+        },
     ];
 
     /// The architecture description.

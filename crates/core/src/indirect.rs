@@ -3,7 +3,6 @@
 //! score it with a tolerance: a choice is "correct" if its *actual* time is
 //! within `(1 + tolerance)` of the actual best (0 % tolerance = strict).
 
-
 use crate::classify::SearchBudget;
 use crate::dataset::RegressionTask;
 use crate::regress::{record_split, train_time_predictor, RegModelKind};

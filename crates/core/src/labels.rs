@@ -108,8 +108,7 @@ impl LabeledCorpus {
     /// Label every matrix of `suite`, running `threads` workers.
     pub fn collect(suite: &SyntheticSuite, sim: &Simulator, threads: usize) -> LabeledCorpus {
         let n = suite.specs.len();
-        let results: Vec<Mutex<Option<MatrixRecord>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<MatrixRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let threads = threads.clamp(1, n.max(1));
         crossbeam::scope(|scope| {
@@ -156,8 +155,7 @@ impl LabeledCorpus {
     /// Save as JSON.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), self)
-            .map_err(std::io::Error::other)
+        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
     }
 
     /// Load from JSON.
@@ -233,7 +231,13 @@ mod tests {
         assert_eq!(c.records.len(), suite.len());
         for r in &c.records {
             // CSR/COO/HYB/merge/CSR5 conversions never fail; check present.
-            for &f in &[Format::Coo, Format::Csr, Format::Hyb, Format::MergeCsr, Format::Csr5] {
+            for &f in &[
+                Format::Coo,
+                Format::Csr,
+                Format::Hyb,
+                Format::MergeCsr,
+                Format::Csr5,
+            ] {
                 for env in Env::ALL {
                     assert!(
                         r.env_times(env)[f.class_id()].is_some(),
@@ -306,4 +310,3 @@ mod tests {
         assert_eq!(c.usable(&Format::BASIC).len(), baseline - 1);
     }
 }
-

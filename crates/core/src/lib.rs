@@ -28,9 +28,11 @@ pub use advisor::FormatAdvisor;
 pub use classify::{evaluate_classifier, xgboost_importance, EvalOutcome, ModelKind, SearchBudget};
 pub use dataset::{ClassificationTask, RegressionTask};
 pub use env::Env;
-pub use experiments::{ExperimentConfig, ExperimentResult};
+pub use experiments::{sweep_seed, ExperimentConfig, ExperimentResult};
 pub use extensions::extensions;
 pub use indirect::{evaluate_indirect, IndirectOutcome};
 pub use labels::{measure_matrix, LabeledCorpus, MatrixRecord, N_FORMATS};
-pub use regress::{evaluate_regressor, train_time_predictor, RegModelKind, RegressOutcome, TimePredictor};
+pub use regress::{
+    evaluate_regressor, train_time_predictor, RegModelKind, RegressOutcome, TimePredictor,
+};
 pub use slowdown::slowdown_of;

@@ -144,7 +144,11 @@ pub fn train_time_predictor(
 
 /// Split the task's samples by **matrix** (record), so no matrix appears in
 /// both train and test — the paper's 80/20 split is over matrices.
-pub fn record_split(task: &RegressionTask, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+pub fn record_split(
+    task: &RegressionTask,
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
     let split = spmv_ml::train_test_split(task.n_records(), test_fraction, seed);
     let in_test: std::collections::HashSet<usize> = split.test.iter().copied().collect();
     let mut train = Vec::new();

@@ -14,7 +14,11 @@ pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> Str
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
-    let rule: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let rule: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
     let fmt_row = |cells: &[String]| -> String {
         cells
             .iter()
@@ -43,7 +47,11 @@ pub fn render_bars(title: &str, items: &[(String, f64)], unit: &str) -> String {
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
-    let max = items.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(1e-30);
+    let max = items
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0f64, f64::max)
+        .max(1e-30);
     let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     for (label, v) in items {
         let n = ((v / max) * 50.0).round() as usize;
@@ -92,11 +100,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_max() {
-        let s = render_bars(
-            "Fig",
-            &[("x".into(), 1.0), ("y".into(), 2.0)],
-            "GFLOPS",
-        );
+        let s = render_bars("Fig", &[("x".into(), 1.0), ("y".into(), 2.0)], "GFLOPS");
         let x_hashes = s.lines().nth(1).unwrap().matches('#').count();
         let y_hashes = s.lines().nth(2).unwrap().matches('#').count();
         assert_eq!(y_hashes, 50);

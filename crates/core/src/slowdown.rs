@@ -38,14 +38,15 @@ mod tests {
     #[test]
     fn slowdown_counts_cover_test_set() {
         let corpus = tiny_labeled_corpus(51);
-        let task = ClassificationTask::build(
-            &corpus,
-            Env::ALL[3],
-            &Format::ALL,
-            FeatureSet::Set12,
-            true,
+        let task =
+            ClassificationTask::build(&corpus, Env::ALL[3], &Format::ALL, FeatureSet::Set12, true);
+        let out = evaluate_classifier(
+            &spmv_ml::Executor::serial(),
+            ModelKind::DecisionTree,
+            &task,
+            1,
+            SearchBudget::Quick,
         );
-        let out = evaluate_classifier(ModelKind::DecisionTree, &task, 1, SearchBudget::Quick);
         let t = slowdown_of(&task, &out);
         assert_eq!(t.none + t.above_1x, out.test_idx.len());
         // Buckets are cumulative.

@@ -62,7 +62,11 @@ fn main() -> ExitCode {
 
     let suite = SyntheticSuite::sample(scale, seed);
     let n = suite.len().min(limit);
-    eprintln!("exporting {n} of {} matrices to {}", suite.len(), out.display());
+    eprintln!(
+        "exporting {n} of {} matrices to {}",
+        suite.len(),
+        out.display()
+    );
     for spec in suite.specs.iter().take(n) {
         let csr: CsrMatrix<f64> = spec.generate();
         let path = out.join(format!("{}.mtx", spec.name));

@@ -10,8 +10,8 @@
 
 use rand::distributions::{Distribution, Uniform};
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use spmv_matrix::{CsrMatrix, Scalar, TripletBuilder};
 
@@ -145,10 +145,16 @@ impl MatrixSpec {
     pub fn generate<T: Scalar>(&self) -> CsrMatrix<T> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         match &self.kind {
-            GenKind::Uniform { n_rows, n_cols, nnz } => {
-                uniform(*n_rows, *n_cols, *nnz, &mut rng)
-            }
-            GenKind::Banded { n, half_width, fill } => banded(*n, *half_width, *fill, &mut rng),
+            GenKind::Uniform {
+                n_rows,
+                n_cols,
+                nnz,
+            } => uniform(*n_rows, *n_cols, *nnz, &mut rng),
+            GenKind::Banded {
+                n,
+                half_width,
+                fill,
+            } => banded(*n, *half_width, *fill, &mut rng),
             GenKind::Diagonal { n, offsets } => diagonal(*n, offsets, &mut rng),
             GenKind::Stencil2D { gx, gy } => stencil2d(*gx, *gy),
             GenKind::Stencil3D { gx, gy, gz } => stencil3d(*gx, *gy, *gz),
@@ -181,7 +187,12 @@ fn rand_val<T: Scalar, R: Rng>(rng: &mut R) -> T {
     T::from_f64(rng.gen::<f64>() + 0.5)
 }
 
-fn uniform<T: Scalar, R: Rng>(n_rows: usize, n_cols: usize, nnz: usize, rng: &mut R) -> CsrMatrix<T> {
+fn uniform<T: Scalar, R: Rng>(
+    n_rows: usize,
+    n_cols: usize,
+    nnz: usize,
+    rng: &mut R,
+) -> CsrMatrix<T> {
     let mut b = TripletBuilder::with_capacity(n_rows, n_cols, nnz);
     let rd = Uniform::new(0, n_rows.max(1) as u32);
     let cd = Uniform::new(0, n_cols.max(1) as u32);
@@ -275,7 +286,12 @@ fn stencil3d<T: Scalar>(gx: usize, gy: usize, gz: usize) -> CsrMatrix<T> {
     b.build().to_csr()
 }
 
-fn rmat<T: Scalar, R: Rng>(scale: u32, nnz: usize, probs: (f64, f64, f64), rng: &mut R) -> CsrMatrix<T> {
+fn rmat<T: Scalar, R: Rng>(
+    scale: u32,
+    nnz: usize,
+    probs: (f64, f64, f64),
+    rng: &mut R,
+) -> CsrMatrix<T> {
     let n = 1usize << scale;
     let (a, bb, c) = probs;
     let mut builder = TripletBuilder::with_capacity(n, n, nnz);
@@ -401,8 +417,18 @@ mod tests {
             n_cols: 80,
             nnz: 500,
         };
-        let a: CsrMatrix<f64> = MatrixSpec { name: "a".into(), kind: k.clone(), seed: 1 }.generate();
-        let b: CsrMatrix<f64> = MatrixSpec { name: "b".into(), kind: k, seed: 2 }.generate();
+        let a: CsrMatrix<f64> = MatrixSpec {
+            name: "a".into(),
+            kind: k.clone(),
+            seed: 1,
+        }
+        .generate();
+        let b: CsrMatrix<f64> = MatrixSpec {
+            name: "b".into(),
+            kind: k,
+            seed: 2,
+        }
+        .generate();
         assert_ne!(a, b);
     }
 
@@ -465,7 +491,12 @@ mod tests {
 
     #[test]
     fn stencil3d_interior_degree() {
-        let m: CsrMatrix<f64> = spec(GenKind::Stencil3D { gx: 5, gy: 5, gz: 5 }).generate();
+        let m: CsrMatrix<f64> = spec(GenKind::Stencil3D {
+            gx: 5,
+            gy: 5,
+            gz: 5,
+        })
+        .generate();
         assert_eq!(m.shape(), (125, 125));
         // Center voxel (2,2,2) has all 6 neighbours.
         let center = (2 * 5 + 2) * 5 + 2;
@@ -542,9 +573,13 @@ mod tests {
             "stencil2d"
         );
         assert_eq!(
-            spec(GenKind::RMat { scale: 2, nnz: 4, probs: (0.5, 0.2, 0.2) })
-                .kind
-                .family(),
+            spec(GenKind::RMat {
+                scale: 2,
+                nnz: 4,
+                probs: (0.5, 0.2, 0.2)
+            })
+            .kind
+            .family(),
             "rmat"
         );
     }

@@ -41,14 +41,46 @@ struct Bucket {
 /// Table I's eight buckets. Counts are the paper's; the nnz ranges are the
 /// paper's ranges compressed at the top end (see module docs).
 const BUCKETS: [Bucket; 8] = [
-    Bucket { paper_count: 747, nnz_range: (600, 10_000), label: "0~10,000" },
-    Bucket { paper_count: 508, nnz_range: (10_000, 40_000), label: "10K~50K" },
-    Bucket { paper_count: 209, nnz_range: (40_000, 100_000), label: "50K~100K" },
-    Bucket { paper_count: 362, nnz_range: (100_000, 200_000), label: "100K~500K" },
-    Bucket { paper_count: 147, nnz_range: (200_000, 320_000), label: "500K~1M" },
-    Bucket { paper_count: 208, nnz_range: (320_000, 520_000), label: "1M~5M" },
-    Bucket { paper_count: 109, nnz_range: (520_000, 840_000), label: "5M~50M" },
-    Bucket { paper_count: 9, nnz_range: (840_000, 1_200_000), label: ">50M" },
+    Bucket {
+        paper_count: 747,
+        nnz_range: (600, 10_000),
+        label: "0~10,000",
+    },
+    Bucket {
+        paper_count: 508,
+        nnz_range: (10_000, 40_000),
+        label: "10K~50K",
+    },
+    Bucket {
+        paper_count: 209,
+        nnz_range: (40_000, 100_000),
+        label: "50K~100K",
+    },
+    Bucket {
+        paper_count: 362,
+        nnz_range: (100_000, 200_000),
+        label: "100K~500K",
+    },
+    Bucket {
+        paper_count: 147,
+        nnz_range: (200_000, 320_000),
+        label: "500K~1M",
+    },
+    Bucket {
+        paper_count: 208,
+        nnz_range: (320_000, 520_000),
+        label: "1M~5M",
+    },
+    Bucket {
+        paper_count: 109,
+        nnz_range: (520_000, 840_000),
+        label: "5M~50M",
+    },
+    Bucket {
+        paper_count: 9,
+        nnz_range: (840_000, 1_200_000),
+        label: ">50M",
+    },
 ];
 
 impl CorpusScale {
@@ -100,7 +132,12 @@ impl SyntheticSuite {
             for i in 0..count {
                 let target = rng.gen_range(lo..hi);
                 let kind = sample_kind(target, &mut rng);
-                let name = format!("{}_{}_{}", kind.family(), b.label.replace([' ', '~', ','], ""), i);
+                let name = format!(
+                    "{}_{}_{}",
+                    kind.family(),
+                    b.label.replace([' ', '~', ','], ""),
+                    i
+                );
                 specs.push(MatrixSpec {
                     name,
                     kind,
@@ -139,7 +176,11 @@ fn sample_kind<R: Rng>(nnz: usize, rng: &mut R) -> GenKind {
             let mu = log_uniform(rng, 2.0, 48.0);
             let n = (nnz as f64 / mu).ceil().max(4.0) as usize;
             // occasional rectangular shapes like SuiteSparse has
-            let aspect = if rng.gen_bool(0.2) { rng.gen_range(0.3..3.0) } else { 1.0 };
+            let aspect = if rng.gen_bool(0.2) {
+                rng.gen_range(0.3..3.0)
+            } else {
+                1.0
+            };
             GenKind::Uniform {
                 n_rows: n,
                 n_cols: ((n as f64 * aspect) as usize).max(4),
@@ -151,7 +192,11 @@ fn sample_kind<R: Rng>(nnz: usize, rng: &mut R) -> GenKind {
             let fill = rng.gen_range(0.35..1.0);
             let row_len = fill * (2 * half_width + 1) as f64;
             let n = (nnz as f64 / row_len).ceil().max(4.0) as usize;
-            GenKind::Banded { n, half_width, fill }
+            GenKind::Banded {
+                n,
+                half_width,
+                fill,
+            }
         }
         33..=40 => {
             let d = rng.gen_range(3..15usize);
@@ -168,12 +213,19 @@ fn sample_kind<R: Rng>(nnz: usize, rng: &mut R) -> GenKind {
         41..=48 => {
             let n = (nnz / 5).max(4);
             let gx = (n as f64).sqrt().ceil() as usize;
-            GenKind::Stencil2D { gx: gx.max(2), gy: (n / gx.max(1)).max(2) }
+            GenKind::Stencil2D {
+                gx: gx.max(2),
+                gy: (n / gx.max(1)).max(2),
+            }
         }
         49..=55 => {
             let n = (nnz / 7).max(8);
             let g = (n as f64).cbrt().ceil() as usize;
-            GenKind::Stencil3D { gx: g.max(2), gy: g.max(2), gz: ((n / (g * g).max(1)).max(2)) }
+            GenKind::Stencil3D {
+                gx: g.max(2),
+                gy: g.max(2),
+                gz: ((n / (g * g).max(1)).max(2)),
+            }
         }
         56..=70 => {
             let mu = log_uniform(rng, 4.0, 32.0);

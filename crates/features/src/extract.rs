@@ -99,7 +99,11 @@ pub fn extract<T: Scalar>(m: &CsrMatrix<T>) -> FeatureVector {
     let size_sigma = (size_sum_sq / n_runs_f - size_mu * size_mu).max(0.0).sqrt();
     let cells = (n_rows as f64) * (n_cols as f64);
     // Table I reports density as a percentage; we follow that convention.
-    let density = if cells > 0.0 { 100.0 * nnz as f64 / cells } else { 0.0 };
+    let density = if cells > 0.0 {
+        100.0 * nnz as f64 / cells
+    } else {
+        0.0
+    };
 
     let zero_if_empty = |v: usize| if n_rows == 0 { 0 } else { v };
     let mut values = [0.0; FEATURE_COUNT];

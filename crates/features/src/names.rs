@@ -144,8 +144,8 @@ impl FeatureSet {
         match self {
             FeatureSet::Set1 => &[NRows, NCols, NnzTot, NnzMu, NnzFrac],
             FeatureSet::Set12 => &[
-                NRows, NCols, NnzTot, NnzMu, NnzFrac, NnzMax, NnzSigma, NnzbMu, NnzbSigma,
-                SnzbMu, SnzbSigma,
+                NRows, NCols, NnzTot, NnzMu, NnzFrac, NnzMax, NnzSigma, NnzbMu, NnzbSigma, SnzbMu,
+                SnzbSigma,
             ],
             FeatureSet::Set123 => &FeatureId::ALL,
             // §V-D: top-7 across both machines and precisions.
@@ -204,7 +204,15 @@ mod tests {
             .iter()
             .map(|f| f.name())
             .collect();
-        for expect in ["n_rows", "nnz_max", "nnz_tot", "nnz_sigma", "nnz_frac", "nnzb_tot", "nnz_mu"] {
+        for expect in [
+            "n_rows",
+            "nnz_max",
+            "nnz_tot",
+            "nnz_sigma",
+            "nnz_frac",
+            "nnzb_tot",
+            "nnz_mu",
+        ] {
             assert!(names.contains(&expect), "missing {expect}");
         }
     }

@@ -117,7 +117,10 @@ pub fn cell_seed(matrix_seed: u64, format: Format, arch: &GpuArch, prec: Precisi
     h = h
         .wrapping_mul(0x100000001b3)
         .wrapping_add(format.class_id() as u64);
-    let arch_id = arch.name.bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
+    let arch_id = arch
+        .name
+        .bytes()
+        .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
     h = h.wrapping_mul(0x100000001b3).wrapping_add(arch_id);
     h.wrapping_mul(0x100000001b3)
         .wrapping_add(prec.idx() as u64)

@@ -87,7 +87,9 @@ impl KernelProfile {
     /// Profile the kernel for `matrix` in its current format.
     pub fn of<T: Scalar>(matrix: &SparseMatrix<T>) -> KernelProfile {
         match matrix {
-            SparseMatrix::Coo(m) => profile_coo(m.n_rows(), m.n_cols(), m.col_indices(), m.row_indices()),
+            SparseMatrix::Coo(m) => {
+                profile_coo(m.n_rows(), m.n_cols(), m.col_indices(), m.row_indices())
+            }
             SparseMatrix::Csr(m) => profile_csr(m),
             SparseMatrix::Ell(m) => profile_ell(m),
             SparseMatrix::Hyb(m) => profile_hyb(m),
@@ -537,7 +539,10 @@ mod tests {
         let m = banded(512, 4);
         let p = profile(&m, Format::Ell);
         let per_access = p.gather_tx[0] / ((m.max_row_len() * 512) as f64 / 32.0);
-        assert!(per_access < 6.0, "banded ELL gather too scattered: {per_access}");
+        assert!(
+            per_access < 6.0,
+            "banded ELL gather too scattered: {per_access}"
+        );
     }
 
     #[test]
@@ -560,7 +565,11 @@ mod tests {
     fn hyb_costs_two_launches_and_splits_work() {
         let m = skewed(300, 50);
         let p = profile(&m, Format::Hyb);
-        assert!(p.launches > 2.0, "HYB pays for its extra pass: {}", p.launches);
+        assert!(
+            p.launches > 2.0,
+            "HYB pays for its extra pass: {}",
+            p.launches
+        );
         let ell = profile(&m, Format::Ell);
         assert!(p.lane_work < ell.lane_work, "HYB must avoid ELL's padding");
     }

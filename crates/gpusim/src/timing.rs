@@ -94,8 +94,8 @@ pub fn predict(profile: &KernelProfile, arch: &GpuArch, prec: Precision) -> Time
     // --- serialization terms -----------------------------------------------
     let critical_s = profile.critical_steps * arch.clock_period_s() / arch.ipc_efficiency
         * if double { fp_penalty } else { 1.0 };
-    let atomic_s = profile.atomics * cost::ATOMIC_COLLISION
-        / (arch.atomics_per_clock * arch.clock_mhz * 1e6);
+    let atomic_s =
+        profile.atomics * cost::ATOMIC_COLLISION / (arch.atomics_per_clock * arch.clock_mhz * 1e6);
 
     let launch_s = profile.launches * arch.launch_us * 1e-6;
     // Imperfect overlap: a real kernel never hides its secondary bottlenecks

@@ -36,7 +36,11 @@ fn best(times: &[(Format, f64)]) -> Format {
 }
 
 fn time_of(times: &[(Format, f64)], f: Format) -> f64 {
-    times.iter().find(|(g, _)| *g == f).map(|(_, t)| *t).unwrap_or(f64::INFINITY)
+    times
+        .iter()
+        .find(|(g, _)| *g == f)
+        .map(|(_, t)| *t)
+        .unwrap_or(f64::INFINITY)
 }
 
 fn gen(kind: GenKind, seed: u64) -> CsrMatrix<f64> {
@@ -90,7 +94,10 @@ fn skew_breaks_ell_and_csr_but_not_merge_or_csr5() {
         let ts = times(&m, arch, Precision::Double);
         let winner = best(&ts);
         assert!(
-            matches!(winner, Format::MergeCsr | Format::Csr5 | Format::Hyb | Format::Coo),
+            matches!(
+                winner,
+                Format::MergeCsr | Format::Csr5 | Format::Hyb | Format::Coo
+            ),
             "{}: skewed matrix won by {winner}, times {ts:?}",
             arch.name
         );
@@ -116,7 +123,10 @@ fn power_law_graphs_favor_balanced_formats() {
     let ts = times(&m, &GpuArch::P100, Precision::Double);
     let winner = best(&ts);
     assert!(
-        matches!(winner, Format::MergeCsr | Format::Csr5 | Format::Hyb | Format::Coo),
+        matches!(
+            winner,
+            Format::MergeCsr | Format::Csr5 | Format::Hyb | Format::Coo
+        ),
         "rmat won by {winner}: {ts:?}"
     );
 }
@@ -126,12 +136,50 @@ fn coo_is_stable_but_rarely_best() {
     // Across a diverse set, COO should never be catastrophically slow
     // relative to the winner, yet should win at most rarely.
     let mats: Vec<CsrMatrix<f64>> = vec![
-        gen(GenKind::Banded { n: 20_000, half_width: 4, fill: 1.0 }, 10),
+        gen(
+            GenKind::Banded {
+                n: 20_000,
+                half_width: 4,
+                fill: 1.0,
+            },
+            10,
+        ),
         gen(GenKind::Stencil2D { gx: 150, gy: 150 }, 11),
-        gen(GenKind::Uniform { n_rows: 20_000, n_cols: 20_000, nnz: 160_000 }, 12),
-        gen(GenKind::RMat { scale: 14, nnz: 200_000, probs: (0.57, 0.19, 0.19) }, 13),
-        gen(GenKind::Clustered { n_rows: 10_000, n_cols: 10_000, runs: 3, run_len: 6 }, 14),
-        gen(GenKind::RowSkew { n_rows: 15_000, n_cols: 15_000, min_len: 2, alpha: 1.0, max_len: 2_000 }, 15),
+        gen(
+            GenKind::Uniform {
+                n_rows: 20_000,
+                n_cols: 20_000,
+                nnz: 160_000,
+            },
+            12,
+        ),
+        gen(
+            GenKind::RMat {
+                scale: 14,
+                nnz: 200_000,
+                probs: (0.57, 0.19, 0.19),
+            },
+            13,
+        ),
+        gen(
+            GenKind::Clustered {
+                n_rows: 10_000,
+                n_cols: 10_000,
+                runs: 3,
+                run_len: 6,
+            },
+            14,
+        ),
+        gen(
+            GenKind::RowSkew {
+                n_rows: 15_000,
+                n_cols: 15_000,
+                min_len: 2,
+                alpha: 1.0,
+                max_len: 2_000,
+            },
+            15,
+        ),
     ];
     let mut coo_wins = 0;
     for m in &mats {
@@ -149,14 +197,72 @@ fn coo_is_stable_but_rarely_best() {
 #[test]
 fn no_single_format_wins_everywhere() {
     let mats: Vec<CsrMatrix<f64>> = vec![
-        gen(GenKind::Banded { n: 30_000, half_width: 6, fill: 1.0 }, 20),
-        gen(GenKind::Stencil3D { gx: 30, gy: 30, gz: 30 }, 21),
-        gen(GenKind::Uniform { n_rows: 25_000, n_cols: 25_000, nnz: 250_000 }, 22),
-        gen(GenKind::RMat { scale: 15, nnz: 300_000, probs: (0.57, 0.19, 0.19) }, 23),
-        gen(GenKind::RowSkew { n_rows: 20_000, n_cols: 20_000, min_len: 2, alpha: 0.9, max_len: 3_000 }, 24),
-        gen(GenKind::Block { grid: 1_500, block_size: 8, blocks_per_row: 2 }, 25),
-        gen(GenKind::Diagonal { n: 50_000, offsets: vec![-80, -1, 0, 1, 80] }, 26),
-        gen(GenKind::Clustered { n_rows: 12_000, n_cols: 12_000, runs: 4, run_len: 8 }, 27),
+        gen(
+            GenKind::Banded {
+                n: 30_000,
+                half_width: 6,
+                fill: 1.0,
+            },
+            20,
+        ),
+        gen(
+            GenKind::Stencil3D {
+                gx: 30,
+                gy: 30,
+                gz: 30,
+            },
+            21,
+        ),
+        gen(
+            GenKind::Uniform {
+                n_rows: 25_000,
+                n_cols: 25_000,
+                nnz: 250_000,
+            },
+            22,
+        ),
+        gen(
+            GenKind::RMat {
+                scale: 15,
+                nnz: 300_000,
+                probs: (0.57, 0.19, 0.19),
+            },
+            23,
+        ),
+        gen(
+            GenKind::RowSkew {
+                n_rows: 20_000,
+                n_cols: 20_000,
+                min_len: 2,
+                alpha: 0.9,
+                max_len: 3_000,
+            },
+            24,
+        ),
+        gen(
+            GenKind::Block {
+                grid: 1_500,
+                block_size: 8,
+                blocks_per_row: 2,
+            },
+            25,
+        ),
+        gen(
+            GenKind::Diagonal {
+                n: 50_000,
+                offsets: vec![-80, -1, 0, 1, 80],
+            },
+            26,
+        ),
+        gen(
+            GenKind::Clustered {
+                n_rows: 12_000,
+                n_cols: 12_000,
+                runs: 4,
+                run_len: 8,
+            },
+            27,
+        ),
     ];
     for arch in &GpuArch::PAPER_MACHINES {
         let winners: std::collections::HashSet<Format> = mats
@@ -177,9 +283,22 @@ fn merge_and_csr5_have_low_spread_across_structures() {
     // Fig. 2 / §III: the balanced formats show consistent GFLOPS as a
     // function of nnz. Check: across same-nnz matrices of very different
     // structure, merge-CSR time spread is much smaller than ELL time spread.
-    let regular = gen(GenKind::Banded { n: 25_000, half_width: 5, fill: 1.0 }, 30);
+    let regular = gen(
+        GenKind::Banded {
+            n: 25_000,
+            half_width: 5,
+            fill: 1.0,
+        },
+        30,
+    );
     let irregular = gen(
-        GenKind::RowSkew { n_rows: 40_000, n_cols: 40_000, min_len: 2, alpha: 0.95, max_len: 4_000 },
+        GenKind::RowSkew {
+            n_rows: 40_000,
+            n_cols: 40_000,
+            min_len: 2,
+            alpha: 0.95,
+            max_len: 4_000,
+        },
         31,
     );
     let arch = GpuArch::P100;
@@ -187,9 +306,7 @@ fn merge_and_csr5_have_low_spread_across_structures() {
     let t_irr = times(&irregular, &arch, Precision::Double);
     let nnz_ratio = irregular.nnz() as f64 / regular.nnz() as f64;
 
-    let spread = |f: Format| {
-        (time_of(&t_irr, f) / time_of(&t_reg, f)) / nnz_ratio
-    };
+    let spread = |f: Format| (time_of(&t_irr, f) / time_of(&t_reg, f)) / nnz_ratio;
     let merge_spread = spread(Format::MergeCsr);
     let ell_spread = spread(Format::Ell);
     assert!(
@@ -205,10 +322,18 @@ fn precision_and_machine_shift_absolute_times_not_sanity() {
         for prec in Precision::ALL {
             let ts = times(&m, arch, prec);
             for (f, t) in &ts {
-                assert!(t.is_finite() && *t > 0.0, "{} {prec} {f}: bad time {t}", arch.name);
+                assert!(
+                    t.is_finite() && *t > 0.0,
+                    "{} {prec} {f}: bad time {t}",
+                    arch.name
+                );
                 // SpMV on a 200x200 stencil should take microseconds to
                 // low milliseconds on any of these machines.
-                assert!(*t > 1e-7 && *t < 1e-1, "{} {prec} {f}: implausible {t}", arch.name);
+                assert!(
+                    *t > 1e-7 && *t < 1e-1,
+                    "{} {prec} {f}: implausible {t}",
+                    arch.name
+                );
             }
         }
     }

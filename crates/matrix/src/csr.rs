@@ -286,7 +286,9 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_row_ptr() {
-        assert!(CsrMatrix::<f64>::from_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+        assert!(
+            CsrMatrix::<f64>::from_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err()
+        );
         assert!(
             CsrMatrix::<f64>::from_parts(2, 2, vec![1, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_err()
         );

@@ -246,8 +246,7 @@ impl<T: Scalar> Csr5Matrix<T> {
     /// Storage footprint: CSR's three arrays plus tile metadata.
     pub fn storage_bytes(&self) -> usize {
         let idx = std::mem::size_of::<u32>();
-        (self.row_ptr.len() + self.cols_t.len() + self.tail_cols.len() + self.tile_ptr.len())
-            * idx
+        (self.row_ptr.len() + self.cols_t.len() + self.tail_cols.len() + self.tile_ptr.len()) * idx
             + (self.vals_t.len() + self.tail_vals.len()) * T::BYTES
             + self.bit_flags.len() * std::mem::size_of::<u64>()
             + (self.starts.len() + self.starts_ptr.len()) * idx
@@ -394,7 +393,9 @@ mod tests {
         let mut state = 0x9e3779b97f4a7c15u64;
         for r in 0..n {
             for _ in 0..per_row {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let c = (state >> 33) as usize % m;
                 let v = ((state >> 11) & 0xff) as f64 / 16.0 + 0.5;
                 b.push(r, c, v).unwrap();
@@ -481,7 +482,13 @@ mod tests {
     #[should_panic(expected = "sigma")]
     fn oversized_sigma_panics() {
         let csr = random_csr(4, 4, 2);
-        Csr5Matrix::from_csr_with_config(&csr, Csr5Config { omega: 2, sigma: 65 });
+        Csr5Matrix::from_csr_with_config(
+            &csr,
+            Csr5Config {
+                omega: 2,
+                sigma: 65,
+            },
+        );
     }
 
     #[test]

@@ -148,11 +148,8 @@ impl<T: Scalar> DiaMatrix<T> {
 
     /// Convert back to CSR (dropping filler zeros).
     pub fn to_csr(&self) -> CsrMatrix<T> {
-        let mut b = crate::builder::TripletBuilder::with_capacity(
-            self.n_rows,
-            self.n_cols,
-            self.nnz,
-        );
+        let mut b =
+            crate::builder::TripletBuilder::with_capacity(self.n_rows, self.n_cols, self.nnz);
         for (d, &off) in self.offsets.iter().enumerate() {
             for r in 0..self.n_rows {
                 let c = r as i64 + off;

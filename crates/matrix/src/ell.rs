@@ -234,8 +234,7 @@ mod tests {
         for rp in row_ptr.iter_mut().skip(1) {
             *rp = 100;
         }
-        let c =
-            CsrMatrix::from_parts(n, 200, row_ptr, col_idx, vec![1.0f64; 100]).unwrap();
+        let c = CsrMatrix::from_parts(n, 200, row_ptr, col_idx, vec![1.0f64; 100]).unwrap();
         let err = EllMatrix::from_csr_capped(&c, 1000).unwrap_err();
         assert!(matches!(err, MatrixError::PaddingOverflow { .. }));
         // Generous cap succeeds.

@@ -46,10 +46,7 @@ impl fmt::Display for MatrixError {
                 col,
                 n_rows,
                 n_cols,
-            } => write!(
-                f,
-                "entry ({row}, {col}) outside {n_rows}x{n_cols} matrix"
-            ),
+            } => write!(f, "entry ({row}, {col}) outside {n_rows}x{n_cols} matrix"),
             MatrixError::PaddingOverflow { required, cap } => write!(
                 f,
                 "padded storage of {required} elements exceeds cap of {cap}"

@@ -12,7 +12,9 @@ use crate::scalar::Scalar;
 
 /// The storage formats evaluated by the paper, in its canonical order
 /// (Fig. 3's legend): COO, ELL, CSR, HYB, merge-based CSR, CSR5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Format {
     /// Coordinate list.
     Coo,
@@ -190,8 +192,7 @@ mod tests {
         let mut b = TripletBuilder::new(10, 10);
         for r in 0..10usize {
             for k in 0..=(r % 4) {
-                b.push(r, (r * 3 + k * 2) % 10, (r + k + 1) as f64)
-                    .unwrap();
+                b.push(r, (r * 3 + k * 2) % 10, (r + k + 1) as f64).unwrap();
             }
         }
         b.build().to_csr()

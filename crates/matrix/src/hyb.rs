@@ -62,8 +62,7 @@ impl<T: Scalar> HybMatrix<T> {
         // bounded by n_rows * k and the capped conversion cannot fail.
         let ell = EllMatrix::from_csr_capped(&head_csr, n_rows.saturating_mul(k).max(1))
             .expect("ELL head width bounded by threshold");
-        let coo =
-            CooMatrix::from_sorted_parts(n_rows, n_cols, tail_rows, tail_cols, tail_vals);
+        let coo = CooMatrix::from_sorted_parts(n_rows, n_cols, tail_rows, tail_cols, tail_vals);
 
         Self {
             n_rows,
@@ -138,11 +137,8 @@ impl<T: Scalar> HybMatrix<T> {
 
     /// Convert back to CSR (merging both parts).
     pub fn to_csr(&self) -> CsrMatrix<T> {
-        let mut b = crate::builder::TripletBuilder::with_capacity(
-            self.n_rows,
-            self.n_cols,
-            self.nnz,
-        );
+        let mut b =
+            crate::builder::TripletBuilder::with_capacity(self.n_rows, self.n_cols, self.nnz);
         for (r, c, v) in self.ell.to_csr().to_coo().iter() {
             b.push_unchecked(r as u32, c as u32, v);
         }

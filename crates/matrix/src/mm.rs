@@ -266,7 +266,10 @@ mod tests {
     #[test]
     fn bad_inputs_rejected() {
         assert!(read_matrix_market::<f64, _>("".as_bytes()).is_err());
-        assert!(read_matrix_market::<f64, _>("%%MatrixMarket matrix array real general\n1 1 1\n".as_bytes()).is_err());
+        assert!(read_matrix_market::<f64, _>(
+            "%%MatrixMarket matrix array real general\n1 1 1\n".as_bytes()
+        )
+        .is_err());
         // 0-based index
         let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
         assert!(read_matrix_market::<f64, _>(src.as_bytes()).is_err());
@@ -280,14 +283,8 @@ mod tests {
 
     #[test]
     fn write_read_round_trip() {
-        let m = CooMatrix::<f64>::from_triplets(
-            3,
-            3,
-            &[0, 1, 2],
-            &[2, 0, 1],
-            &[1.25, -3.5, 7.0],
-        )
-        .unwrap();
+        let m = CooMatrix::<f64>::from_triplets(3, 3, &[0, 1, 2], &[2, 0, 1], &[1.25, -3.5, 7.0])
+            .unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&m, &mut buf).unwrap();
         let back: CooMatrix<f64> = read_matrix_market(buf.as_slice()).unwrap();

@@ -244,12 +244,7 @@ pub fn hyb_spmv_parallel<T: Scalar>(m: &HybMatrix<T>, x: &[T], y: &mut [T], thre
 /// Parallel merge-based CSR SpMV: equal merge-path segments per thread,
 /// carry fix-up applied by the caller thread afterwards — exactly the
 /// decomposition of Merrill & Garland.
-pub fn merge_spmv_parallel<T: Scalar>(
-    m: &MergeCsrMatrix<T>,
-    x: &[T],
-    y: &mut [T],
-    threads: usize,
-) {
+pub fn merge_spmv_parallel<T: Scalar>(m: &MergeCsrMatrix<T>, x: &[T], y: &mut [T], threads: usize) {
     assert_eq!(x.len(), m.n_cols(), "x length must equal n_cols");
     assert_eq!(y.len(), m.n_rows(), "y length must equal n_rows");
     let parts = threads.clamp(1, m.merge_items().max(1));
@@ -342,12 +337,7 @@ pub fn csr5_spmv_parallel<T: Scalar>(m: &Csr5Matrix<T>, x: &[T], y: &mut [T], th
         }
     }
     // CSR-ordered tail on the caller thread.
-    for ((&r, &c), &v) in raw
-        .tail_rows
-        .iter()
-        .zip(raw.tail_cols)
-        .zip(raw.tail_vals)
-    {
+    for ((&r, &c), &v) in raw.tail_rows.iter().zip(raw.tail_cols).zip(raw.tail_vals) {
         y[r as usize] += v * x[c as usize];
     }
 }
@@ -378,7 +368,11 @@ mod tests {
             state = state
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            let len = if state.is_multiple_of(17) { avg * 8 } else { (state as usize % (2 * avg)).max(1) };
+            let len = if state.is_multiple_of(17) {
+                avg * 8
+            } else {
+                (state as usize % (2 * avg)).max(1)
+            };
             for _ in 0..len {
                 state = state
                     .wrapping_mul(6364136223846793005)
@@ -392,7 +386,9 @@ mod tests {
     }
 
     fn check_all_formats(csr: &CsrMatrix<f64>, threads: usize) {
-        let x: Vec<f64> = (0..csr.n_cols()).map(|i| ((i * 7 + 3) % 13) as f64 - 6.0).collect();
+        let x: Vec<f64> = (0..csr.n_cols())
+            .map(|i| ((i * 7 + 3) % 13) as f64 - 6.0)
+            .collect();
         let mut expect = vec![0.0; csr.n_rows()];
         csr.spmv(&x, &mut expect);
         for fmt in Format::ALL {

@@ -98,7 +98,9 @@ impl Scalar for f64 {
 }
 
 /// The two precisions evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Precision {
     /// 32-bit IEEE-754 (`float` in the paper's tables).
     Single,

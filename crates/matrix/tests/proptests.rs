@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use spmv_matrix::{
-    merge_path_search, parallel, CsrMatrix, Csr5Config, Csr5Matrix, Format, MergeCsrMatrix,
+    merge_path_search, parallel, Csr5Config, Csr5Matrix, CsrMatrix, Format, MergeCsrMatrix,
     SparseMatrix, TripletBuilder,
 };
 

@@ -26,7 +26,11 @@ impl FeatureMatrix {
             assert_eq!(r.len(), n_cols, "inconsistent row lengths");
             data.extend_from_slice(r);
         }
-        Self { data, n_rows, n_cols }
+        Self {
+            data,
+            n_rows,
+            n_cols,
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -35,7 +39,11 @@ impl FeatureMatrix {
     /// If `data.len() != n_rows * n_cols`.
     pub fn from_flat(data: Vec<f64>, n_rows: usize, n_cols: usize) -> Self {
         assert_eq!(data.len(), n_rows * n_cols, "flat buffer size mismatch");
-        Self { data, n_rows, n_cols }
+        Self {
+            data,
+            n_rows,
+            n_cols,
+        }
     }
 
     /// Number of samples.
@@ -228,7 +236,10 @@ mod tests {
                 assert!(!f.train.contains(&i));
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each sample tested exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each sample tested exactly once"
+        );
     }
 
     #[test]

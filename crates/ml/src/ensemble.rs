@@ -129,9 +129,7 @@ mod tests {
 
     #[test]
     fn ensemble_classifier_works() {
-        let rows: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![i as f64, (i % 7) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i % 7) as f64]).collect();
         let y: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
         let x = FeatureMatrix::from_rows(&rows);
         let mut m = MlpEnsembleClassifier::new(params(), 3);
@@ -167,10 +165,18 @@ mod tests {
             p.seed = p.seed.wrapping_add(0x517c * (k as u64 + 1));
             let mut m = MlpRegressor::new(p);
             m.fit(&x, &y);
-            let e: f64 = m.predict(&x).iter().zip(&y).map(|(p, t)| (p - t).abs()).sum();
+            let e: f64 = m
+                .predict(&x)
+                .iter()
+                .zip(&y)
+                .map(|(p, t)| (p - t).abs())
+                .sum();
             worst = worst.max(e);
         }
-        assert!(ens_err <= worst * 1.05, "ens {ens_err} vs worst member {worst}");
+        assert!(
+            ens_err <= worst * 1.05,
+            "ens {ens_err} vs worst member {worst}"
+        );
     }
 
     #[test]

@@ -134,7 +134,10 @@ impl Classifier for RandomForestClassifier {
         let mut acc = vec![0.0; n_classes];
         for m in &self.members {
             let sub: Vec<f64> = m.features.iter().map(|&f| row[f]).collect();
-            for (a, p) in acc.iter_mut().zip(m.tree.predict_proba_one(&sub, n_classes)) {
+            for (a, p) in acc
+                .iter_mut()
+                .zip(m.tree.predict_proba_one(&sub, n_classes))
+            {
                 *a += p;
             }
         }

@@ -4,11 +4,47 @@
 //! `1/2 [G_L^2/(H_L+lambda) + G_R^2/(H_R+lambda) - G^2/(H+lambda)] - gamma`,
 //! shrinkage, softmax multi-class, and split-count ("F-score") feature
 //! importance — the quantity plotted in the paper's Figs. 4-5.
+//!
+//! Split finding has two interchangeable engines (see [`SplitMethod`]):
+//! the original exact-greedy scan, which re-sorts every node's samples
+//! per feature (`O(n log n)` per feature per node), and the default
+//! histogram engine, which quantile-bins each feature **once per fit**
+//! and scans per-node gradient histograms (`O(n + bins)` per feature per
+//! node). Whenever a feature has at most `max_bins` distinct values the
+//! two engines consider the same candidate partitions in the same order
+//! and grow identical trees.
+//!
+//! The multi-class classifier grows the K trees of one boosting round
+//! from gradients of the *same* softmax snapshot (the canonical XGBoost
+//! round structure), which makes them independent — `fit_with` grows
+//! them in parallel on an [`Executor`] with bit-identical results at any
+//! thread count.
 
 use serde::{Deserialize, Serialize};
 
 use crate::data::FeatureMatrix;
 use crate::model::{Classifier, Regressor};
+use crate::parallel::Executor;
+
+/// How tree growth finds split thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SplitMethod {
+    /// Exact greedy: sort the node's samples per feature and scan every
+    /// boundary between adjacent distinct values.
+    Exact,
+    /// Histogram: quantile-bin each feature once per fit, then find
+    /// splits by scanning per-node histograms of gradient statistics.
+    Hist {
+        /// Maximum number of bins per feature (clamped to at least 2).
+        max_bins: usize,
+    },
+}
+
+impl Default for SplitMethod {
+    fn default() -> Self {
+        SplitMethod::Hist { max_bins: 256 }
+    }
+}
 
 /// Boosting hyper-parameters (the paper grid-searches `n_estimators`,
 /// `max_depth`, and `learning_rate`).
@@ -26,6 +62,11 @@ pub struct GbtParams {
     pub gamma: f64,
     /// Minimum hessian mass per child (XGBoost `min_child_weight`).
     pub min_child_weight: f64,
+    /// Split-finding engine (histogram by default; `Exact` restores the
+    /// pre-histogram behavior). Defaults on deserialization too, so
+    /// parameter sets saved before this field existed load unchanged.
+    #[serde(default)]
+    pub split_method: SplitMethod,
 }
 
 impl Default for GbtParams {
@@ -37,7 +78,72 @@ impl Default for GbtParams {
             lambda: 1.0,
             gamma: 0.0,
             min_child_weight: 1.0,
+            split_method: SplitMethod::default(),
         }
+    }
+}
+
+/// Quantile-binned view of a feature matrix, built once per fit and
+/// shared by every tree of the ensemble.
+///
+/// Per feature: ascending cut values plus a row-major code matrix with
+/// `code = number of cuts < value`, so `value <= cuts[c]` iff
+/// `code <= c` — training partitions and prediction-time threshold
+/// comparisons agree exactly.
+#[derive(Debug, Clone)]
+struct BinnedMatrix {
+    n_features: usize,
+    cuts: Vec<Vec<f64>>,
+    codes: Vec<u16>,
+}
+
+impl BinnedMatrix {
+    fn build(x: &FeatureMatrix, max_bins: usize) -> BinnedMatrix {
+        let max_bins = max_bins.clamp(2, u16::MAX as usize + 1);
+        let n = x.n_rows();
+        let nf = x.n_cols();
+        let mut cuts = Vec::with_capacity(nf);
+        let mut codes = vec![0u16; n * nf];
+        let mut col: Vec<f64> = Vec::with_capacity(n);
+        for f in 0..nf {
+            col.clear();
+            col.extend((0..n).map(|i| x.get(i, f)));
+            col.sort_unstable_by(f64::total_cmp);
+            col.dedup();
+            let d = col.len(); // distinct values, ascending
+            let c: Vec<f64> = if d <= max_bins {
+                // One bin per distinct value: cuts midway between
+                // neighbors, exactly the exact-greedy thresholds.
+                col.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect()
+            } else {
+                // Cuts at evenly spaced ranks of the *distinct* values
+                // (not of the rows), so sparse regions — e.g. the gap
+                // between two clusters — still get a cut. Since d >
+                // max_bins the ranks are strictly increasing, hence so
+                // are the cuts.
+                (1..max_bins)
+                    .map(|b| {
+                        let r = b * d / max_bins;
+                        0.5 * (col[r - 1] + col[r])
+                    })
+                    .collect()
+            };
+            for i in 0..n {
+                let v = x.get(i, f);
+                codes[i * nf + f] = c.partition_point(|&cut| cut < v) as u16;
+            }
+            cuts.push(c);
+        }
+        BinnedMatrix {
+            n_features: nf,
+            cuts,
+            codes,
+        }
+    }
+
+    #[inline]
+    fn code(&self, row: usize, feature: usize) -> usize {
+        self.codes[row * self.n_features + feature] as usize
     }
 }
 
@@ -58,6 +164,29 @@ struct GradTree {
     nodes: Vec<GNode>,
 }
 
+/// The winning split of one node: which feature, the threshold to store
+/// in the tree, and — for the histogram engine — the cut index that
+/// partitions training samples by bin code.
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    bin: Option<usize>,
+    gain: f64,
+}
+
+/// Borrowed context for growing one tree; owns the nodes being built and
+/// this tree's split-count importance (returned to the caller rather
+/// than accumulated into shared state, so trees can grow in parallel).
+struct TreeGrower<'a> {
+    x: &'a FeatureMatrix,
+    g: &'a [f64],
+    h: &'a [f64],
+    params: &'a GbtParams,
+    binned: Option<&'a BinnedMatrix>,
+    nodes: Vec<GNode>,
+    splits_per_feature: Vec<f64>,
+}
+
 impl GradTree {
     fn predict(&self, row: &[f64]) -> f64 {
         let mut n = 0usize;
@@ -68,55 +197,124 @@ impl GradTree {
                     threshold,
                     left,
                     right,
-                } => n = if row[*feature] <= *threshold { *left } else { *right },
+                } => {
+                    n = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    }
+                }
                 GNode::Leaf(w) => return *w,
             }
         }
     }
 
-    /// Fit a tree to gradients/hessians; `splits_per_feature` accumulates
-    /// the F-score importance.
+    /// Fit a tree to gradients/hessians; returns the tree and its own
+    /// split-count ("F-score") importance, one entry per feature.
     fn fit(
         x: &FeatureMatrix,
         g: &[f64],
         h: &[f64],
         params: &GbtParams,
-        splits_per_feature: &mut [f64],
-    ) -> GradTree {
+        binned: Option<&BinnedMatrix>,
+    ) -> (GradTree, Vec<f64>) {
         let idx: Vec<usize> = (0..x.n_rows()).collect();
-        let mut nodes = Vec::new();
-        Self::grow(x, g, h, &idx, 0, params, &mut nodes, splits_per_feature);
-        GradTree { nodes }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn grow(
-        x: &FeatureMatrix,
-        g: &[f64],
-        h: &[f64],
-        idx: &[usize],
-        depth: usize,
-        params: &GbtParams,
-        nodes: &mut Vec<GNode>,
-        splits_per_feature: &mut [f64],
-    ) -> usize {
-        let gsum: f64 = idx.iter().map(|&i| g[i]).sum();
-        let hsum: f64 = idx.iter().map(|&i| h[i]).sum();
-        let leaf_weight = -gsum / (hsum + params.lambda);
-        let make_leaf = |nodes: &mut Vec<GNode>| {
-            nodes.push(GNode::Leaf(leaf_weight));
-            nodes.len() - 1
+        let mut grower = TreeGrower {
+            x,
+            g,
+            h,
+            params,
+            binned,
+            nodes: Vec::new(),
+            splits_per_feature: vec![0.0; x.n_cols()],
         };
-        if depth >= params.max_depth || idx.len() < 2 {
-            return make_leaf(nodes);
+        grower.grow(&idx, 0);
+        (
+            GradTree {
+                nodes: grower.nodes,
+            },
+            grower.splits_per_feature,
+        )
+    }
+}
+
+impl TreeGrower<'_> {
+    fn grow(&mut self, idx: &[usize], depth: usize) -> usize {
+        let gsum: f64 = idx.iter().map(|&i| self.g[i]).sum();
+        let hsum: f64 = idx.iter().map(|&i| self.h[i]).sum();
+        let leaf_weight = -gsum / (hsum + self.params.lambda);
+        if depth >= self.params.max_depth || idx.len() < 2 {
+            self.nodes.push(GNode::Leaf(leaf_weight));
+            return self.nodes.len() - 1;
         }
 
-        let parent_score = gsum * gsum / (hsum + params.lambda);
-        let mut best: Option<(usize, f64, f64)> = None;
+        let best = match self.binned {
+            Some(b) => self.find_split_hist(b, idx, gsum, hsum),
+            None => self.find_split_exact(idx, gsum, hsum),
+        };
+        match best {
+            None => {
+                self.nodes.push(GNode::Leaf(leaf_weight));
+                self.nodes.len() - 1
+            }
+            Some(s) => {
+                self.splits_per_feature[s.feature] += 1.0;
+                let (mut li, mut ri) = (Vec::new(), Vec::new());
+                for &i in idx {
+                    let goes_left = match s.bin {
+                        // Bin codes make the partition exact even when the
+                        // stored threshold is not representable midway.
+                        Some(b) => self.binned.expect("hist split").code(i, s.feature) <= b,
+                        None => self.x.get(i, s.feature) <= s.threshold,
+                    };
+                    if goes_left {
+                        li.push(i);
+                    } else {
+                        ri.push(i);
+                    }
+                }
+                let slot = self.nodes.len();
+                self.nodes.push(GNode::Leaf(0.0));
+                let left = self.grow(&li, depth + 1);
+                let right = self.grow(&ri, depth + 1);
+                self.nodes[slot] = GNode::Split {
+                    feature: s.feature,
+                    threshold: s.threshold,
+                    left,
+                    right,
+                };
+                slot
+            }
+        }
+    }
+
+    /// Gain of a candidate (left, right) partition, or `None` when a
+    /// child violates `min_child_weight`.
+    #[inline]
+    fn gain(&self, gl: f64, hl: f64, gsum: f64, hsum: f64, parent_score: f64) -> Option<f64> {
+        let (gr, hr) = (gsum - gl, hsum - hl);
+        if hl < self.params.min_child_weight || hr < self.params.min_child_weight {
+            return None;
+        }
+        let lambda = self.params.lambda;
+        Some(
+            0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
+                - self.params.gamma,
+        )
+    }
+
+    /// Exact greedy: per feature, sort the node's samples and scan every
+    /// boundary between adjacent distinct values.
+    fn find_split_exact(&self, idx: &[usize], gsum: f64, hsum: f64) -> Option<BestSplit> {
+        let parent_score = gsum * gsum / (hsum + self.params.lambda);
+        let mut best: Option<BestSplit> = None;
         let mut pairs: Vec<(f64, f64, f64)> = Vec::with_capacity(idx.len());
-        for f in 0..x.n_cols() {
+        for f in 0..self.x.n_cols() {
             pairs.clear();
-            pairs.extend(idx.iter().map(|&i| (x.get(i, f), g[i], h[i])));
+            pairs.extend(
+                idx.iter()
+                    .map(|&i| (self.x.get(i, f), self.g[i], self.h[i])),
+            );
             pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
             let (mut gl, mut hl) = (0.0f64, 0.0f64);
             for k in 0..pairs.len() - 1 {
@@ -125,44 +323,74 @@ impl GradTree {
                 if pairs[k].0 == pairs[k + 1].0 {
                     continue;
                 }
-                let (gr, hr) = (gsum - gl, hsum - hl);
-                if hl < params.min_child_weight || hr < params.min_child_weight {
+                let Some(gain) = self.gain(gl, hl, gsum, hsum, parent_score) else {
                     continue;
-                }
-                let gain = 0.5
-                    * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
-                        - parent_score)
-                    - params.gamma;
-                if gain > 1e-12 && best.is_none_or(|(_, _, bg)| gain > bg) {
-                    best = Some((f, 0.5 * (pairs[k].0 + pairs[k + 1].0), gain));
-                }
-            }
-        }
-        match best {
-            None => make_leaf(nodes),
-            Some((feature, threshold, _)) => {
-                splits_per_feature[feature] += 1.0;
-                let (mut li, mut ri) = (Vec::new(), Vec::new());
-                for &i in idx {
-                    if x.get(i, feature) <= threshold {
-                        li.push(i);
-                    } else {
-                        ri.push(i);
-                    }
-                }
-                let slot = nodes.len();
-                nodes.push(GNode::Leaf(0.0));
-                let left = Self::grow(x, g, h, &li, depth + 1, params, nodes, splits_per_feature);
-                let right = Self::grow(x, g, h, &ri, depth + 1, params, nodes, splits_per_feature);
-                nodes[slot] = GNode::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
                 };
-                slot
+                if gain > 1e-12 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                    best = Some(BestSplit {
+                        feature: f,
+                        threshold: 0.5 * (pairs[k].0 + pairs[k + 1].0),
+                        bin: None,
+                        gain,
+                    });
+                }
             }
         }
+        best
+    }
+
+    /// Histogram engine: accumulate per-bin gradient statistics over the
+    /// node's samples, then scan bin boundaries left to right. Empty bins
+    /// repeat the previous boundary's partition with an equal gain, so
+    /// the strictly-greater comparison keeps candidate order identical to
+    /// the exact scan.
+    fn find_split_hist(
+        &self,
+        binned: &BinnedMatrix,
+        idx: &[usize],
+        gsum: f64,
+        hsum: f64,
+    ) -> Option<BestSplit> {
+        let parent_score = gsum * gsum / (hsum + self.params.lambda);
+        let mut best: Option<BestSplit> = None;
+        let mut hist: Vec<(f64, f64)> = Vec::new();
+        for f in 0..binned.n_features {
+            let cuts = &binned.cuts[f];
+            if cuts.is_empty() {
+                continue; // constant feature
+            }
+            hist.clear();
+            hist.resize(cuts.len() + 1, (0.0, 0.0));
+            for &i in idx {
+                let b = binned.code(i, f);
+                hist[b].0 += self.g[i];
+                hist[b].1 += self.h[i];
+            }
+            let (mut gl, mut hl) = (0.0f64, 0.0f64);
+            for (b, &(gb, hb)) in hist[..cuts.len()].iter().enumerate() {
+                gl += gb;
+                hl += hb;
+                let Some(gain) = self.gain(gl, hl, gsum, hsum, parent_score) else {
+                    continue;
+                };
+                if gain > 1e-12 && best.as_ref().is_none_or(|s| gain > s.gain) {
+                    best = Some(BestSplit {
+                        feature: f,
+                        threshold: cuts[b],
+                        bin: Some(b),
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+fn binned_for(params: &GbtParams, x: &FeatureMatrix) -> Option<BinnedMatrix> {
+    match params.split_method {
+        SplitMethod::Exact => None,
+        SplitMethod::Hist { max_bins } => Some(BinnedMatrix::build(x, max_bins)),
     }
 }
 
@@ -204,6 +432,57 @@ impl GbtClassifier {
         }
         s
     }
+
+    /// Fit with an explicit executor: the K class trees of each boosting
+    /// round grow from the same softmax snapshot, so they are independent
+    /// and run as parallel cells. Scores and importance are merged in
+    /// class order afterwards — the fitted model is bit-identical at any
+    /// thread count.
+    pub fn fit_with(&mut self, exec: &Executor, x: &FeatureMatrix, y: &[usize], n_classes: usize) {
+        assert_eq!(x.n_rows(), y.len());
+        let n = x.n_rows();
+        self.n_classes = n_classes;
+        self.n_features = x.n_cols();
+        self.trees.clear();
+        self.importance = vec![0.0; x.n_cols()];
+        if n == 0 || n_classes == 0 {
+            return;
+        }
+        let binned = binned_for(&self.params, x);
+        // Binary case also uses the softmax formulation for uniformity.
+        let mut scores = vec![0.0f64; n * n_classes];
+        let mut probs = vec![0.0f64; n * n_classes];
+        for _ in 0..self.params.n_estimators {
+            for i in 0..n {
+                softmax(
+                    &scores[i * n_classes..(i + 1) * n_classes],
+                    &mut probs[i * n_classes..(i + 1) * n_classes],
+                );
+            }
+            let fitted: Vec<(GradTree, Vec<f64>)> = exec.map(n_classes, |k| {
+                let mut g = vec![0.0f64; n];
+                let mut h = vec![0.0f64; n];
+                for i in 0..n {
+                    let p = probs[i * n_classes + k];
+                    let target = if y[i] == k { 1.0 } else { 0.0 };
+                    g[i] = p - target;
+                    h[i] = (p * (1.0 - p)).max(1e-6);
+                }
+                GradTree::fit(x, &g, &h, &self.params, binned.as_ref())
+            });
+            let mut round = Vec::with_capacity(n_classes);
+            for (k, (tree, imp)) in fitted.into_iter().enumerate() {
+                for i in 0..n {
+                    scores[i * n_classes + k] += self.params.learning_rate * tree.predict(x.row(i));
+                }
+                for (total, per_tree) in self.importance.iter_mut().zip(&imp) {
+                    *total += per_tree;
+                }
+                round.push(tree);
+            }
+            self.trees.push(round);
+        }
+    }
 }
 
 fn softmax(scores: &[f64], out: &mut [f64]) {
@@ -220,39 +499,7 @@ fn softmax(scores: &[f64], out: &mut [f64]) {
 
 impl Classifier for GbtClassifier {
     fn fit(&mut self, x: &FeatureMatrix, y: &[usize], n_classes: usize) {
-        assert_eq!(x.n_rows(), y.len());
-        let n = x.n_rows();
-        self.n_classes = n_classes;
-        self.n_features = x.n_cols();
-        self.trees.clear();
-        self.importance = vec![0.0; x.n_cols()];
-        if n == 0 || n_classes == 0 {
-            return;
-        }
-        // Binary case also uses the softmax formulation for uniformity.
-        let mut scores = vec![0.0f64; n * n_classes];
-        let mut probs = vec![0.0f64; n_classes];
-        let mut g = vec![0.0f64; n];
-        let mut h = vec![0.0f64; n];
-        for _ in 0..self.params.n_estimators {
-            let mut round = Vec::with_capacity(n_classes);
-            // Compute gradients per class from current scores.
-            for k in 0..n_classes {
-                for i in 0..n {
-                    softmax(&scores[i * n_classes..(i + 1) * n_classes], &mut probs);
-                    let p = probs[k];
-                    let target = if y[i] == k { 1.0 } else { 0.0 };
-                    g[i] = p - target;
-                    h[i] = (p * (1.0 - p)).max(1e-6);
-                }
-                let tree = GradTree::fit(x, &g, &h, &self.params, &mut self.importance);
-                for i in 0..n {
-                    scores[i * n_classes + k] += self.params.learning_rate * tree.predict(x.row(i));
-                }
-                round.push(tree);
-            }
-            self.trees.push(round);
-        }
+        self.fit_with(&Executor::serial(), x, y, n_classes);
     }
 
     fn predict_one(&self, row: &[f64]) -> usize {
@@ -309,6 +556,7 @@ impl Regressor for GbtRegressor {
             self.base = 0.0;
             return;
         }
+        let binned = binned_for(&self.params, x);
         self.base = y.iter().sum::<f64>() / n as f64;
         let mut pred = vec![self.base; n];
         let mut g = vec![0.0f64; n];
@@ -317,7 +565,10 @@ impl Regressor for GbtRegressor {
             for ((gi, &pi), &yi) in g.iter_mut().zip(&pred).zip(y) {
                 *gi = pi - yi;
             }
-            let tree = GradTree::fit(x, &g, &h, &self.params, &mut self.importance);
+            let (tree, imp) = GradTree::fit(x, &g, &h, &self.params, binned.as_ref());
+            for (total, per_tree) in self.importance.iter_mut().zip(&imp) {
+                *total += per_tree;
+            }
             for (i, p) in pred.iter_mut().enumerate() {
                 *p += self.params.learning_rate * tree.predict(x.row(i));
             }
@@ -327,8 +578,7 @@ impl Regressor for GbtRegressor {
 
     fn predict_one(&self, row: &[f64]) -> f64 {
         self.base
-            + self.params.learning_rate
-                * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+            + self.params.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
     }
 }
 
@@ -376,6 +626,112 @@ mod tests {
         let p = m.predict_proba_one(x.row(0), 3);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(p[y[0]] > 0.5);
+    }
+
+    #[test]
+    fn hist_matches_exact_when_bins_cover_distinct_values() {
+        // The blobs have < 256 distinct values per feature, so the
+        // histogram engine considers exactly the exact-greedy candidate
+        // partitions: identical accuracy AND identical importance.
+        let (x, y) = three_class_blobs();
+        let mut exact = GbtClassifier::new(GbtParams {
+            n_estimators: 20,
+            max_depth: 3,
+            split_method: SplitMethod::Exact,
+            ..GbtParams::default()
+        });
+        exact.fit(&x, &y, 3);
+        let mut hist = GbtClassifier::new(GbtParams {
+            n_estimators: 20,
+            max_depth: 3,
+            split_method: SplitMethod::Hist { max_bins: 256 },
+            ..GbtParams::default()
+        });
+        hist.fit(&x, &y, 3);
+        assert_eq!(
+            accuracy(&exact.predict(&x), &y),
+            accuracy(&hist.predict(&x), &y)
+        );
+        assert_eq!(exact.feature_importance(), hist.feature_importance());
+        assert_eq!(exact.predict(&x), hist.predict(&x));
+    }
+
+    #[test]
+    fn coarse_hist_keeps_accuracy_and_importance_ranking() {
+        // Even at 8 bins per feature the blobs stay separable and the
+        // F-score importance ranking matches the exact engine's.
+        let (x, y) = three_class_blobs();
+        let mut exact = GbtClassifier::new(GbtParams {
+            n_estimators: 20,
+            max_depth: 3,
+            split_method: SplitMethod::Exact,
+            ..GbtParams::default()
+        });
+        exact.fit(&x, &y, 3);
+        let mut hist = GbtClassifier::new(GbtParams {
+            n_estimators: 20,
+            max_depth: 3,
+            split_method: SplitMethod::Hist { max_bins: 8 },
+            ..GbtParams::default()
+        });
+        hist.fit(&x, &y, 3);
+        let (ea, ha) = (
+            accuracy(&exact.predict(&x), &y),
+            accuracy(&hist.predict(&x), &y),
+        );
+        assert!(ha >= ea - 0.02, "hist accuracy {ha} vs exact {ea}");
+
+        // Ranking check on a fixture with an unambiguous winner (both
+        // blob features are equally informative, so their relative order
+        // is not meaningful): feature 0 decides the label, feature 1 is
+        // noise, and both have more distinct values than bins.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64, ((i * 7919) % 13) as f64])
+            .collect();
+        let y: Vec<usize> = (0..60).map(|i| usize::from(i >= 30)).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        for method in [SplitMethod::Exact, SplitMethod::Hist { max_bins: 8 }] {
+            let mut m = GbtClassifier::new(GbtParams {
+                n_estimators: 10,
+                max_depth: 2,
+                split_method: method,
+                ..GbtParams::default()
+            });
+            m.fit(&x, &y, 2);
+            let imp = m.feature_importance();
+            assert!(
+                imp[0] > imp[1],
+                "{method:?} must rank the signal feature first: {imp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn classifier_fit_is_thread_count_invariant() {
+        let (x, y) = three_class_blobs();
+        let mut serial = GbtClassifier::new(GbtParams {
+            n_estimators: 10,
+            max_depth: 3,
+            ..GbtParams::default()
+        });
+        serial.fit_with(&Executor::serial(), &x, &y, 3);
+        for threads in [2, 4] {
+            let mut par = GbtClassifier::new(GbtParams {
+                n_estimators: 10,
+                max_depth: 3,
+                ..GbtParams::default()
+            });
+            par.fit_with(&Executor::new(threads), &x, &y, 3);
+            assert_eq!(serial.predict(&x), par.predict(&x), "threads = {threads}");
+            assert_eq!(
+                serial.feature_importance(),
+                par.feature_importance(),
+                "threads = {threads}"
+            );
+            for (i, row) in (0..x.n_rows()).map(|i| x.row(i)).enumerate() {
+                assert_eq!(serial.scores(row), par.scores(row), "row {i}");
+            }
+        }
     }
 
     #[test]
@@ -454,6 +810,25 @@ mod tests {
         let strict_splits: f64 = strict.feature_importance().iter().sum();
         assert!(strict_splits < free_splits);
         assert_eq!(strict_splits, 0.0, "infinite gamma must forbid all splits");
+    }
+
+    #[test]
+    fn params_without_split_method_deserialize_to_default() {
+        // A GbtParams serialized before the split_method field existed
+        // (e.g. inside a cached model) must load with the default engine.
+        let old = GbtParams {
+            split_method: SplitMethod::Exact,
+            ..GbtParams::default()
+        };
+        let mut v = match serde::Serialize::to_value(&old) {
+            serde::Value::Map(m) => m,
+            other => panic!("params serialize to a map, got {other:?}"),
+        };
+        v.retain(|(k, _)| k != "split_method");
+        let back: GbtParams =
+            serde::Deserialize::from_value(&serde::Value::Map(v)).expect("deserialize");
+        assert_eq!(back.split_method, SplitMethod::default());
+        assert_eq!(back.n_estimators, old.n_estimators);
     }
 
     #[test]

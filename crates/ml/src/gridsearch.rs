@@ -1,10 +1,17 @@
 //! Grid search with k-fold cross-validation — the paper's
 //! `GridSearchCV` step (§IV-D): "performs an exhaustive search over a range
 //! of supplied parameters and finds the best parameter set".
+//!
+//! Every (candidate, fold) pair is an independent training cell, so the
+//! search runs them through an [`Executor`]: cells are evaluated by a
+//! worker pool into pre-allocated slots and the per-candidate score is
+//! then accumulated in fold order, making scores and the winning
+//! parameter set bit-identical at any thread count.
 
 use crate::data::{gather, kfold, FeatureMatrix};
 use crate::metrics::{accuracy, relative_mean_error};
 use crate::model::{Classifier, Regressor};
+use crate::parallel::Executor;
 
 /// Result of a grid search: the winning parameter set and its CV score.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,35 +24,7 @@ pub struct GridResult<P> {
     pub all_scores: Vec<f64>,
 }
 
-/// Exhaustive search over `candidates`, scoring each by mean k-fold CV
-/// accuracy of the classifier `make` builds.
-pub fn grid_search_classifier<P, M, F>(
-    candidates: &[P],
-    make: F,
-    x: &FeatureMatrix,
-    y: &[usize],
-    n_classes: usize,
-    k: usize,
-    seed: u64,
-) -> GridResult<P>
-where
-    P: Clone,
-    M: Classifier,
-    F: Fn(&P) -> M,
-{
-    assert!(!candidates.is_empty(), "need at least one candidate");
-    let folds = kfold(x.n_rows(), k, seed);
-    let mut all_scores = Vec::with_capacity(candidates.len());
-    for p in candidates {
-        let mut score = 0.0;
-        for f in &folds {
-            let mut m = make(p);
-            m.fit(&x.select_rows(&f.train), &gather(y, &f.train), n_classes);
-            let pred = m.predict(&x.select_rows(&f.test));
-            score += accuracy(&pred, &gather(y, &f.test));
-        }
-        all_scores.push(score / folds.len() as f64);
-    }
+fn pick_best<P: Clone>(candidates: &[P], all_scores: Vec<f64>) -> GridResult<P> {
     let best = all_scores
         .iter()
         .enumerate()
@@ -60,8 +39,51 @@ where
 }
 
 /// Exhaustive search over `candidates`, scoring each by mean k-fold CV
+/// accuracy of the classifier `make` builds. Cells run on `exec`.
+#[allow(clippy::too_many_arguments)] // mirrors sklearn's GridSearchCV surface
+pub fn grid_search_classifier<P, M, F>(
+    exec: &Executor,
+    candidates: &[P],
+    make: F,
+    x: &FeatureMatrix,
+    y: &[usize],
+    n_classes: usize,
+    k: usize,
+    seed: u64,
+) -> GridResult<P>
+where
+    P: Clone + Sync,
+    M: Classifier,
+    F: Fn(&P) -> M + Sync,
+{
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let folds = kfold(x.n_rows(), k, seed);
+    let nf = folds.len();
+    let cells = exec.map(candidates.len() * nf, |c| {
+        let (p, f) = (&candidates[c / nf], &folds[c % nf]);
+        let mut m = make(p);
+        m.fit(&x.select_rows(&f.train), &gather(y, &f.train), n_classes);
+        let pred = m.predict(&x.select_rows(&f.test));
+        accuracy(&pred, &gather(y, &f.test))
+    });
+    let all_scores: Vec<f64> = cells
+        .chunks(nf)
+        .map(|fold_scores| {
+            let mut score = 0.0;
+            for &a in fold_scores {
+                score += a;
+            }
+            score / nf as f64
+        })
+        .collect();
+    pick_best(candidates, all_scores)
+}
+
+/// Exhaustive search over `candidates`, scoring each by mean k-fold CV
 /// **negative RME** of the regressor `make` builds (higher = better).
+/// Cells run on `exec`.
 pub fn grid_search_regressor<P, M, F>(
+    exec: &Executor,
     candidates: &[P],
     make: F,
     x: &FeatureMatrix,
@@ -70,34 +92,31 @@ pub fn grid_search_regressor<P, M, F>(
     seed: u64,
 ) -> GridResult<P>
 where
-    P: Clone,
+    P: Clone + Sync,
     M: Regressor,
-    F: Fn(&P) -> M,
+    F: Fn(&P) -> M + Sync,
 {
     assert!(!candidates.is_empty(), "need at least one candidate");
     let folds = kfold(x.n_rows(), k, seed);
-    let mut all_scores = Vec::with_capacity(candidates.len());
-    for p in candidates {
-        let mut score = 0.0;
-        for f in &folds {
-            let mut m = make(p);
-            m.fit(&x.select_rows(&f.train), &gather(y, &f.train));
-            let pred = m.predict(&x.select_rows(&f.test));
-            score -= relative_mean_error(&pred, &gather(y, &f.test));
-        }
-        all_scores.push(score / folds.len() as f64);
-    }
-    let best = all_scores
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .expect("non-empty");
-    GridResult {
-        params: candidates[best].clone(),
-        score: all_scores[best],
-        all_scores,
-    }
+    let nf = folds.len();
+    let cells = exec.map(candidates.len() * nf, |c| {
+        let (p, f) = (&candidates[c / nf], &folds[c % nf]);
+        let mut m = make(p);
+        m.fit(&x.select_rows(&f.train), &gather(y, &f.train));
+        let pred = m.predict(&x.select_rows(&f.test));
+        relative_mean_error(&pred, &gather(y, &f.test))
+    });
+    let all_scores: Vec<f64> = cells
+        .chunks(nf)
+        .map(|fold_errors| {
+            let mut score = 0.0;
+            for &e in fold_errors {
+                score -= e;
+            }
+            score / nf as f64
+        })
+        .collect();
+    pick_best(candidates, all_scores)
 }
 
 #[cfg(test)]
@@ -112,18 +131,21 @@ mod tests {
         (FeatureMatrix::from_rows(&rows), y)
     }
 
+    fn depth_classifier(d: &usize) -> DecisionTreeClassifier {
+        DecisionTreeClassifier::new(TreeParams {
+            max_depth: *d,
+            ..TreeParams::default()
+        })
+    }
+
     #[test]
     fn deeper_trees_win_when_needed() {
         let (x, y) = stripes();
         let candidates = vec![1usize, 2, 6];
         let r = grid_search_classifier(
+            &Executor::serial(),
             &candidates,
-            |&d| {
-                DecisionTreeClassifier::new(TreeParams {
-                    max_depth: d,
-                    ..TreeParams::default()
-                })
-            },
+            depth_classifier,
             &x,
             &y,
             2,
@@ -141,6 +163,7 @@ mod tests {
         let y: Vec<f64> = (0..90).map(|i| ((i / 10) + 1) as f64).collect();
         let x = FeatureMatrix::from_rows(&rows);
         let r = grid_search_regressor(
+            &Executor::serial(),
             &[1usize, 8],
             |&d| {
                 DecisionTreeRegressor::new(TreeParams {
@@ -159,12 +182,44 @@ mod tests {
     }
 
     #[test]
+    fn scores_are_thread_count_invariant() {
+        let (x, y) = stripes();
+        let candidates = vec![1usize, 2, 4, 6];
+        let serial = grid_search_classifier(
+            &Executor::serial(),
+            &candidates,
+            depth_classifier,
+            &x,
+            &y,
+            2,
+            5,
+            42,
+        );
+        for threads in [2, 4, 8] {
+            let par = grid_search_classifier(
+                &Executor::new(threads),
+                &candidates,
+                depth_classifier,
+                &x,
+                &y,
+                2,
+                5,
+                42,
+            );
+            // Bitwise equality, not approximate: the parallel schedule must
+            // not change summation order.
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one")]
     fn empty_grid_rejected() {
         let (x, y) = stripes();
         grid_search_classifier(
+            &Executor::serial(),
             &Vec::<usize>::new(),
-            |_| DecisionTreeClassifier::new(TreeParams::default()),
+            depth_classifier,
             &x,
             &y,
             2,

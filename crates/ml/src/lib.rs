@@ -32,6 +32,7 @@ pub mod gridsearch;
 pub mod metrics;
 pub mod mlp;
 pub mod model;
+pub mod parallel;
 pub mod reportcard;
 pub mod scaler;
 pub mod svm;
@@ -41,11 +42,12 @@ pub mod tree;
 pub use data::{gather, kfold, stratified_split, train_test_split, FeatureMatrix, Split};
 pub use ensemble::{MlpEnsembleClassifier, MlpEnsembleRegressor};
 pub use forest::{ForestParams, RandomForestClassifier, RandomForestRegressor};
-pub use gbt::{GbtClassifier, GbtParams, GbtRegressor};
+pub use gbt::{GbtClassifier, GbtParams, GbtRegressor, SplitMethod};
 pub use gridsearch::{grid_search_classifier, grid_search_regressor, GridResult};
 pub use metrics::{accuracy, confusion_matrix, relative_mean_error, slowdown, SlowdownTable};
 pub use mlp::{MlpClassifier, MlpParams, MlpRegressor};
 pub use model::{Classifier, Regressor};
+pub use parallel::{thread_budget, Executor};
 pub use reportcard::{classification_report, ClassStats, ClassificationReport};
 pub use scaler::StandardScaler;
 pub use svm::{SvmClassifier, SvmParams};

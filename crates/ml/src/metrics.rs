@@ -134,11 +134,11 @@ mod tests {
     #[test]
     fn slowdown_table_buckets_are_cumulative() {
         let pairs = [
-            (1.0, 1.0),  // none
-            (1.1, 1.0),  // >1x
-            (1.3, 1.0),  // >1x, >=1.2
-            (1.7, 1.0),  // >1x, >=1.2, >=1.5
-            (2.5, 1.0),  // all buckets
+            (1.0, 1.0), // none
+            (1.1, 1.0), // >1x
+            (1.3, 1.0), // >1x, >=1.2
+            (1.7, 1.0), // >1x, >=1.2, >=1.5
+            (2.5, 1.0), // all buckets
         ];
         let t = SlowdownTable::tally(&pairs, 1e-9);
         assert_eq!(t.none, 1);

@@ -86,13 +86,7 @@ impl Dense {
     }
 
     /// Accumulate gradients for one sample; returns dL/dx.
-    fn backward(
-        &self,
-        x: &[f64],
-        dout: &[f64],
-        gw: &mut [f64],
-        gb: &mut [f64],
-    ) -> Vec<f64> {
+    fn backward(&self, x: &[f64], dout: &[f64], gw: &mut [f64], gb: &mut [f64]) -> Vec<f64> {
         let mut dx = vec![0.0; self.n_in];
         for o in 0..self.n_out {
             let d = dout[o];
@@ -270,13 +264,19 @@ impl Classifier for MlpClassifier {
             for _ in 0..self.params.epochs {
                 order.shuffle(&mut rng);
                 for batch in order.chunks(self.params.batch_size.max(1)) {
-                    net.train_batch(x, batch, self.params.learning_rate, self.params.weight_decay, |i, out| {
-                        // dCE/dlogits = softmax(out) - onehot(y).
-                        let mut p = out.to_vec();
-                        softmax_inplace(&mut p);
-                        p[y[i]] -= 1.0;
-                        p
-                    });
+                    net.train_batch(
+                        x,
+                        batch,
+                        self.params.learning_rate,
+                        self.params.weight_decay,
+                        |i, out| {
+                            // dCE/dlogits = softmax(out) - onehot(y).
+                            let mut p = out.to_vec();
+                            softmax_inplace(&mut p);
+                            p[y[i]] -= 1.0;
+                            p
+                        },
+                    );
                 }
             }
         }
@@ -327,7 +327,11 @@ impl Regressor for MlpRegressor {
     fn fit(&mut self, x: &FeatureMatrix, y: &[f64]) {
         assert_eq!(x.n_rows(), y.len());
         let n = x.n_rows();
-        self.y_mean = if n == 0 { 0.0 } else { y.iter().sum::<f64>() / n as f64 };
+        self.y_mean = if n == 0 {
+            0.0
+        } else {
+            y.iter().sum::<f64>() / n as f64
+        };
         let var = if n == 0 {
             1.0
         } else {
@@ -343,9 +347,13 @@ impl Regressor for MlpRegressor {
             for _ in 0..self.params.epochs {
                 order.shuffle(&mut rng);
                 for batch in order.chunks(self.params.batch_size.max(1)) {
-                    net.train_batch(x, batch, self.params.learning_rate, self.params.weight_decay, |i, out| {
-                        vec![2.0 * (out[0] - yy[i])]
-                    });
+                    net.train_batch(
+                        x,
+                        batch,
+                        self.params.learning_rate,
+                        self.params.weight_decay,
+                        |i, out| vec![2.0 * (out[0] - yy[i])],
+                    );
                 }
             }
         }

@@ -14,7 +14,9 @@ pub trait Classifier {
 
     /// Predict classes for every row of `x`.
     fn predict(&self, x: &FeatureMatrix) -> Vec<usize> {
-        (0..x.n_rows()).map(|i| self.predict_one(x.row(i))).collect()
+        (0..x.n_rows())
+            .map(|i| self.predict_one(x.row(i)))
+            .collect()
     }
 
     /// Class-probability estimates for one sample, if the model provides
@@ -36,6 +38,8 @@ pub trait Regressor {
 
     /// Predict targets for every row of `x`.
     fn predict(&self, x: &FeatureMatrix) -> Vec<f64> {
-        (0..x.n_rows()).map(|i| self.predict_one(x.row(i))).collect()
+        (0..x.n_rows())
+            .map(|i| self.predict_one(x.row(i)))
+            .collect()
     }
 }

@@ -1,0 +1,145 @@
+//! Deterministic scoped-thread executor for the training engine.
+//!
+//! The same pattern label collection uses (`LabeledCorpus::collect`): a
+//! fixed pool of scoped worker threads pulls cell indices from an atomic
+//! counter and writes each result into its pre-allocated slot. Results
+//! come back in index order, so as long as each cell is a pure function
+//! of its index the output is bit-identical regardless of thread count
+//! or scheduling. Grid-search CV, per-class GBT tree growth, and the
+//! experiment table sweeps all run their independent cells through this
+//! executor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A thread budget plus the machinery to spend it on independent cells.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// Executor running up to `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Executor {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Single-threaded executor: `map` degenerates to a plain loop.
+    pub fn serial() -> Executor {
+        Executor { threads: 1 }
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluate `job(i)` for `i in 0..n` and return the results in index
+    /// order. `job` must be a pure function of its index for the output
+    /// to be schedule-independent.
+    pub fn map<T, F>(&self, n: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(job).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = job(i);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                });
+            }
+        })
+        .expect("executor worker panicked");
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("cell produced")
+            })
+            .collect()
+    }
+}
+
+impl Default for Executor {
+    /// Defaults to the resolved thread budget (env var or all cores).
+    fn default() -> Executor {
+        Executor::new(thread_budget(None))
+    }
+}
+
+/// Resolve a thread budget: an explicit request (e.g. a `--threads` flag)
+/// wins, else the `SPMV_THREADS` environment variable, else all available
+/// cores. Never returns 0.
+pub fn thread_budget(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Ok(s) = std::env::var("SPMV_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order_at_any_thread_count() {
+        let squares: Vec<usize> = (0..33).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 7] {
+            let exec = Executor::new(threads);
+            assert_eq!(exec.map(33, |i| i * i), squares, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single_cell() {
+        let exec = Executor::new(4);
+        assert_eq!(exec.map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(exec.map(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Executor::new(0).threads(), 1);
+        assert_eq!(thread_budget(Some(0)), 1);
+    }
+
+    #[test]
+    fn explicit_budget_wins() {
+        assert_eq!(thread_budget(Some(3)), 3);
+        assert!(thread_budget(None) >= 1);
+    }
+
+    #[test]
+    fn workers_share_the_counter_not_the_cells() {
+        // Uneven per-cell cost: make sure every slot still lands in place.
+        let exec = Executor::new(4);
+        let out = exec.map(20, |i| {
+            if i % 5 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -41,11 +41,25 @@ pub fn classification_report(
     #[allow(clippy::needless_range_loop)] // c indexes rows AND columns
     for c in 0..n_classes {
         let tp = confusion[c][c];
-        let fp: usize = (0..n_classes).filter(|&t| t != c).map(|t| confusion[t][c]).sum();
-        let fn_: usize = (0..n_classes).filter(|&p| p != c).map(|p| confusion[c][p]).sum();
+        let fp: usize = (0..n_classes)
+            .filter(|&t| t != c)
+            .map(|t| confusion[t][c])
+            .sum();
+        let fn_: usize = (0..n_classes)
+            .filter(|&p| p != c)
+            .map(|p| confusion[c][p])
+            .sum();
         let support = tp + fn_;
-        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if support == 0 { 0.0 } else { tp as f64 / support as f64 };
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if support == 0 {
+            0.0
+        } else {
+            tp as f64 / support as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
@@ -68,7 +82,11 @@ pub fn classification_report(
     };
     ClassificationReport {
         per_class,
-        accuracy: if total == 0 { 0.0 } else { correct as f64 / total as f64 },
+        accuracy: if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        },
         macro_f1,
         confusion,
     }
@@ -80,7 +98,12 @@ impl ClassificationReport {
     pub fn render(&self, class_names: &[&str]) -> String {
         assert_eq!(class_names.len(), self.per_class.len());
         let mut out = String::new();
-        let w = class_names.iter().map(|n| n.len()).max().unwrap_or(5).max(5);
+        let w = class_names
+            .iter()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
         out.push_str(&format!(
             "{:<w$}  {:>9}  {:>7}  {:>6}  {:>7}\n",
             "class", "precision", "recall", "f1", "support"

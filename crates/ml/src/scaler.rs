@@ -20,7 +20,10 @@ impl StandardScaler {
         let mut means = vec![0.0; d];
         let mut stds = vec![0.0; d];
         if n == 0 {
-            return StandardScaler { means, stds: vec![1.0; d] };
+            return StandardScaler {
+                means,
+                stds: vec![1.0; d],
+            };
         }
         for i in 0..n {
             for (j, m) in means.iter_mut().enumerate() {
@@ -79,11 +82,7 @@ mod tests {
 
     #[test]
     fn standardizes_columns() {
-        let mut x = FeatureMatrix::from_rows(&[
-            vec![1.0, 10.0],
-            vec![2.0, 20.0],
-            vec![3.0, 30.0],
-        ]);
+        let mut x = FeatureMatrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]);
         let s = StandardScaler::fit_transform(&mut x);
         // Means zero.
         for j in 0..2 {

@@ -128,10 +128,12 @@ impl BinarySvm {
                     let ai = ai_old + y[i] * y[j] * (aj_old - aj);
                     alphas[i] = ai;
                     alphas[j] = aj;
-                    let b1 = b - ei
+                    let b1 = b
+                        - ei
                         - y[i] * (ai - ai_old) * kernel[i * n + i]
                         - y[j] * (aj - aj_old) * kernel[i * n + j];
-                    let b2 = b - ej
+                    let b2 = b
+                        - ej
                         - y[i] * (ai - ai_old) * kernel[i * n + j]
                         - y[j] * (aj - aj_old) * kernel[j * n + j];
                     b = if ai > 0.0 && ai < p.c {
@@ -213,7 +215,8 @@ impl Classifier for SvmClassifier {
                 }
                 let mut p = self.params;
                 p.seed = p.seed.wrapping_add((a * 31 + b) as u64);
-                self.machines.push((a, b, BinarySvm::train(&sub_x, &sub_y, &p)));
+                self.machines
+                    .push((a, b, BinarySvm::train(&sub_x, &sub_y, &p)));
             }
         }
     }

@@ -141,7 +141,8 @@ impl Regressor for SvrRegressor {
                 let err = f(&beta, i) + bias - yy[i];
                 let kii = kernel[i * n + i].max(1e-12);
                 // Subgradient of eps-insensitive loss wrt beta_i.
-                let raw = beta[i] - (err - p.epsilon * err.signum() * f64::from(err.abs() > p.epsilon)) / kii;
+                let raw = beta[i]
+                    - (err - p.epsilon * err.signum() * f64::from(err.abs() > p.epsilon)) / kii;
                 let candidate = if err.abs() <= p.epsilon {
                     // Inside the tube: shrink toward zero.
                     beta[i] * 0.9

@@ -57,7 +57,11 @@ impl Tree {
                     left,
                     right,
                 } => {
-                    n = if row[*feature] <= *threshold { *left } else { *right };
+                    n = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
                 Node::Leaf(payload) => return payload,
             }
@@ -112,15 +116,13 @@ impl DecisionTreeClassifier {
         if total <= 0.0 {
             return 0.0;
         }
-        1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
+        1.0 - counts
+            .iter()
+            .map(|c| (c / total) * (c / total))
+            .sum::<f64>()
     }
 
-    fn best_split(
-        &self,
-        x: &FeatureMatrix,
-        y: &[usize],
-        idx: &[usize],
-    ) -> Option<SplitChoice> {
+    fn best_split(&self, x: &FeatureMatrix, y: &[usize], idx: &[usize]) -> Option<SplitChoice> {
         let n = idx.len() as f64;
         let mut parent_counts = vec![0.0; self.n_classes];
         for &i in idx {
@@ -188,7 +190,14 @@ impl DecisionTreeClassifier {
         })
     }
 
-    fn grow(&self, x: &FeatureMatrix, y: &[usize], idx: &[usize], depth: usize, nodes: &mut Vec<Node>) -> usize {
+    fn grow(
+        &self,
+        x: &FeatureMatrix,
+        y: &[usize],
+        idx: &[usize],
+        depth: usize,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
         let make_leaf = |nodes: &mut Vec<Node>, idx: &[usize]| {
             let mut counts = vec![0.0; self.n_classes];
             for &i in idx {
@@ -237,11 +246,7 @@ impl Classifier for DecisionTreeClassifier {
     }
 
     fn predict_one(&self, row: &[f64]) -> usize {
-        let probs = self
-            .tree
-            .as_ref()
-            .expect("fit before predict")
-            .leaf_of(row);
+        let probs = self.tree.as_ref().expect("fit before predict").leaf_of(row);
         probs
             .iter()
             .enumerate()
@@ -251,11 +256,7 @@ impl Classifier for DecisionTreeClassifier {
     }
 
     fn predict_proba_one(&self, row: &[f64], n_classes: usize) -> Vec<f64> {
-        let probs = self
-            .tree
-            .as_ref()
-            .expect("fit before predict")
-            .leaf_of(row);
+        let probs = self.tree.as_ref().expect("fit before predict").leaf_of(row);
         let mut p = probs.to_vec();
         p.resize(n_classes, 0.0);
         p
@@ -331,7 +332,14 @@ impl DecisionTreeRegressor {
         })
     }
 
-    fn grow(&self, x: &FeatureMatrix, y: &[f64], idx: &[usize], depth: usize, nodes: &mut Vec<Node>) -> usize {
+    fn grow(
+        &self,
+        x: &FeatureMatrix,
+        y: &[f64],
+        idx: &[usize],
+        depth: usize,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
         let make_leaf = |nodes: &mut Vec<Node>, idx: &[usize]| {
             let mean = if idx.is_empty() {
                 0.0
@@ -373,10 +381,7 @@ impl Regressor for DecisionTreeRegressor {
     }
 
     fn predict_one(&self, row: &[f64]) -> f64 {
-        self.tree
-            .as_ref()
-            .expect("fit before predict")
-            .leaf_of(row)[0]
+        self.tree.as_ref().expect("fit before predict").leaf_of(row)[0]
     }
 }
 
@@ -391,7 +396,10 @@ mod tests {
         for a in 0..2 {
             for b in 0..2 {
                 for jitter in 0..5 {
-                    rows.push(vec![a as f64 + jitter as f64 * 0.01, b as f64 - jitter as f64 * 0.01]);
+                    rows.push(vec![
+                        a as f64 + jitter as f64 * 0.01,
+                        b as f64 - jitter as f64 * 0.01,
+                    ]);
                     y.push(a ^ b);
                 }
             }

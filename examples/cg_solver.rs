@@ -56,7 +56,11 @@ fn main() {
     }
     .generate();
     let n = a_csr.n_rows();
-    println!("Poisson {grid}x{grid}: {} unknowns, {} non-zeros", n, a_csr.nnz());
+    println!(
+        "Poisson {grid}x{grid}: {} unknowns, {} non-zeros",
+        n,
+        a_csr.nnz()
+    );
 
     // Simulated per-SpMV cost of every format on a P100 (double precision).
     let sim = Simulator::noiseless();

@@ -19,8 +19,10 @@ fn main() {
     let corpus = LabeledCorpus::collect(&suite, &Simulator::default(), 4);
 
     // Census (Table I shape).
-    println!("\n{:<10} {:>6} {:>10} {:>10} {:>10} {:>9} {:>10}",
-        "nnz range", "count", "avg rows", "avg cols", "density%", "nnz_mu", "nnz_sigma");
+    println!(
+        "\n{:<10} {:>6} {:>10} {:>10} {:>10} {:>9} {:>10}",
+        "nnz range", "count", "avg rows", "avg cols", "density%", "nnz_mu", "nnz_sigma"
+    );
     for (bi, label) in bucket_labels().iter().enumerate() {
         let members: Vec<_> = corpus.records.iter().filter(|r| r.bucket == bi).collect();
         if members.is_empty() {

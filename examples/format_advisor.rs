@@ -17,23 +17,64 @@ fn main() {
     let corpus = LabeledCorpus::collect(&suite, &Simulator::default(), 4);
 
     // 2. Train the advisor for P100 / double precision.
-    let env = Env { arch_idx: 1, precision: spmv_matrix::Precision::Double };
+    let env = Env {
+        arch_idx: 1,
+        precision: spmv_matrix::Precision::Double,
+    };
     println!("training advisor for {}...", env.label());
     let advisor = FormatAdvisor::train(&corpus, env, SearchBudget::Quick);
 
     // 3. Unseen matrices spanning the structural spectrum.
     let probes: Vec<(&str, GenKind)> = vec![
-        ("regular band", GenKind::Banded { n: 30_000, half_width: 5, fill: 1.0 }),
+        (
+            "regular band",
+            GenKind::Banded {
+                n: 30_000,
+                half_width: 5,
+                fill: 1.0,
+            },
+        ),
         ("2-D stencil", GenKind::Stencil2D { gx: 180, gy: 180 }),
-        ("uniform random", GenKind::Uniform { n_rows: 20_000, n_cols: 20_000, nnz: 150_000 }),
-        ("power-law graph", GenKind::RMat { scale: 14, nnz: 180_000, probs: (0.57, 0.19, 0.19) }),
-        ("skewed rows", GenKind::RowSkew { n_rows: 18_000, n_cols: 18_000, min_len: 2, alpha: 0.9, max_len: 2_000 }),
+        (
+            "uniform random",
+            GenKind::Uniform {
+                n_rows: 20_000,
+                n_cols: 20_000,
+                nnz: 150_000,
+            },
+        ),
+        (
+            "power-law graph",
+            GenKind::RMat {
+                scale: 14,
+                nnz: 180_000,
+                probs: (0.57, 0.19, 0.19),
+            },
+        ),
+        (
+            "skewed rows",
+            GenKind::RowSkew {
+                n_rows: 18_000,
+                n_cols: 18_000,
+                min_len: 2,
+                alpha: 0.9,
+                max_len: 2_000,
+            },
+        ),
     ];
 
     let sim = Simulator::default();
-    println!("\n{:<16} {:>12} {:>12} {:>14} {:>10}", "matrix", "recommended", "actual best", "rec. time (us)", "slowdown");
+    println!(
+        "\n{:<16} {:>12} {:>12} {:>14} {:>10}",
+        "matrix", "recommended", "actual best", "rec. time (us)", "slowdown"
+    );
     for (i, (name, kind)) in probes.into_iter().enumerate() {
-        let m: CsrMatrix<f64> = MatrixSpec { name: name.into(), kind, seed: 1000 + i as u64 }.generate();
+        let m: CsrMatrix<f64> = MatrixSpec {
+            name: name.into(),
+            kind,
+            seed: 1000 + i as u64,
+        }
+        .generate();
         let rec = advisor.recommend(&m);
 
         // Ground truth from the simulator.

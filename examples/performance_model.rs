@@ -17,7 +17,10 @@ fn main() {
     println!("labeling {} matrices...", suite.len());
     let corpus = LabeledCorpus::collect(&suite, &Simulator::default(), 4);
 
-    let env = Env { arch_idx: 0, precision: spmv_matrix::Precision::Double };
+    let env = Env {
+        arch_idx: 0,
+        precision: spmv_matrix::Precision::Double,
+    };
     println!("environment: {}\n", env.label());
 
     // Combined model over all six formats (features + format one-hot).

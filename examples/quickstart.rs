@@ -35,7 +35,10 @@ fn main() {
     csr.spmv(&x, &mut reference);
 
     let sim = Simulator::default();
-    println!("{:<10} {:>12} {:>14} {:>12}", "format", "bytes", "P100 time (us)", "GFLOPS");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12}",
+        "format", "bytes", "P100 time (us)", "GFLOPS"
+    );
     for fmt in Format::ALL {
         let m = SparseMatrix::from_csr(&csr, fmt).expect("convertible");
         let mut y = vec![0.0; n];

@@ -15,20 +15,60 @@ fn spmv_reference(csr: &CsrMatrix<f64>, x: &[f64]) -> Vec<f64> {
 #[test]
 fn every_generator_family_round_trips_through_every_format() {
     let kinds = vec![
-        GenKind::Uniform { n_rows: 300, n_cols: 250, nnz: 2_000 },
-        GenKind::Banded { n: 400, half_width: 5, fill: 0.8 },
-        GenKind::Diagonal { n: 350, offsets: vec![-7, 0, 7] },
+        GenKind::Uniform {
+            n_rows: 300,
+            n_cols: 250,
+            nnz: 2_000,
+        },
+        GenKind::Banded {
+            n: 400,
+            half_width: 5,
+            fill: 0.8,
+        },
+        GenKind::Diagonal {
+            n: 350,
+            offsets: vec![-7, 0, 7],
+        },
         GenKind::Stencil2D { gx: 18, gy: 20 },
-        GenKind::Stencil3D { gx: 7, gy: 7, gz: 7 },
-        GenKind::RMat { scale: 9, nnz: 3_000, probs: (0.57, 0.19, 0.19) },
-        GenKind::Block { grid: 40, block_size: 4, blocks_per_row: 2 },
-        GenKind::RowSkew { n_rows: 300, n_cols: 300, min_len: 2, alpha: 1.1, max_len: 80 },
-        GenKind::Clustered { n_rows: 200, n_cols: 240, runs: 3, run_len: 6 },
+        GenKind::Stencil3D {
+            gx: 7,
+            gy: 7,
+            gz: 7,
+        },
+        GenKind::RMat {
+            scale: 9,
+            nnz: 3_000,
+            probs: (0.57, 0.19, 0.19),
+        },
+        GenKind::Block {
+            grid: 40,
+            block_size: 4,
+            blocks_per_row: 2,
+        },
+        GenKind::RowSkew {
+            n_rows: 300,
+            n_cols: 300,
+            min_len: 2,
+            alpha: 1.1,
+            max_len: 80,
+        },
+        GenKind::Clustered {
+            n_rows: 200,
+            n_cols: 240,
+            runs: 3,
+            run_len: 6,
+        },
     ];
     for (i, kind) in kinds.into_iter().enumerate() {
-        let spec = MatrixSpec { name: format!("it{i}"), kind, seed: 77 + i as u64 };
+        let spec = MatrixSpec {
+            name: format!("it{i}"),
+            kind,
+            seed: 77 + i as u64,
+        };
         let csr: CsrMatrix<f64> = spec.generate();
-        let x: Vec<f64> = (0..csr.n_cols()).map(|j| ((j * 13 + 7) % 11) as f64 - 5.0).collect();
+        let x: Vec<f64> = (0..csr.n_cols())
+            .map(|j| ((j * 13 + 7) % 11) as f64 - 5.0)
+            .collect();
         let expect = spmv_reference(&csr, &x);
         for fmt in Format::ALL {
             let m = SparseMatrix::from_csr(&csr, fmt)

@@ -27,7 +27,16 @@ fn structure_features_add_information_over_o1_features() {
     let avg = |task: &ClassificationTask| -> f64 {
         [1u64, 2, 3]
             .iter()
-            .map(|&s| evaluate_classifier(ModelKind::Xgboost, task, s, SearchBudget::Quick).accuracy)
+            .map(|&s| {
+                evaluate_classifier(
+                    &spmv_ml::Executor::serial(),
+                    ModelKind::Xgboost,
+                    task,
+                    s,
+                    SearchBudget::Quick,
+                )
+                .accuracy
+            })
             .sum::<f64>()
             / 3.0
     };
@@ -47,7 +56,14 @@ fn all_model_families_beat_majority_class() {
     let hist = task.class_histogram();
     let majority = *hist.iter().max().expect("non-empty") as f64 / task.len() as f64;
     for kind in ModelKind::ALL {
-        let acc = evaluate_classifier(kind, &task, 9, SearchBudget::Quick).accuracy;
+        let acc = evaluate_classifier(
+            &spmv_ml::Executor::new(2),
+            kind,
+            &task,
+            9,
+            SearchBudget::Quick,
+        )
+        .accuracy;
         assert!(
             acc > majority - 0.15,
             "{}: {acc:.2} far below majority {majority:.2}",

@@ -59,8 +59,16 @@ fn trained_advisor_ships_without_its_corpus() {
     // Identical behaviour on unseen matrices of different structure.
     for (i, kind) in [
         GenKind::Stencil2D { gx: 60, gy: 60 },
-        GenKind::RMat { scale: 11, nnz: 16_000, probs: (0.57, 0.19, 0.19) },
-        GenKind::Banded { n: 4_000, half_width: 4, fill: 1.0 },
+        GenKind::RMat {
+            scale: 11,
+            nnz: 16_000,
+            probs: (0.57, 0.19, 0.19),
+        },
+        GenKind::Banded {
+            n: 4_000,
+            half_width: 4,
+            fill: 1.0,
+        },
     ]
     .into_iter()
     .enumerate()

@@ -94,6 +94,8 @@ fn advisor_end_to_end_recommends_sensibly() {
     // Predicted times must rank the recommendation near the top quarter.
     let times = advisor.predict_times(&regular);
     assert_eq!(times.len(), 6);
-    let pos = times.iter().position(|(f, _)| *f == advisor.recommend_by_time(&regular));
+    let pos = times
+        .iter()
+        .position(|(f, _)| *f == advisor.recommend_by_time(&regular));
     assert_eq!(pos, Some(0));
 }

@@ -1,0 +1,71 @@
+//! Vendored shim for the slice of `crossbeam` 0.8 this workspace uses:
+//! `crossbeam::scope` with `Scope::spawn(|scope| ...)`, implemented over
+//! `std::thread::scope` (Rust ≥ 1.63).
+//!
+//! Semantics preserved from crossbeam: `scope` returns `Err` (instead of
+//! panicking) when a spawned thread panics, and each spawned closure
+//! receives a `&Scope` handle so workers could spawn further workers.
+
+use std::any::Any;
+
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+/// A scope handle mirroring `crossbeam_utils::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives a `&Scope` like
+    /// crossbeam's API (call sites typically ignore it with `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope for spawning borrowing threads; all threads are joined
+/// before this returns. A panic in any spawned thread surfaces as `Err`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        super::scope(|scope| {
+            for &x in &data {
+                let sum = &sum;
+                scope.spawn(move |_| {
+                    sum.fetch_add(x as usize, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

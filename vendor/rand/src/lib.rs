@@ -1,0 +1,449 @@
+//! Vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the exact slice of `rand` it uses. The sampling
+//! algorithms below (Lemire widening-multiply integer sampling, the
+//! 53-bit `Standard` float, PCG-based `seed_from_u64`, `u32`-indexed
+//! Fisher–Yates shuffle) reproduce rand 0.8.5's value streams bit for
+//! bit, so seeds, cached label corpora, and test thresholds tuned
+//! against the real crate keep their meaning.
+
+/// Core random-number source: 32/64-bit words plus byte fill.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable RNG with rand_core 0.6's PCG-based `seed_from_u64` expansion.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        // rand_core 0.6: PCG32 over the seed words, 4 bytes at a time.
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    use super::{Rng, RngCore};
+
+    /// A distribution over values of `T`.
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "default" distribution (`Rng::gen`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+    impl Distribution<u64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Distribution<usize> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // rand 0.8 "multiply-based" conversion: 53 random bits.
+            let value = rng.next_u64() >> 11;
+            value as f64 * (1.0 / ((1u64 << 53) as f64))
+        }
+    }
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            let value = rng.next_u32() >> 8;
+            value as f32 * (1.0 / ((1u32 << 24) as f32))
+        }
+    }
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            // rand 0.8: one bit from a u32.
+            (rng.next_u32() as i32) < 0
+        }
+    }
+
+    /// Widening multiply helpers (Lemire sampling).
+    pub(crate) trait WideningMultiply: Sized {
+        fn wmul(self, other: Self) -> (Self, Self);
+    }
+    impl WideningMultiply for u32 {
+        #[inline]
+        fn wmul(self, other: u32) -> (u32, u32) {
+            let t = self as u64 * other as u64;
+            ((t >> 32) as u32, t as u32)
+        }
+    }
+    impl WideningMultiply for u64 {
+        #[inline]
+        fn wmul(self, other: u64) -> (u64, u64) {
+            let t = self as u128 * other as u128;
+            ((t >> 64) as u64, t as u64)
+        }
+    }
+
+    /// Uniform sampling support for a primitive type.
+    pub trait SampleUniform: Sized {
+        type Sampler: UniformSampler<X = Self>;
+    }
+
+    pub trait UniformSampler: Sized {
+        type X;
+        fn new(low: Self::X, high: Self::X) -> Self;
+        fn new_inclusive(low: Self::X, high: Self::X) -> Self;
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::X;
+        fn sample_single<R: Rng + ?Sized>(low: Self::X, high: Self::X, rng: &mut R) -> Self::X;
+        fn sample_single_inclusive<R: Rng + ?Sized>(
+            low: Self::X,
+            high: Self::X,
+            rng: &mut R,
+        ) -> Self::X;
+    }
+
+    /// A uniform distribution over `[low, high)` (or `[low, high]` via
+    /// `new_inclusive`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<X: SampleUniform>(X::Sampler);
+
+    impl<X: SampleUniform> Uniform<X> {
+        pub fn new(low: X, high: X) -> Self {
+            Uniform(X::Sampler::new(low, high))
+        }
+        pub fn new_inclusive(low: X, high: X) -> Self {
+            Uniform(X::Sampler::new_inclusive(low, high))
+        }
+    }
+
+    impl<X: SampleUniform> Distribution<X> for Uniform<X> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> X {
+            self.0.sample(rng)
+        }
+    }
+
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $u_large:ty) => {
+            impl SampleUniform for $ty {
+                type Sampler = UniformInt<$ty>;
+            }
+
+            impl UniformSampler for UniformInt<$ty> {
+                type X = $ty;
+
+                fn new(low: $ty, high: $ty) -> Self {
+                    assert!(low < high, "Uniform::new called with `low >= high`");
+                    Self::new_inclusive(low, high - 1)
+                }
+
+                fn new_inclusive(low: $ty, high: $ty) -> Self {
+                    assert!(
+                        low <= high,
+                        "Uniform::new_inclusive called with `low > high`"
+                    );
+                    // rand 0.8 UniformInt::new_inclusive.
+                    let unsigned_max = <$u_large>::MAX;
+                    let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                    let ints_to_reject = if range > 0 {
+                        (unsigned_max - range + 1) % range
+                    } else {
+                        0
+                    };
+                    UniformInt {
+                        low,
+                        range: range as $ty,
+                        z: (unsigned_max - ints_to_reject) as $ty,
+                    }
+                }
+
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                    let range = self.range as $unsigned as $u_large;
+                    if range == 0 {
+                        return rng.gen::<$u_large>() as $ty;
+                    }
+                    let zone = self.z as $unsigned as $u_large;
+                    loop {
+                        let v: $u_large = rng.gen();
+                        let (hi, lo) = v.wmul(range);
+                        if lo <= zone {
+                            return self.low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_single<R: Rng + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                    assert!(low < high, "UniformSampler::sample_single: low >= high");
+                    Self::sample_single_inclusive(low, high - 1, rng)
+                }
+
+                fn sample_single_inclusive<R: Rng + ?Sized>(
+                    low: $ty,
+                    high: $ty,
+                    rng: &mut R,
+                ) -> $ty {
+                    assert!(
+                        low <= high,
+                        "UniformSampler::sample_single_inclusive: low > high"
+                    );
+                    // rand 0.8 sample_single_inclusive: approximate zone.
+                    let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                    if range == 0 {
+                        // Span is the whole integer range.
+                        return rng.gen::<$u_large>() as $ty;
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v: $u_large = rng.gen();
+                        let (hi, lo) = v.wmul(range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    /// Sampler state for integer uniform distributions (rand 0.8 layout).
+    #[derive(Debug, Clone, Copy)]
+    pub struct UniformInt<X> {
+        low: X,
+        range: X,
+        z: X,
+    }
+
+    uniform_int_impl!(i32, u32, u32);
+    uniform_int_impl!(u32, u32, u32);
+    uniform_int_impl!(i64, u64, u64);
+    uniform_int_impl!(u64, u64, u64);
+    uniform_int_impl!(usize, usize, u64);
+
+    /// Sampler for `f64` matching rand 0.8's `UniformFloat<f64>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct UniformFloat<X> {
+        low: X,
+        scale: X,
+    }
+
+    #[inline]
+    fn f64_value_0_1<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 52 fraction bits into [1, 2), then shift to [0, 1).
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+        value1_2 - 1.0
+    }
+
+    impl SampleUniform for f64 {
+        type Sampler = UniformFloat<f64>;
+    }
+
+    impl UniformSampler for UniformFloat<f64> {
+        type X = f64;
+
+        fn new(low: f64, high: f64) -> Self {
+            assert!(low.is_finite() && high.is_finite() && low < high);
+            UniformFloat {
+                low,
+                scale: high - low,
+            }
+        }
+
+        fn new_inclusive(low: f64, high: f64) -> Self {
+            assert!(low.is_finite() && high.is_finite() && low <= high);
+            UniformFloat {
+                low,
+                scale: high - low,
+            }
+        }
+
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            f64_value_0_1(rng) * self.scale + self.low
+        }
+
+        fn sample_single<R: Rng + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+            assert!(low < high, "UniformSampler::sample_single: low >= high");
+            let scale = high - low;
+            loop {
+                let res = f64_value_0_1(rng) * scale + low;
+                // Rounding can land exactly on `high`; redraw (astronomically
+                // rare, so the retry policy does not affect stream fidelity).
+                if res < high {
+                    return res;
+                }
+            }
+        }
+
+        fn sample_single_inclusive<R: Rng + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+            assert!(low <= high);
+            f64_value_0_1(rng) * (high - low) + low
+        }
+    }
+
+    /// A range usable with `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::Sampler::sample_single(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            T::Sampler::sample_single_inclusive(start, end, rng)
+        }
+    }
+
+    /// Bernoulli distribution matching rand 0.8's 2^64 fixed-point compare.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Bernoulli {
+        p_int: u64,
+        always_true: bool,
+    }
+
+    impl Bernoulli {
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+        pub fn new(p: f64) -> Result<Bernoulli, &'static str> {
+            if !(0.0..1.0).contains(&p) {
+                if p == 1.0 {
+                    return Ok(Bernoulli {
+                        p_int: 0,
+                        always_true: true,
+                    });
+                }
+                return Err("Bernoulli probability outside [0, 1]");
+            }
+            Ok(Bernoulli {
+                p_int: (p * Self::SCALE) as u64,
+                always_true: false,
+            })
+        }
+    }
+
+    impl Distribution<bool> for Bernoulli {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            if self.always_true {
+                return true;
+            }
+            rng.next_u64() < self.p_int
+        }
+    }
+}
+
+use distributions::{Bernoulli, Distribution, SampleRange, Standard};
+
+/// High-level generation methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let d = Bernoulli::new(p).expect("p is not a valid probability");
+        d.sample(self)
+    }
+
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Uniform index in `[0, ubound)`, matching rand 0.8's `gen_index`
+    /// (u32 sampling for small bounds — this affects the value stream).
+    #[inline]
+    fn gen_index<R: Rng + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= (u32::MAX as usize) {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    /// Slice extensions (shuffle only; the workspace uses nothing else).
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(gen_index(rng, self.len()))
+            }
+        }
+    }
+}
+
+pub mod rngs {
+    //! Placeholder module for API-shape compatibility (`rand::rngs`).
+}
+
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

@@ -1,0 +1,187 @@
+//! Vendored ChaCha8 RNG, bit-compatible with `rand_chacha` 0.3.
+//!
+//! Reproduces both the ChaCha8 keystream (IETF constants, 64-bit block
+//! counter starting at zero, stream id zero) and `rand_core`'s
+//! `BlockRng` word-consumption order (four 16-word blocks buffered at a
+//! time; `next_u64` takes low word first and straddles refills), so
+//! seeded sequences match the real crate exactly.
+
+use rand::{RngCore, SeedableRng};
+
+const BUF_WORDS: usize = 64; // 4 ChaCha blocks of 16 u32 words
+
+/// ChaCha stream cipher RNG with 8 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; BUF_WORDS],
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha8_block(key: &[u32; 8], counter: u64, out: &mut [u32]) {
+    const C: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    let mut state: [u32; 16] = [
+        C[0],
+        C[1],
+        C[2],
+        C[3],
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let initial = state;
+    for _ in 0..4 {
+        // One double round = column round + diagonal round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (o, (s, i)) in out.iter_mut().zip(state.iter().zip(initial.iter())) {
+        *o = s.wrapping_add(*i);
+    }
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        for blk in 0..4 {
+            chacha8_block(
+                &self.key,
+                self.counter + blk as u64,
+                &mut self.buf[blk * 16..(blk + 1) * 16],
+            );
+        }
+        self.counter = self.counter.wrapping_add(4);
+        self.index = 0;
+    }
+
+    /// The word position consumed so far (diagnostic only).
+    pub fn get_word_pos(&self) -> u128 {
+        (self.counter as u128)
+            .wrapping_sub(4)
+            .wrapping_mul(16)
+            .wrapping_add(self.index as u128)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; BUF_WORDS],
+            index: BUF_WORDS, // force refill on first use
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.refill();
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // rand_core BlockRng64-word order: low u32 first, straddling refills.
+        if self.index < BUF_WORDS - 1 {
+            let lo = self.buf[self.index] as u64;
+            let hi = self.buf[self.index + 1] as u64;
+            self.index += 2;
+            (hi << 32) | lo
+        } else if self.index >= BUF_WORDS {
+            self.refill();
+            let lo = self.buf[0] as u64;
+            let hi = self.buf[1] as u64;
+            self.index = 2;
+            (hi << 32) | lo
+        } else {
+            let lo = self.buf[BUF_WORDS - 1] as u64;
+            self.refill();
+            let hi = self.buf[0] as u64;
+            self.index = 1;
+            (hi << 32) | lo
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn keystream_is_deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..200).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..200).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn mixed_width_reads_stay_in_stream() {
+        // Interleave u32/u64 reads across the refill boundary.
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..63 {
+            r.next_u32();
+        }
+        let straddle = r.next_u64(); // low word = buf[63], high = next block word 0
+        let mut s = ChaCha8Rng::seed_from_u64(3);
+        let words: Vec<u32> = (0..66).map(|_| s.next_u32()).collect();
+        assert_eq!(straddle, (words[64] as u64) << 32 | words[63] as u64);
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval() {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Vendored offline serde subset.
+//!
+//! Real serde is a zero-copy visitor framework; this vendored stand-in
+//! keeps the same *wire conventions* (externally tagged enums, structs
+//! as maps, `Option` as value-or-null, tuples and arrays as sequences)
+//! over a much simpler self-describing [`Value`] tree. `serde_json`
+//! renders `Value` to JSON text and back, so data written by the real
+//! crates (e.g. cached label corpora) parses unchanged.
+//!
+//! The `derive` feature re-exports `Serialize`/`Deserialize` derive
+//! macros from the vendored `serde_derive`, which generate
+//! `to_value`/`from_value` impls against this data model.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized form — the meeting point between
+/// `Serialize`, `Deserialize`, and the JSON front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Ordered key/value map (field order is preserved on output;
+    /// lookup is by name, so input field order is free).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+
+    pub fn expected(what: &str, while_parsing: &str, got: &Value) -> Self {
+        Error(format!(
+            "expected {what} while deserializing {while_parsing}, got {}",
+            got.kind()
+        ))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself as a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = match *v {
+                    Value::U64(u) => u,
+                    Value::I64(i) if i >= 0 => i as u64,
+                    _ => return Err(Error::expected("unsigned integer", stringify!($t), v)),
+                };
+                <$t>::try_from(u).map_err(|_| Error::msg(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = match *v {
+                    Value::I64(i) => i,
+                    Value::U64(u) if u <= i64::MAX as u64 => u as i64,
+                    _ => return Err(Error::expected("integer", stringify!($t), v)),
+                };
+                <$t>::try_from(i).map_err(|_| Error::msg(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::I64(i) => Ok(i as f64),
+            Value::U64(u) => Ok(u as f64),
+            // serde_json writes non-finite floats as null.
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::expected("number", "f64", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::expected("bool", "bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Real serde deserializes `&str` zero-copy from borrowed input; this
+    /// offline subset has no input lifetimes, so the rare `&'static str`
+    /// field (e.g. a GPU preset name) is interned by leaking. Bounded in
+    /// practice: such fields deserialize a handful of times per process.
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(Error::expected("string", "&str", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", "Vec", v))?;
+        s.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", "array", v))?;
+        if s.len() != N {
+            return Err(Error::msg(format!(
+                "expected array of length {N}, got {}",
+                s.len()
+            )));
+        }
+        let items: Vec<T> = s.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        items
+            .try_into()
+            .map_err(|_| Error::msg("array length mismatch"))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error::expected("sequence", "tuple", v))?;
+                const LEN: usize = [$($n),+].len();
+                if s.len() != LEN {
+                    return Err(Error::msg(format!("expected tuple of length {LEN}, got {}", s.len())));
+                }
+                Ok(($($t::from_value(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Helpers the derive macros call. Not part of the public API contract.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Look up and deserialize a required struct field.
+    pub fn field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, Error> {
+        match map.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v).map_err(|e| Error(format!("field `{name}`: {e}"))),
+            None => Err(Error(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Look up a `#[serde(default)]` struct field.
+    pub fn field_default<T: Deserialize + Default>(
+        map: &[(String, Value)],
+        name: &str,
+    ) -> Result<T, Error> {
+        match map.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v).map_err(|e| Error(format!("field `{name}`: {e}"))),
+            None => Ok(T::default()),
+        }
+    }
+}
+
+/// Module aliases so `serde::ser::Serialize` / `serde::de::Deserialize`
+/// paths keep working.
+pub mod ser {
+    pub use super::{Error, Serialize};
+}
+pub mod de {
+    pub use super::{Deserialize, Error};
+}

@@ -1,0 +1,438 @@
+//! Vendored `Serialize`/`Deserialize` derive macros for the offline
+//! serde subset, written directly against `proc_macro` (no syn/quote).
+//!
+//! Supports the shapes this workspace actually derives on: structs with
+//! named fields (optionally generic, optionally `#[serde(default)]` per
+//! field) and enums whose variants are unit, newtype, or struct-like.
+//! Generated impls follow real serde's wire conventions: structs and
+//! struct variants as maps, unit variants as strings, newtype variants
+//! as single-entry maps (external tagging).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        generics: Vec<String>,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        generics: Vec<String>,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip attributes (`#[...]`) starting at `i`, reporting whether one of
+/// them was `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+        if let TokenTree::Group(g) = &toks[i + 1] {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if inner.first().and_then(ident_of).as_deref() == Some("serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    if args
+                        .stream()
+                        .into_iter()
+                        .any(|t| ident_of(&t).as_deref() == Some("default"))
+                    {
+                        default = true;
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, default)
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if toks.get(i).and_then(ident_of).as_deref() == Some("pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Parse `<...>` generic parameters starting *after* the `<`, returning
+/// the type-parameter idents and the index just past the closing `>`.
+fn parse_generics(toks: &[TokenTree], mut i: usize) -> (Vec<String>, usize) {
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while i < toks.len() && depth > 0 {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => at_param_start = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => at_param_start = false, // lifetime
+            TokenTree::Punct(p) if p.as_char() == ':' => at_param_start = false,
+            TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                let s = id.to_string();
+                if s != "const" {
+                    params.push(s);
+                }
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (params, i)
+}
+
+/// Parse named fields from the token stream of a brace group.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, default) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, ni);
+        let Some(name) = toks.get(i).and_then(ident_of) else {
+            break;
+        };
+        i += 1;
+        debug_assert!(is_punct(&toks[i], ':'));
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out.push(Field { name, default });
+    }
+    out
+}
+
+/// Whether a paren group holds more than one (top-level) field.
+fn has_multiple_fields(stream: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && k + 1 < toks.len() => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, _) = skip_attrs(&toks, i);
+        i = ni;
+        let Some(name) = toks.get(i).and_then(ident_of) else {
+            break;
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                assert!(
+                    !has_multiple_fields(g.stream()),
+                    "serde_derive (vendored): tuple variants with more than one field are unsupported"
+                );
+                i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        out.push(Variant { name, kind });
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kw = toks
+        .get(i)
+        .and_then(ident_of)
+        .expect("expected `struct` or `enum`");
+    i += 1;
+    let name = toks.get(i).and_then(ident_of).expect("expected item name");
+    i += 1;
+    let mut generics = Vec::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        let (params, ni) = parse_generics(&toks, i + 1);
+        generics = params;
+        i = ni;
+    }
+    // Skip anything (e.g. a where clause) up to the body brace group.
+    let body = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => panic!("serde_derive (vendored): only braced structs and enums are supported"),
+        }
+    };
+    match kw.as_str() {
+        "struct" => Item::Struct {
+            name,
+            generics,
+            fields: parse_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            generics,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive (vendored): cannot derive for `{other}` items"),
+    }
+}
+
+fn impl_header(trait_path: &str, name: &str, generics: &[String]) -> String {
+    if generics.is_empty() {
+        format!("impl {trait_path} for {name}")
+    } else {
+        let bounded: Vec<String> = generics
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect();
+        format!(
+            "impl<{}> {trait_path} for {name}<{}>",
+            bounded.join(", "),
+            generics.join(", ")
+        )
+    }
+}
+
+fn map_entries(fields: &[Field], prefix: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({prefix}{n})),",
+                n = f.name
+            )
+        })
+        .collect()
+}
+
+fn field_reads(fields: &[Field], map_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let helper = if f.default { "field_default" } else { "field" };
+            format!(
+                "{n}: ::serde::__private::{helper}({map_var}, \"{n}\")?,",
+                n = f.name
+            )
+        })
+        .collect()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct {
+            name,
+            generics,
+            fields,
+        } => {
+            let header = impl_header("::serde::Serialize", &name, &generics);
+            let entries = map_entries(&fields, "&self.");
+            format!(
+                "{header} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Map(::std::vec![{entries}])
+                    }}
+                }}"
+            )
+        }
+        Item::Enum {
+            name,
+            generics,
+            variants,
+        } => {
+            let header = impl_header("::serde::Serialize", &name, &generics);
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Newtype => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![(
+                                ::std::string::String::from(\"{vn}\"),
+                                ::serde::Serialize::to_value(__f0),
+                            )]),"
+                        ),
+                        VariantKind::Struct(fields) => {
+                            let pats: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let entries = map_entries(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {pat} }} => ::serde::Value::Map(::std::vec![(
+                                    ::std::string::String::from(\"{vn}\"),
+                                    ::serde::Value::Map(::std::vec![{entries}]),
+                                )]),",
+                                pat = pats.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "{header} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("vendored serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct {
+            name,
+            generics,
+            fields,
+        } => {
+            let header = impl_header("::serde::Deserialize", &name, &generics);
+            let reads = field_reads(&fields, "__m");
+            format!(
+                "{header} {{
+                    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        let __m = __v
+                            .as_map()
+                            .ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}\", __v))?;
+                        ::std::result::Result::Ok({name} {{ {reads} }})
+                    }}
+                }}"
+            )
+        }
+        Item::Enum {
+            name,
+            generics,
+            variants,
+        } => {
+            let header = impl_header("::serde::Deserialize", &name, &generics);
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Newtype => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(
+                                ::serde::Deserialize::from_value(__inner)?
+                            )),"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let reads = field_reads(fields, "__fm");
+                            Some(format!(
+                                "\"{vn}\" => {{
+                                    let __fm = __inner.as_map().ok_or_else(||
+                                        ::serde::Error::expected(\"map\", \"{name}::{vn}\", __inner))?;
+                                    ::std::result::Result::Ok({name}::{vn} {{ {reads} }})
+                                }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "{header} {{
+                    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        if let ::std::option::Option::Some(__s) = __v.as_str() {{
+                            return match __s {{
+                                {unit_arms}
+                                __other => ::std::result::Result::Err(::serde::Error::msg(
+                                    ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),
+                            }};
+                        }}
+                        if let ::std::option::Option::Some(__m) = __v.as_map() {{
+                            if __m.len() == 1 {{
+                                let (__k, __inner) = &__m[0];
+                                return match __k.as_str() {{
+                                    {data_arms}
+                                    __other => ::std::result::Result::Err(::serde::Error::msg(
+                                        ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),
+                                }};
+                            }}
+                        }}
+                        ::std::result::Result::Err(::serde::Error::expected(\"enum\", \"{name}\", __v))
+                    }}
+                }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("vendored serde_derive generated invalid Rust")
+}
