@@ -5,6 +5,18 @@
 //! best direct classifier (XGBoost, per the paper's conclusion), and a
 //! combined time regressor — trained once on a labeled corpus for a chosen
 //! (GPU, precision) environment.
+//!
+//! ## Failure model
+//!
+//! This is the deployment boundary, so nothing here panics on bad input.
+//! Every recommendation is a [`Recommendation`] that names its
+//! [`RecommendationSource`]: the learned model when it produces a sane
+//! output, or the rule-based [`HeuristicAdvisor`] when the model path fails
+//! (non-finite features, non-finite scores, out-of-range class). Callers
+//! who need to distinguish the two inspect `source`; callers who need the
+//! raw failure use the `_checked` variants. Persisted models travel in a
+//! versioned, checksummed envelope so a corrupt, truncated, or stale
+//! artifact is a typed [`ArtifactError`] instead of a garbage advisor.
 
 use spmv_features::{extract, FeatureSet};
 use spmv_matrix::{CsrMatrix, Format, Scalar};
@@ -13,8 +25,192 @@ use spmv_ml::{Classifier, GbtClassifier, GbtParams};
 use crate::classify::SearchBudget;
 use crate::dataset::{ClassificationTask, RegressionTask};
 use crate::env::Env;
+use crate::faults::{fnv1a_64, FaultPlan, FaultSite};
+use crate::heuristic::HeuristicAdvisor;
 use crate::labels::LabeledCorpus;
 use crate::regress::{train_time_predictor, RegModelKind, TimePredictor};
+
+/// Where a [`Recommendation`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RecommendationSource {
+    /// The trained classifier / regressor produced a sane output.
+    Model,
+    /// The model path failed; the rule-based fallback answered instead.
+    Heuristic,
+}
+
+impl std::fmt::Display for RecommendationSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RecommendationSource::Model => "model",
+            RecommendationSource::Heuristic => "heuristic",
+        })
+    }
+}
+
+/// A format recommendation that carries its provenance: which path
+/// produced it and how confident that path is (the classifier's softmax
+/// probability, the regressor's margin over the runner-up, or the
+/// heuristic rule's fixed weight).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Recommendation {
+    /// The recommended storage format.
+    pub format: Format,
+    /// Which path produced the answer.
+    pub source: RecommendationSource,
+    /// In `[0, 1]`; comparable within a source, not across sources.
+    pub confidence: f64,
+}
+
+/// Why the model path of the advisor could not answer. Every variant is
+/// recoverable: [`FormatAdvisor::recommend`] converts all of them into a
+/// heuristic fallback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdvisorError {
+    /// Feature extraction produced NaN or infinity.
+    NonFiniteFeatures,
+    /// The classifier emitted a NaN/infinite probability.
+    NonFiniteModelOutput,
+    /// The classifier picked a class index outside the format list.
+    ClassOutOfRange {
+        /// The class index the model produced.
+        class: usize,
+        /// How many formats the advisor knows.
+        n_formats: usize,
+    },
+    /// The time regressor predicted NaN or infinity for a format.
+    NonFinitePrediction(Format),
+    /// A [`FaultPlan`] injected a failure at this site.
+    Injected(String),
+}
+
+impl std::fmt::Display for AdvisorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdvisorError::NonFiniteFeatures => {
+                write!(f, "feature extraction produced non-finite values")
+            }
+            AdvisorError::NonFiniteModelOutput => {
+                write!(f, "classifier produced non-finite probabilities")
+            }
+            AdvisorError::ClassOutOfRange { class, n_formats } => {
+                write!(
+                    f,
+                    "classifier chose class {class} but only {n_formats} formats exist"
+                )
+            }
+            AdvisorError::NonFinitePrediction(fmt) => {
+                write!(
+                    f,
+                    "time regressor produced a non-finite prediction for {fmt}"
+                )
+            }
+            AdvisorError::Injected(why) => write!(f, "{why}"),
+        }
+    }
+}
+
+impl std::error::Error for AdvisorError {}
+
+/// Magic string opening every persisted advisor artifact.
+pub const ARTIFACT_MAGIC: &str = "spmv-advisor";
+/// Version of the envelope format itself (not of the GPU model).
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Why a persisted advisor artifact was rejected at load time.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file is not valid artifact JSON (truncated, garbage, or a
+    /// pre-envelope raw model dump).
+    Malformed(String),
+    /// The file parses but is not an advisor artifact.
+    WrongMagic(String),
+    /// The envelope format is from a different release.
+    UnsupportedVersion(u32),
+    /// The payload does not hash to the recorded checksum — the file was
+    /// corrupted or hand-edited after save.
+    ChecksumMismatch {
+        /// Checksum recorded in the envelope.
+        expected: String,
+        /// Checksum of the payload actually found.
+        found: String,
+    },
+    /// The advisor was trained against a different GPU-model version; its
+    /// predictions no longer describe the current simulator.
+    StaleModel {
+        /// Version recorded in the artifact.
+        artifact: u32,
+        /// Version this build predicts with.
+        current: u32,
+    },
+    /// A [`FaultPlan`] injected a failure at the load site.
+    Injected(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "{e}"),
+            ArtifactError::Malformed(why) => write!(f, "malformed advisor artifact: {why}"),
+            ArtifactError::WrongMagic(m) => {
+                write!(
+                    f,
+                    "not an advisor artifact (magic {m:?}, expected {ARTIFACT_MAGIC:?})"
+                )
+            }
+            ArtifactError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported artifact version {v} (this build reads {ARTIFACT_VERSION})"
+                )
+            }
+            ArtifactError::ChecksumMismatch { expected, found } => {
+                write!(
+                    f,
+                    "artifact checksum mismatch: recorded {expected}, computed {found}"
+                )
+            }
+            ArtifactError::StaleModel { artifact, current } => write!(
+                f,
+                "stale advisor: trained under GPU model v{artifact}, simulator is v{current}"
+            ),
+            ArtifactError::Injected(why) => write!(f, "{why}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+/// The on-disk envelope. The payload is the advisor serialized to a JSON
+/// *string* so the checksum is over exact bytes, immune to key reordering
+/// or whitespace differences between serializer versions.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Artifact {
+    magic: String,
+    artifact_version: u32,
+    model_version: u32,
+    checksum: String,
+    payload: String,
+}
+
+fn checksum_of(payload: &str) -> String {
+    format!("{:016x}", fnv1a_64(&[payload.as_bytes()]))
+}
 
 /// A trained format advisor for one environment. Serializable: train once
 /// (expensive — needs the labeled corpus), then [`FormatAdvisor::save`] the
@@ -26,6 +222,9 @@ pub struct FormatAdvisor {
     formats: Vec<Format>,
     classifier: GbtClassifier,
     predictor: TimePredictor,
+    /// GPU-model version the training labels were measured under.
+    #[serde(default)]
+    model_version: u32,
 }
 
 impl FormatAdvisor {
@@ -64,6 +263,7 @@ impl FormatAdvisor {
             formats,
             classifier,
             predictor,
+            model_version: corpus.model_version,
         }
     }
 
@@ -72,21 +272,115 @@ impl FormatAdvisor {
         self.env
     }
 
-    /// Recommend a storage format for `matrix`.
-    pub fn recommend<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> Format {
-        let features = extract(matrix).project(self.set);
-        self.formats[self
+    /// GPU-model version the training labels were measured under.
+    pub fn model_version(&self) -> u32 {
+        self.model_version
+    }
+
+    /// Recommend a storage format for `matrix`. Never fails: if the model
+    /// path errors, the answer comes from [`HeuristicAdvisor`] and says so
+    /// in its `source`.
+    pub fn recommend<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> Recommendation {
+        self.recommend_with(matrix, &FaultPlan::none())
+    }
+
+    /// [`FormatAdvisor::recommend`] under a fault plan (testing hook): the
+    /// `FeatureExtraction` site can be forced to fail, exercising the
+    /// heuristic fallback on demand.
+    pub fn recommend_with<T: Scalar>(
+        &self,
+        matrix: &CsrMatrix<T>,
+        plan: &FaultPlan,
+    ) -> Recommendation {
+        match self.recommend_checked_with(matrix, plan) {
+            Ok(rec) => rec,
+            Err(_) => HeuristicAdvisor.recommend(matrix),
+        }
+    }
+
+    /// The model-path recommendation, surfacing failures instead of
+    /// falling back.
+    pub fn recommend_checked<T: Scalar>(
+        &self,
+        matrix: &CsrMatrix<T>,
+    ) -> Result<Recommendation, AdvisorError> {
+        self.recommend_checked_with(matrix, &FaultPlan::none())
+    }
+
+    fn recommend_checked_with<T: Scalar>(
+        &self,
+        matrix: &CsrMatrix<T>,
+        plan: &FaultPlan,
+    ) -> Result<Recommendation, AdvisorError> {
+        let key = format!("{}x{}/{}", matrix.n_rows(), matrix.n_cols(), matrix.nnz());
+        if plan.should_fail(FaultSite::FeatureExtraction, &key) {
+            return Err(AdvisorError::Injected(FaultPlan::reason(
+                FaultSite::FeatureExtraction,
+                &key,
+            )));
+        }
+        let fv = extract(matrix);
+        if !fv.is_finite() {
+            return Err(AdvisorError::NonFiniteFeatures);
+        }
+        let features = fv.project(self.set);
+        let probs = self
             .classifier
-            .predict_one(&features)
-            .min(self.formats.len() - 1)]
+            .predict_proba_one(&features, self.formats.len());
+        if probs.iter().any(|p| !p.is_finite()) {
+            return Err(AdvisorError::NonFiniteModelOutput);
+        }
+        let (class, confidence) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, p)| (i, *p))
+            .unwrap_or((0, 0.0));
+        match self.formats.get(class) {
+            Some(&format) => Ok(Recommendation {
+                format,
+                source: RecommendationSource::Model,
+                confidence,
+            }),
+            None => Err(AdvisorError::ClassOutOfRange {
+                class,
+                n_formats: self.formats.len(),
+            }),
+        }
     }
 
     /// Predict SpMV time (seconds) for `matrix` in every format,
-    /// best-first.
+    /// best-first. Non-finite regressor outputs are clamped to
+    /// `f64::INFINITY` so they sort last instead of poisoning the ranking;
+    /// use [`FormatAdvisor::predict_times_checked`] to detect them.
     pub fn predict_times<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> Vec<(Format, f64)> {
+        let mut out = self.raw_times(matrix);
+        for (_, t) in &mut out {
+            if !t.is_finite() {
+                *t = f64::INFINITY;
+            }
+        }
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        out
+    }
+
+    /// [`FormatAdvisor::predict_times`] that fails on the first non-finite
+    /// prediction instead of clamping it.
+    pub fn predict_times_checked<T: Scalar>(
+        &self,
+        matrix: &CsrMatrix<T>,
+    ) -> Result<Vec<(Format, f64)>, AdvisorError> {
+        let mut out = self.raw_times(matrix);
+        if let Some(&(fmt, _)) = out.iter().find(|(_, t)| !t.is_finite()) {
+            return Err(AdvisorError::NonFinitePrediction(fmt));
+        }
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        Ok(out)
+    }
+
+    fn raw_times<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> Vec<(Format, f64)> {
         let base = extract(matrix).project(self.set);
-        let mut out: Vec<(Format, f64)> = self
-            .formats
+        self.formats
             .iter()
             .enumerate()
             .map(|(k, &f)| {
@@ -96,30 +390,96 @@ impl FormatAdvisor {
                 }
                 (f, self.predictor.predict_row(&row))
             })
-            .collect();
-        out.sort_by(|a, b| a.1.total_cmp(&b.1));
-        out
+            .collect()
     }
 
-    /// Indirect recommendation: the format with the fastest predicted time.
-    pub fn recommend_by_time<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> Format {
-        self.predict_times(matrix)[0].0
+    /// Indirect recommendation: the format with the fastest predicted
+    /// time. Confidence is the margin over the runner-up. Falls back to
+    /// the heuristic when the best prediction is non-finite.
+    pub fn recommend_by_time<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> Recommendation {
+        let times = self.predict_times(matrix);
+        match times.first() {
+            Some(&(format, best)) if best.is_finite() => {
+                let confidence = match times.get(1) {
+                    Some(&(_, second)) if second.is_finite() && second > 0.0 => {
+                        (1.0 - best / second).clamp(0.0, 1.0)
+                    }
+                    _ => 1.0,
+                };
+                Recommendation {
+                    format,
+                    source: RecommendationSource::Model,
+                    confidence,
+                }
+            }
+            _ => HeuristicAdvisor.recommend(matrix),
+        }
     }
 
-    /// Persist the trained advisor as JSON.
-    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+    /// Persist the trained advisor as a versioned, checksummed artifact.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), ArtifactError> {
+        let payload =
+            serde_json::to_string(self).map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+        let artifact = Artifact {
+            magic: ARTIFACT_MAGIC.to_string(),
+            artifact_version: ARTIFACT_VERSION,
+            model_version: self.model_version,
+            checksum: checksum_of(&payload),
+            payload,
+        };
         let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
+        serde_json::to_writer(std::io::BufWriter::new(file), &artifact)
+            .map_err(|e| ArtifactError::Malformed(e.to_string()))
     }
 
-    /// Load a previously saved advisor.
-    pub fn load(path: &std::path::Path) -> std::io::Result<FormatAdvisor> {
-        let file = std::fs::File::open(path)?;
-        serde_json::from_reader(std::io::BufReader::new(file)).map_err(std::io::Error::other)
+    /// Load a previously saved advisor, rejecting anything that is not a
+    /// well-formed, checksum-clean artifact from the current GPU-model
+    /// version.
+    pub fn load(path: &std::path::Path) -> Result<FormatAdvisor, ArtifactError> {
+        Self::load_with(path, &FaultPlan::none())
+    }
+
+    /// [`FormatAdvisor::load`] under a fault plan: the `ModelLoad` site
+    /// can be forced to fail, exercising artifact-rejection handling.
+    pub fn load_with(
+        path: &std::path::Path,
+        plan: &FaultPlan,
+    ) -> Result<FormatAdvisor, ArtifactError> {
+        let key = path.display().to_string();
+        if plan.should_fail(FaultSite::ModelLoad, &key) {
+            return Err(ArtifactError::Injected(FaultPlan::reason(
+                FaultSite::ModelLoad,
+                &key,
+            )));
+        }
+        let text = std::fs::read_to_string(path)?;
+        let artifact: Artifact =
+            serde_json::from_str(&text).map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+        if artifact.magic != ARTIFACT_MAGIC {
+            return Err(ArtifactError::WrongMagic(artifact.magic));
+        }
+        if artifact.artifact_version != ARTIFACT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion(artifact.artifact_version));
+        }
+        let found = checksum_of(&artifact.payload);
+        if found != artifact.checksum {
+            return Err(ArtifactError::ChecksumMismatch {
+                expected: artifact.checksum,
+                found,
+            });
+        }
+        if artifact.model_version != spmv_gpusim::MODEL_VERSION {
+            return Err(ArtifactError::StaleModel {
+                artifact: artifact.model_version,
+                current: spmv_gpusim::MODEL_VERSION,
+            });
+        }
+        serde_json::from_str(&artifact.payload).map_err(|e| ArtifactError::Malformed(e.to_string()))
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::labels::tests_support::tiny_labeled_corpus;
@@ -140,22 +500,37 @@ mod tests {
         b.build().to_csr()
     }
 
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("spmv_advisor_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
     #[test]
     fn advisor_produces_a_recommendation() {
         let a = advisor();
         let m = banded_matrix();
-        let f = a.recommend(&m);
-        assert!(Format::ALL.contains(&f));
+        let rec = a.recommend(&m);
+        assert!(Format::ALL.contains(&rec.format));
+        assert_eq!(rec.source, RecommendationSource::Model);
+        assert!((0.0..=1.0).contains(&rec.confidence));
         assert_eq!(a.env().label(), "K80c double");
+        assert_eq!(a.model_version(), spmv_gpusim::MODEL_VERSION);
+    }
+
+    #[test]
+    fn checked_and_unchecked_paths_agree_on_healthy_input() {
+        let a = advisor();
+        let m = banded_matrix();
+        assert_eq!(a.recommend_checked(&m).unwrap(), a.recommend(&m));
+        assert_eq!(a.predict_times_checked(&m).unwrap(), a.predict_times(&m));
     }
 
     #[test]
     fn advisor_round_trips_through_disk() {
         let a = advisor();
         let m = banded_matrix();
-        let dir = std::env::temp_dir().join("spmv_advisor_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("advisor.json");
+        let path = tmpfile("advisor.json");
         a.save(&path).unwrap();
         let back = FormatAdvisor::load(&path).unwrap();
         assert_eq!(back.recommend(&m), a.recommend(&m));
@@ -178,6 +553,122 @@ mod tests {
         for w in times.windows(2) {
             assert!(w[0].1 <= w[1].1);
         }
-        assert_eq!(a.recommend_by_time(&m), times[0].0);
+        let by_time = a.recommend_by_time(&m);
+        assert_eq!(by_time.format, times[0].0);
+        assert_eq!(by_time.source, RecommendationSource::Model);
+    }
+
+    #[test]
+    fn injected_feature_fault_falls_back_to_heuristic() {
+        let a = advisor();
+        let m = banded_matrix();
+        let plan = FaultPlan::always(FaultSite::FeatureExtraction);
+        let rec = a.recommend_with(&m, &plan);
+        assert_eq!(rec.source, RecommendationSource::Heuristic);
+        // The banded matrix has uniform rows, so the rules say ELL.
+        assert_eq!(rec.format, Format::Ell);
+        // And the checked path reports the injection as a typed error.
+        let err = a.recommend_checked_with(&m, &plan).unwrap_err();
+        assert!(matches!(err, AdvisorError::Injected(_)));
+    }
+
+    #[test]
+    fn truncated_artifact_is_rejected_not_parsed() {
+        let a = advisor();
+        let path = tmpfile("truncated.json");
+        a.save(&path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            FormatAdvisor::load(&path),
+            Err(ArtifactError::Malformed(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let a = advisor();
+        let path = tmpfile("corrupt.json");
+        a.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip a digit inside the payload without breaking the JSON.
+        let idx = text.find("0.1").expect("some numeric literal");
+        let mut bytes = text.into_bytes();
+        bytes[idx] = b'9';
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            FormatAdvisor::load(&path),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_and_foreign_artifacts_are_rejected() {
+        let a = advisor();
+        let path = tmpfile("stale.json");
+        a.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let pristine: Artifact = serde_json::from_str(&text).unwrap();
+        let rewrite = |art: &Artifact| {
+            std::fs::write(&path, serde_json::to_string(art).unwrap()).unwrap();
+        };
+
+        let mut stale = Artifact {
+            magic: pristine.magic.clone(),
+            artifact_version: pristine.artifact_version,
+            model_version: 0,
+            checksum: pristine.checksum.clone(),
+            payload: pristine.payload.clone(),
+        };
+        rewrite(&stale);
+        assert!(matches!(
+            FormatAdvisor::load(&path),
+            Err(ArtifactError::StaleModel { artifact: 0, .. })
+        ));
+
+        stale.model_version = spmv_gpusim::MODEL_VERSION;
+        stale.artifact_version = 99;
+        rewrite(&stale);
+        assert!(matches!(
+            FormatAdvisor::load(&path),
+            Err(ArtifactError::UnsupportedVersion(99))
+        ));
+
+        stale.artifact_version = ARTIFACT_VERSION;
+        stale.magic = "not-an-advisor".to_string();
+        rewrite(&stale);
+        assert!(matches!(
+            FormatAdvisor::load(&path),
+            Err(ArtifactError::WrongMagic(_))
+        ));
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_artifact_is_an_io_error() {
+        let path = tmpfile("does_not_exist.json");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            FormatAdvisor::load(&path),
+            Err(ArtifactError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn injected_model_load_fault_is_typed() {
+        let a = advisor();
+        let path = tmpfile("injected.json");
+        a.save(&path).unwrap();
+        let plan = FaultPlan::always(FaultSite::ModelLoad);
+        assert!(matches!(
+            FormatAdvisor::load_with(&path, &plan),
+            Err(ArtifactError::Injected(_))
+        ));
+        // The same path without the plan still loads.
+        assert!(FormatAdvisor::load(&path).is_ok());
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -6,85 +6,153 @@
 //! Usage:
 //!   spmv-advisor <matrix.mtx> [--gpu k80c|p100] [--precision single|double]
 //!                [--train-scale tiny|small] [--explain]
+//!                [--model <advisor.json>] [--save-model <advisor.json>]
 //!
+//! `--model` loads a saved advisor artifact instead of training;
+//! `--save-model` persists the trained advisor for later `--model` runs.
 //! `--explain` additionally prints the GPU model's per-format timing
 //! breakdown (launch / compute / DRAM / L2 / critical-path / atomics and
 //! the binding bottleneck) — the "why" behind the recommendation.
 //!
-//! The advisor trains on a cached synthetic corpus on first use (the cache
-//! lives next to the repro harness's, under `results/`).
+//! Exit codes (stable, for scripting):
+//!   0  success
+//!   2  usage error (unknown flag, missing or duplicate input path)
+//!   3  the matrix file is missing or malformed
+//!   4  the model artifact is missing, corrupt, or stale
+//!
+//! Every failure prints exactly one `spmv-advisor: error: ...` line on
+//! stderr. The advisor trains on a cached synthetic corpus on first use
+//! (the cache lives next to the repro harness's, under `results/`).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use spmv_core::experiments::ExperimentConfig;
-use spmv_core::{Env, FormatAdvisor, SearchBudget};
+use spmv_core::{Env, FormatAdvisor, Recommendation, SearchBudget};
 use spmv_corpus::CorpusScale;
 use spmv_features::{extract, FeatureId};
 use spmv_gpusim::{predict, KernelProfile};
 use spmv_matrix::{mm, Format, Precision, SparseMatrix};
 
-fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
+/// Usage error (exit 2).
+const EXIT_USAGE: u8 = 2;
+/// Matrix read/parse error (exit 3).
+const EXIT_MATRIX: u8 = 3;
+/// Model artifact error (exit 4).
+const EXIT_ARTIFACT: u8 = 4;
+
+const USAGE: &str = "usage: spmv-advisor <matrix.mtx> [--gpu k80c|p100] \
+                     [--precision single|double] [--train-scale tiny|small] [--explain] \
+                     [--model <advisor.json>] [--save-model <advisor.json>]";
+
+fn fail(code: u8, msg: &str) -> ExitCode {
+    eprintln!("spmv-advisor: error: {msg}");
+    ExitCode::from(code)
+}
+
+struct Opts {
+    path: PathBuf,
+    arch_idx: usize,
+    precision: Precision,
+    scale: CorpusScale,
+    explain: bool,
+    model: Option<PathBuf>,
+    save_model: Option<PathBuf>,
+}
+
+/// Parse argv. `Ok(None)` means `--help` was requested (exit 0);
+/// `Err(msg)` is a usage error (exit 2).
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String> {
+    let mut args = args;
     let mut path: Option<PathBuf> = None;
     let mut arch_idx = 1usize; // P100
     let mut precision = Precision::Double;
     let mut scale = CorpusScale::Small;
     let mut explain = false;
+    let mut model: Option<PathBuf> = None;
+    let mut save_model: Option<PathBuf> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--gpu" => match args.next().as_deref() {
                 Some("k80c") | Some("K80c") => arch_idx = 0,
                 Some("p100") | Some("P100") => arch_idx = 1,
-                other => {
-                    eprintln!("unknown --gpu {other:?} (k80c|p100)");
-                    return ExitCode::FAILURE;
-                }
+                other => return Err(format!("unknown --gpu {other:?} (k80c|p100)")),
             },
             "--precision" => match args.next().as_deref() {
                 Some("single") => precision = Precision::Single,
                 Some("double") => precision = Precision::Double,
-                other => {
-                    eprintln!("unknown --precision {other:?} (single|double)");
-                    return ExitCode::FAILURE;
-                }
+                other => return Err(format!("unknown --precision {other:?} (single|double)")),
             },
             "--train-scale" => match args.next().as_deref() {
                 Some("tiny") => scale = CorpusScale::Tiny,
                 Some("small") => scale = CorpusScale::Small,
-                other => {
-                    eprintln!("unknown --train-scale {other:?} (tiny|small)");
-                    return ExitCode::FAILURE;
-                }
+                other => return Err(format!("unknown --train-scale {other:?} (tiny|small)")),
+            },
+            "--model" => match args.next() {
+                Some(p) => model = Some(PathBuf::from(p)),
+                None => return Err("--model needs a path".into()),
+            },
+            "--save-model" => match args.next() {
+                Some(p) => save_model = Some(PathBuf::from(p)),
+                None => return Err("--save-model needs a path".into()),
             },
             "--explain" => explain = true,
-            "--help" | "-h" => {
-                eprintln!(
-                    "usage: spmv-advisor <matrix.mtx> [--gpu k80c|p100] \
-                     [--precision single|double] [--train-scale tiny|small] [--explain]"
-                );
-                return ExitCode::SUCCESS;
+            "--help" | "-h" => return Ok(None),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'; see --help"))
             }
-            other => path = Some(PathBuf::from(other)),
+            other => {
+                if let Some(first) = &path {
+                    return Err(format!(
+                        "two input files given ({} and {other}); expected one",
+                        first.display()
+                    ));
+                }
+                path = Some(PathBuf::from(other));
+            }
         }
     }
-    let Some(path) = path else {
-        eprintln!("error: no input file; see --help");
-        return ExitCode::FAILURE;
+    let path = path.ok_or_else(|| "no input file; see --help".to_string())?;
+    Ok(Some(Opts {
+        path,
+        arch_idx,
+        precision,
+        scale,
+        explain,
+        model,
+        save_model,
+    }))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{USAGE}");
+            return fail(EXIT_USAGE, &msg);
+        }
     };
 
-    // 1. Load the matrix.
-    let coo = match mm::read_matrix_market_file::<f64, _>(&path) {
+    // 1. Load the matrix: exit 3 on anything the parser rejects.
+    let coo = match mm::read_matrix_market_file::<f64, _>(&opts.path) {
         Ok(m) => m,
         Err(e) => {
-            eprintln!("error reading {}: {e}", path.display());
-            return ExitCode::FAILURE;
+            return fail(
+                EXIT_MATRIX,
+                &format!("reading {}: {e}", opts.path.display()),
+            )
         }
     };
     let csr = coo.to_csr();
     println!(
         "{}: {} x {}, {} non-zeros",
-        path.display(),
+        opts.path.display(),
         csr.n_rows(),
         csr.n_cols(),
         csr.nnz()
@@ -102,35 +170,72 @@ fn main() -> ExitCode {
         );
     }
 
-    // 3. Train (cached corpus) and advise.
-    let cfg = match scale {
-        CorpusScale::Tiny => ExperimentConfig::tiny(),
-        _ => ExperimentConfig::quick(),
-    };
     let env = Env {
-        arch_idx,
-        precision,
+        arch_idx: opts.arch_idx,
+        precision: opts.precision,
     };
-    eprintln!(
-        "\ntraining advisor for {} (corpus cached under results/)...",
-        env.label()
-    );
-    let corpus = cfg.corpus();
-    let advisor = FormatAdvisor::train(&corpus, env, SearchBudget::Quick);
 
-    let rec = advisor.recommend(&csr);
-    println!("\nrecommended format ({}): {}", env.label(), rec.label());
+    // 3. Obtain an advisor: load a saved artifact (exit 4 if rejected) or
+    // train on the cached corpus.
+    let advisor = match &opts.model {
+        Some(mp) => match FormatAdvisor::load(mp) {
+            Ok(a) => {
+                if a.env() != env {
+                    eprintln!(
+                        "spmv-advisor: note: artifact was trained for {}, requested {}",
+                        a.env().label(),
+                        env.label()
+                    );
+                }
+                a
+            }
+            Err(e) => return fail(EXIT_ARTIFACT, &format!("loading {}: {e}", mp.display())),
+        },
+        None => {
+            let cfg = match opts.scale {
+                CorpusScale::Tiny => ExperimentConfig::tiny(),
+                _ => ExperimentConfig::quick(),
+            };
+            eprintln!(
+                "\ntraining advisor for {} (corpus cached under results/)...",
+                env.label()
+            );
+            let corpus = cfg.corpus();
+            FormatAdvisor::train(&corpus, env, SearchBudget::Quick)
+        }
+    };
+    if let Some(sp) = &opts.save_model {
+        if let Err(e) = advisor.save(sp) {
+            return fail(EXIT_ARTIFACT, &format!("saving {}: {e}", sp.display()));
+        }
+        eprintln!("spmv-advisor: saved model artifact to {}", sp.display());
+    }
+
+    // 4. Recommend. `recommend` never fails: a broken model path degrades
+    // to the rule-based heuristic and says so in `source`.
+    let rec: Recommendation = advisor.recommend(&csr);
+    println!(
+        "\nrecommended format ({}): {}  [{} path, confidence {:.2}]",
+        env.label(),
+        rec.format.label(),
+        rec.source,
+        rec.confidence
+    );
     println!("\npredicted SpMV times:");
     for (fmt, t) in advisor.predict_times(&csr) {
-        let marker = if fmt == rec {
-            "  <- classifier pick"
+        let marker = if fmt == rec.format {
+            "  <- advisor pick"
         } else {
             ""
         };
-        println!("  {:<10} {:>10.2} us{}", fmt.label(), t * 1e6, marker);
+        if t.is_finite() {
+            println!("  {:<10} {:>10.2} us{}", fmt.label(), t * 1e6, marker);
+        } else {
+            println!("  {:<10} {:>10}{}", fmt.label(), "n/a", marker);
+        }
     }
 
-    if explain {
+    if opts.explain {
         println!(
             "\nGPU-model breakdown on {} (simulator ground truth):",
             env.label()

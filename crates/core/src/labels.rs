@@ -2,17 +2,26 @@
 //! format on every (machine, precision) cell and record the averaged
 //! execution time. This is the expensive step, so results are cached to
 //! JSON and collection is parallelized over matrices.
+//!
+//! Failure is a first-class outcome here, mirroring the paper's matrices
+//! that "failed to execute for one or more storage formats": a format
+//! conversion error, an injected measurement fault, or even a panicking
+//! worker degrades to structured [`LabelFailure`] cells on the record —
+//! the corpus survives, downstream studies filter with
+//! [`LabeledCorpus::usable`], and [`MatrixRecord::outcome`] exposes each
+//! cell as measured-or-failed.
 
 use std::path::Path;
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use spmv_corpus::SyntheticSuite;
 use spmv_features::{extract, FeatureVector};
 use spmv_gpusim::{cell_seed, GpuArch, KernelProfile, Simulator};
 use spmv_matrix::{CsrMatrix, Format, Precision, SparseMatrix};
+use spmv_ml::Executor;
 
 use crate::env::Env;
+use crate::faults::{FaultPlan, FaultSite};
 
 /// Number of formats (indexing follows [`Format::ALL`]).
 pub const N_FORMATS: usize = 6;
@@ -22,6 +31,42 @@ pub const N_FORMATS: usize = 6;
 /// paper likewise drops matrices that "failed to execute for one or more
 /// storage formats".
 pub type CellTimes = [[[Option<f64>; N_FORMATS]; 2]; 2];
+
+/// One structured labeling failure: which format (and optionally which
+/// environment) could not be measured, and why. A `format` of `None`
+/// marks a matrix-wide failure (feature extraction, worker panic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelFailure {
+    /// Format whose labeling failed; `None` = the whole matrix.
+    pub format: Option<Format>,
+    /// Environment the failure is confined to; `None` = every cell of the
+    /// format (e.g. a conversion failure precedes all measurements).
+    pub env: Option<Env>,
+    /// Human-readable cause (a [`spmv_matrix::MatrixError`] display, a
+    /// contained panic message, or an injected-fault tag).
+    pub reason: String,
+}
+
+/// One (matrix, format, env) cell of the label grid, as downstream
+/// consumers see it: either a measured time or a recorded failure — the
+/// paper's two possible outcomes of running a matrix in a format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabelOutcome {
+    /// Averaged execution time in seconds.
+    Measured(f64),
+    /// The cell could not be measured; carries the recorded reason.
+    Failed(String),
+}
+
+impl LabelOutcome {
+    /// The measured time, if any.
+    pub fn time(&self) -> Option<f64> {
+        match self {
+            LabelOutcome::Measured(t) => Some(*t),
+            LabelOutcome::Failed(_) => None,
+        }
+    }
+}
 
 /// One labeled matrix: its features plus the full measurement grid.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -38,6 +83,11 @@ pub struct MatrixRecord {
     pub features: FeatureVector,
     /// The measurement grid.
     pub times: CellTimes,
+    /// Structured failure cells. Empty on the happy path — and skipped
+    /// when serializing, so fault-free label caches stay byte-identical
+    /// to the pre-failure-model format.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub failures: Vec<LabelFailure>,
 }
 
 impl MatrixRecord {
@@ -68,6 +118,22 @@ impl MatrixRecord {
                 .all(|f| self.env_times(e)[f.class_id()].is_some())
         })
     }
+
+    /// The structured outcome of one (format, env) cell: measured time, or
+    /// the recorded failure that explains the hole in the grid.
+    pub fn outcome(&self, env: Env, fmt: Format) -> LabelOutcome {
+        if let Some(t) = self.env_times(env)[fmt.class_id()] {
+            return LabelOutcome::Measured(t);
+        }
+        for f in &self.failures {
+            let format_matches = f.format.is_none() || f.format == Some(fmt);
+            let env_matches = f.env.is_none() || f.env == Some(env);
+            if format_matches && env_matches {
+                return LabelOutcome::Failed(f.reason.clone());
+            }
+        }
+        LabelOutcome::Failed("no measurement recorded".to_string())
+    }
 }
 
 /// A fully labeled corpus.
@@ -87,60 +153,161 @@ pub struct LabeledCorpus {
 /// The kernel profile is architecture- and precision-independent, so each
 /// format is profiled once and timed four times.
 pub fn measure_matrix(csr: &CsrMatrix<f64>, sim: &Simulator, noise_seed: u64) -> CellTimes {
+    measure_matrix_outcomes(csr, sim, noise_seed, "", &FaultPlan::none()).0
+}
+
+/// [`measure_matrix`] with structured failure reporting and fault
+/// injection: every hole in the returned grid has a matching
+/// [`LabelFailure`] explaining it. `name` keys the fault-plan decisions
+/// (and the recorded reasons), so an injected run is reproducible.
+pub fn measure_matrix_outcomes(
+    csr: &CsrMatrix<f64>,
+    sim: &Simulator,
+    noise_seed: u64,
+    name: &str,
+    plan: &FaultPlan,
+) -> (CellTimes, Vec<LabelFailure>) {
     let mut times: CellTimes = [[[None; N_FORMATS]; 2]; 2];
+    let mut failures: Vec<LabelFailure> = Vec::new();
     for fmt in Format::ALL {
-        let Ok(m) = SparseMatrix::from_csr(csr, fmt) else {
-            continue; // conversion failed; leave None
+        let conv_key = format!("{name}/{fmt}");
+        if plan.should_fail(FaultSite::Conversion, &conv_key) {
+            failures.push(LabelFailure {
+                format: Some(fmt),
+                env: None,
+                reason: FaultPlan::reason(FaultSite::Conversion, &conv_key),
+            });
+            continue;
+        }
+        let m = match SparseMatrix::from_csr(csr, fmt) {
+            Ok(m) => m,
+            Err(e) => {
+                // The paper's organic failure case (ELL padding blow-up):
+                // recorded, not fatal.
+                failures.push(LabelFailure {
+                    format: Some(fmt),
+                    env: None,
+                    reason: e.to_string(),
+                });
+                continue;
+            }
         };
         let profile = KernelProfile::of(&m);
         for (ai, arch) in GpuArch::PAPER_MACHINES.iter().enumerate() {
             for prec in Precision::ALL {
+                let env = Env {
+                    arch_idx: ai,
+                    precision: prec,
+                };
+                let cell_key = format!("{name}/{fmt}/{}/{}", arch.name, prec.label());
+                if plan.should_fail(FaultSite::Measurement, &cell_key) {
+                    failures.push(LabelFailure {
+                        format: Some(fmt),
+                        env: Some(env),
+                        reason: FaultPlan::reason(FaultSite::Measurement, &cell_key),
+                    });
+                    continue;
+                }
                 let seed = cell_seed(noise_seed, fmt, arch, prec);
                 let meas = sim.measure_profile(&profile, arch, prec, seed);
                 times[ai][prec.idx()][fmt.class_id()] = Some(meas.time_s);
             }
         }
     }
-    times
+    (times, failures)
 }
 
 impl LabeledCorpus {
     /// Label every matrix of `suite`, running `threads` workers.
     pub fn collect(suite: &SyntheticSuite, sim: &Simulator, threads: usize) -> LabeledCorpus {
+        Self::collect_with(suite, sim, threads, &FaultPlan::none())
+    }
+
+    /// [`LabeledCorpus::collect`] under a fault plan. Worker panics —
+    /// injected or genuine — are contained per matrix via the executor's
+    /// `catch_unwind` path and degrade to a record whose failure cell
+    /// carries the panic message; the rest of the corpus labels normally
+    /// and no lock is ever poisoned. With `FaultPlan::none()` the result
+    /// is identical to a plain `collect`.
+    pub fn collect_with(
+        suite: &SyntheticSuite,
+        sim: &Simulator,
+        threads: usize,
+        plan: &FaultPlan,
+    ) -> LabeledCorpus {
         let n = suite.specs.len();
-        let results: Vec<Mutex<Option<MatrixRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let threads = threads.clamp(1, n.max(1));
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
+        let exec = Executor::new(threads.clamp(1, n.max(1)));
+        let results = exec.try_map(n, |i| {
+            let spec = &suite.specs[i];
+            if plan.should_fail(FaultSite::WorkerPanic, &spec.name) {
+                panic!("{}", FaultPlan::reason(FaultSite::WorkerPanic, &spec.name));
+            }
+            let csr: CsrMatrix<f64> = spec.generate();
+            let mut failures: Vec<LabelFailure> = Vec::new();
+            let features = if plan.should_fail(FaultSite::FeatureExtraction, &spec.name) {
+                failures.push(LabelFailure {
+                    format: None,
+                    env: None,
+                    reason: FaultPlan::reason(FaultSite::FeatureExtraction, &spec.name),
+                });
+                FeatureVector::zeros()
+            } else {
+                let f = extract(&csr);
+                // Finite-feature guard: a degenerate matrix must never
+                // smuggle NaN/Inf into the training set.
+                if f.is_finite() {
+                    f
+                } else {
+                    failures.push(LabelFailure {
+                        format: None,
+                        env: None,
+                        reason: "feature extraction produced non-finite values".to_string(),
+                    });
+                    FeatureVector::zeros()
+                }
+            };
+            let (times, measure_failures) =
+                measure_matrix_outcomes(&csr, sim, spec.seed, &spec.name, plan);
+            failures.extend(measure_failures);
+            MatrixRecord {
+                name: spec.name.clone(),
+                bucket: suite.bucket_of[i],
+                family: spec.kind.family().to_string(),
+                shape: (csr.n_rows(), csr.n_cols(), csr.nnz()),
+                features,
+                times,
+                failures,
+            }
+        });
+        let records = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                Ok(rec) => rec,
+                Err(p) => {
+                    // Contained worker panic: a degraded all-failed record
+                    // keeps the corpus aligned with the suite.
                     let spec = &suite.specs[i];
-                    let csr: CsrMatrix<f64> = spec.generate();
-                    let features = extract(&csr);
-                    let times = measure_matrix(&csr, sim, spec.seed);
-                    *results[i].lock() = Some(MatrixRecord {
+                    MatrixRecord {
                         name: spec.name.clone(),
                         bucket: suite.bucket_of[i],
                         family: spec.kind.family().to_string(),
-                        shape: (csr.n_rows(), csr.n_cols(), csr.nnz()),
-                        features,
-                        times,
-                    });
-                });
-            }
-        })
-        .expect("label worker panicked");
+                        shape: (0, 0, 0),
+                        features: FeatureVector::zeros(),
+                        times: [[[None; N_FORMATS]; 2]; 2],
+                        failures: vec![LabelFailure {
+                            format: None,
+                            env: None,
+                            reason: format!("label worker panicked: {}", p.message),
+                        }],
+                    }
+                }
+            })
+            .collect();
         LabeledCorpus {
             suite_seed: suite.seed,
             model_version: spmv_gpusim::MODEL_VERSION,
-            records: results
-                .into_iter()
-                .map(|m| m.into_inner().expect("record produced"))
-                .collect(),
+            records,
         }
     }
 
@@ -192,6 +359,7 @@ impl LabeledCorpus {
 
 /// Shared helpers for this crate's unit tests.
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 pub(crate) mod tests_support {
     use super::*;
     use spmv_corpus::CorpusScale;
@@ -203,7 +371,9 @@ pub(crate) mod tests_support {
     pub(crate) fn tiny_labeled_corpus(seed: u64) -> LabeledCorpus {
         static CACHE: OnceLock<Mutex<HashMap<u64, LabeledCorpus>>> = OnceLock::new();
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        let mut guard = cache.lock().expect("cache lock");
+        // A panicking test holding this lock must not take every later
+        // test down with a poisoned-lock panic: recover the guard.
+        let mut guard = cache.lock().unwrap_or_else(|e| e.into_inner());
         guard
             .entry(seed)
             .or_insert_with(|| {
@@ -215,6 +385,7 @@ pub(crate) mod tests_support {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use spmv_corpus::CorpusScale;
@@ -288,6 +459,153 @@ mod tests {
         assert_eq!(back.records.len(), c.records.len());
         assert_eq!(back.records[0].times, c.records[0].times);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fault_free_plan_matches_plain_collection_exactly() {
+        let suite = SyntheticSuite::sample(CorpusScale::Tiny, 9);
+        let plain = LabeledCorpus::collect(&suite, &Simulator::default(), 2);
+        let planned =
+            LabeledCorpus::collect_with(&suite, &Simulator::default(), 2, &FaultPlan::none());
+        let a = serde_json::to_string(&plain).unwrap();
+        let b = serde_json::to_string(&planned).unwrap();
+        assert_eq!(a, b, "FaultPlan::none() must be a byte-level no-op");
+    }
+
+    #[test]
+    fn natural_conversion_failures_are_recorded_not_silent() {
+        // One pathologically long row blows the padded ELL plane
+        // (n_rows * max_row_len = 40M slots) past the conversion cap
+        // while every other format still converts — the paper's organic
+        // "failed to execute for one or more storage formats" case.
+        let n_rows = 20_000usize;
+        let long = 2_000usize;
+        let mut row_ptr: Vec<u32> = Vec::with_capacity(n_rows + 1);
+        let mut col_idx: Vec<u32> = (0..long as u32).collect();
+        row_ptr.push(0);
+        row_ptr.push(long as u32);
+        for r in 1..n_rows {
+            col_idx.push((r % long) as u32);
+            row_ptr.push((long + r) as u32);
+        }
+        let nnz = col_idx.len();
+        let csr = CsrMatrix::from_parts(n_rows, long, row_ptr, col_idx, vec![1.0f64; nnz]).unwrap();
+        assert!(SparseMatrix::from_csr(&csr, Format::Ell).is_err());
+
+        let (times, failures) = measure_matrix_outcomes(
+            &csr,
+            &Simulator::default(),
+            42,
+            "skewed",
+            &FaultPlan::none(),
+        );
+        // The organic conversion error lands as a structured cell with
+        // the real MatrixError text, not a silent hole or a panic.
+        let ell_failures: Vec<&LabelFailure> = failures
+            .iter()
+            .filter(|f| f.format == Some(Format::Ell))
+            .collect();
+        assert_eq!(ell_failures.len(), 1, "one conversion-scoped failure");
+        assert!(
+            ell_failures[0].reason.contains("padded storage"),
+            "real error text preserved: {}",
+            ell_failures[0].reason
+        );
+        assert!(
+            ell_failures[0].env.is_none(),
+            "conversion precedes all envs"
+        );
+        // Every other format still measured on the full env grid.
+        for env in Env::ALL {
+            let ts = times[env.arch_idx][env.precision.idx()];
+            assert!(ts[Format::Ell.class_id()].is_none());
+            for fmt in Format::ALL {
+                if fmt != Format::Ell {
+                    assert!(ts[fmt.class_id()].is_some(), "{fmt} should measure");
+                }
+            }
+        }
+        // And the record-level outcome view explains the hole.
+        let record = MatrixRecord {
+            name: "skewed".to_string(),
+            bucket: 0,
+            family: "synthetic".to_string(),
+            shape: (csr.n_rows(), csr.n_cols(), csr.nnz()),
+            features: extract(&csr),
+            times,
+            failures,
+        };
+        for env in Env::ALL {
+            match record.outcome(env, Format::Ell) {
+                LabelOutcome::Failed(reason) => assert!(reason.contains("padded storage")),
+                LabelOutcome::Measured(t) => panic!("ELL should have failed, got {t}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_worker_panic_degrades_to_failed_record() {
+        let suite = SyntheticSuite::sample(CorpusScale::Tiny, 5);
+        let victim = suite.specs[3].name.clone();
+        let plan = FaultPlan::new(11).inject(FaultSite::WorkerPanic, 1e-9);
+        // Rate ~0 hits nobody; target one matrix deterministically by
+        // checking the full-rate plan instead.
+        assert!(!plan.should_fail(FaultSite::WorkerPanic, &victim));
+        let plan = FaultPlan::always(FaultSite::WorkerPanic);
+        let c = LabeledCorpus::collect_with(&suite, &Simulator::default(), 3, &plan);
+        assert_eq!(c.records.len(), suite.len(), "corpus stays aligned");
+        for r in &c.records {
+            assert_eq!(r.failures.len(), 1);
+            assert!(r.failures[0]
+                .reason
+                .contains("injected fault at worker-panic"));
+            assert!(matches!(
+                r.outcome(Env::ALL[0], Format::Csr),
+                LabelOutcome::Failed(_)
+            ));
+        }
+        assert!(c.usable(&Format::ALL).is_empty());
+    }
+
+    #[test]
+    fn partial_injection_keeps_the_rest_of_the_corpus_usable() {
+        let suite = SyntheticSuite::sample(CorpusScale::Tiny, 6);
+        let plan = FaultPlan::new(21)
+            .inject(FaultSite::Conversion, 0.2)
+            .inject(FaultSite::WorkerPanic, 0.1);
+        let c = LabeledCorpus::collect_with(&suite, &Simulator::default(), 4, &plan);
+        assert_eq!(c.records.len(), suite.len());
+        let failed: usize = c.records.iter().filter(|r| !r.failures.is_empty()).count();
+        assert!(failed > 0, "plan should hit something at these rates");
+        let usable = c.usable(&[Format::Csr]).len();
+        assert!(
+            usable > 0 && usable < c.records.len(),
+            "failures recorded yet corpus still usable ({usable}/{})",
+            c.records.len()
+        );
+        // Determinism: the same plan reproduces the same failures.
+        let c2 = LabeledCorpus::collect_with(&suite, &Simulator::default(), 1, &plan);
+        for (a, b) in c.records.iter().zip(&c2.records) {
+            assert_eq!(a.failures, b.failures);
+            assert_eq!(a.times, b.times);
+        }
+    }
+
+    #[test]
+    fn failure_free_records_serialize_without_the_failures_field() {
+        let c = tiny_corpus();
+        let clean = c
+            .records
+            .iter()
+            .find(|r| r.failures.is_empty())
+            .expect("some clean record");
+        let json = serde_json::to_string(clean).unwrap();
+        assert!(
+            !json.contains("failures"),
+            "cache format must stay stable on the happy path"
+        );
+        let back: MatrixRecord = serde_json::from_str(&json).unwrap();
+        assert!(back.failures.is_empty());
     }
 
     #[test]

@@ -11,27 +11,44 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+// Deployment-path modules: these run on untrusted input (user matrices,
+// on-disk artifacts) or hold the panic boundary of the labeling pipeline,
+// so the unwrap/expect lints are hard errors in them (tests opt back out
+// locally). The rest of the crate is experiment harness code where a
+// panic aborts one research run, not a deployment.
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod advisor;
 pub mod classify;
 pub mod dataset;
 pub mod env;
 pub mod experiments;
 pub mod extensions;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod faults;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod heuristic;
 pub mod indirect;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod labels;
 pub mod regress;
 pub mod report;
 pub mod slowdown;
 
 pub use ablation::ablations;
-pub use advisor::FormatAdvisor;
+pub use advisor::{
+    AdvisorError, ArtifactError, FormatAdvisor, Recommendation, RecommendationSource,
+};
 pub use classify::{evaluate_classifier, xgboost_importance, EvalOutcome, ModelKind, SearchBudget};
 pub use dataset::{ClassificationTask, RegressionTask};
 pub use env::Env;
 pub use experiments::{sweep_seed, ExperimentConfig, ExperimentResult};
 pub use extensions::extensions;
+pub use faults::{read_matrix_market_file_with, FaultPlan, FaultSite};
+pub use heuristic::HeuristicAdvisor;
 pub use indirect::{evaluate_indirect, IndirectOutcome};
-pub use labels::{measure_matrix, LabeledCorpus, MatrixRecord, N_FORMATS};
+pub use labels::{
+    measure_matrix, LabelFailure, LabelOutcome, LabeledCorpus, MatrixRecord, N_FORMATS,
+};
 pub use regress::{
     evaluate_regressor, train_time_predictor, RegModelKind, RegressOutcome, TimePredictor,
 };

@@ -12,6 +12,23 @@ pub struct FeatureVector {
 }
 
 impl FeatureVector {
+    /// The all-zero vector — what [`extract`] produces for an empty
+    /// matrix, and the placeholder a labeling pipeline records for a
+    /// matrix whose extraction failed.
+    pub fn zeros() -> FeatureVector {
+        FeatureVector {
+            values: [0.0; FEATURE_COUNT],
+        }
+    }
+
+    /// Whether every feature is finite. [`extract`] guarantees this for
+    /// any structurally valid CSR matrix (features are pattern statistics,
+    /// so NaN/Inf *values* cannot leak in), but model consumers gate on it
+    /// before trusting a vector from an untrusted source.
+    pub fn is_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+
     /// Value of one feature.
     pub fn get(&self, f: FeatureId) -> f64 {
         self.values[f.index()]
@@ -220,6 +237,47 @@ mod tests {
         let m = CsrMatrix::<f32>::from_parts(0, 0, vec![0], vec![], vec![]).unwrap();
         let f = extract(&m);
         assert!(f.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(f, FeatureVector::zeros());
+    }
+
+    #[test]
+    fn degenerate_matrices_yield_finite_features() {
+        // The guard the advisor relies on: no degenerate structure may
+        // push a feature to NaN/Inf (0 rows, 0 nnz, one dense row, a
+        // single cell, extreme row skew).
+        let cases: Vec<CsrMatrix<f64>> = vec![
+            CsrMatrix::from_parts(0, 0, vec![0], vec![], vec![]).unwrap(),
+            CsrMatrix::from_parts(3, 5, vec![0, 0, 0, 0], vec![], vec![]).unwrap(),
+            {
+                let mut b = TripletBuilder::new(1, 1);
+                b.push(0, 0, 1.0).unwrap();
+                b.build().to_csr()
+            },
+            {
+                // One dense row among 1000 empty ones.
+                let mut b = TripletBuilder::new(1000, 1000);
+                for c in 0..1000 {
+                    b.push(17, c, 1.0).unwrap();
+                }
+                b.build().to_csr()
+            },
+        ];
+        for (i, m) in cases.iter().enumerate() {
+            let f = extract(m);
+            assert!(f.is_finite(), "case {i}: {:?}", f.as_slice());
+        }
+    }
+
+    #[test]
+    fn non_finite_values_do_not_poison_features() {
+        // Features are pattern statistics; a NaN/Inf *value* must not
+        // reach any feature.
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 0, f64::NAN).unwrap();
+        b.push(1, 1, f64::INFINITY).unwrap();
+        let f = extract(&b.build().to_csr());
+        assert!(f.is_finite());
+        assert_eq!(f.get(FeatureId::NnzTot), 2.0);
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub mod error;
 pub mod format;
 pub mod hyb;
 pub mod merge;
+// Deployment-path module: panicking on untrusted input is a bug, so the
+// unwrap/expect lints are hard errors here (tests opt back out locally).
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod mm;
 pub mod parallel;
 pub mod scalar;

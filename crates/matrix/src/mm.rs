@@ -117,6 +117,22 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CooMatrix<T>>
         });
     }
     let (n_rows, n_cols, nnz) = (dims[0], dims[1], dims[2]);
+    // An SpMV study has no use for a matrix with nothing to multiply; a
+    // 0×0 or 0-nnz file is far more likely a truncation or generator bug
+    // than intent, so reject it here instead of panicking downstream
+    // (feature extraction and format conversion assume nnz > 0).
+    if n_rows == 0 || n_cols == 0 {
+        return Err(MatrixError::Parse {
+            line: line_no,
+            msg: format!("degenerate matrix: {n_rows}x{n_cols} has no cells"),
+        });
+    }
+    if nnz == 0 {
+        return Err(MatrixError::Parse {
+            line: line_no,
+            msg: "degenerate matrix: zero non-zeros declared".into(),
+        });
+    }
 
     let cap = match sym {
         MmSymmetry::General => nnz,
@@ -124,6 +140,10 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CooMatrix<T>>
     };
     let mut b = TripletBuilder::with_capacity(n_rows, n_cols, cap);
     let mut seen = 0usize;
+    // Declared coordinates, for duplicate detection (the MatrixMarket spec
+    // stores each entry once; duplicates silently summing would corrupt
+    // the structural features downstream).
+    let mut coords: Vec<(usize, usize)> = Vec::with_capacity(nnz);
     for l in lines {
         line_no += 1;
         let l = l?;
@@ -162,9 +182,16 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CooMatrix<T>>
                     line: line_no,
                     msg: format!("bad value '{tok}'"),
                 })?;
+                if !f.is_finite() {
+                    return Err(MatrixError::Parse {
+                        line: line_no,
+                        msg: format!("non-finite value '{tok}'"),
+                    });
+                }
                 T::from_f64(f)
             }
         };
+        coords.push((r, c));
         b.push(r, c, v)?;
         match sym {
             MmSymmetry::General => {}
@@ -178,6 +205,17 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CooMatrix<T>>
         return Err(MatrixError::Parse {
             line: line_no,
             msg: format!("header promised {nnz} entries, found {seen}"),
+        });
+    }
+    coords.sort_unstable();
+    if let Some(w) = coords.windows(2).find(|w| w[0] == w[1]) {
+        return Err(MatrixError::Parse {
+            line: line_no,
+            msg: format!(
+                "duplicate entry at ({}, {}) (1-based)",
+                w[0].0 + 1,
+                w[0].1 + 1
+            ),
         });
     }
     Ok(b.build())
@@ -209,6 +247,7 @@ pub fn write_matrix_market_file<T: Scalar, P: AsRef<Path>>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

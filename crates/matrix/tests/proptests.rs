@@ -177,6 +177,9 @@ proptest! {
     fn matrix_market_round_trips_arbitrary_matrices((r, c, entries) in arb_matrix()) {
         let csr = build(r, c, &entries);
         let coo = csr.to_coo();
+        // The reader rejects 0-nnz files as degenerate (see mm.rs); the
+        // round-trip property holds for non-empty matrices.
+        prop_assume!(coo.nnz() > 0);
         let mut buf = Vec::new();
         spmv_matrix::mm::write_matrix_market(&coo, &mut buf).expect("write");
         let back: spmv_matrix::CooMatrix<f64> =

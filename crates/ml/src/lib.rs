@@ -47,7 +47,7 @@ pub use gridsearch::{grid_search_classifier, grid_search_regressor, GridResult};
 pub use metrics::{accuracy, confusion_matrix, relative_mean_error, slowdown, SlowdownTable};
 pub use mlp::{MlpClassifier, MlpParams, MlpRegressor};
 pub use model::{Classifier, Regressor};
-pub use parallel::{thread_budget, Executor};
+pub use parallel::{thread_budget, CellPanic, Executor};
 pub use reportcard::{classification_report, ClassStats, ClassificationReport};
 pub use scaler::StandardScaler;
 pub use svm::{SvmClassifier, SvmParams};

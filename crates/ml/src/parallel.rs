@@ -9,8 +9,40 @@
 //! experiment table sweeps all run their independent cells through this
 //! executor.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A cell of [`Executor::try_map`] that panicked instead of producing a
+/// value. The panic is contained inside the worker (the scope joins
+/// cleanly, no lock is poisoned, every other cell still completes) and
+/// surfaced as a per-slot error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellPanic {
+    /// Index of the cell whose job panicked.
+    pub index: usize,
+    /// The panic payload, if it was a string (the common case).
+    pub message: String,
+}
+
+impl std::fmt::Display for CellPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for CellPanic {}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A thread budget plus the machinery to spend it on independent cells.
 #[derive(Debug, Clone)]
@@ -39,36 +71,74 @@ impl Executor {
     /// Evaluate `job(i)` for `i in 0..n` and return the results in index
     /// order. `job` must be a pure function of its index for the output
     /// to be schedule-independent.
+    ///
+    /// A panicking cell no longer tears down the pool or poisons any lock:
+    /// every other cell still completes, the scope joins cleanly, and the
+    /// panic is re-raised (deterministically, lowest failing index first)
+    /// only after the full sweep finished. Callers that want per-slot
+    /// errors instead use [`Executor::try_map`].
     pub fn map<T, F>(&self, n: usize, job: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        if self.threads == 1 || n <= 1 {
-            return (0..n).map(job).collect();
+        let mut out = Vec::with_capacity(n);
+        for (i, r) in self.try_map(n, job).into_iter().enumerate() {
+            match r {
+                Ok(v) => out.push(v),
+                Err(p) => panic!("executor cell {i} panicked: {}", p.message),
+            }
         }
-        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        out
+    }
+
+    /// Like [`Executor::map`], but each cell's panic is contained via
+    /// `catch_unwind` inside the worker and returned as a per-slot
+    /// `Err(CellPanic)`. The scope always joins cleanly and no mutex is
+    /// left poisoned, so one bad cell cannot take down a sweep.
+    pub fn try_map<T, F>(&self, n: usize, job: F) -> Vec<Result<T, CellPanic>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let run_cell = |i: usize| -> Result<T, CellPanic> {
+            catch_unwind(AssertUnwindSafe(|| job(i))).map_err(|payload| CellPanic {
+                index: i,
+                message: panic_message(payload),
+            })
+        };
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(run_cell).collect();
+        }
+        let slots: Vec<Mutex<Option<Result<T, CellPanic>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(n);
-        crossbeam::scope(|scope| {
+        // Worker bodies catch their own panics, so the scope result is
+        // always Ok; should that invariant ever break, the error branch
+        // below degrades the missing slots instead of panicking here.
+        let _ = crossbeam::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|_| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    let out = job(i);
+                    let out = run_cell(i);
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                 });
             }
-        })
-        .expect("executor worker panicked");
+        });
         slots
             .into_iter()
-            .map(|s| {
+            .enumerate()
+            .map(|(i, s)| {
                 s.into_inner()
                     .unwrap_or_else(|e| e.into_inner())
-                    .expect("cell produced")
+                    .unwrap_or(Err(CellPanic {
+                        index: i,
+                        message: "worker terminated before producing this cell".to_string(),
+                    }))
             })
             .collect()
     }
@@ -128,6 +198,60 @@ mod tests {
     fn explicit_budget_wins() {
         assert_eq!(thread_budget(Some(3)), 3);
         assert!(thread_budget(None) >= 1);
+    }
+
+    #[test]
+    fn try_map_contains_cell_panics_at_any_thread_count() {
+        for threads in [1, 4] {
+            let exec = Executor::new(threads);
+            let out = exec.try_map(12, |i| {
+                if i % 3 == 0 {
+                    panic!("boom {i}");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 12, "threads = {threads}");
+            for (i, r) in out.iter().enumerate() {
+                if i % 3 == 0 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.index, i);
+                    assert_eq!(p.message, format!("boom {i}"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_survives_a_panicking_cell_and_keeps_working() {
+        // The executor must stay usable after containing a panic: no
+        // poisoned state leaks across calls.
+        let exec = Executor::new(3);
+        let first = exec.try_map(5, |i| {
+            if i == 2 {
+                panic!("one bad cell");
+            }
+            i
+        });
+        assert!(first[2].is_err());
+        assert_eq!(first.iter().filter(|r| r.is_ok()).count(), 4);
+        let second = exec.try_map(5, |i| i + 1);
+        assert!(second.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn map_reraises_contained_panics_after_the_sweep() {
+        let exec = Executor::new(2);
+        let caught = std::panic::catch_unwind(|| {
+            exec.map(6, |i| {
+                if i == 1 {
+                    panic!("late repanic");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
     }
 
     #[test]

@@ -75,7 +75,7 @@ fn main() {
             seed: 1000 + i as u64,
         }
         .generate();
-        let rec = advisor.recommend(&m);
+        let rec = advisor.recommend(&m).format;
 
         // Ground truth from the simulator.
         let mut best: Option<(Format, f64)> = None;

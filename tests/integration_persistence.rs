@@ -86,7 +86,7 @@ fn trained_advisor_ships_without_its_corpus() {
             assert_eq!(fa, fd);
             assert!((ta - td).abs() <= 1e-12 * ta.abs());
         }
-        assert!(Format::ALL.contains(&deployed.recommend(&m)));
+        assert!(Format::ALL.contains(&deployed.recommend(&m).format));
     }
     std::fs::remove_file(&path).ok();
 }

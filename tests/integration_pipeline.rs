@@ -89,13 +89,14 @@ fn advisor_end_to_end_recommends_sensibly() {
     }
     .generate();
     let rec = advisor.recommend(&regular);
-    assert_ne!(rec, Format::Coo, "COO almost never wins (paper V-A)");
+    assert_ne!(rec.format, Format::Coo, "COO almost never wins (paper V-A)");
+    assert_eq!(rec.source, spmv_core::RecommendationSource::Model);
 
     // Predicted times must rank the recommendation near the top quarter.
     let times = advisor.predict_times(&regular);
     assert_eq!(times.len(), 6);
     let pos = times
         .iter()
-        .position(|(f, _)| *f == advisor.recommend_by_time(&regular));
+        .position(|(f, _)| *f == advisor.recommend_by_time(&regular).format);
     assert_eq!(pos, Some(0));
 }

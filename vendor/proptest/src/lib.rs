@@ -252,6 +252,23 @@ macro_rules! prop_assert_eq {
     }};
 }
 
+/// Skip the current case when an input assumption does not hold. Real
+/// proptest rejects and regenerates; without shrinking there is nothing
+/// to regenerate *for*, so a skipped case simply passes.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($a:expr, $b:expr) => {{
@@ -293,8 +310,8 @@ macro_rules! proptest {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
-        TestCaseError, TestCaseResult,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
     };
 }
 

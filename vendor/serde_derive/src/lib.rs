@@ -2,8 +2,9 @@
 //! serde subset, written directly against `proc_macro` (no syn/quote).
 //!
 //! Supports the shapes this workspace actually derives on: structs with
-//! named fields (optionally generic, optionally `#[serde(default)]` per
-//! field) and enums whose variants are unit, newtype, or struct-like.
+//! named fields (optionally generic, optionally `#[serde(default)]` and
+//! `#[serde(skip_serializing_if = "...")]` per field) and enums whose
+//! variants are unit, newtype, or struct-like.
 //! Generated impls follow real serde's wire conventions: structs and
 //! struct variants as maps, unit variants as strings, newtype variants
 //! as single-entry maps (external tagging).
@@ -13,6 +14,9 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: the predicate path whose
+    /// truth omits the field from serialized output.
+    skip_if: Option<String>,
 }
 
 enum VariantKind {
@@ -51,27 +55,35 @@ fn ident_of(t: &TokenTree) -> Option<String> {
 }
 
 /// Skip attributes (`#[...]`) starting at `i`, reporting whether one of
-/// them was `#[serde(default)]`.
-fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+/// them was `#[serde(default)]` and any `skip_serializing_if` predicate.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool, Option<String>) {
     let mut default = false;
+    let mut skip_if = None;
     while i + 1 < toks.len() && is_punct(&toks[i], '#') {
         if let TokenTree::Group(g) = &toks[i + 1] {
             let inner: Vec<TokenTree> = g.stream().into_iter().collect();
             if inner.first().and_then(ident_of).as_deref() == Some("serde") {
                 if let Some(TokenTree::Group(args)) = inner.get(1) {
-                    if args
-                        .stream()
-                        .into_iter()
-                        .any(|t| ident_of(&t).as_deref() == Some("default"))
-                    {
-                        default = true;
+                    let arg_toks: Vec<TokenTree> = args.stream().into_iter().collect();
+                    for (k, t) in arg_toks.iter().enumerate() {
+                        match ident_of(t).as_deref() {
+                            Some("default") => default = true,
+                            Some("skip_serializing_if") => {
+                                // Shape: skip_serializing_if = "Some::path"
+                                if let Some(TokenTree::Literal(l)) = arg_toks.get(k + 2) {
+                                    let s = l.to_string();
+                                    skip_if = Some(s.trim_matches('"').to_string());
+                                }
+                            }
+                            _ => {}
+                        }
                     }
                 }
             }
         }
         i += 2;
     }
-    (i, default)
+    (i, default, skip_if)
 }
 
 /// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
@@ -120,7 +132,7 @@ fn parse_fields(stream: TokenStream) -> Vec<Field> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        let (ni, default) = skip_attrs(&toks, i);
+        let (ni, default, skip_if) = skip_attrs(&toks, i);
         i = skip_vis(&toks, ni);
         let Some(name) = toks.get(i).and_then(ident_of) else {
             break;
@@ -142,7 +154,11 @@ fn parse_fields(stream: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        out.push(Field { name, default });
+        out.push(Field {
+            name,
+            default,
+            skip_if,
+        });
     }
     out
 }
@@ -169,7 +185,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        let (ni, _) = skip_attrs(&toks, i);
+        let (ni, _, _) = skip_attrs(&toks, i);
         i = ni;
         let Some(name) = toks.get(i).and_then(ident_of) else {
             break;
@@ -201,7 +217,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 
 fn parse_item(input: TokenStream) -> Item {
     let toks: Vec<TokenTree> = input.into_iter().collect();
-    let (mut i, _) = skip_attrs(&toks, 0);
+    let (mut i, _, _) = skip_attrs(&toks, 0);
     i = skip_vis(&toks, i);
     let kw = toks
         .get(i)
@@ -255,16 +271,31 @@ fn impl_header(trait_path: &str, name: &str, generics: &[String]) -> String {
     }
 }
 
-fn map_entries(fields: &[Field], prefix: &str) -> String {
-    fields
-        .iter()
-        .map(|f| {
-            format!(
-                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({prefix}{n})),",
-                n = f.name
-            )
-        })
-        .collect()
+/// Statements that populate a `__entries` vec with one (key, value) pair
+/// per field, honoring `skip_serializing_if` guards. `prefix` must make
+/// `{prefix}{name}` a reference to the field (`&self.` for inherent
+/// structs, `` for match-bound struct-variant fields).
+fn entry_stmts(fields: &[Field], prefix: &str) -> String {
+    let mut out = String::from(
+        "let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::with_capacity(",
+    );
+    out.push_str(&fields.len().to_string());
+    out.push_str(");");
+    for f in fields {
+        let push = format!(
+            "__entries.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_value({prefix}{n})));",
+            n = f.name
+        );
+        match &f.skip_if {
+            Some(pred) => {
+                out.push_str(&format!("if !{pred}({prefix}{n}) {{ {push} }}", n = f.name));
+            }
+            None => out.push_str(&push),
+        }
+    }
+    out
 }
 
 fn field_reads(fields: &[Field], map_var: &str) -> String {
@@ -289,11 +320,12 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             fields,
         } => {
             let header = impl_header("::serde::Serialize", &name, &generics);
-            let entries = map_entries(&fields, "&self.");
+            let stmts = entry_stmts(&fields, "&self.");
             format!(
                 "{header} {{
                     fn to_value(&self) -> ::serde::Value {{
-                        ::serde::Value::Map(::std::vec![{entries}])
+                        {stmts}
+                        ::serde::Value::Map(__entries)
                     }}
                 }}"
             )
@@ -321,12 +353,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         VariantKind::Struct(fields) => {
                             let pats: Vec<&str> =
                                 fields.iter().map(|f| f.name.as_str()).collect();
-                            let entries = map_entries(fields, "");
+                            let stmts = entry_stmts(fields, "");
                             format!(
-                                "{name}::{vn} {{ {pat} }} => ::serde::Value::Map(::std::vec![(
-                                    ::std::string::String::from(\"{vn}\"),
-                                    ::serde::Value::Map(::std::vec![{entries}]),
-                                )]),",
+                                "{name}::{vn} {{ {pat} }} => {{
+                                    {stmts}
+                                    ::serde::Value::Map(::std::vec![(
+                                        ::std::string::String::from(\"{vn}\"),
+                                        ::serde::Value::Map(__entries),
+                                    )])
+                                }},",
                                 pat = pats.join(", ")
                             )
                         }
