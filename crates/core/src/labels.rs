@@ -15,9 +15,11 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 use spmv_corpus::SyntheticSuite;
-use spmv_features::{extract, FeatureVector};
-use spmv_gpusim::{cell_seed, GpuArch, KernelProfile, Simulator};
-use spmv_matrix::{CsrMatrix, Format, Precision, SparseMatrix};
+use spmv_features::{extract_with_stats, FeatureVector};
+use spmv_gpusim::{cell_seed, GpuArch, KernelProfile, ProfileCache, Simulator};
+use spmv_matrix::{
+    CsrMatrix, Format, FormatStructure, Precision, RowStats, SparseMatrix, StructureScratch,
+};
 use spmv_ml::Executor;
 
 use crate::env::Env;
@@ -167,6 +169,98 @@ pub fn measure_matrix_outcomes(
     name: &str,
     plan: &FaultPlan,
 ) -> (CellTimes, Vec<LabelFailure>) {
+    let stats = RowStats::of(csr.row_ptr());
+    let mut scratch = StructureScratch::new();
+    measure_matrix_outcomes_in(csr, &stats, &mut scratch, sim, noise_seed, name, plan)
+}
+
+/// The structural-profiling hot path: measure every (format, env) cell of
+/// one matrix **without materializing any value plane**. Each format's
+/// index layout is derived into `scratch` as a value-free
+/// [`FormatStructure`] and profiled via [`KernelProfile::of_structure`];
+/// `stats` is the shared single-pass row analysis (the same one that feeds
+/// feature extraction), so `row_ptr` is never re-walked per format.
+///
+/// Byte-identical to [`measure_matrix_outcomes_reference`] (the retired
+/// value-carrying path, kept as the golden-test oracle) by construction:
+/// the structural views are bit-equal to the conversions' index arrays and
+/// both paths run the same profiling code over them.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_matrix_outcomes_in(
+    csr: &CsrMatrix<f64>,
+    stats: &RowStats,
+    scratch: &mut StructureScratch,
+    sim: &Simulator,
+    noise_seed: u64,
+    name: &str,
+    plan: &FaultPlan,
+) -> (CellTimes, Vec<LabelFailure>) {
+    let mut times: CellTimes = [[[None; N_FORMATS]; 2]; 2];
+    let mut failures: Vec<LabelFailure> = Vec::new();
+    // COO and merge-CSR gather through the same row-major column stream;
+    // the cache measures it once for the whole format sweep.
+    let mut cache = ProfileCache::new();
+    for fmt in Format::ALL {
+        let conv_key = format!("{name}/{fmt}");
+        if plan.should_fail(FaultSite::Conversion, &conv_key) {
+            failures.push(LabelFailure {
+                format: Some(fmt),
+                env: None,
+                reason: FaultPlan::reason(FaultSite::Conversion, &conv_key),
+            });
+            continue;
+        }
+        let profile = match FormatStructure::build(csr, fmt, stats, &mut *scratch) {
+            Ok(s) => KernelProfile::of_structure_cached(&s, &mut cache),
+            Err(e) => {
+                // The paper's organic failure case (ELL padding blow-up):
+                // recorded, not fatal. `FormatStructure::build` fails on
+                // exactly the inputs `SparseMatrix::from_csr` does, with
+                // the identical error.
+                failures.push(LabelFailure {
+                    format: Some(fmt),
+                    env: None,
+                    reason: e.to_string(),
+                });
+                continue;
+            }
+        };
+        for (ai, arch) in GpuArch::PAPER_MACHINES.iter().enumerate() {
+            for prec in Precision::ALL {
+                let env = Env {
+                    arch_idx: ai,
+                    precision: prec,
+                };
+                let cell_key = format!("{name}/{fmt}/{}/{}", arch.name, prec.label());
+                if plan.should_fail(FaultSite::Measurement, &cell_key) {
+                    failures.push(LabelFailure {
+                        format: Some(fmt),
+                        env: Some(env),
+                        reason: FaultPlan::reason(FaultSite::Measurement, &cell_key),
+                    });
+                    continue;
+                }
+                let seed = cell_seed(noise_seed, fmt, arch, prec);
+                let meas = sim.measure_profile(&profile, arch, prec, seed);
+                times[ai][prec.idx()][fmt.class_id()] = Some(meas.time_s);
+            }
+        }
+    }
+    (times, failures)
+}
+
+/// The pre-structural implementation of [`measure_matrix_outcomes`], kept
+/// verbatim as the oracle for the golden-equality tests and the baseline
+/// arm of the labeling-throughput benchmark: it materializes every format
+/// via [`SparseMatrix::from_csr`] (full value planes included) and
+/// profiles with [`KernelProfile::of`].
+pub fn measure_matrix_outcomes_reference(
+    csr: &CsrMatrix<f64>,
+    sim: &Simulator,
+    noise_seed: u64,
+    name: &str,
+    plan: &FaultPlan,
+) -> (CellTimes, Vec<LabelFailure>) {
     let mut times: CellTimes = [[[None; N_FORMATS]; 2]; 2];
     let mut failures: Vec<LabelFailure> = Vec::new();
     for fmt in Format::ALL {
@@ -182,8 +276,6 @@ pub fn measure_matrix_outcomes(
         let m = match SparseMatrix::from_csr(csr, fmt) {
             Ok(m) => m,
             Err(e) => {
-                // The paper's organic failure case (ELL padding blow-up):
-                // recorded, not fatal.
                 failures.push(LabelFailure {
                     format: Some(fmt),
                     env: None,
@@ -237,12 +329,19 @@ impl LabeledCorpus {
     ) -> LabeledCorpus {
         let n = suite.specs.len();
         let exec = Executor::new(threads.clamp(1, n.max(1)));
-        let results = exec.try_map(n, |i| {
+        // One structure scratch per worker, reused across every matrix the
+        // worker labels: in steady state the per-matrix loop allocates
+        // (beyond the generated CSR itself) only the record it returns.
+        let results = exec.try_map_with(n, StructureScratch::new, |scratch, i| {
             let spec = &suite.specs[i];
             if plan.should_fail(FaultSite::WorkerPanic, &spec.name) {
                 panic!("{}", FaultPlan::reason(FaultSite::WorkerPanic, &spec.name));
             }
             let csr: CsrMatrix<f64> = spec.generate();
+            // One pass over row_ptr serves ELL width selection, the HYB
+            // threshold, CSR5 tiling, merge setup, AND the row-length
+            // features below.
+            let stats = RowStats::of(csr.row_ptr());
             let mut failures: Vec<LabelFailure> = Vec::new();
             let features = if plan.should_fail(FaultSite::FeatureExtraction, &spec.name) {
                 failures.push(LabelFailure {
@@ -252,7 +351,7 @@ impl LabeledCorpus {
                 });
                 FeatureVector::zeros()
             } else {
-                let f = extract(&csr);
+                let f = extract_with_stats(&csr, &stats);
                 // Finite-feature guard: a degenerate matrix must never
                 // smuggle NaN/Inf into the training set.
                 if f.is_finite() {
@@ -267,7 +366,7 @@ impl LabeledCorpus {
                 }
             };
             let (times, measure_failures) =
-                measure_matrix_outcomes(&csr, sim, spec.seed, &spec.name, plan);
+                measure_matrix_outcomes_in(&csr, &stats, scratch, sim, spec.seed, &spec.name, plan);
             failures.extend(measure_failures);
             MatrixRecord {
                 name: spec.name.clone(),
@@ -389,6 +488,7 @@ pub(crate) mod tests_support {
 mod tests {
     use super::*;
     use spmv_corpus::CorpusScale;
+    use spmv_features::extract;
 
     fn tiny_corpus() -> LabeledCorpus {
         let suite = SyntheticSuite::sample(CorpusScale::Tiny, 5);
@@ -470,6 +570,31 @@ mod tests {
         let a = serde_json::to_string(&plain).unwrap();
         let b = serde_json::to_string(&planned).unwrap();
         assert_eq!(a, b, "FaultPlan::none() must be a byte-level no-op");
+    }
+
+    #[test]
+    fn structural_path_equals_reference_path_exactly() {
+        // The tentpole invariant at the measure-one-matrix level: the
+        // value-free structural path reproduces the retired value-carrying
+        // path bit-for-bit — times AND failure cells — on clean matrices,
+        // under fault plans, and through the organic ELL conversion error.
+        let suite = SyntheticSuite::sample(CorpusScale::Tiny, 13);
+        let sim = Simulator::default();
+        let plans = [
+            FaultPlan::none(),
+            FaultPlan::new(5)
+                .inject(FaultSite::Conversion, 0.3)
+                .inject(FaultSite::Measurement, 0.2),
+        ];
+        for spec in suite.specs.iter().take(12) {
+            let csr: CsrMatrix<f64> = spec.generate();
+            for plan in &plans {
+                let new = measure_matrix_outcomes(&csr, &sim, spec.seed, &spec.name, plan);
+                let old =
+                    measure_matrix_outcomes_reference(&csr, &sim, spec.seed, &spec.name, plan);
+                assert_eq!(new, old, "{}", spec.name);
+            }
+        }
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub use faults::{read_matrix_market_file_with, FaultPlan, FaultSite};
 pub use heuristic::HeuristicAdvisor;
 pub use indirect::{evaluate_indirect, IndirectOutcome};
 pub use labels::{
-    measure_matrix, LabelFailure, LabelOutcome, LabeledCorpus, MatrixRecord, N_FORMATS,
+    measure_matrix, measure_matrix_outcomes, measure_matrix_outcomes_reference, CellTimes,
+    LabelFailure, LabelOutcome, LabeledCorpus, MatrixRecord, N_FORMATS,
 };
 pub use regress::{
     evaluate_regressor, train_time_predictor, RegModelKind, RegressOutcome, TimePredictor,

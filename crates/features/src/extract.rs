@@ -1,7 +1,7 @@
 //! Feature extraction: one O(nnz) pass over a CSR matrix.
 
 use serde::{Deserialize, Serialize};
-use spmv_matrix::{CsrMatrix, Scalar};
+use spmv_matrix::{CsrMatrix, RowStats, Scalar};
 
 use crate::names::{FeatureId, FeatureSet, FEATURE_COUNT};
 
@@ -58,14 +58,28 @@ impl FeatureVector {
 
 /// Extract all seventeen features from a CSR matrix.
 pub fn extract<T: Scalar>(m: &CsrMatrix<T>) -> FeatureVector {
+    extract_with_stats(m, &RowStats::of(m.row_ptr()))
+}
+
+/// Extract all seventeen features, reusing row-length statistics already
+/// computed elsewhere ([`RowStats::of`] over this matrix's `row_ptr`).
+///
+/// The labeling pipeline computes `RowStats` once per matrix to drive
+/// format-structure derivation (ELL width, HYB threshold, CSR5 tiling) and
+/// hands the same statistics here, so the feature sweep only pays for the
+/// run analysis the stats don't cover. [`extract`] is this with freshly
+/// computed stats; the two agree bit-for-bit.
+pub fn extract_with_stats<T: Scalar>(m: &CsrMatrix<T>, stats: &RowStats) -> FeatureVector {
     let n_rows = m.n_rows();
     let n_cols = m.n_cols();
     let nnz = m.nnz();
+    debug_assert_eq!(stats.n_rows, n_rows, "stats must describe this matrix");
+    debug_assert_eq!(stats.nnz, nnz, "stats must describe this matrix");
 
-    // Per-row nnz statistics.
-    let mut nnz_min = usize::MAX;
-    let mut nnz_max = 0usize;
-    let mut sum_sq = 0.0f64;
+    // Per-row nnz statistics come from the shared single pass.
+    let nnz_min = stats.min_row_len;
+    let nnz_max = stats.max_row_len;
+    let sum_sq = stats.sum_sq;
     // Per-row run ("contiguous nnz chunk") statistics.
     let mut runs_tot = 0usize;
     let mut runs_min = usize::MAX;
@@ -80,9 +94,6 @@ pub fn extract<T: Scalar>(m: &CsrMatrix<T>) -> FeatureVector {
     for r in 0..n_rows {
         let (cols, _) = m.row(r);
         let len = cols.len();
-        nnz_min = nnz_min.min(len);
-        nnz_max = nnz_max.max(len);
-        sum_sq += (len * len) as f64;
 
         // Count contiguous column runs in this row.
         let mut row_runs = 0usize;
@@ -136,10 +147,9 @@ pub fn extract<T: Scalar>(m: &CsrMatrix<T>) -> FeatureVector {
     set(FeatureId::NnzbSigma, runs_sigma);
     set(FeatureId::SnzbMu, size_mu);
     set(FeatureId::SnzbSigma, size_sigma);
-    set(
-        FeatureId::NnzMin,
-        zero_if_empty(if nnz_min == usize::MAX { 0 } else { nnz_min }) as f64,
-    );
+    // RowStats stores 0 for an empty matrix, matching the previous
+    // sentinel-then-zero_if_empty mapping exactly.
+    set(FeatureId::NnzMin, nnz_min as f64);
     set(FeatureId::NnzbTot, runs_tot as f64);
     set(
         FeatureId::NnzbMin,
@@ -278,6 +288,26 @@ mod tests {
         let f = extract(&b.build().to_csr());
         assert!(f.is_finite());
         assert_eq!(f.get(FeatureId::NnzTot), 2.0);
+    }
+
+    #[test]
+    fn extract_with_shared_stats_is_bit_identical() {
+        let cases: Vec<CsrMatrix<f64>> = vec![
+            sample(),
+            CsrMatrix::from_parts(0, 0, vec![0], vec![], vec![]).unwrap(),
+            CsrMatrix::from_parts(3, 5, vec![0, 0, 0, 0], vec![], vec![]).unwrap(),
+            {
+                let mut b = TripletBuilder::new(1000, 1000);
+                for c in 0..1000 {
+                    b.push(17, c, 1.0).unwrap();
+                }
+                b.build().to_csr()
+            },
+        ];
+        for m in &cases {
+            let stats = spmv_matrix::RowStats::of(m.row_ptr());
+            assert_eq!(extract(m), extract_with_stats(m, &stats));
+        }
     }
 
     #[test]

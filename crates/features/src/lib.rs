@@ -32,5 +32,5 @@
 pub mod extract;
 pub mod names;
 
-pub use extract::{extract, FeatureVector};
+pub use extract::{extract, extract_with_stats, FeatureVector};
 pub use names::{FeatureId, FeatureSet, FEATURE_COUNT};

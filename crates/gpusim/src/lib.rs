@@ -41,5 +41,5 @@ pub mod timing;
 
 pub use arch::GpuArch;
 pub use measure::{cell_seed, Measurement, Simulator, DEFAULT_REPS, NOISE_SIGMA};
-pub use profile::{profile_csr_scalar, profile_dia, KernelProfile};
+pub use profile::{profile_csr_scalar, profile_dia, KernelProfile, ProfileCache};
 pub use timing::{gflops, predict, predict_seconds, TimeBreakdown};

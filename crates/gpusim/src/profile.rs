@@ -13,7 +13,7 @@
 //! reduction tax, ELL's padded uniform slots, HYB's two kernels, CSR5's
 //! tile metadata and transposed gather, merge-CSR's diagonal binary search.
 
-use spmv_matrix::{Format, Scalar, SparseMatrix};
+use spmv_matrix::{Csr5Config, Format, FormatStructure, HybStructure, Scalar, SparseMatrix};
 
 use crate::memory::{count_gather, GatherCount};
 
@@ -83,18 +83,93 @@ pub struct KernelProfile {
     pub nnz: usize,
 }
 
+/// Per-matrix memo shared by the profiles of one matrix's formats: COO and
+/// merge-CSR both gather `x` through the *same* row-major `col_idx` stream
+/// in the same 32-wide chunking, so their distinct-line count is computed
+/// once and reused. One cache is valid for exactly one matrix — callers
+/// build a fresh one per matrix (the labeling loop keeps it for the whole
+/// format sweep).
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    flat_gather: Option<GatherCount>,
+}
+
+impl ProfileCache {
+    /// An empty cache (nothing measured yet).
+    pub fn new() -> ProfileCache {
+        ProfileCache::default()
+    }
+
+    /// The warp-32 gather count over the row-major column stream,
+    /// computed on first use.
+    fn flat(&mut self, cols: &[u32]) -> GatherCount {
+        *self
+            .flat_gather
+            .get_or_insert_with(|| count_gather(cols, 32, 32))
+    }
+}
+
 impl KernelProfile {
     /// Profile the kernel for `matrix` in its current format.
     pub fn of<T: Scalar>(matrix: &SparseMatrix<T>) -> KernelProfile {
         match matrix {
             SparseMatrix::Coo(m) => {
-                profile_coo(m.n_rows(), m.n_cols(), m.col_indices(), m.row_indices())
+                let gather = count_gather(m.col_indices(), 32, 32);
+                profile_coo(
+                    m.n_rows(),
+                    m.n_cols(),
+                    m.col_indices(),
+                    m.row_indices(),
+                    gather,
+                )
             }
             SparseMatrix::Csr(m) => profile_csr(m),
             SparseMatrix::Ell(m) => profile_ell(m),
             SparseMatrix::Hyb(m) => profile_hyb(m),
             SparseMatrix::MergeCsr(m) => profile_merge(m.csr()),
             SparseMatrix::Csr5(m) => profile_csr5(m),
+        }
+    }
+
+    /// Profile the kernel for a value-free structural view
+    /// ([`FormatStructure`]). Every arm dispatches into the *same* raw-slice
+    /// core as [`KernelProfile::of`] over the same index layouts, so the two
+    /// entry points are equal — not approximately, bit-for-bit — which is
+    /// what lets the labeling pipeline profile without materializing value
+    /// planes while keeping its artifacts byte-identical.
+    pub fn of_structure(s: &FormatStructure<'_>) -> KernelProfile {
+        KernelProfile::of_structure_cached(s, &mut ProfileCache::new())
+    }
+
+    /// [`KernelProfile::of_structure`] with a per-matrix [`ProfileCache`]:
+    /// when one matrix is profiled in several formats, the gather count
+    /// over the shared row-major column stream is measured once (COO and
+    /// merge-CSR chunk it identically). Identical inputs give identical
+    /// counts, so the cached path stays bit-equal to the uncached one.
+    pub fn of_structure_cached(s: &FormatStructure<'_>, cache: &mut ProfileCache) -> KernelProfile {
+        match s {
+            FormatStructure::Coo(v) => {
+                let gather = cache.flat(v.cols);
+                profile_coo(v.n_rows, v.n_cols, v.cols, v.rows, gather)
+            }
+            FormatStructure::Csr(v) => profile_csr_raw(v.n_rows, v.n_cols, v.row_ptr, v.col_idx),
+            FormatStructure::Ell(v) => {
+                profile_ell_raw(v.n_rows, v.n_cols, v.nnz, v.width, v.col_plane)
+            }
+            FormatStructure::Hyb(v) => profile_hyb_structure(v),
+            FormatStructure::MergeCsr(v) => {
+                let gather = cache.flat(v.col_idx);
+                profile_merge_raw(v.n_rows, v.n_cols, v.col_idx, gather)
+            }
+            FormatStructure::Csr5(v) => profile_csr5_raw(
+                v.n_rows,
+                v.n_cols,
+                v.nnz,
+                v.config,
+                v.n_tiles,
+                v.cols_t,
+                v.tail_cols,
+            ),
         }
     }
 
@@ -193,10 +268,17 @@ pub fn profile_dia<T: Scalar>(m: &spmv_matrix::DiaMatrix<T>) -> KernelProfile {
 }
 
 /// COO kernel (Bell & Garland): one lane per non-zero, warp-level segmented
-/// reduction, atomic combine at row boundaries.
-fn profile_coo(n_rows: usize, n_cols: usize, cols: &[u32], rows: &[u32]) -> KernelProfile {
+/// reduction, atomic combine at row boundaries. `gather` is the warp-32
+/// distinct-line count over `cols`, passed in so callers profiling several
+/// formats of one matrix can share it (see [`ProfileCache`]).
+fn profile_coo(
+    n_rows: usize,
+    n_cols: usize,
+    cols: &[u32],
+    rows: &[u32],
+    gather: GatherCount,
+) -> KernelProfile {
     let nnz = cols.len();
-    let gather = count_gather(cols, 32, 32);
     // Row boundaries crossing warps force atomics; boundaries within warps
     // resolve in the segmented scan. Count warp-crossing boundaries exactly.
     let mut warp_cross = 0.0;
@@ -232,7 +314,18 @@ fn profile_coo(n_rows: usize, n_cols: usize, cols: &[u32], rows: &[u32]) -> Kern
 /// reduction. Short rows waste lanes; one huge row serializes a single warp.
 fn profile_csr<T: Scalar>(m: &spmv_matrix::CsrMatrix<T>) -> KernelProfile {
     let (n_rows, n_cols) = m.shape();
-    let nnz = m.nnz();
+    profile_csr_raw(n_rows, n_cols, m.row_ptr(), m.col_idx())
+}
+
+/// Raw-slice core of the CSR vector-kernel profile (shared by the
+/// value-carrying and structural entry points).
+fn profile_csr_raw(
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: &[u32],
+    col_idx: &[u32],
+) -> KernelProfile {
+    let nnz = col_idx.len();
     let mut lane_work = 0.0;
     let mut gather = GatherCount::default();
     let mut max_row = 0usize;
@@ -253,8 +346,8 @@ fn profile_csr<T: Scalar>(m: &spmv_matrix::CsrMatrix<T>) -> KernelProfile {
     let mut block_max_work = 0.0;
     let mut block_work = 0.0;
     let mut group_max = 0.0f64;
-    for r in 0..n_rows {
-        let (cols, _) = m.row(r);
+    for (r, w) in row_ptr.windows(2).enumerate() {
+        let cols = &col_idx[w[0] as usize..w[1] as usize];
         let l = cols.len() as f64;
         let row_steps = warp_ceil(cols.len());
         lane_work += row_steps * cost::MAC + cost::CSR_ROW_OVERHEAD;
@@ -305,17 +398,27 @@ fn profile_csr<T: Scalar>(m: &spmv_matrix::CsrMatrix<T>) -> KernelProfile {
 /// (fully coalesced) matrix access. Padding costs both lanes and bytes.
 fn profile_ell<T: Scalar>(m: &spmv_matrix::EllMatrix<T>) -> KernelProfile {
     let (n_rows, n_cols) = m.shape();
-    let nnz = m.nnz();
-    let padded = m.padded_elems() as f64;
-    let plane = m.col_plane();
+    profile_ell_raw(n_rows, n_cols, m.nnz(), m.width(), m.col_plane())
+}
+
+/// Raw-slice core of the ELL profile. `col_plane` is the column-major
+/// padded plane (`n_rows * width` slots).
+fn profile_ell_raw(
+    n_rows: usize,
+    n_cols: usize,
+    nnz: usize,
+    width: usize,
+    col_plane: &[u32],
+) -> KernelProfile {
+    let padded = col_plane.len() as f64;
     // Warp-step gather: at slot k, 32 consecutive rows read their k-th
     // column — exactly consecutive entries of the column-major plane.
-    let gather = count_gather(plane, 32, 32);
+    let gather = count_gather(col_plane, 32, 32);
     KernelProfile {
         format: Format::Ell,
         flops: 2.0 * nnz as f64,
         lane_work: padded * cost::MAC + n_rows as f64 * cost::ELL_ROW_OVERHEAD,
-        critical_steps: m.width() as f64 + 4.0,
+        critical_steps: width as f64 + 4.0,
         parallel_threads: n_rows as f64,
         matrix_bytes: [padded * (4.0 + 4.0), padded * (4.0 + 8.0)],
         gather_tx: [gather.tx_single, gather.tx_double],
@@ -335,27 +438,68 @@ fn profile_ell<T: Scalar>(m: &spmv_matrix::EllMatrix<T>) -> KernelProfile {
 /// spill, two launches.
 fn profile_hyb<T: Scalar>(m: &spmv_matrix::HybMatrix<T>) -> KernelProfile {
     let ell = profile_ell(m.ell_part());
-    // An empty COO tail skips the COO kernels; HYB then behaves like ELL
-    // plus the hybrid dispatch logic (tail check, two-structure indexing),
-    // which keeps it measurably — if slightly — behind plain ELL.
     if m.coo_part().nnz() == 0 {
-        return KernelProfile {
-            format: Format::Hyb,
-            lane_work: ell.lane_work * 1.05,
-            launches: ell.launches + 0.15,
-            ..ell
-        };
+        return hyb_without_tail(ell);
     }
+    let tail_gather = count_gather(m.coo_part().col_indices(), 32, 32);
     let coo = profile_coo(
         m.coo_part().n_rows(),
         m.coo_part().n_cols(),
         m.coo_part().col_indices(),
         m.coo_part().row_indices(),
+        tail_gather,
     );
+    hyb_with_tail(ell, coo, m.n_rows(), m.n_cols(), m.nnz())
+}
+
+/// Structural-view twin of [`profile_hyb`]: same head/tail dispatch over
+/// the same derived layouts.
+fn profile_hyb_structure(v: &HybStructure<'_>) -> KernelProfile {
+    let ell = profile_ell_raw(
+        v.ell.n_rows,
+        v.ell.n_cols,
+        v.ell.nnz,
+        v.ell.width,
+        v.ell.col_plane,
+    );
+    if v.tail.cols.is_empty() {
+        return hyb_without_tail(ell);
+    }
+    let tail_gather = count_gather(v.tail.cols, 32, 32);
+    let coo = profile_coo(
+        v.tail.n_rows,
+        v.tail.n_cols,
+        v.tail.cols,
+        v.tail.rows,
+        tail_gather,
+    );
+    hyb_with_tail(ell, coo, v.ell.n_rows, v.ell.n_cols, v.nnz)
+}
+
+/// An empty COO tail skips the COO kernels; HYB then behaves like ELL
+/// plus the hybrid dispatch logic (tail check, two-structure indexing),
+/// which keeps it measurably — if slightly — behind plain ELL.
+fn hyb_without_tail(ell: KernelProfile) -> KernelProfile {
+    KernelProfile {
+        format: Format::Hyb,
+        lane_work: ell.lane_work * 1.05,
+        launches: ell.launches + 0.15,
+        ..ell
+    }
+}
+
+/// Combine the head and tail kernel profiles into the two-launch HYB total.
+fn hyb_with_tail(
+    ell: KernelProfile,
+    coo: KernelProfile,
+    n_rows: usize,
+    n_cols: usize,
+    nnz: usize,
+) -> KernelProfile {
     let add2 = |a: [f64; 2], b: [f64; 2]| [a[0] + b[0], a[1] + b[1]];
     KernelProfile {
         format: Format::Hyb,
-        flops: 2.0 * m.nnz() as f64,
+        flops: 2.0 * nnz as f64,
         lane_work: ell.lane_work + coo.lane_work,
         critical_steps: ell.critical_steps, // COO part is balanced
         parallel_threads: ell.parallel_threads.max(coo.parallel_threads),
@@ -368,9 +512,9 @@ fn profile_hyb<T: Scalar>(m: &spmv_matrix::HybMatrix<T>) -> KernelProfile {
         // overlaps the tail kernel's drain).
         launches: 2.2,
         x_footprint: ell.x_footprint, // same x both passes
-        n_rows: m.n_rows(),
-        n_cols: m.n_cols(),
-        nnz: m.nnz(),
+        n_rows,
+        n_cols,
+        nnz,
     }
 }
 
@@ -378,11 +522,23 @@ fn profile_hyb<T: Scalar>(m: &spmv_matrix::HybMatrix<T>) -> KernelProfile {
 /// two-dimensional binary search over the diagonals first.
 fn profile_merge<T: Scalar>(m: &spmv_matrix::CsrMatrix<T>) -> KernelProfile {
     let (n_rows, n_cols) = m.shape();
-    let nnz = m.nnz();
+    let gather = count_gather(m.col_idx(), 32, 32);
+    profile_merge_raw(n_rows, n_cols, m.col_idx(), gather)
+}
+
+/// Raw-slice core of the merge-based CSR profile. `gather` is the warp-32
+/// count over `col_idx` — the same stream COO chunks identically, which is
+/// what [`ProfileCache`] exploits.
+fn profile_merge_raw(
+    n_rows: usize,
+    n_cols: usize,
+    col_idx: &[u32],
+    gather: GatherCount,
+) -> KernelProfile {
+    let nnz = col_idx.len();
     let items = (n_rows + nnz) as f64;
     let threads = (items / cost::MERGE_ITEMS_PER_THREAD).ceil().max(1.0);
     let search = items.max(2.0).log2() * 4.0; // slots per diagonal search
-    let gather = count_gather(m.col_idx(), 32, 32);
     KernelProfile {
         format: Format::MergeCsr,
         flops: 2.0 * nnz as f64,
@@ -415,14 +571,34 @@ fn profile_merge<T: Scalar>(m: &spmv_matrix::CsrMatrix<T>) -> KernelProfile {
 /// per-tile descriptor decode, calibration pass.
 fn profile_csr5<T: Scalar>(m: &spmv_matrix::Csr5Matrix<T>) -> KernelProfile {
     let (n_rows, n_cols) = m.shape();
-    let nnz = m.nnz();
-    let cfg = m.config();
-    let n_tiles = m.n_tiles() as f64;
+    profile_csr5_raw(
+        n_rows,
+        n_cols,
+        m.nnz(),
+        m.config(),
+        m.n_tiles(),
+        m.tiles_col_view(),
+        m.tail_cols_view(),
+    )
+}
+
+/// Raw-slice core of the CSR5 profile. `cols_t` is the step-major
+/// transposed full-tile column plane; `tail_cols` the CSR-ordered tail.
+fn profile_csr5_raw(
+    n_rows: usize,
+    n_cols: usize,
+    nnz: usize,
+    cfg: Csr5Config,
+    n_tiles: usize,
+    cols_t: &[u32],
+    tail_cols: &[u32],
+) -> KernelProfile {
+    let n_tiles = n_tiles as f64;
     // Transposed gather: warp-steps read omega entries at stride sigma —
     // the stored layout is already step-major, so consecutive chunks of the
     // transposed column array are exactly the warp accesses.
-    let gather_full = count_gather(m.tiles_col_view(), cfg.omega.clamp(1, 64), 32);
-    let gather_tail = count_gather(m.tail_cols_view(), 32, 32);
+    let gather_full = count_gather(cols_t, cfg.omega.clamp(1, 64), 32);
+    let gather_tail = count_gather(tail_cols, 32, 32);
     let tile_meta_bytes = n_tiles * (4.0 + cfg.omega as f64 * 8.0 / 4.0 + 16.0);
     KernelProfile {
         format: Format::Csr5,
@@ -597,6 +773,27 @@ mod tests {
         // One thread's 60-long row serializes 60 steps (vector: 60/32 + 8).
         assert_eq!(scalar.critical_steps, 60.0);
         assert!(scalar.critical_steps > vector.critical_steps);
+    }
+
+    #[test]
+    fn structural_profile_equals_value_carrying_profile_exactly() {
+        use spmv_matrix::{RowStats, StructureScratch};
+        // The hard invariant of the value-free path: for every format and
+        // matrix shape (banded, skewed, diagonal — incl. an empty HYB
+        // tail), `of_structure` over a derived view is bit-identical to
+        // `of` over the full value-carrying conversion.
+        let mats = vec![banded(200, 3), skewed(400, 60), banded(1000, 0)];
+        let mut scratch = StructureScratch::new();
+        for m in &mats {
+            let stats = RowStats::of(m.row_ptr());
+            for f in Format::ALL {
+                let dense = SparseMatrix::from_csr(m, f).unwrap();
+                let via_structure = KernelProfile::of_structure(
+                    &spmv_matrix::FormatStructure::build(m, f, &stats, &mut scratch).unwrap(),
+                );
+                assert_eq!(KernelProfile::of(&dense), via_structure, "{f}");
+            }
+        }
     }
 
     #[test]

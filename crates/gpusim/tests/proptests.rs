@@ -3,6 +3,7 @@
 //! conservation properties (flops, footprints, transaction bounds).
 
 use proptest::prelude::*;
+use spmv_gpusim::memory::{count_gather, count_gather_reference};
 use spmv_gpusim::{GpuArch, KernelProfile, Simulator};
 use spmv_matrix::{CsrMatrix, Format, Precision, SparseMatrix, TripletBuilder};
 
@@ -103,6 +104,37 @@ proptest! {
             t_big >= t_small / 3.0,
             "doubling work sped CSR up wildly: {t_small} -> {t_big}"
         );
+    }
+
+    #[test]
+    fn one_pass_gather_counter_equals_reference(
+        cols in proptest::collection::vec(0u32..50_000, 0..600),
+        warp in 1usize..=64,
+        line_idx in 0usize..3,
+    ) {
+        // The one-pass counter must reproduce the O(w²) two-scan oracle
+        // exactly — both granularities, every warp width 1..=64, every
+        // line granularity. Exact equality (not approximate) is what keeps
+        // labels and results/ artifacts byte-identical across this rewrite.
+        let line_bytes = [32usize, 64, 128][line_idx];
+        let fast = count_gather(&cols, warp, line_bytes);
+        let slow = count_gather_reference(&cols, warp, line_bytes);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn gather_counter_handles_clustered_duplicates(
+        lines in proptest::collection::vec(0u32..8, 1..200),
+        warp in 1usize..=64,
+    ) {
+        // Heavy-duplicate streams (few distinct lines) exercise the run
+        // coalescing inside the sorted scan.
+        let cols: Vec<u32> = lines.iter().map(|l| l * 8).collect();
+        let fast = count_gather(&cols, warp, 32);
+        let slow = count_gather_reference(&cols, warp, 32);
+        prop_assert_eq!(fast, slow);
+        // With at most 8 distinct lines, no chunk exceeds 8 transactions.
+        prop_assert!(fast.tx_single <= 8.0 * fast.accesses);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod merge;
 pub mod mm;
 pub mod parallel;
 pub mod scalar;
+pub mod structure;
 
 pub use builder::TripletBuilder;
 pub use coo::CooMatrix;
@@ -57,3 +58,7 @@ pub use format::{Format, SparseMatrix};
 pub use hyb::HybMatrix;
 pub use merge::{merge_path_search, MergeCoordinate, MergeCsrMatrix, SegmentCarry};
 pub use scalar::{Precision, Scalar};
+pub use structure::{
+    CooStructure, Csr5Structure, CsrStructure, EllStructure, FormatStructure, HybStructure,
+    RowStats, StructureScratch,
+};

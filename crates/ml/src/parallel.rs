@@ -101,14 +101,43 @@ impl Executor {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let run_cell = |i: usize| -> Result<T, CellPanic> {
-            catch_unwind(AssertUnwindSafe(|| job(i))).map_err(|payload| CellPanic {
+        self.try_map_with(n, || (), |(), i| job(i))
+    }
+
+    /// [`Executor::try_map`] with per-worker scratch state: `init` builds
+    /// one `S` per worker and `job(&mut scratch, i)` reuses it across every
+    /// cell that worker claims. This is the allocation-amortization hook —
+    /// label collection keeps format-structure buffers in the scratch, so
+    /// the steady state allocates ~nothing per matrix.
+    ///
+    /// Determinism contract: `job`'s *result* must be a pure function of
+    /// its index — the scratch may carry capacity between cells but never
+    /// values that change an output. After a contained panic the worker's
+    /// scratch is rebuilt with `init`, so a half-written buffer from the
+    /// panicking cell cannot leak into the next one.
+    pub fn try_map_with<S, T, I, F>(&self, n: usize, init: I, job: F) -> Vec<Result<T, CellPanic>>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let run_cell = |scratch: &mut S, i: usize| -> Result<T, CellPanic> {
+            catch_unwind(AssertUnwindSafe(|| job(scratch, i))).map_err(|payload| CellPanic {
                 index: i,
                 message: panic_message(payload),
             })
         };
         if self.threads == 1 || n <= 1 {
-            return (0..n).map(run_cell).collect();
+            let mut scratch = init();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let r = run_cell(&mut scratch, i);
+                if r.is_err() {
+                    scratch = init();
+                }
+                out.push(r);
+            }
+            return out;
         }
         let slots: Vec<Mutex<Option<Result<T, CellPanic>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
@@ -119,13 +148,19 @@ impl Executor {
         // below degrades the missing slots instead of panicking here.
         let _ = crossbeam::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|_| {
+                    let mut scratch = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let out = run_cell(&mut scratch, i);
+                        if out.is_err() {
+                            scratch = init();
+                        }
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                     }
-                    let out = run_cell(i);
-                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                 });
             }
         });
@@ -238,6 +273,58 @@ mod tests {
         assert_eq!(first.iter().filter(|r| r.is_ok()).count(), 4);
         let second = exec.try_map(5, |i| i + 1);
         assert!(second.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn try_map_with_reuses_scratch_and_stays_deterministic() {
+        use std::sync::atomic::AtomicUsize;
+        // Scratch is a growable buffer; results must not depend on what a
+        // previous cell left in it, and the number of `init` calls is
+        // bounded by the worker count (that's the whole point).
+        let inits = AtomicUsize::new(0);
+        for threads in [1usize, 4] {
+            inits.store(0, Ordering::Relaxed);
+            let exec = Executor::new(threads);
+            let out = exec.try_map_with(
+                40,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::new()
+                },
+                |buf, i| {
+                    buf.clear();
+                    buf.extend(0..=i);
+                    buf.iter().sum::<usize>()
+                },
+            );
+            let expect: Vec<usize> = (0..40).map(|i| i * (i + 1) / 2).collect();
+            let got: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(got, expect, "threads = {threads}");
+            assert!(
+                inits.load(Ordering::Relaxed) <= threads,
+                "one scratch per worker, not per cell"
+            );
+        }
+    }
+
+    #[test]
+    fn try_map_with_rebuilds_scratch_after_a_contained_panic() {
+        let exec = Executor::new(1);
+        // Cell 3 poisons its scratch then panics; cell 4 must see a fresh
+        // scratch, not the poisoned one.
+        let out = exec.try_map_with(
+            6,
+            || 0usize,
+            |state, i| {
+                if i == 3 {
+                    *state = 999;
+                    panic!("poisoned");
+                }
+                *state
+            },
+        );
+        assert!(out[3].is_err());
+        assert_eq!(*out[4].as_ref().unwrap(), 0, "scratch was rebuilt");
     }
 
     #[test]

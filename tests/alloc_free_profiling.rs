@@ -1,0 +1,94 @@
+//! Steady-state allocation audit for the structural profiling engine.
+//!
+//! A counting `#[global_allocator]` proves the PR-3 claim directly: once a
+//! worker's [`StructureScratch`] is warm, deriving every format's
+//! value-free view and profiling it allocates **zero** heap blocks — no
+//! value plane, no per-format index copies, nothing. This file holds a
+//! single test so no concurrent test can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use spmv_gpusim::KernelProfile;
+use spmv_matrix::{CsrMatrix, Format, FormatStructure, RowStats, StructureScratch, TripletBuilder};
+
+/// Counts allocations (and growth reallocations) while armed; frees are
+/// intentionally not counted — returning warm capacity is the whole point.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn banded(n: usize, half_width: usize) -> CsrMatrix<f64> {
+    let mut b = TripletBuilder::<f64>::new(n, n);
+    for r in 0..n {
+        let lo = r.saturating_sub(half_width);
+        let hi = (r + half_width + 1).min(n);
+        for c in lo..hi {
+            b.push(r, c, 1.0).expect("in bounds");
+        }
+    }
+    b.build().to_csr()
+}
+
+#[test]
+fn warm_scratch_profiles_every_format_with_zero_allocations() {
+    let csr = banded(500, 4);
+    let mut scratch = StructureScratch::new();
+
+    // Warm-up pass: grows each scratch buffer to this matrix's high-water
+    // mark across all six formats (this pass may allocate freely).
+    let stats = RowStats::of(csr.row_ptr());
+    for fmt in Format::ALL {
+        let s = FormatStructure::build(&csr, fmt, &stats, &mut scratch).expect("well-behaved");
+        std::hint::black_box(KernelProfile::of_structure(&s));
+    }
+
+    // Audited pass: the exact per-matrix work `collect_with` does for an
+    // already-generated CSR — shared row analysis, six structural views,
+    // six kernel profiles — must not touch the heap at all.
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let stats = RowStats::of(csr.row_ptr());
+    for fmt in Format::ALL {
+        let s = FormatStructure::build(&csr, fmt, &stats, &mut scratch).expect("well-behaved");
+        std::hint::black_box(KernelProfile::of_structure(&s));
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n, 0,
+        "structural profiling with warm scratch must be allocation-free"
+    );
+}

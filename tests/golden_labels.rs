@@ -1,0 +1,120 @@
+//! Golden byte-equality for the structural labeling path (the PR-3
+//! tentpole invariant): the value-free profiling engine must serialize
+//! bit-identically to the retired value-carrying path — at every thread
+//! count — and reproduce the checked-in label cache byte for byte.
+//!
+//! Three layers of the same guarantee:
+//! 1. `collect` at 1 thread == `collect` at 4 threads (schedule invariance);
+//! 2. either == a corpus rebuilt serially through
+//!    [`spmv_core::measure_matrix_outcomes_reference`], the pre-structural
+//!    oracle kept verbatim from before this change;
+//! 3. a fresh Tiny/20180801 collection == the bytes of
+//!    `results/labels_tiny.json` as committed before the structural engine
+//!    existed (so the cache never invalidates and `MODEL_VERSION` stays 3).
+
+use std::path::Path;
+
+use spmv_core::{measure_matrix_outcomes_reference, FaultPlan, LabeledCorpus, MatrixRecord};
+use spmv_corpus::{CorpusScale, SyntheticSuite};
+use spmv_features::extract;
+use spmv_gpusim::Simulator;
+use spmv_matrix::CsrMatrix;
+
+/// The exact suite behind `results/labels_tiny.json`
+/// (`ExperimentConfig::tiny()`: Tiny scale, the preprint-date seed).
+fn tiny_suite() -> SyntheticSuite {
+    SyntheticSuite::sample(CorpusScale::Tiny, 20180801)
+}
+
+/// Rebuild the corpus the way the seed repo did: serial loop, full
+/// value-carrying conversions, per-matrix feature extraction from scratch.
+fn reference_corpus(suite: &SyntheticSuite, sim: &Simulator) -> LabeledCorpus {
+    let plan = FaultPlan::none();
+    let records = suite
+        .specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let csr: CsrMatrix<f64> = spec.generate();
+            let (times, failures) =
+                measure_matrix_outcomes_reference(&csr, sim, spec.seed, &spec.name, &plan);
+            MatrixRecord {
+                name: spec.name.clone(),
+                bucket: suite.bucket_of[i],
+                family: spec.kind.family().to_string(),
+                shape: (csr.n_rows(), csr.n_cols(), csr.nnz()),
+                features: extract(&csr),
+                times,
+                failures,
+            }
+        })
+        .collect();
+    LabeledCorpus {
+        suite_seed: suite.seed,
+        model_version: spmv_gpusim::MODEL_VERSION,
+        records,
+    }
+}
+
+#[test]
+fn structural_collection_is_byte_identical_across_threads_and_to_the_oracle() {
+    let suite = tiny_suite();
+    let sim = Simulator::default();
+
+    let serial = serde_json::to_string(&LabeledCorpus::collect(&suite, &sim, 1)).expect("json");
+    let threaded = serde_json::to_string(&LabeledCorpus::collect(&suite, &sim, 4)).expect("json");
+    assert_eq!(serial, threaded, "thread count must not change a byte");
+
+    let oracle = serde_json::to_string(&reference_corpus(&suite, &sim)).expect("json");
+    assert_eq!(
+        serial, oracle,
+        "structural path must reproduce the value-carrying path byte for byte"
+    );
+}
+
+#[test]
+fn structural_collection_reproduces_the_checked_in_label_cache() {
+    let cache = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/labels_tiny.json");
+    let committed =
+        std::fs::read_to_string(&cache).unwrap_or_else(|e| panic!("read {}: {e}", cache.display()));
+
+    let suite = tiny_suite();
+    let fresh = serde_json::to_string(&LabeledCorpus::collect(&suite, &Simulator::default(), 4))
+        .expect("json");
+    assert_eq!(
+        fresh,
+        committed.trim_end(),
+        "the committed cache predates the structural engine; a mismatch \
+         means the new path changed an artifact bit"
+    );
+}
+
+#[test]
+fn profiling_path_never_materializes_a_value_plane() {
+    // API-level statement of the no-value-allocation claim: the grid a
+    // matrix labels through is reachable without `SparseMatrix::from_csr`
+    // ever running. Build one value-carrying conversion for scale and show
+    // the structural path sees the same measurement grid while its only
+    // inputs are the CSR index arrays (`row_ptr`/`col_idx`) — the value
+    // slice is dropped before measurement and nothing changes.
+    let spec = &tiny_suite().specs[0];
+    let csr: CsrMatrix<f64> = spec.generate();
+    let sim = Simulator::default();
+    let plan = FaultPlan::none();
+
+    let full = spmv_core::measure_matrix_outcomes(&csr, &sim, spec.seed, &spec.name, &plan);
+
+    // Same structure, all values zeroed: measurement must be identical,
+    // because the profiling engine never reads (or copies) a value.
+    let zeroed = CsrMatrix::from_parts(
+        csr.n_rows(),
+        csr.n_cols(),
+        csr.row_ptr().to_vec(),
+        csr.col_idx().to_vec(),
+        vec![0.0f64; csr.nnz()],
+    )
+    .expect("valid csr");
+    let from_zeroed =
+        spmv_core::measure_matrix_outcomes(&zeroed, &sim, spec.seed, &spec.name, &plan);
+    assert_eq!(full, from_zeroed, "labels are a pure function of structure");
+}
