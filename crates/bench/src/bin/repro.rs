@@ -15,9 +15,14 @@
 //! `--threads N` caps the worker threads used for label collection and the
 //! experiment-cell sweeps (default: the `SPMV_THREADS` environment
 //! variable, else all cores). Results are byte-identical at any setting.
+//!
+//! `--trace-out PATH` (or `SPMV_TRACE=PATH`) writes a run manifest: a JSON
+//! observability artifact whose deterministic section (counters, span
+//! shape, provenance) is byte-identical at any thread count, with wall
+//! times quarantined in a separate timing section (DESIGN.md §4g).
 
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use spmv_core::ablation::ablations;
@@ -34,6 +39,7 @@ fn main() {
     let mut cfg = ExperimentConfig::quick();
     let mut ids: Vec<String> = Vec::new();
     let mut threads_flag: Option<usize> = None;
+    let mut trace_flag: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -51,8 +57,15 @@ fn main() {
                     });
                 threads_flag = Some(n);
             }
+            "--trace-out" => {
+                let p = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --trace-out needs a file path");
+                    std::process::exit(2);
+                });
+                trace_flag = Some(PathBuf::from(p));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: repro [--tiny|--quick|--full] [--paper-grids] [--threads N] [table1 fig2 fig3 table4..table14 fig4..fig7 ablation ...]");
+                eprintln!("usage: repro [--tiny|--quick|--full] [--paper-grids] [--threads N] [--trace-out PATH] [table1 fig2 fig3 table4..table14 fig4..fig7 ablation ...]");
                 return;
             }
             other => ids.push(other.to_string()),
@@ -61,6 +74,17 @@ fn main() {
     // Applied after scale selection: --tiny/--quick/--full replace cfg
     // wholesale, and the flag must win over SPMV_THREADS and core count.
     cfg.threads = spmv_ml::thread_budget(threads_flag);
+    let trace = spmv_core::TraceSession::start(trace_flag);
+    if trace.is_some() {
+        // Run identity lands in the deterministic section; anything that
+        // may legally vary between byte-identical runs (thread count) is
+        // timing-only.
+        spmv_core::observe::set_provenance("tool", "repro");
+        spmv_core::observe::set_provenance("scale", &format!("{:?}", cfg.scale));
+        spmv_core::observe::set_provenance("suite_seed", &cfg.suite_seed.to_string());
+        spmv_core::observe::set_provenance("split_seed", &cfg.split_seed.to_string());
+        spmv_core::observe::set_timing_info("threads", &cfg.threads.to_string());
+    }
     let want = |id: &str| ids.is_empty() || ids.iter().any(|x| x == id);
 
     // Each scale writes to its own directory so a full-scale run does not
@@ -92,7 +116,10 @@ fn main() {
             return;
         }
         let t = Instant::now();
+        let span = spmv_observe::span!("repro/experiment");
         let rs = f();
+        drop(span);
+        spmv_observe::counter!("repro.artifacts", rs.len());
         eprintln!("[repro] {name} done in {:.1}s", t.elapsed().as_secs_f64());
         for r in &rs {
             let path = Path::new(outdir).join(format!("{}.txt", r.id));
@@ -148,4 +175,13 @@ fn main() {
         results.len(),
         t0.elapsed().as_secs_f64()
     );
+    if let Some(session) = trace {
+        match session.finish() {
+            Ok(path) => eprintln!("[repro] wrote run manifest to {}", path.display()),
+            Err(e) => {
+                eprintln!("[repro] error: could not write run manifest: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

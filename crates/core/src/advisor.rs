@@ -232,6 +232,7 @@ impl FormatAdvisor {
     /// XGBoost over the `imp.` feature subset for selection, an MLP
     /// ensemble over the same features (+ format one-hot) for timing.
     pub fn train(corpus: &LabeledCorpus, env: Env, budget: SearchBudget) -> FormatAdvisor {
+        let _span = spmv_observe::span!("advisor/train", corpus = corpus.records.len() as u64);
         let set = FeatureSet::Important;
         let formats = Format::ALL.to_vec();
 
@@ -292,9 +293,13 @@ impl FormatAdvisor {
         matrix: &CsrMatrix<T>,
         plan: &FaultPlan,
     ) -> Recommendation {
+        spmv_observe::counter("advisor.recommendations", 1);
         match self.recommend_checked_with(matrix, plan) {
             Ok(rec) => rec,
-            Err(_) => HeuristicAdvisor.recommend(matrix),
+            Err(_) => {
+                spmv_observe::counter("advisor.fallbacks", 1);
+                HeuristicAdvisor.recommend(matrix)
+            }
         }
     }
 
@@ -442,6 +447,18 @@ impl FormatAdvisor {
     /// [`FormatAdvisor::load`] under a fault plan: the `ModelLoad` site
     /// can be forced to fail, exercising artifact-rejection handling.
     pub fn load_with(
+        path: &std::path::Path,
+        plan: &FaultPlan,
+    ) -> Result<FormatAdvisor, ArtifactError> {
+        spmv_observe::counter("advisor.model_loads", 1);
+        let loaded = Self::load_with_impl(path, plan);
+        if loaded.is_err() {
+            spmv_observe::counter("advisor.artifact_rejects", 1);
+        }
+        loaded
+    }
+
+    fn load_with_impl(
         path: &std::path::Path,
         plan: &FaultPlan,
     ) -> Result<FormatAdvisor, ArtifactError> {

@@ -7,12 +7,16 @@
 //!   spmv-advisor <matrix.mtx> [--gpu k80c|p100] [--precision single|double]
 //!                [--train-scale tiny|small] [--explain]
 //!                [--model <advisor.json>] [--save-model <advisor.json>]
+//!                [--trace-out <trace.json>]
 //!
 //! `--model` loads a saved advisor artifact instead of training;
 //! `--save-model` persists the trained advisor for later `--model` runs.
 //! `--explain` additionally prints the GPU model's per-format timing
 //! breakdown (launch / compute / DRAM / L2 / critical-path / atomics and
 //! the binding bottleneck) — the "why" behind the recommendation.
+//! `--trace-out` (or `SPMV_TRACE=PATH`) writes the run manifest described
+//! in DESIGN.md §4g; it is written even when the run exits non-zero, so
+//! fault tallies of failed runs are observable.
 //!
 //! Exit codes (stable, for scripting):
 //!   0  success
@@ -45,7 +49,8 @@ const EXIT_ARTIFACT: u8 = 4;
 
 const USAGE: &str = "usage: spmv-advisor <matrix.mtx> [--gpu k80c|p100] \
                      [--precision single|double] [--train-scale tiny|small] [--explain] \
-                     [--model <advisor.json>] [--save-model <advisor.json>]";
+                     [--model <advisor.json>] [--save-model <advisor.json>] \
+                     [--trace-out <trace.json>]";
 
 fn fail(code: u8, msg: &str) -> ExitCode {
     eprintln!("spmv-advisor: error: {msg}");
@@ -60,6 +65,7 @@ struct Opts {
     explain: bool,
     model: Option<PathBuf>,
     save_model: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 /// Parse argv. `Ok(None)` means `--help` was requested (exit 0);
@@ -73,6 +79,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
     let mut explain = false;
     let mut model: Option<PathBuf> = None;
     let mut save_model: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--gpu" => match args.next().as_deref() {
@@ -97,6 +104,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
             "--save-model" => match args.next() {
                 Some(p) => save_model = Some(PathBuf::from(p)),
                 None => return Err("--save-model needs a path".into()),
+            },
+            "--trace-out" => match args.next() {
+                Some(p) => trace_out = Some(PathBuf::from(p)),
+                None => return Err("--trace-out needs a path".into()),
             },
             "--explain" => explain = true,
             "--help" | "-h" => return Ok(None),
@@ -123,6 +134,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
         explain,
         model,
         save_model,
+        trace_out,
     }))
 }
 
@@ -138,7 +150,33 @@ fn main() -> ExitCode {
             return fail(EXIT_USAGE, &msg);
         }
     };
+    let trace = spmv_core::TraceSession::start(opts.trace_out.clone());
+    if trace.is_some() {
+        spmv_core::observe::set_provenance("tool", "spmv-advisor");
+        spmv_core::observe::set_provenance("gpu", if opts.arch_idx == 0 { "k80c" } else { "p100" });
+        spmv_core::observe::set_provenance(
+            "precision",
+            match opts.precision {
+                Precision::Single => "single",
+                Precision::Double => "double",
+            },
+        );
+        spmv_core::observe::set_timing_info("threads", &spmv_ml::thread_budget(None).to_string());
+    }
+    let code = run(&opts);
+    // The manifest is written even on failed runs: injected-fault and
+    // artifact-reject tallies are most interesting precisely then.
+    if let Some(session) = trace {
+        match session.finish() {
+            Ok(path) => eprintln!("spmv-advisor: wrote run manifest to {}", path.display()),
+            Err(e) => eprintln!("spmv-advisor: error: could not write run manifest: {e}"),
+        }
+    }
+    code
+}
 
+fn run(opts: &Opts) -> ExitCode {
+    let _span = spmv_core::observe::span("advisor/run");
     // 1. Load the matrix: exit 3 on anything the parser rejects.
     let coo = match mm::read_matrix_market_file::<f64, _>(&opts.path) {
         Ok(m) => m,

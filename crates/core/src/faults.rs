@@ -64,6 +64,20 @@ impl FaultSite {
             FaultSite::ModelLoad => "model-load",
         }
     }
+
+    /// Static observability counter bumped each time this site injects a
+    /// fault. Static (a `match`, not a `format!`) so the fault decision
+    /// path never allocates while tracing is disabled.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            FaultSite::MmParse => "faults.injected.mm-parse",
+            FaultSite::Conversion => "faults.injected.conversion",
+            FaultSite::Measurement => "faults.injected.measurement",
+            FaultSite::FeatureExtraction => "faults.injected.feature-extraction",
+            FaultSite::WorkerPanic => "faults.injected.worker-panic",
+            FaultSite::ModelLoad => "faults.injected.model-load",
+        }
+    }
 }
 
 impl std::fmt::Display for FaultSite {
@@ -159,6 +173,7 @@ impl FaultPlan {
             return false;
         }
         if rate >= 1.0 {
+            spmv_observe::counter(site.counter_name(), 1);
             return true;
         }
         let h = fnv1a_64(&[
@@ -176,7 +191,11 @@ impl FaultPlan {
         x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
         x ^= x >> 33;
         let u = (x >> 11) as f64 / (1u64 << 53) as f64;
-        u < rate
+        let fail = u < rate;
+        if fail {
+            spmv_observe::counter(site.counter_name(), 1);
+        }
+        fail
     }
 
     /// The canonical reason string recorded for an injected fault, so

@@ -20,6 +20,52 @@ pub struct IndirectOutcome {
     pub class_times: Vec<Vec<f64>>,
 }
 
+/// The paper's tolerance rule as a pure function: the choice for one
+/// record counts as correct when its *actual* time is within
+/// `(1 + tolerance)` of the actual best. `chosen`/`best` are class
+/// indices into `class_times`; `best` must be the argmin (what
+/// [`evaluate_indirect`] computes).
+pub fn choice_within_tolerance(
+    class_times: &[f64],
+    chosen: usize,
+    best: usize,
+    tolerance: f64,
+) -> bool {
+    class_times[chosen] <= class_times[best] * (1.0 + tolerance)
+}
+
+/// Accuracy of an indirect selection at `tolerance`: the fraction of
+/// records whose chosen class passes [`choice_within_tolerance`]. Pure
+/// (no model, no split) so it can be pinned against hand-computed
+/// fixtures; [`evaluate_indirect`] reports exactly this number.
+pub fn indirect_accuracy(
+    chosen: &[usize],
+    best: &[usize],
+    class_times: &[Vec<f64>],
+    tolerance: f64,
+) -> f64 {
+    assert_eq!(chosen.len(), best.len());
+    assert_eq!(chosen.len(), class_times.len());
+    let correct = chosen
+        .iter()
+        .zip(best)
+        .zip(class_times)
+        .filter(|&((&c, &b), ts)| choice_within_tolerance(ts, c, b, tolerance))
+        .count();
+    correct as f64 / chosen.len().max(1) as f64
+}
+
+/// Accuracy from precomputed chosen-over-best time ratios: the fraction
+/// within `1 + tolerance`. This is [`indirect_tolerance_sweep`]'s scoring
+/// step, factored out so the sweep math is unit-testable; note it divides
+/// where [`choice_within_tolerance`] multiplies, so the two can disagree
+/// by one ulp at the exact boundary — each caller keeps its historical
+/// arithmetic to stay byte-stable.
+pub fn ratio_accuracy(ratios: &[f64], tolerance: f64) -> f64 {
+    let n = ratios.len().max(1) as f64;
+    ratios.iter().filter(|&&r| r <= 1.0 + tolerance).count() as f64 / n
+}
+
 /// Train a combined regressor on 80 % of matrices, then classify the held
 /// out matrices by predicted-argmin.
 pub fn evaluate_indirect(
@@ -45,7 +91,6 @@ pub fn evaluate_indirect(
     let mut chosen = Vec::new();
     let mut best = Vec::new();
     let mut class_times = Vec::new();
-    let mut correct = 0usize;
     for (rec, samples) in &by_record {
         // Predicted argmin over the record's formats.
         let c = samples
@@ -61,16 +106,12 @@ pub fn evaluate_indirect(
             .min_by(|x, y| x.1.total_cmp(y.1))
             .map(|(k, _)| k)
             .expect("non-empty");
-        if actual[c] <= actual[b] * (1.0 + tolerance) {
-            correct += 1;
-        }
         chosen.push(c);
         best.push(b);
         class_times.push(actual.clone());
     }
-    let n = by_record.len().max(1);
     IndirectOutcome {
-        accuracy: correct as f64 / n as f64,
+        accuracy: indirect_accuracy(&chosen, &best, &class_times, tolerance),
         chosen,
         best,
         class_times,
@@ -112,10 +153,9 @@ pub fn indirect_tolerance_sweep(
             actual[c] / best
         })
         .collect();
-    let n = ratios.len().max(1) as f64;
     tolerances
         .iter()
-        .map(|tol| ratios.iter().filter(|&&r| r <= 1.0 + tol).count() as f64 / n)
+        .map(|&tol| ratio_accuracy(&ratios, tol))
         .collect()
 }
 
@@ -156,5 +196,66 @@ mod tests {
             let m = ts.iter().copied().fold(f64::INFINITY, f64::min);
             assert_eq!(ts[*b], m);
         }
+    }
+
+    // --- hand-computed fixtures for the pure scoring functions ---
+
+    #[test]
+    fn tolerance_rule_on_hand_fixture() {
+        // Times per class; best is index 1 (1.0 s).
+        let ts = [1.2, 1.0, 2.0];
+        // Strict: only the argmin passes.
+        assert!(choice_within_tolerance(&ts, 1, 1, 0.0));
+        assert!(!choice_within_tolerance(&ts, 0, 1, 0.0));
+        // 20 % tolerance admits the 1.2 s class but not the 2.0 s one.
+        assert!(choice_within_tolerance(&ts, 0, 1, 0.2));
+        assert!(!choice_within_tolerance(&ts, 2, 1, 0.2));
+    }
+
+    #[test]
+    fn five_percent_boundary_is_inclusive() {
+        // The paper's 5 % rule: exactly 1.05x the best still counts.
+        // 1.0 * (1.0 + 0.05) computes to exactly 1.05 in f64 here.
+        let ts = [1.05, 1.0];
+        assert!(choice_within_tolerance(&ts, 0, 1, 0.05));
+        // The next representable time above the bound does not.
+        let just_over = [1.05f64.next_up(), 1.0];
+        assert!(!choice_within_tolerance(&just_over, 0, 1, 0.05));
+    }
+
+    #[test]
+    fn indirect_accuracy_hand_computed() {
+        // Three records; per-record times and (chosen, best):
+        //   r0: chosen 0 (1.04) vs best 1 (1.0)  -> within 5 %
+        //   r1: chosen 2 (3.0)  vs best 0 (1.0)  -> not within 5 %
+        //   r2: chosen 1 = best 1 (2.0)          -> exact hit
+        let class_times = vec![vec![1.04, 1.0], vec![1.0, 2.0, 3.0], vec![9.0, 2.0]];
+        let chosen = vec![0, 2, 1];
+        let best = vec![1, 0, 1];
+        let acc = indirect_accuracy(&chosen, &best, &class_times, 0.05);
+        assert_eq!(acc, 2.0 / 3.0);
+        // Strict scoring drops the 1.04x record.
+        assert_eq!(
+            indirect_accuracy(&chosen, &best, &class_times, 0.0),
+            1.0 / 3.0
+        );
+        // Huge tolerance accepts everything.
+        assert_eq!(indirect_accuracy(&chosen, &best, &class_times, 1e9), 1.0);
+    }
+
+    #[test]
+    fn ratio_accuracy_hand_computed() {
+        let ratios = [1.0, 1.05, 1.2, 2.0];
+        assert_eq!(ratio_accuracy(&ratios, 0.0), 1.0 / 4.0);
+        assert_eq!(ratio_accuracy(&ratios, 0.05), 2.0 / 4.0);
+        assert_eq!(ratio_accuracy(&ratios, 0.2), 3.0 / 4.0);
+        assert_eq!(ratio_accuracy(&ratios, 1.0), 1.0);
+        // Empty input is defined as zero, not NaN.
+        assert_eq!(ratio_accuracy(&[], 0.05), 0.0);
+    }
+
+    #[test]
+    fn empty_selection_scores_zero() {
+        assert_eq!(indirect_accuracy(&[], &[], &[], 0.05), 0.0);
     }
 }

@@ -243,9 +243,12 @@ pub fn measure_matrix_outcomes_in(
                 let seed = cell_seed(noise_seed, fmt, arch, prec);
                 let meas = sim.measure_profile(&profile, arch, prec, seed);
                 times[ai][prec.idx()][fmt.class_id()] = Some(meas.time_s);
+                spmv_observe::counter("labeling.cells_measured", 1);
             }
         }
     }
+    spmv_observe::counter("gpusim.profile_cache.hits", cache.hits());
+    spmv_observe::counter("gpusim.profile_cache.misses", cache.misses());
     (times, failures)
 }
 
@@ -328,6 +331,7 @@ impl LabeledCorpus {
         plan: &FaultPlan,
     ) -> LabeledCorpus {
         let n = suite.specs.len();
+        let _collect_span = spmv_observe::span!("labeling/collect", matrices = n as u64);
         let exec = Executor::new(threads.clamp(1, n.max(1)));
         // One structure scratch per worker, reused across every matrix the
         // worker labels: in steady state the per-matrix loop allocates
@@ -338,6 +342,10 @@ impl LabeledCorpus {
                 panic!("{}", FaultPlan::reason(FaultSite::WorkerPanic, &spec.name));
             }
             let csr: CsrMatrix<f64> = spec.generate();
+            // Span identity is the static path (not the worker thread), so
+            // the hit count — one per matrix — lands in the deterministic
+            // section while per-worker wall time aggregates in timing.
+            let _matrix_span = spmv_observe::span!("labeling/matrix", nnz = csr.nnz() as u64);
             // One pass over row_ptr serves ELL width selection, the HYB
             // threshold, CSR5 tiling, merge setup, AND the row-length
             // features below.
@@ -368,6 +376,7 @@ impl LabeledCorpus {
             let (times, measure_failures) =
                 measure_matrix_outcomes_in(&csr, &stats, scratch, sim, spec.seed, &spec.name, plan);
             failures.extend(measure_failures);
+            spmv_observe::counter("labeling.failures", failures.len() as u64);
             MatrixRecord {
                 name: spec.name.clone(),
                 bucket: suite.bucket_of[i],
@@ -386,6 +395,7 @@ impl LabeledCorpus {
                 Err(p) => {
                     // Contained worker panic: a degraded all-failed record
                     // keeps the corpus aligned with the suite.
+                    spmv_observe::counter("labeling.worker_panics", 1);
                     let spec = &suite.specs[i];
                     MatrixRecord {
                         name: spec.name.clone(),
@@ -443,10 +453,12 @@ impl LabeledCorpus {
                     && c.records.len() == suite.len()
                     && c.model_version == spmv_gpusim::MODEL_VERSION
                 {
+                    spmv_observe::counter("labeling.cache_hits", 1);
                     return c;
                 }
             }
         }
+        spmv_observe::counter("labeling.cache_misses", 1);
         let c = Self::collect(suite, sim, threads);
         if let Some(dir) = cache.parent() {
             let _ = std::fs::create_dir_all(dir);

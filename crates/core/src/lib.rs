@@ -30,6 +30,8 @@ pub mod heuristic;
 pub mod indirect;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod labels;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod observe;
 pub mod regress;
 pub mod report;
 pub mod slowdown;
@@ -45,11 +47,14 @@ pub use experiments::{sweep_seed, ExperimentConfig, ExperimentResult};
 pub use extensions::extensions;
 pub use faults::{read_matrix_market_file_with, FaultPlan, FaultSite};
 pub use heuristic::HeuristicAdvisor;
-pub use indirect::{evaluate_indirect, IndirectOutcome};
+pub use indirect::{
+    choice_within_tolerance, evaluate_indirect, indirect_accuracy, ratio_accuracy, IndirectOutcome,
+};
 pub use labels::{
     measure_matrix, measure_matrix_outcomes, measure_matrix_outcomes_reference, CellTimes,
     LabelFailure, LabelOutcome, LabeledCorpus, MatrixRecord, N_FORMATS,
 };
+pub use observe::TraceSession;
 pub use regress::{
     evaluate_regressor, train_time_predictor, RegModelKind, RegressOutcome, TimePredictor,
 };

@@ -1,0 +1,85 @@
+//! Pipeline-facing face of the observability layer (DESIGN.md §4g).
+//!
+//! [`spmv_observe`] owns the mechanism (spans, counters, manifest
+//! rendering); this module owns the policy shared by the two CLIs:
+//! where the manifest goes (`--trace-out` flag, `SPMV_TRACE` env), which
+//! provenance keys a run records, and when the file is written.
+//!
+//! Everything re-exported here is a near-no-op while tracing is disabled,
+//! so library callers can instrument unconditionally.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+pub use spmv_observe::{
+    counter, counter_value, deterministic_section, disable, enable, is_enabled, manifest, reset,
+    set_provenance, set_timing_info, span, timing_section, write_manifest, Span, MANIFEST_VERSION,
+};
+
+/// Environment variable naming a manifest destination; same effect as
+/// `--trace-out PATH`, with the flag taking precedence.
+pub const TRACE_ENV: &str = "SPMV_TRACE";
+
+/// An enabled tracing run that knows where its manifest goes.
+///
+/// Construct with [`TraceSession::start`] at CLI startup; call
+/// [`TraceSession::finish`] once the work is done to stamp wall-clock
+/// timing info and write the manifest. Dropping without `finish` writes
+/// nothing (observability must never turn a successful run into an
+/// I/O failure at exit unless the caller asked for the file).
+pub struct TraceSession {
+    out: PathBuf,
+    started: Instant,
+}
+
+impl TraceSession {
+    /// Resolve the manifest destination from the `--trace-out` flag or
+    /// the `SPMV_TRACE` environment variable (flag wins). If neither is
+    /// set, tracing stays disabled and `None` is returned. Otherwise the
+    /// tracer is reset and enabled, and standard provenance is stamped.
+    pub fn start(flag: Option<PathBuf>) -> Option<TraceSession> {
+        let out = flag.or_else(|| {
+            std::env::var_os(TRACE_ENV)
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from)
+        })?;
+        reset();
+        enable();
+        set_provenance("model_version", &spmv_gpusim::MODEL_VERSION.to_string());
+        Some(TraceSession {
+            out,
+            started: Instant::now(),
+        })
+    }
+
+    /// Where the manifest will be written.
+    pub fn out_path(&self) -> &Path {
+        &self.out
+    }
+
+    /// Stamp run-level timing info, write the manifest, and disable the
+    /// tracer. Returns the destination path on success.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        let wall_ms = self.started.elapsed().as_millis();
+        set_timing_info("wall_ms", &wall_ms.to_string());
+        write_manifest(&self.out)?;
+        disable();
+        Ok(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_flag_no_env_stays_disabled() {
+        // SPMV_TRACE is not set in the test environment (CI keeps it
+        // unset; the determinism suite passes the flag explicitly).
+        if std::env::var_os(TRACE_ENV).is_some() {
+            return; // someone is tracing this very test run; don't fight it
+        }
+        assert!(TraceSession::start(None).is_none());
+        assert!(!is_enabled());
+    }
+}

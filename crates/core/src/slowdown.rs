@@ -55,6 +55,90 @@ mod tests {
         assert!(t.above_1_5x >= t.above_2x);
     }
 
+    /// A hand-built two-class task whose only meaningful content is
+    /// `class_times` — everything `slowdown_of` reads.
+    fn fixture_task(class_times: Vec<Vec<f64>>) -> ClassificationTask {
+        let n = class_times.len();
+        let y: Vec<usize> = class_times
+            .iter()
+            .map(|ts| {
+                ts.iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(k, _)| k)
+                    .unwrap()
+            })
+            .collect();
+        ClassificationTask {
+            x: spmv_ml::FeatureMatrix::from_rows(&vec![vec![0.0]; n]),
+            y,
+            formats: vec![Format::Csr, Format::Ell],
+            class_times,
+            names: (0..n).map(|i| format!("m{i}")).collect(),
+        }
+    }
+
+    #[test]
+    fn slowdown_table_hand_computed() {
+        // Five samples, chosen class vs. per-class times:
+        //   s0 picks 0: 1.0  vs best 1.0  -> none (exact)
+        //   s1 picks 1: 1.005 vs best 1.0 -> none (within the 1 % tie eps)
+        //   s2 picks 1: 1.3  vs best 1.0  -> >1x and >=1.2x
+        //   s3 picks 0: 1.7  vs best 1.0  -> >1x, >=1.2x, >=1.5x
+        //   s4 picks 0: 2.5  vs best 1.0  -> all four buckets
+        let task = fixture_task(vec![
+            vec![1.0, 4.0],
+            vec![1.0, 1.005],
+            vec![1.0, 1.3],
+            vec![1.7, 1.0],
+            vec![2.5, 1.0],
+        ]);
+        let out = EvalOutcome {
+            accuracy: 0.0,
+            predictions: vec![0, 1, 1, 0, 0],
+            test_idx: vec![0, 1, 2, 3, 4],
+            truth: task.y.clone(),
+        };
+        let t = slowdown_of(&task, &out);
+        assert_eq!(t.none, 2);
+        assert_eq!(t.above_1x, 3);
+        assert_eq!(t.above_1_2x, 3);
+        assert_eq!(t.above_1_5x, 2);
+        assert_eq!(t.above_2x, 1);
+    }
+
+    #[test]
+    fn tie_eps_boundary_is_inclusive() {
+        // Slowdown exactly 1 + TIE_EPS counts as "none"; the next
+        // representable value above it does not. 1.01/1.0 is exact in f64.
+        let task = fixture_task(vec![vec![1.01, 1.0], vec![1.01f64.next_up(), 1.0]]);
+        let out = EvalOutcome {
+            accuracy: 0.0,
+            predictions: vec![0, 0],
+            test_idx: vec![0, 1],
+            truth: task.y.clone(),
+        };
+        let t = slowdown_of(&task, &out);
+        assert_eq!(t.none, 1);
+        assert_eq!(t.above_1x, 1);
+        assert_eq!(t.above_1_2x, 0);
+    }
+
+    #[test]
+    fn subset_of_test_indices_only_counts_those_rows() {
+        // slowdown_of must follow test_idx, not scan the whole task.
+        let task = fixture_task(vec![vec![9.0, 1.0], vec![1.0, 9.0], vec![5.0, 1.0]]);
+        let out = EvalOutcome {
+            accuracy: 1.0,
+            predictions: vec![1],
+            test_idx: vec![1], // only the middle sample, whose pick is wrong (9x)
+            truth: vec![0],
+        };
+        let t = slowdown_of(&task, &out);
+        assert_eq!(t.none + t.above_1x, 1);
+        assert_eq!(t.above_2x, 1);
+    }
+
     #[test]
     fn perfect_predictions_have_no_slowdown() {
         let corpus = tiny_labeled_corpus(51);

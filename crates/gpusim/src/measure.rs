@@ -70,6 +70,7 @@ impl Simulator {
         prec: Precision,
         seed: u64,
     ) -> Measurement {
+        spmv_observe::counter("gpusim.measurements", 1);
         let base = predict_seconds(profile, arch, prec);
         if self.noise_sigma == 0.0 || self.reps == 0 {
             return Measurement {

@@ -92,6 +92,8 @@ pub struct KernelProfile {
 #[derive(Debug, Default)]
 pub struct ProfileCache {
     flat_gather: Option<GatherCount>,
+    hits: u64,
+    misses: u64,
 }
 
 impl ProfileCache {
@@ -100,12 +102,29 @@ impl ProfileCache {
         ProfileCache::default()
     }
 
+    /// How many gather requests this cache served from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// How many gather requests had to run [`count_gather`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
     /// The warp-32 gather count over the row-major column stream,
     /// computed on first use.
     fn flat(&mut self, cols: &[u32]) -> GatherCount {
-        *self
-            .flat_gather
-            .get_or_insert_with(|| count_gather(cols, 32, 32))
+        match self.flat_gather {
+            Some(g) => {
+                self.hits += 1;
+                g
+            }
+            None => {
+                self.misses += 1;
+                *self.flat_gather.insert(count_gather(cols, 32, 32))
+            }
+        }
     }
 }
 

@@ -218,6 +218,8 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CooMatrix<T>>
             ),
         });
     }
+    spmv_observe::counter("matrix.mm.parsed", 1);
+    spmv_observe::counter("matrix.mm.entries", seen as u64);
     Ok(b.build())
 }
 
@@ -235,6 +237,7 @@ pub fn write_matrix_market<T: Scalar, W: Write>(m: &CooMatrix<T>, writer: W) -> 
         writeln!(w, "{} {} {}", r + 1, c + 1, v.to_f64())?;
     }
     w.flush()?;
+    spmv_observe::counter("matrix.mm.written", 1);
     Ok(())
 }
 

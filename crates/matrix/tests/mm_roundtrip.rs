@@ -1,0 +1,213 @@
+//! MatrixMarket round-trip property: for every supported header —
+//! `{real|integer|pattern} × {general|symmetric|skew-symmetric}` — parsing
+//! an arbitrary valid file and re-writing it reaches a *fixpoint* after
+//! the first write. The writer always emits expanded `real general`
+//! storage, so write(parse(text)) may differ from `text`, but
+//! write(parse(write(parse(text)))) must equal write(parse(text)) byte
+//! for byte, and the parsed matrix must survive the trip unchanged.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use spmv_matrix::mm::{read_matrix_market, write_matrix_market};
+use spmv_matrix::CooMatrix;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+impl Field {
+    const ALL: [Field; 3] = [Field::Real, Field::Integer, Field::Pattern];
+    fn word(self) -> &'static str {
+        match self {
+            Field::Real => "real",
+            Field::Integer => "integer",
+            Field::Pattern => "pattern",
+        }
+    }
+}
+
+impl Symmetry {
+    const ALL: [Symmetry; 3] = [
+        Symmetry::General,
+        Symmetry::Symmetric,
+        Symmetry::SkewSymmetric,
+    ];
+    fn word(self) -> &'static str {
+        match self {
+            Symmetry::General => "general",
+            Symmetry::Symmetric => "symmetric",
+            Symmetry::SkewSymmetric => "skew-symmetric",
+        }
+    }
+}
+
+/// One declared entry: 1-based coordinates plus the value token exactly as
+/// it will appear in the file (so the expected value is unambiguous).
+#[derive(Debug, Clone)]
+struct Entry {
+    r: usize,
+    c: usize,
+    token: String,
+}
+
+/// Render a legal MatrixMarket file for the given header and entries.
+fn render(field: Field, sym: Symmetry, rows: usize, cols: usize, entries: &[Entry]) -> String {
+    let mut s = format!(
+        "%%MatrixMarket matrix coordinate {} {}\n% property-generated fixture\n\n{} {} {}\n",
+        field.word(),
+        sym.word(),
+        rows,
+        cols,
+        entries.len()
+    );
+    for e in entries {
+        match field {
+            Field::Pattern => s.push_str(&format!("{} {}\n", e.r, e.c)),
+            _ => s.push_str(&format!("{} {} {}\n", e.r, e.c, e.token)),
+        }
+    }
+    s
+}
+
+/// Raw entry seed: row, col, magnitude, sign selector (the vendored
+/// proptest has no `prop_oneof`, so the sign rides along as an int).
+type RawEntry = (usize, usize, f64, usize);
+
+/// Strategy: header kind, square-when-symmetric dims, and raw entry seeds
+/// that get canonicalized (deduped, triangle-restricted) in the test.
+fn arb_mm() -> impl Strategy<Value = (Field, Symmetry, usize, usize, Vec<RawEntry>)> {
+    (0usize..3, 0usize..3, 2usize..16, 2usize..16).prop_flat_map(|(fi, si, r, c)| {
+        let field = Field::ALL[fi];
+        let sym = Symmetry::ALL[si];
+        // Symmetric storage only makes sense square.
+        let cols = if sym == Symmetry::General { c } else { r };
+        (
+            Just(field),
+            Just(sym),
+            Just(r),
+            Just(cols),
+            proptest::collection::vec((0..r, 0..cols, 0.25f64..8.0, 0usize..2), 1..60),
+        )
+    })
+}
+
+/// Canonicalize raw seeds into a legal entry list for the header: unique
+/// coordinates, lower-triangle-only for symmetric (the reader mirrors, so
+/// declaring both halves would be a duplicate), strictly-lower for
+/// skew-symmetric (a skew diagonal is necessarily zero).
+fn canonicalize(field: Field, sym: Symmetry, raw: &[RawEntry]) -> Vec<Entry> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for &(r0, c0, mag, sgn) in raw {
+        let v = if sgn == 1 { -mag } else { mag };
+        let (r, c) = match sym {
+            Symmetry::General => (r0, c0),
+            Symmetry::Symmetric => (r0.max(c0), r0.min(c0)),
+            Symmetry::SkewSymmetric => {
+                if r0 == c0 {
+                    continue;
+                }
+                (r0.max(c0), r0.min(c0))
+            }
+        };
+        if !seen.insert((r, c)) {
+            continue;
+        }
+        let token = match field {
+            Field::Real => format!("{v}"),
+            // Never zero: the triplet builder drops explicit zeros, which
+            // would (correctly) change nnz and muddy the property.
+            Field::Integer => format!("{}", (v.trunc() as i64) * 2 + v.signum() as i64),
+            Field::Pattern => String::new(),
+        };
+        out.push(Entry {
+            r: r + 1,
+            c: c + 1,
+            token,
+        });
+    }
+    out
+}
+
+/// The nnz the parser must expand the declared entries to.
+fn expected_nnz(sym: Symmetry, entries: &[Entry]) -> usize {
+    match sym {
+        Symmetry::General => entries.len(),
+        // Off-diagonal entries mirror; diagonal ones do not.
+        _ => entries.iter().map(|e| if e.r == e.c { 1 } else { 2 }).sum(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn write_parse_write_reaches_fixpoint(
+        (field, sym, rows, cols, raw) in arb_mm()
+    ) {
+        let entries = canonicalize(field, sym, &raw);
+        prop_assume!(!entries.is_empty());
+        let text = render(field, sym, rows, cols, &entries);
+
+        let coo1: CooMatrix<f64> =
+            read_matrix_market(text.as_bytes()).expect("generated file parses");
+        prop_assert_eq!(coo1.n_rows(), rows);
+        prop_assert_eq!(coo1.n_cols(), cols);
+        prop_assert_eq!(coo1.nnz(), expected_nnz(sym, &entries));
+
+        // First write normalizes to expanded `real general`...
+        let mut w1 = Vec::new();
+        write_matrix_market(&coo1, &mut w1).expect("write 1");
+        let w1 = String::from_utf8(w1).expect("ascii output");
+        prop_assert!(w1.starts_with("%%MatrixMarket matrix coordinate real general\n"));
+
+        // ...which must parse back to the same matrix...
+        let coo2: CooMatrix<f64> =
+            read_matrix_market(w1.as_bytes()).expect("own output parses");
+        prop_assert_eq!(&coo2, &coo1, "parse(write(m)) != m");
+
+        // ...and re-writing must change nothing: the fixpoint.
+        let mut w2 = Vec::new();
+        write_matrix_market(&coo2, &mut w2).expect("write 2");
+        let w2 = String::from_utf8(w2).expect("ascii output");
+        prop_assert_eq!(w1, w2, "writer is not idempotent after one round");
+    }
+
+    #[test]
+    fn symmetric_and_general_expansions_agree(
+        (_, _, rows, _, raw) in arb_mm()
+    ) {
+        // Declaring the lower triangle as `symmetric` must parse to the
+        // same matrix as declaring the mirrored entries as `general`.
+        // The seeds may come from a rectangular case: fold both
+        // coordinates into the square 0..rows range first.
+        let raw: Vec<RawEntry> = raw
+            .iter()
+            .map(|&(r0, c0, m, s)| (r0 % rows, c0 % rows, m, s))
+            .collect();
+        let lower = canonicalize(Field::Real, Symmetry::Symmetric, &raw);
+        prop_assume!(!lower.is_empty());
+        let mut full = lower.clone();
+        for e in &lower {
+            if e.r != e.c {
+                full.push(Entry { r: e.c, c: e.r, token: e.token.clone() });
+            }
+        }
+        let sym_text = render(Field::Real, Symmetry::Symmetric, rows, rows, &lower);
+        let gen_text = render(Field::Real, Symmetry::General, rows, rows, &full);
+        let a: CooMatrix<f64> = read_matrix_market(sym_text.as_bytes()).expect("symmetric parses");
+        let b: CooMatrix<f64> = read_matrix_market(gen_text.as_bytes()).expect("general parses");
+        prop_assert_eq!(a.to_csr(), b.to_csr());
+    }
+}

@@ -480,6 +480,7 @@ impl GbtClassifier {
                 }
                 round.push(tree);
             }
+            spmv_observe::counter("ml.gbt.trees_fit", n_classes as u64);
             self.trees.push(round);
         }
     }
@@ -572,6 +573,7 @@ impl Regressor for GbtRegressor {
             for (i, p) in pred.iter_mut().enumerate() {
                 *p += self.params.learning_rate * tree.predict(x.row(i));
             }
+            spmv_observe::counter("ml.gbt.trees_fit", 1);
             self.trees.push(tree);
         }
     }

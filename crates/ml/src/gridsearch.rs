@@ -59,6 +59,10 @@ where
     assert!(!candidates.is_empty(), "need at least one candidate");
     let folds = kfold(x.n_rows(), k, seed);
     let nf = folds.len();
+    let _span = spmv_observe::span!(
+        "ml/gridsearch/classifier",
+        cells = (candidates.len() * nf) as u64
+    );
     let cells = exec.map(candidates.len() * nf, |c| {
         let (p, f) = (&candidates[c / nf], &folds[c % nf]);
         let mut m = make(p);
@@ -99,6 +103,10 @@ where
     assert!(!candidates.is_empty(), "need at least one candidate");
     let folds = kfold(x.n_rows(), k, seed);
     let nf = folds.len();
+    let _span = spmv_observe::span!(
+        "ml/gridsearch/regressor",
+        cells = (candidates.len() * nf) as u64
+    );
     let cells = exec.map(candidates.len() * nf, |c| {
         let (p, f) = (&candidates[c / nf], &folds[c % nf]);
         let mut m = make(p);

@@ -1,0 +1,159 @@
+//! Regression pins for [`HeuristicAdvisor`] — the advisor's last line of
+//! defense. One matrix per rule branch, asserting the recommended format,
+//! the `source`, and the *exact* confidence the rule documents, so any
+//! future retuning of the rules must touch these tests deliberately. Plus
+//! the model-load-failure → heuristic fallback path end to end.
+
+use spmv_core::{
+    Env, FaultPlan, FaultSite, FormatAdvisor, HeuristicAdvisor, RecommendationSource, SearchBudget,
+};
+use spmv_corpus::{CorpusScale, SyntheticSuite};
+use spmv_gpusim::Simulator;
+use spmv_matrix::{CsrMatrix, Format, TripletBuilder};
+
+fn matrix(rows: usize, cols: usize, entries: &[(usize, usize)]) -> CsrMatrix<f64> {
+    let mut b = TripletBuilder::new(rows, cols);
+    for &(r, c) in entries {
+        b.push(r, c, 1.0).expect("in range");
+    }
+    b.build().to_csr()
+}
+
+/// Branch 1 — near-uniform rows (cv < 0.25, skew <= 2): ELL at 0.7.
+#[test]
+fn uniform_rows_branch_is_ell_at_0_7() {
+    // Tridiagonal band: row lengths 2,3,3,...,3,2 — cv ≈ 0.1, skew ≈ 1.02.
+    let mut entries = Vec::new();
+    for r in 0..60usize {
+        for c in r.saturating_sub(1)..(r + 2).min(60) {
+            entries.push((r, c));
+        }
+    }
+    let rec = HeuristicAdvisor.recommend(&matrix(60, 60, &entries));
+    assert_eq!(rec.format, Format::Ell);
+    assert_eq!(rec.source, RecommendationSource::Heuristic);
+    assert_eq!(rec.confidence, 0.7);
+}
+
+/// Branch 2a — pathological skew (skew > 8): merge-based CSR at 0.6.
+#[test]
+fn heavy_skew_branch_is_merge_csr_at_0_6() {
+    // One row holds 100 entries, the other 99 rows hold one each:
+    // mu ≈ 2, max = 100, skew ≈ 50 — far past the 8x gate.
+    let mut entries: Vec<(usize, usize)> = (0..100).map(|c| (0usize, c)).collect();
+    for r in 1..100usize {
+        entries.push((r, 0));
+    }
+    let rec = HeuristicAdvisor.recommend(&matrix(100, 100, &entries));
+    assert_eq!(rec.format, Format::MergeCsr);
+    assert_eq!(rec.source, RecommendationSource::Heuristic);
+    assert_eq!(rec.confidence, 0.6);
+}
+
+/// Branch 2b — the cv > 2 arm of the same rule, with skew *under* the 8x
+/// gate, so only the variance clause can fire.
+#[test]
+fn high_variance_branch_is_merge_csr_at_0_6() {
+    // 10 of 60 rows have 6 entries, the rest are empty: mu = 1,
+    // skew = 6 (≤ 8), cv = sqrt(5) ≈ 2.24 (> 2).
+    let mut entries = Vec::new();
+    for r in 0..10usize {
+        for k in 0..6usize {
+            entries.push((r, (r * 6 + k) % 60));
+        }
+    }
+    let rec = HeuristicAdvisor.recommend(&matrix(60, 60, &entries));
+    assert_eq!(rec.format, Format::MergeCsr);
+    assert_eq!(rec.source, RecommendationSource::Heuristic);
+    assert_eq!(rec.confidence, 0.6);
+}
+
+/// Branch 3 — moderate skew (4 < skew <= 8, cv <= 2): HYB at 0.5.
+#[test]
+fn moderate_skew_branch_is_hyb_at_0_5() {
+    // 40 rows of 2 entries, one of them widened to 12:
+    // mu = 2.25, skew = 12/2.25 ≈ 5.3, cv ≈ 0.69.
+    let mut entries = Vec::new();
+    for r in 0..40usize {
+        entries.push((r, r));
+        entries.push((r, (r + 1) % 40));
+    }
+    for c in 2..12usize {
+        entries.push((0, c));
+    }
+    let rec = HeuristicAdvisor.recommend(&matrix(40, 40, &entries));
+    assert_eq!(rec.format, Format::Hyb);
+    assert_eq!(rec.source, RecommendationSource::Heuristic);
+    assert_eq!(rec.confidence, 0.5);
+}
+
+/// Branch 4 — the default: irregular but unremarkable rows, CSR at 0.5.
+#[test]
+fn default_branch_is_csr_at_0_5() {
+    // Alternating row lengths 1 and 3: mu = 2, cv = 0.5, skew = 1.5 —
+    // too irregular for ELL, too tame for the skew rules.
+    let mut entries = Vec::new();
+    for r in 0..30usize {
+        entries.push((r, r));
+        if r % 2 == 1 {
+            entries.push((r, (r + 7) % 30));
+            entries.push((r, (r + 13) % 30));
+        }
+    }
+    let rec = HeuristicAdvisor.recommend(&matrix(30, 30, &entries));
+    assert_eq!(rec.format, Format::Csr);
+    assert_eq!(rec.source, RecommendationSource::Heuristic);
+    assert_eq!(rec.confidence, 0.5);
+}
+
+/// Branch 5 — degenerate input (no rows or no entries): CSR at 0.2.
+#[test]
+fn degenerate_branch_is_csr_at_0_2() {
+    let empty: CsrMatrix<f64> = TripletBuilder::new(5, 5).build().to_csr();
+    let rec = HeuristicAdvisor.recommend(&empty);
+    assert_eq!(rec.format, Format::Csr);
+    assert_eq!(rec.source, RecommendationSource::Heuristic);
+    assert_eq!(rec.confidence, 0.2);
+}
+
+/// The fallback path end to end: a trained advisor whose artifact is
+/// corrupted on disk cannot be loaded back (typed error, exit-4 territory
+/// in the CLI), and a model path broken at runtime degrades to the
+/// heuristic answer — same format, source, and confidence as calling
+/// [`HeuristicAdvisor`] directly.
+#[test]
+fn model_load_failure_falls_back_to_heuristic_end_to_end() {
+    let dir = std::env::temp_dir().join("spmv_heuristic_regression");
+    std::fs::create_dir_all(&dir).expect("mk tmpdir");
+
+    let suite = SyntheticSuite::sample(CorpusScale::Tiny, 901);
+    let corpus = spmv_core::LabeledCorpus::collect(&suite, &Simulator::default(), 2);
+    let advisor = FormatAdvisor::train(&corpus, Env::ALL[0], SearchBudget::Quick);
+
+    // A clean artifact round-trips...
+    let path = dir.join("advisor.json");
+    advisor.save(&path).expect("save artifact");
+    assert!(FormatAdvisor::load(&path).is_ok());
+
+    // ...a truncated one is rejected with a typed error...
+    let text = std::fs::read_to_string(&path).expect("read artifact");
+    std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+    assert!(FormatAdvisor::load(&path).is_err());
+
+    // ...an injected model-load fault is rejected the same way...
+    std::fs::write(&path, &text).expect("restore");
+    assert!(FormatAdvisor::load_with(&path, &FaultPlan::always(FaultSite::ModelLoad)).is_err());
+
+    // ...and the degraded runtime path answers with exactly the heuristic.
+    let mut entries: Vec<(usize, usize)> = (0..80).map(|c| (0usize, c)).collect();
+    for r in 1..80usize {
+        entries.push((r, 0));
+    }
+    let m = matrix(80, 80, &entries);
+    let broken = FaultPlan::always(FaultSite::FeatureExtraction);
+    let rec = advisor.recommend_with(&m, &broken);
+    let expected = HeuristicAdvisor.recommend(&m);
+    assert_eq!(rec.source, RecommendationSource::Heuristic);
+    assert_eq!(rec.format, expected.format);
+    assert_eq!(rec.confidence, expected.confidence);
+}
