@@ -18,7 +18,7 @@
 //! versioned, checksummed envelope so a corrupt, truncated, or stale
 //! artifact is a typed [`ArtifactError`] instead of a garbage advisor.
 
-use spmv_features::{extract, FeatureSet};
+use spmv_features::{extract, FeatureSet, FeatureVector};
 use spmv_matrix::{CsrMatrix, Format, Scalar};
 use spmv_ml::{Classifier, GbtClassifier, GbtParams};
 
@@ -324,7 +324,35 @@ impl FormatAdvisor {
                 &key,
             )));
         }
-        let fv = extract(matrix);
+        self.recommend_features_checked(&extract(matrix))
+    }
+
+    /// Recommend from a *pre-extracted* feature vector — the serving path,
+    /// where the caller (a remote client) already ran [`extract`] and ships
+    /// the seventeen values instead of the matrix. Never fails: a broken
+    /// model path degrades to [`HeuristicAdvisor::recommend_features`] and
+    /// says so in its `source`.
+    ///
+    /// Agrees bit-for-bit with [`FormatAdvisor::recommend`] when `fv` is
+    /// the extraction of the same matrix: both run the identical projection
+    /// and classifier on the identical values.
+    pub fn recommend_features(&self, fv: &FeatureVector) -> Recommendation {
+        spmv_observe::counter("advisor.recommendations", 1);
+        match self.recommend_features_checked(fv) {
+            Ok(rec) => rec,
+            Err(_) => {
+                spmv_observe::counter("advisor.fallbacks", 1);
+                HeuristicAdvisor.recommend_features(fv)
+            }
+        }
+    }
+
+    /// The model-path recommendation from a pre-extracted feature vector,
+    /// surfacing failures instead of falling back.
+    pub fn recommend_features_checked(
+        &self,
+        fv: &FeatureVector,
+    ) -> Result<Recommendation, AdvisorError> {
         if !fv.is_finite() {
             return Err(AdvisorError::NonFiniteFeatures);
         }
@@ -359,7 +387,14 @@ impl FormatAdvisor {
     /// `f64::INFINITY` so they sort last instead of poisoning the ranking;
     /// use [`FormatAdvisor::predict_times_checked`] to detect them.
     pub fn predict_times<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> Vec<(Format, f64)> {
-        let mut out = self.raw_times(matrix);
+        self.predict_times_features(&extract(matrix))
+    }
+
+    /// [`FormatAdvisor::predict_times`] from a pre-extracted feature
+    /// vector (the serving path). Identical output when `fv` is the
+    /// extraction of the same matrix.
+    pub fn predict_times_features(&self, fv: &FeatureVector) -> Vec<(Format, f64)> {
+        let mut out = self.raw_times_from(fv);
         for (_, t) in &mut out {
             if !t.is_finite() {
                 *t = f64::INFINITY;
@@ -375,7 +410,7 @@ impl FormatAdvisor {
         &self,
         matrix: &CsrMatrix<T>,
     ) -> Result<Vec<(Format, f64)>, AdvisorError> {
-        let mut out = self.raw_times(matrix);
+        let mut out = self.raw_times_from(&extract(matrix));
         if let Some(&(fmt, _)) = out.iter().find(|(_, t)| !t.is_finite()) {
             return Err(AdvisorError::NonFinitePrediction(fmt));
         }
@@ -383,8 +418,8 @@ impl FormatAdvisor {
         Ok(out)
     }
 
-    fn raw_times<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> Vec<(Format, f64)> {
-        let base = extract(matrix).project(self.set);
+    fn raw_times_from(&self, fv: &FeatureVector) -> Vec<(Format, f64)> {
+        let base = fv.project(self.set);
         self.formats
             .iter()
             .enumerate()

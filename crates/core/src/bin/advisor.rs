@@ -5,9 +5,15 @@
 //!
 //! Usage:
 //!   spmv-advisor <matrix.mtx> [--gpu k80c|p100] [--precision single|double]
-//!                [--train-scale tiny|small] [--explain]
+//!                [--train-scale tiny|small] [--explain] [--json]
 //!                [--model <advisor.json>] [--save-model <advisor.json>]
 //!                [--trace-out <trace.json>]
+//!
+//! `--json` replaces the human-readable report with exactly one JSON
+//! line — the same bytes `spmv-serve` returns for the same matrix and
+//! model (both go through `AdvisorHandle`/`RecommendResponse::to_json`),
+//! so scripted pipelines can switch between the one-shot CLI and the
+//! server without re-parsing anything.
 //!
 //! `--model` loads a saved advisor artifact instead of training;
 //! `--save-model` persists the trained advisor for later `--model` runs.
@@ -49,7 +55,7 @@ const EXIT_ARTIFACT: u8 = 4;
 
 const USAGE: &str = "usage: spmv-advisor <matrix.mtx> [--gpu k80c|p100] \
                      [--precision single|double] [--train-scale tiny|small] [--explain] \
-                     [--model <advisor.json>] [--save-model <advisor.json>] \
+                     [--json] [--model <advisor.json>] [--save-model <advisor.json>] \
                      [--trace-out <trace.json>]";
 
 fn fail(code: u8, msg: &str) -> ExitCode {
@@ -63,6 +69,7 @@ struct Opts {
     precision: Precision,
     scale: CorpusScale,
     explain: bool,
+    json: bool,
     model: Option<PathBuf>,
     save_model: Option<PathBuf>,
     trace_out: Option<PathBuf>,
@@ -77,6 +84,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
     let mut precision = Precision::Double;
     let mut scale = CorpusScale::Small;
     let mut explain = false;
+    let mut json = false;
     let mut model: Option<PathBuf> = None;
     let mut save_model: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
@@ -110,6 +118,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
                 None => return Err("--trace-out needs a path".into()),
             },
             "--explain" => explain = true,
+            "--json" => json = true,
             "--help" | "-h" => return Ok(None),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag '{other}'; see --help"))
@@ -132,6 +141,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
         precision,
         scale,
         explain,
+        json,
         model,
         save_model,
         trace_out,
@@ -188,24 +198,26 @@ fn run(opts: &Opts) -> ExitCode {
         }
     };
     let csr = coo.to_csr();
-    println!(
-        "{}: {} x {}, {} non-zeros",
-        opts.path.display(),
-        csr.n_rows(),
-        csr.n_cols(),
-        csr.nnz()
-    );
-
-    // 2. Features.
-    let features = extract(&csr);
-    println!("\nfeatures (Table II):");
-    for f in FeatureId::ALL {
+    if !opts.json {
         println!(
-            "  {:<11} = {:>14.4}   ({})",
-            f.name(),
-            features.get(f),
-            f.describe()
+            "{}: {} x {}, {} non-zeros",
+            opts.path.display(),
+            csr.n_rows(),
+            csr.n_cols(),
+            csr.nnz()
         );
+
+        // 2. Features.
+        let features = extract(&csr);
+        println!("\nfeatures (Table II):");
+        for f in FeatureId::ALL {
+            println!(
+                "  {:<11} = {:>14.4}   ({})",
+                f.name(),
+                features.get(f),
+                f.describe()
+            );
+        }
     }
 
     let env = Env {
@@ -251,6 +263,14 @@ fn run(opts: &Opts) -> ExitCode {
 
     // 4. Recommend. `recommend` never fails: a broken model path degrades
     // to the rule-based heuristic and says so in `source`.
+    if opts.json {
+        // The serving surface: identical bytes to a `spmv-serve` 200 body
+        // for the same matrix and model (minus the trailing newline that
+        // println! adds back).
+        let handle = spmv_core::AdvisorHandle::from_advisor(advisor);
+        println!("{}", handle.recommend_csr(&csr).to_json());
+        return ExitCode::SUCCESS;
+    }
     let rec: Recommendation = advisor.recommend(&csr);
     println!(
         "\nrecommended format ({}): {}  [{} path, confidence {:.2}]",

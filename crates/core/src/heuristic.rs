@@ -7,6 +7,7 @@
 //! favor ELL, heavy skew favors load-balanced CSR variants, and CSR is the
 //! safe default for everything else.
 
+use spmv_features::{FeatureId, FeatureVector};
 use spmv_matrix::{CsrMatrix, Format, Scalar};
 
 use crate::advisor::{Recommendation, RecommendationSource};
@@ -28,14 +29,7 @@ impl HeuristicAdvisor {
         let n_rows = matrix.n_rows();
         let nnz = matrix.nnz();
         if n_rows == 0 || nnz == 0 {
-            // Degenerate input: nothing to balance, CSR stores it with the
-            // least ceremony. Low confidence flags "there was nothing to
-            // reason about" to callers that inspect it.
-            return Recommendation {
-                format: Format::Csr,
-                source: RecommendationSource::Heuristic,
-                confidence: 0.2,
-            };
+            return degenerate();
         }
 
         let mu = nnz as f64 / n_rows as f64;
@@ -49,29 +43,67 @@ impl HeuristicAdvisor {
             var += d * d;
         }
         let sigma = (var / n_rows as f64).sqrt();
-        let cv = sigma / mu.max(f64::MIN_POSITIVE);
-        let skew = max_len as f64 / mu.max(f64::MIN_POSITIVE);
+        rule(mu, sigma, max_len as f64)
+    }
 
-        let (format, confidence) = if cv < 0.25 && skew <= 2.0 {
-            // Near-uniform rows: ELL padding is cheap and its coalesced
-            // access pattern wins.
-            (Format::Ell, 0.7)
-        } else if skew > 8.0 || cv > 2.0 {
-            // Pathological skew: merge-based CSR is the only format whose
-            // work decomposition is insensitive to row-length outliers.
-            (Format::MergeCsr, 0.6)
-        } else if skew > 4.0 {
-            // Moderate skew: HYB splits the regular part into ELL and
-            // spills the long rows to COO.
-            (Format::Hyb, 0.5)
-        } else {
-            (Format::Csr, 0.5)
-        };
-        Recommendation {
-            format,
-            source: RecommendationSource::Heuristic,
-            confidence,
+    /// [`HeuristicAdvisor::recommend`] from a pre-extracted feature vector:
+    /// the rules only need the mean, standard deviation, and maximum of the
+    /// per-row nnz counts, and those are features (`nnz_mu`, `nnz_sigma`,
+    /// `nnz_max`). This is the fallback for serving-path requests that
+    /// arrive as a bare feature vector, where no matrix exists to scan.
+    ///
+    /// Agrees with the matrix path on any vector produced by
+    /// [`spmv_features::extract`]: both plug the same three statistics into
+    /// the same rules.
+    pub fn recommend_features(&self, fv: &FeatureVector) -> Recommendation {
+        let n_rows = fv.get(FeatureId::NRows);
+        let nnz = fv.get(FeatureId::NnzTot);
+        if n_rows <= 0.0 || nnz <= 0.0 {
+            return degenerate();
         }
+        rule(
+            fv.get(FeatureId::NnzMu),
+            fv.get(FeatureId::NnzSigma),
+            fv.get(FeatureId::NnzMax),
+        )
+    }
+}
+
+/// Degenerate input: nothing to balance, CSR stores it with the least
+/// ceremony. Low confidence flags "there was nothing to reason about" to
+/// callers that inspect it.
+fn degenerate() -> Recommendation {
+    Recommendation {
+        format: Format::Csr,
+        source: RecommendationSource::Heuristic,
+        confidence: 0.2,
+    }
+}
+
+/// The shared rule table over per-row nnz statistics.
+fn rule(mu: f64, sigma: f64, max_len: f64) -> Recommendation {
+    let cv = sigma / mu.max(f64::MIN_POSITIVE);
+    let skew = max_len / mu.max(f64::MIN_POSITIVE);
+
+    let (format, confidence) = if cv < 0.25 && skew <= 2.0 {
+        // Near-uniform rows: ELL padding is cheap and its coalesced
+        // access pattern wins.
+        (Format::Ell, 0.7)
+    } else if skew > 8.0 || cv > 2.0 {
+        // Pathological skew: merge-based CSR is the only format whose
+        // work decomposition is insensitive to row-length outliers.
+        (Format::MergeCsr, 0.6)
+    } else if skew > 4.0 {
+        // Moderate skew: HYB splits the regular part into ELL and
+        // spills the long rows to COO.
+        (Format::Hyb, 0.5)
+    } else {
+        (Format::Csr, 0.5)
+    };
+    Recommendation {
+        format,
+        source: RecommendationSource::Heuristic,
+        confidence,
     }
 }
 

@@ -26,6 +26,8 @@ pub mod extensions;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod faults;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod handle;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod heuristic;
 pub mod indirect;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
@@ -46,6 +48,7 @@ pub use env::Env;
 pub use experiments::{sweep_seed, ExperimentConfig, ExperimentResult};
 pub use extensions::extensions;
 pub use faults::{read_matrix_market_file_with, FaultPlan, FaultSite};
+pub use handle::{AdvisorBackend, AdvisorHandle, RecommendResponse};
 pub use heuristic::HeuristicAdvisor;
 pub use indirect::{
     choice_within_tolerance, evaluate_indirect, indirect_accuracy, ratio_accuracy, IndirectOutcome,

@@ -21,6 +21,22 @@ impl FeatureVector {
         }
     }
 
+    /// Build a vector from seventeen values in canonical order. This is
+    /// the entry point for *pre-extracted* features arriving from outside
+    /// the process (the serving path accepts them in request bodies), so
+    /// the caller is responsible for gating on [`FeatureVector::is_finite`]
+    /// before trusting the result.
+    pub fn from_values(values: [f64; FEATURE_COUNT]) -> FeatureVector {
+        FeatureVector { values }
+    }
+
+    /// [`FeatureVector::from_values`] from a slice; `None` unless exactly
+    /// [`FEATURE_COUNT`] values are given.
+    pub fn from_slice(values: &[f64]) -> Option<FeatureVector> {
+        let values: [f64; FEATURE_COUNT] = values.try_into().ok()?;
+        Some(FeatureVector { values })
+    }
+
     /// Whether every feature is finite. [`extract`] guarantees this for
     /// any structurally valid CSR matrix (features are pattern statistics,
     /// so NaN/Inf *values* cannot leak in), but model consumers gate on it

@@ -334,6 +334,27 @@ pub fn deterministic_section() -> String {
     out
 }
 
+/// Just the counters, as one compact sorted JSON object:
+/// `{"a.first":1,"b.second":5}`. This is what a long-lived server exposes
+/// on its `/statz` endpoint — a live snapshot of the same commutative
+/// sums that land in the manifest's deterministic section, without the
+/// provenance/span framing.
+pub fn counters_section() -> String {
+    let s = state();
+    let mut out = String::new();
+    out.push('{');
+    for (i, (k, v)) in s.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(&mut out, k);
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+    out.push('}');
+    out
+}
+
 /// The timing section (pretty-ish, one span per line): wall-time totals,
 /// extremes, and log2-bucket quantiles per span, plus free-form timing
 /// info (thread count, wall clock). Never expected to be reproducible.
@@ -458,6 +479,17 @@ mod tests {
         let timing = timing_section();
         assert!(timing.contains("\"count\":3"), "{timing}");
         assert!(timing.contains("total_ns"), "{timing}");
+        disable();
+    }
+
+    #[test]
+    fn counters_section_is_sorted_counters_only() {
+        let _g = locked();
+        enable();
+        counter("z.last", 7);
+        counter("a.first", 1);
+        set_provenance("seed", "9");
+        assert_eq!(counters_section(), "{\"a.first\":1,\"z.last\":7}");
         disable();
     }
 

@@ -1,0 +1,192 @@
+//! Leader–follower micro-batching over the shared advisor.
+//!
+//! Feature-vector requests are cheap individually but the model holds a
+//! single shared artifact; batching amortizes the per-call bookkeeping
+//! (projection setup, observability) and bounds lock traffic. The shape:
+//!
+//! 1. every submitter enqueues its job on a shared queue;
+//! 2. whoever can take the *model lock* becomes the leader, drains up to
+//!    `max_batch` jobs, runs them through
+//!    [`AdvisorHandle::recommend_features_batch`], and publishes each
+//!    result into the job's completion slot;
+//! 3. submitters whose job was drained by another leader wait on their
+//!    slot's condvar.
+//!
+//! There is no pacing timer: a leader is elected the moment any job is
+//! enqueued and the model is free, so a lone request never waits for a
+//! batch to "fill up". Batch *sizes* therefore depend on arrival timing —
+//! which is why only the total job count is counted
+//! (`serve.batch.jobs`), never the number of flushes: totals are a pure
+//! function of the request mix, flush counts are not, and the manifest's
+//! deterministic section may only carry the former.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use spmv_core::{AdvisorHandle, RecommendResponse};
+use spmv_features::FeatureVector;
+
+struct CompletionSlot {
+    done: Mutex<Option<RecommendResponse>>,
+    cond: Condvar,
+}
+
+impl CompletionSlot {
+    fn take(&self) -> Option<RecommendResponse> {
+        self.done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+
+    fn put(&self, resp: RecommendResponse) {
+        *self
+            .done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(resp);
+        self.cond.notify_all();
+    }
+}
+
+struct Job {
+    fv: FeatureVector,
+    slot: Arc<CompletionSlot>,
+}
+
+/// The batcher. One per server; shared by all worker threads.
+pub struct Batcher {
+    queue: Mutex<VecDeque<Job>>,
+    /// Serializes model access; the holder is the current leader.
+    model: Mutex<()>,
+    max_batch: usize,
+}
+
+impl Batcher {
+    /// A batcher that drains at most `max_batch` jobs per model pass
+    /// (clamped to at least 1).
+    pub fn new(max_batch: usize) -> Batcher {
+        Batcher {
+            queue: Mutex::new(VecDeque::new()),
+            model: Mutex::new(()),
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    fn drain(&self, limit: usize) -> Vec<Job> {
+        let mut queue = self
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let n = queue.len().min(limit);
+        queue.drain(..n).collect()
+    }
+
+    /// Run `fv` through the advisor, possibly batched with concurrent
+    /// submissions. Blocks until this job's result is ready.
+    pub fn submit(&self, handle: &AdvisorHandle, fv: FeatureVector) -> RecommendResponse {
+        spmv_observe::counter("serve.batch.jobs", 1);
+        let slot = Arc::new(CompletionSlot {
+            done: Mutex::new(None),
+            cond: Condvar::new(),
+        });
+        {
+            let mut queue = self
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            queue.push_back(Job {
+                fv,
+                slot: Arc::clone(&slot),
+            });
+        }
+        loop {
+            if let Some(resp) = slot.take() {
+                return resp;
+            }
+            match self.model.try_lock() {
+                Ok(_leader) => {
+                    // Leader: drain and execute until the queue is empty,
+                    // then re-check our own slot (another leader may have
+                    // carried our job before we won the lock).
+                    loop {
+                        let batch = self.drain(self.max_batch);
+                        if batch.is_empty() {
+                            break;
+                        }
+                        let fvs: Vec<FeatureVector> =
+                            batch.iter().map(|job| job.fv.clone()).collect();
+                        let responses = handle.recommend_features_batch(&fvs);
+                        for (job, resp) in batch.into_iter().zip(responses) {
+                            job.slot.put(resp);
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Another leader is mid-pass and may be carrying our
+                    // job; wait briefly on our slot, then re-check. The
+                    // timeout is a liveness backstop, not a pacing delay.
+                    let guard = slot
+                        .done
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if guard.is_some() {
+                        continue;
+                    }
+                    let _unused = slot
+                        .cond
+                        .wait_timeout(guard, Duration::from_millis(5))
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use spmv_features::FeatureId;
+
+    fn fv(mu: f64) -> FeatureVector {
+        let mut values = [0.0; spmv_features::FEATURE_COUNT];
+        values[FeatureId::NRows as usize] = 64.0;
+        values[FeatureId::NCols as usize] = 64.0;
+        values[FeatureId::NnzTot as usize] = mu * 64.0;
+        values[FeatureId::NnzMu as usize] = mu;
+        values[FeatureId::NnzSigma as usize] = mu / 4.0;
+        values[FeatureId::NnzMax as usize] = mu * 1.5;
+        FeatureVector::from_values(values)
+    }
+
+    #[test]
+    fn single_submit_matches_direct_call() {
+        let handle = AdvisorHandle::heuristic();
+        let batcher = Batcher::new(8);
+        let direct = handle.recommend_features(&fv(3.0));
+        let batched = batcher.submit(&handle, fv(3.0));
+        assert_eq!(direct.to_json(), batched.to_json());
+    }
+
+    #[test]
+    fn concurrent_submits_each_get_their_own_answer() {
+        let handle = Arc::new(AdvisorHandle::heuristic());
+        let batcher = Arc::new(Batcher::new(4));
+        let workers: Vec<_> = (0..16)
+            .map(|i| {
+                let handle = Arc::clone(&handle);
+                let batcher = Arc::clone(&batcher);
+                std::thread::spawn(move || {
+                    let mu = 1.0 + f64::from(i);
+                    let got = batcher.submit(&handle, fv(mu));
+                    let want = handle.recommend_features(&fv(mu));
+                    assert_eq!(got.to_json(), want.to_json(), "mu={mu}");
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Single-flight LRU cache over serialized recommendation responses.
+//!
+//! Keyed by *request content* (the raw MatrixMarket body, or the bit
+//! patterns of a feature vector), valued by the exact response bytes, so
+//! a cache hit is bit-identical to the cold-miss response it memoizes.
+//!
+//! ## Single flight
+//!
+//! The first arrival for a key inserts a *pending* slot and computes; any
+//! concurrent arrival for the same key blocks on the slot instead of
+//! recomputing, and is counted as a hit. This is what makes the cache
+//! counters a pure function of the request mix: for `n` identical
+//! well-formed requests the tally is always 1 miss + `n-1` hits, no
+//! matter how the requests interleave across worker threads — the
+//! property the 1-vs-4-worker manifest diff in CI depends on.
+//!
+//! ## Collision safety
+//!
+//! Slots are found by 64-bit FNV-1a hash *and then* full-key comparison;
+//! two keys that collide in the hash coexist as separate slots and never
+//! alias each other's responses.
+//!
+//! Lookup is a linear scan over the slot vector — deliberately: capacity
+//! is a handful-to-thousands knob, the scan is branch-predictable, and it
+//! keeps eviction (true least-recently-used, pending slots pinned) free
+//! of auxiliary index structures that would have to stay coherent under
+//! the condvar dance.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// 64-bit FNV-1a (the workspace's standard content hash).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+struct Slot {
+    hash: u64,
+    key: Vec<u8>,
+    /// `None` while the first arrival is still computing.
+    value: Option<Arc<Vec<u8>>>,
+    last_used: u64,
+}
+
+struct Inner {
+    slots: Vec<Slot>,
+    tick: u64,
+}
+
+impl Inner {
+    fn position(&self, hash: u64, key: &[u8]) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.hash == hash && s.key == key)
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.tick += 1;
+        self.slots[idx].last_used = self.tick;
+    }
+
+    /// Evict completed least-recently-used slots until at most `capacity`
+    /// remain. Pending slots are pinned (their reservations own them).
+    fn evict_to(&mut self, capacity: usize) -> u64 {
+        let mut evicted = 0;
+        while self.slots.len() > capacity {
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.value.is_some())
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    self.slots.swap_remove(i);
+                    evicted += 1;
+                }
+                None => break, // everything pending; over-capacity is transient
+            }
+        }
+        evicted
+    }
+}
+
+/// What a lookup resolved to.
+pub enum Lookup<'a> {
+    /// The cached (or concurrently computed) response bytes.
+    Hit(Arc<Vec<u8>>),
+    /// This caller must compute and then [`Reservation::fulfill`].
+    Miss(Reservation<'a>),
+}
+
+/// The obligation created by a miss: the pending slot this caller must
+/// fill. Dropping it unfulfilled (the compute path failed) removes the
+/// slot and wakes waiters so they can take over.
+pub struct Reservation<'a> {
+    cache: Option<&'a ResponseCache>,
+    hash: u64,
+    key: Vec<u8>,
+}
+
+impl Reservation<'_> {
+    /// Publish the computed response and wake every waiter.
+    pub fn fulfill(mut self, value: Arc<Vec<u8>>) {
+        if let Some(cache) = self.cache.take() {
+            {
+                let mut inner = cache.lock();
+                if let Some(idx) = inner.position(self.hash, &self.key) {
+                    inner.slots[idx].value = Some(value);
+                    inner.touch(idx);
+                }
+                let evicted = inner.evict_to(cache.capacity);
+                if evicted > 0 {
+                    spmv_observe::counter("serve.cache.evictions", evicted);
+                }
+            }
+            cache.cond.notify_all();
+        }
+    }
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        if let Some(cache) = self.cache.take() {
+            {
+                let mut inner = cache.lock();
+                if let Some(idx) = inner.position(self.hash, &self.key) {
+                    if inner.slots[idx].value.is_none() {
+                        inner.slots.swap_remove(idx);
+                    }
+                }
+            }
+            cache.cond.notify_all();
+        }
+    }
+}
+
+/// The cache. `capacity == 0` disables it: every lookup is a miss with a
+/// no-op reservation, and nothing is retained.
+pub struct ResponseCache {
+    capacity: usize,
+    hasher: fn(&[u8]) -> u64,
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+impl ResponseCache {
+    /// A cache holding up to `capacity` completed responses.
+    pub fn new(capacity: usize) -> ResponseCache {
+        ResponseCache {
+            capacity,
+            hasher: fnv1a,
+            inner: Mutex::new(Inner {
+                slots: Vec::new(),
+                tick: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Test hook: a cache with a custom (e.g. constant) hash function, for
+    /// exercising the collision path on demand.
+    #[doc(hidden)]
+    pub fn with_hasher(capacity: usize, hasher: fn(&[u8]) -> u64) -> ResponseCache {
+        ResponseCache {
+            hasher,
+            ..ResponseCache::new(capacity)
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Cache state is only ever mutated under this lock by code that
+        // does not panic; if it somehow did, serving stale-but-complete
+        // slots is still sound, so shrug the poison off.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Look `key` up; either return the (possibly awaited) response bytes
+    /// or make this caller responsible for computing them.
+    pub fn get_or_reserve(&self, key: &[u8]) -> Lookup<'_> {
+        if self.capacity == 0 {
+            spmv_observe::counter("serve.cache.misses", 1);
+            return Lookup::Miss(Reservation {
+                cache: None,
+                hash: 0,
+                key: Vec::new(),
+            });
+        }
+        let hash = (self.hasher)(key);
+        let mut inner = self.lock();
+        loop {
+            match inner.position(hash, key) {
+                Some(idx) if inner.slots[idx].value.is_some() => {
+                    inner.touch(idx);
+                    let value = match &inner.slots[idx].value {
+                        Some(v) => Arc::clone(v),
+                        None => continue, // unreachable: guarded above
+                    };
+                    spmv_observe::counter("serve.cache.hits", 1);
+                    return Lookup::Hit(value);
+                }
+                Some(_pending) => {
+                    // Another worker is computing this exact key: wait for
+                    // it instead of redoing the work (single flight).
+                    inner = self
+                        .cond
+                        .wait(inner)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                None => {
+                    inner.tick += 1;
+                    let last_used = inner.tick;
+                    inner.slots.push(Slot {
+                        hash,
+                        key: key.to_vec(),
+                        value: None,
+                        last_used,
+                    });
+                    spmv_observe::counter("serve.cache.misses", 1);
+                    return Lookup::Miss(Reservation {
+                        cache: Some(self),
+                        hash,
+                        key: key.to_vec(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Whether a *completed* entry for `key` is resident (no recency bump,
+    /// no counters). Test/introspection helper.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let hash = (self.hasher)(key);
+        let inner = self.lock();
+        inner
+            .position(hash, key)
+            .is_some_and(|idx| inner.slots[idx].value.is_some())
+    }
+
+    /// Number of resident slots (completed + pending).
+    pub fn len(&self) -> usize {
+        self.lock().slots.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn fill(cache: &ResponseCache, key: &[u8], value: &[u8]) {
+        match cache.get_or_reserve(key) {
+            Lookup::Miss(res) => res.fulfill(Arc::new(value.to_vec())),
+            Lookup::Hit(_) => panic!("expected a miss for {key:?}"),
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_fulfilled_bytes() {
+        let cache = ResponseCache::new(4);
+        fill(&cache, b"k", b"response");
+        match cache.get_or_reserve(b"k") {
+            Lookup::Hit(v) => assert_eq!(&**v, b"response"),
+            Lookup::Miss(_) => panic!("expected hit"),
+        };
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = ResponseCache::new(2);
+        fill(&cache, b"a", b"1");
+        fill(&cache, b"b", b"2");
+        // Touch `a`, making `b` the LRU victim.
+        assert!(matches!(cache.get_or_reserve(b"a"), Lookup::Hit(_)));
+        fill(&cache, b"c", b"3");
+        assert!(cache.contains(b"a"));
+        assert!(!cache.contains(b"b"), "b was least recently used");
+        assert!(cache.contains(b"c"));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn colliding_hashes_do_not_alias() {
+        // Constant hasher: every key collides.
+        let cache = ResponseCache::with_hasher(4, |_| 42);
+        fill(&cache, b"alpha", b"A");
+        fill(&cache, b"beta", b"B");
+        match cache.get_or_reserve(b"alpha") {
+            Lookup::Hit(v) => assert_eq!(&**v, b"A"),
+            Lookup::Miss(_) => panic!("alpha should be resident"),
+        }
+        match cache.get_or_reserve(b"beta") {
+            Lookup::Hit(v) => assert_eq!(&**v, b"B"),
+            Lookup::Miss(_) => panic!("beta should be resident"),
+        };
+    }
+
+    #[test]
+    fn zero_capacity_never_retains() {
+        let cache = ResponseCache::new(0);
+        fill(&cache, b"k", b"v");
+        assert!(matches!(cache.get_or_reserve(b"k"), Lookup::Miss(_)));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn aborted_reservation_unblocks_the_key() {
+        let cache = ResponseCache::new(4);
+        match cache.get_or_reserve(b"k") {
+            Lookup::Miss(res) => drop(res), // compute "failed"
+            Lookup::Hit(_) => panic!(),
+        }
+        // The key is free again: the next arrival recomputes.
+        assert!(matches!(cache.get_or_reserve(b"k"), Lookup::Miss(_)));
+    }
+
+    #[test]
+    fn single_flight_waiters_get_the_leaders_bytes() {
+        let cache = Arc::new(ResponseCache::new(4));
+        let res = match cache.get_or_reserve(b"k") {
+            Lookup::Miss(res) => res,
+            Lookup::Hit(_) => panic!(),
+        };
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || match cache.get_or_reserve(b"k") {
+                    Lookup::Hit(v) => v,
+                    Lookup::Miss(_) => panic!("waiter must not recompute"),
+                })
+            })
+            .collect();
+        // Give the waiters time to block on the pending slot.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        res.fulfill(Arc::new(b"computed-once".to_vec()));
+        for w in waiters {
+            assert_eq!(&**w.join().unwrap(), b"computed-once");
+        }
+    }
+
+    #[test]
+    fn pending_slots_are_never_evicted() {
+        let cache = ResponseCache::new(1);
+        let pending = match cache.get_or_reserve(b"pinned") {
+            Lookup::Miss(res) => res,
+            Lookup::Hit(_) => panic!(),
+        };
+        fill(&cache, b"other", b"x"); // over capacity while `pinned` is pending
+        pending.fulfill(Arc::new(b"done".to_vec()));
+        assert!(cache.contains(b"pinned"));
+        assert!(cache.len() <= 1 || cache.contains(b"pinned"));
+    }
+}

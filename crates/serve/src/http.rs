@@ -1,0 +1,513 @@
+//! A deliberately minimal HTTP/1.1 subset, hand-rolled over `std::io`.
+//!
+//! The server speaks exactly what its clients need — `POST` with
+//! `Content-Length`, `GET` without — and rejects everything else with a
+//! typed [`ProtocolError`] that maps to one 4xx/5xx status. There is no
+//! keep-alive (every response carries `Connection: close`), no chunked
+//! transfer, no continuation lines: each accepted TCP connection is one
+//! request, one response. That restriction is what makes the parser
+//! small enough to exhaustively adversarial-test (`tests/protocol.rs`)
+//! and keeps the admission-control story simple (one queue slot == one
+//! request).
+//!
+//! Nothing in this module panics on wire input: malformed bytes become
+//! `Err` variants, and the `deny(unwrap_used)` lint scope covers the
+//! whole crate.
+
+use std::io::{Read, Write};
+
+/// Byte budgets for a single request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Cap on the request line + headers (bytes up to the blank line).
+    pub max_header_bytes: usize,
+    /// Cap on the declared `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed request: method, target, lower-cased headers, raw body.
+#[derive(Debug)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// The request target path (`/v1/recommend`).
+    pub target: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Every way reading one request can fail. Variants that map to a status
+/// code get a response; connection-level variants (the client vanished
+/// before a request existed) get silence.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// EOF before a single byte arrived. Not a request at all — readiness
+    /// probes and port scanners do this; it is deliberately invisible to
+    /// the request counters so probe frequency cannot perturb the
+    /// deterministic manifest section.
+    EmptyConnection,
+    /// EOF after at least one byte but before the request was complete
+    /// (truncated request line, headers, or body).
+    ClientGone {
+        /// Bytes received before the disconnect.
+        bytes_seen: usize,
+    },
+    /// A socket read timed out before the request completed.
+    Timeout,
+    /// Any other transport error.
+    Io(std::io::Error),
+    /// The request line is not `METHOD SP TARGET SP VERSION`.
+    BadRequestLine(String),
+    /// The version is not HTTP/1.x.
+    UnsupportedVersion(String),
+    /// Headers exceeded [`Limits::max_header_bytes`].
+    HeaderTooLarge {
+        /// The configured [`Limits::max_header_bytes`].
+        limit: usize,
+    },
+    /// A header line has no `:` or is not UTF-8.
+    BadHeader(String),
+    /// A POST arrived without `Content-Length`.
+    MissingContentLength,
+    /// `Content-Length` is not a base-10 integer.
+    BadContentLength(String),
+    /// `Transfer-Encoding` was sent; this server only does identity.
+    UnsupportedTransferEncoding,
+    /// Declared body size exceeds [`Limits::max_body_bytes`]. Detected
+    /// before reading the body, so an attacker cannot make the server
+    /// buffer it.
+    BodyTooLarge {
+        /// The configured [`Limits::max_body_bytes`].
+        limit: usize,
+        /// What the `Content-Length` header declared.
+        declared: usize,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::EmptyConnection => write!(f, "connection closed before any byte"),
+            ProtocolError::ClientGone { bytes_seen } => {
+                write!(
+                    f,
+                    "client disconnected mid-request after {bytes_seen} bytes"
+                )
+            }
+            ProtocolError::Timeout => write!(f, "timed out reading request"),
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+            ProtocolError::BadRequestLine(l) => write!(f, "malformed request line {l:?}"),
+            ProtocolError::UnsupportedVersion(v) => write!(f, "unsupported version {v:?}"),
+            ProtocolError::HeaderTooLarge { limit } => {
+                write!(f, "headers exceed {limit} bytes")
+            }
+            ProtocolError::BadHeader(l) => write!(f, "malformed header line {l:?}"),
+            ProtocolError::MissingContentLength => write!(f, "POST without Content-Length"),
+            ProtocolError::BadContentLength(v) => write!(f, "bad Content-Length {v:?}"),
+            ProtocolError::UnsupportedTransferEncoding => {
+                write!(f, "Transfer-Encoding not supported")
+            }
+            ProtocolError::BodyTooLarge { limit, declared } => {
+                write!(f, "declared body of {declared} bytes exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl ProtocolError {
+    /// The `(status, reason, machine-readable kind)` this error maps to,
+    /// or `None` when no response can or should be written (the client is
+    /// gone, or nothing was ever received).
+    pub fn status(&self) -> Option<(u16, &'static str, &'static str)> {
+        match self {
+            ProtocolError::EmptyConnection
+            | ProtocolError::ClientGone { .. }
+            | ProtocolError::Io(_) => None,
+            ProtocolError::Timeout => Some((408, "Request Timeout", "timeout")),
+            ProtocolError::BadRequestLine(_) => Some((400, "Bad Request", "bad_request_line")),
+            ProtocolError::UnsupportedVersion(_) => {
+                Some((505, "HTTP Version Not Supported", "bad_version"))
+            }
+            ProtocolError::HeaderTooLarge { .. } => {
+                Some((431, "Request Header Fields Too Large", "header_too_large"))
+            }
+            ProtocolError::BadHeader(_) => Some((400, "Bad Request", "bad_header")),
+            ProtocolError::MissingContentLength => {
+                Some((411, "Length Required", "missing_content_length"))
+            }
+            ProtocolError::BadContentLength(_) => Some((400, "Bad Request", "bad_content_length")),
+            ProtocolError::UnsupportedTransferEncoding => {
+                Some((501, "Not Implemented", "unsupported_transfer_encoding"))
+            }
+            ProtocolError::BodyTooLarge { .. } => {
+                Some((413, "Payload Too Large", "body_too_large"))
+            }
+        }
+    }
+}
+
+fn map_io(e: std::io::Error, bytes_seen: usize) -> ProtocolError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ProtocolError::Timeout,
+        std::io::ErrorKind::UnexpectedEof if bytes_seen == 0 => ProtocolError::EmptyConnection,
+        std::io::ErrorKind::UnexpectedEof => ProtocolError::ClientGone { bytes_seen },
+        _ => ProtocolError::Io(e),
+    }
+}
+
+/// Position right after the first blank line (`\r\n\r\n`, tolerating bare
+/// `\n\n`), or `None` if the headers have not terminated yet.
+fn header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+}
+
+/// Read exactly one request from `stream` under `limits`.
+///
+/// The caller is expected to have armed socket read timeouts; timeouts
+/// surface as [`ProtocolError::Timeout`].
+pub fn read_request<R: Read>(stream: &mut R, limits: &Limits) -> Result<Request, ProtocolError> {
+    // Accumulate until the blank line, never beyond the header cap.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_len = loop {
+        if let Some(end) = header_end(&buf) {
+            break end;
+        }
+        if buf.len() > limits.max_header_bytes {
+            return Err(ProtocolError::HeaderTooLarge {
+                limit: limits.max_header_bytes,
+            });
+        }
+        let n = stream.read(&mut chunk).map_err(|e| map_io(e, buf.len()))?;
+        if n == 0 {
+            return Err(if buf.is_empty() {
+                ProtocolError::EmptyConnection
+            } else {
+                ProtocolError::ClientGone {
+                    bytes_seen: buf.len(),
+                }
+            });
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| ProtocolError::BadHeader("non-UTF-8 header bytes".to_string()))?;
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m.to_string(), t.to_string(), v),
+        _ => return Err(ProtocolError::BadRequestLine(request_line.to_string())),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ProtocolError::UnsupportedVersion(version.to_string()));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ProtocolError::BadHeader(line.to_string()))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if header("transfer-encoding").is_some() {
+        return Err(ProtocolError::UnsupportedTransferEncoding);
+    }
+    let declared = match header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ProtocolError::BadContentLength(v.to_string()))?,
+        None if method == "POST" => return Err(ProtocolError::MissingContentLength),
+        None => 0,
+    };
+    if declared > limits.max_body_bytes {
+        return Err(ProtocolError::BodyTooLarge {
+            limit: limits.max_body_bytes,
+            declared,
+        });
+    }
+
+    let mut body = buf[head_len..].to_vec();
+    if body.len() > declared {
+        // More bytes than declared: the pipeline sent trailing garbage.
+        // This server reads one request per connection, so just drop the
+        // excess instead of failing the well-formed prefix.
+        body.truncate(declared);
+    }
+    while body.len() < declared {
+        let want = (declared - body.len()).min(chunk.len());
+        let n = stream
+            .read(&mut chunk[..want])
+            .map_err(|e| map_io(e, head_len + body.len()))?;
+        if n == 0 {
+            return Err(ProtocolError::ClientGone {
+                bytes_seen: head_len + body.len(),
+            });
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request {
+        method,
+        target,
+        headers,
+        body,
+    })
+}
+
+/// Write a complete response (status line, standard headers, body) and
+/// flush. Every response closes the connection.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Escape a string for embedding in a JSON literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The uniform error body: `{"error":"<kind>","message":"<detail>"}`.
+pub fn error_body(kind: &str, message: &str) -> Vec<u8> {
+    format!(
+        "{{\"error\":\"{}\",\"message\":\"{}\"}}\n",
+        escape_json(kind),
+        escape_json(message)
+    )
+    .into_bytes()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ProtocolError> {
+        read_request(
+            &mut std::io::Cursor::new(bytes.to_vec()),
+            &Limits::default(),
+        )
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse(b"POST /v1/recommend HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/recommend");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_get_without_length() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn tolerates_bare_lf_terminators() {
+        let req = parse(b"GET /healthz HTTP/1.1\nHost: y\n\n").unwrap();
+        assert_eq!(req.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn empty_connection_is_not_a_request() {
+        assert!(matches!(parse(b""), Err(ProtocolError::EmptyConnection)));
+        assert!(parse(b"").unwrap_err().status().is_none());
+    }
+
+    #[test]
+    fn truncated_request_line_is_client_gone() {
+        assert!(matches!(
+            parse(b"POST /v1/reco"),
+            Err(ProtocolError::ClientGone { bytes_seen: 13 })
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_client_gone() {
+        let e = parse(b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").unwrap_err();
+        assert!(matches!(e, ProtocolError::ClientGone { .. }));
+    }
+
+    #[test]
+    fn bad_request_line_maps_to_400() {
+        let e = parse(b"NONSENSE\r\n\r\n").unwrap_err();
+        assert!(matches!(e, ProtocolError::BadRequestLine(_)));
+        assert_eq!(e.status().unwrap().0, 400);
+    }
+
+    #[test]
+    fn http2_preface_is_rejected() {
+        let e = parse(b"PRI * HTTP/2.0\r\n\r\n").unwrap_err();
+        assert_eq!(e.status().unwrap().0, 505);
+    }
+
+    #[test]
+    fn non_numeric_content_length_maps_to_400() {
+        let e = parse(b"POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n").unwrap_err();
+        assert!(matches!(e, ProtocolError::BadContentLength(_)));
+        assert_eq!(e.status().unwrap().0, 400);
+    }
+
+    #[test]
+    fn negative_content_length_maps_to_400() {
+        let e = parse(b"POST /x HTTP/1.1\r\nContent-Length: -5\r\n\r\n").unwrap_err();
+        assert!(matches!(e, ProtocolError::BadContentLength(_)));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_before_reading() {
+        let limits = Limits {
+            max_header_bytes: 1024,
+            max_body_bytes: 10,
+        };
+        // Note: no body bytes follow — detection is from the header alone.
+        let e = read_request(
+            &mut std::io::Cursor::new(b"POST /x HTTP/1.1\r\nContent-Length: 11\r\n\r\n".to_vec()),
+            &limits,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            ProtocolError::BodyTooLarge {
+                limit: 10,
+                declared: 11
+            }
+        ));
+        assert_eq!(e.status().unwrap().0, 413);
+    }
+
+    #[test]
+    fn post_without_length_maps_to_411() {
+        let e = parse(b"POST /x HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(e.status().unwrap().0, 411);
+    }
+
+    #[test]
+    fn chunked_encoding_maps_to_501() {
+        let e = parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(e.status().unwrap().0, 501);
+    }
+
+    #[test]
+    fn oversized_headers_map_to_431() {
+        let mut req = b"GET /x HTTP/1.1\r\n".to_vec();
+        req.extend(std::iter::repeat_n(b'a', 20 * 1024));
+        let e = parse(&req).unwrap_err();
+        assert!(matches!(e, ProtocolError::HeaderTooLarge { .. }));
+        assert_eq!(e.status().unwrap().0, 431);
+    }
+
+    #[test]
+    fn non_utf8_headers_map_to_400() {
+        let e = parse(b"GET /\xff\xfe HTTP/1.1\r\nX: \xff\r\n\r\n").unwrap_err();
+        assert!(matches!(e, ProtocolError::BadHeader(_)));
+    }
+
+    #[test]
+    fn excess_body_bytes_are_dropped() {
+        let req = parse(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nabEXTRA").unwrap();
+        assert_eq!(req.body, b"ab");
+    }
+
+    #[test]
+    fn response_wire_format_is_complete() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            "Service Unavailable",
+            "application/json",
+            &[("Retry-After", "1")],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn error_bodies_escape_json() {
+        let body = String::from_utf8(error_body("bad_matrix", "line 3: \"oops\"\n")).unwrap();
+        assert_eq!(
+            body,
+            "{\"error\":\"bad_matrix\",\"message\":\"line 3: \\\"oops\\\"\\n\"}\n"
+        );
+    }
+}

@@ -1,0 +1,524 @@
+//! `spmv-serve`: a threaded TCP inference server for the format advisor.
+//!
+//! Std-only by design (plus workspace crates): the listener is a plain
+//! `TcpListener`, HTTP/1.1 is the hand-rolled subset in [`http`], and
+//! concurrency is a bounded worker pool fed through a
+//! `std::sync::mpsc::sync_channel`. The pieces:
+//!
+//! - **Admission control** — the acceptor `try_send`s each accepted
+//!   connection into the bounded channel; when the queue is full it
+//!   answers `503` + `Retry-After` itself and closes, so overload sheds
+//!   *new* work while everything already queued still completes.
+//! - **Shared advisor** — one [`AdvisorHandle`] (model or degraded
+//!   heuristic) serves every worker; it is immutable after boot, so no
+//!   lock guards it.
+//! - **Single-flight LRU cache** ([`cache`]) — responses are memoized by
+//!   request content; concurrent identical requests collapse to one
+//!   model pass.
+//! - **Micro-batching** ([`batch`]) — feature-vector requests queue into
+//!   a leader–follower batcher that drains them through one batch call.
+//! - **Observability** — every stage runs under `spmv-observe` spans and
+//!   counters chosen so the manifest's deterministic section is a pure
+//!   function of the request mix (see `tests/determinism.rs`).
+//!
+//! One connection carries one request and one response
+//! (`Connection: close`); see [`http`] for why.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod http;
+pub mod loadgen;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use spmv_core::AdvisorHandle;
+use spmv_features::{FeatureVector, FEATURE_COUNT};
+
+use crate::batch::Batcher;
+use crate::cache::{Lookup, ResponseCache};
+use crate::http::{error_body, read_request, write_response, Limits, ProtocolError, Request};
+
+/// Everything tunable about a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`] for the resolved one).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Accepted-but-unhandled connection slots; beyond this the acceptor
+    /// sheds load with `503`.
+    pub queue_depth: usize,
+    /// Completed responses retained by the content cache (0 disables).
+    pub cache_capacity: usize,
+    /// Hard cap on a request body (bytes), enforced from the declared
+    /// `Content-Length` before the body is read.
+    pub max_body_bytes: usize,
+    /// Hard cap on the request line + headers (bytes).
+    pub max_header_bytes: usize,
+    /// Socket read/write timeout per connection (ms); a stalled client
+    /// gets `408` instead of pinning a worker.
+    pub read_timeout_ms: u64,
+    /// Most feature-vector jobs drained per model pass.
+    pub max_batch: usize,
+    /// Artificial per-request handling delay (ms). Zero in production;
+    /// tests use it to make queue saturation reproducible.
+    pub handler_delay_ms: u64,
+    /// Whether `POST /admin/shutdown` is routed (the binary enables it;
+    /// embedded tests usually prefer [`ServerHandle::shutdown`]).
+    pub enable_admin_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 256,
+            max_body_bytes: 8 * 1024 * 1024,
+            max_header_bytes: 16 * 1024,
+            read_timeout_ms: 5_000,
+            max_batch: 8,
+            handler_delay_ms: 0,
+            enable_admin_shutdown: false,
+        }
+    }
+}
+
+struct Shared {
+    handle: AdvisorHandle,
+    cache: ResponseCache,
+    batcher: Batcher,
+    config: ServerConfig,
+    limits: Limits,
+    /// Set when the server should stop accepting; the acceptor re-checks
+    /// it after every `accept` returns.
+    stop: AtomicBool,
+    /// Set by `POST /admin/shutdown`; the binary polls it.
+    shutdown_requested: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A running server: resolved address, control surface, join handles.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the acceptor and worker pool, and return immediately.
+    pub fn spawn(config: ServerConfig, handle: AdvisorHandle) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let limits = Limits {
+            max_header_bytes: config.max_header_bytes,
+            max_body_bytes: config.max_body_bytes,
+        };
+        let shared = Arc::new(Shared {
+            cache: ResponseCache::new(config.cache_capacity),
+            batcher: Batcher::new(config.max_batch),
+            handle,
+            limits,
+            stop: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            addr,
+            config,
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(shared.config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || acceptor_loop(&shared, &listener, &tx))?
+        };
+
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The resolved bind address (the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Whether `POST /admin/shutdown` has been received.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, let queued and in-flight requests finish, join
+    /// every thread. Idempotent with respect to an admin shutdown already
+    /// in progress.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock a parked `accept` with a throwaway connection; if the
+        // listener is already gone this is a harmless failed connect.
+        let _poke = TcpStream::connect(self.shared.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _join = acceptor.join();
+        }
+        // The acceptor owned the sender; with it gone each worker drains
+        // the remaining queue and then sees the channel disconnect.
+        for worker in self.workers.drain(..) {
+            let _join = worker.join();
+        }
+    }
+}
+
+fn acceptor_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) if shared.stop.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            // The wake-up poke (or a late client) after stop: never admit
+            // it, so shutdown can't be re-extended by new arrivals.
+            break;
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => reject_overload(shared, stream),
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+/// Queue full: shed this connection with `503 Retry-After: 1`. Runs on
+/// the acceptor thread — deliberately, so a saturated worker pool cannot
+/// delay the rejection path too.
+fn reject_overload(shared: &Shared, mut stream: TcpStream) {
+    spmv_observe::counter("serve.rejected.overload", 1);
+    let _timeout = stream.set_write_timeout(Some(Duration::from_millis(
+        shared.config.read_timeout_ms.max(1),
+    )));
+    let body = error_body("overloaded", "request queue is full; retry shortly");
+    let _write = write_response(
+        &mut stream,
+        503,
+        "Service Unavailable",
+        "application/json",
+        &[("Retry-After", "1")],
+        &body,
+    );
+    drain_before_close(&mut stream);
+}
+
+/// Swallow whatever request bytes are already buffered before dropping a
+/// connection whose request was never (fully) read. Closing a socket
+/// with unread data makes the kernel send RST instead of FIN, and an RST
+/// can destroy the response sitting in the client's receive buffer — the
+/// client would see a vanished connection instead of its 503/413. A few
+/// short reads turn the close into an orderly FIN.
+fn drain_before_close(stream: &mut TcpStream) {
+    let _timeout = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut scratch = [0u8; 4096];
+    for _ in 0..16 {
+        match std::io::Read::read(stream, &mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        let next = {
+            let guard = match rx.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        match next {
+            Ok(stream) => handle_connection(shared, stream),
+            Err(_) => break, // channel closed and drained: shutdown
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let timeout = Duration::from_millis(shared.config.read_timeout_ms.max(1));
+    let _set = stream.set_read_timeout(Some(timeout));
+    let _set = stream.set_write_timeout(Some(timeout));
+    if shared.config.handler_delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(shared.config.handler_delay_ms));
+    }
+    match read_request(&mut stream, &shared.limits) {
+        Ok(request) => {
+            let _span = spmv_observe::span("serve/request");
+            spmv_observe::counter("serve.requests", 1);
+            let (status, reason, content_type, extra, body) = route(shared, &request);
+            count_status(status);
+            let _write = write_response(&mut stream, status, reason, content_type, extra, &body);
+        }
+        Err(err) => match err.status() {
+            // No response possible or warranted (empty probe connection,
+            // vanished client, transport error). Probes stay invisible to
+            // the counters; mid-request disconnects are counted.
+            None => {
+                if !matches!(err, ProtocolError::EmptyConnection) {
+                    spmv_observe::counter("serve.disconnects", 1);
+                }
+            }
+            Some((status, reason, kind)) => {
+                spmv_observe::counter("serve.requests", 1);
+                count_protocol_error(&err);
+                count_status(status);
+                let body = error_body(kind, &err.to_string());
+                let _write =
+                    write_response(&mut stream, status, reason, "application/json", &[], &body);
+                // Early rejections (413, 431, …) leave request bytes
+                // unread; see drain_before_close for why that matters.
+                drain_before_close(&mut stream);
+            }
+        },
+    }
+}
+
+/// Per-status-class counters (`counter` needs `'static` names).
+fn count_status(status: u16) {
+    let name = match status {
+        200..=299 => "serve.responses.2xx",
+        400..=499 => "serve.responses.4xx",
+        500..=599 => "serve.responses.5xx",
+        _ => "serve.responses.other",
+    };
+    spmv_observe::counter(name, 1);
+}
+
+fn count_protocol_error(err: &ProtocolError) {
+    let name = match err {
+        ProtocolError::Timeout => "serve.protocol.timeout",
+        ProtocolError::BadRequestLine(_) => "serve.protocol.bad_request_line",
+        ProtocolError::UnsupportedVersion(_) => "serve.protocol.bad_version",
+        ProtocolError::HeaderTooLarge { .. } => "serve.protocol.header_too_large",
+        ProtocolError::BadHeader(_) => "serve.protocol.bad_header",
+        ProtocolError::MissingContentLength => "serve.protocol.missing_content_length",
+        ProtocolError::BadContentLength(_) => "serve.protocol.bad_content_length",
+        ProtocolError::UnsupportedTransferEncoding => "serve.protocol.transfer_encoding",
+        ProtocolError::BodyTooLarge { .. } => "serve.protocol.body_too_large",
+        ProtocolError::EmptyConnection
+        | ProtocolError::ClientGone { .. }
+        | ProtocolError::Io(_) => "serve.protocol.other",
+    };
+    spmv_observe::counter(name, 1);
+}
+
+type Routed = (
+    u16,
+    &'static str,
+    &'static str,
+    &'static [(&'static str, &'static str)],
+    Vec<u8>,
+);
+
+fn route(shared: &Shared, request: &Request) -> Routed {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/statz") => {
+            let mut body = spmv_observe::counters_section().into_bytes();
+            body.push(b'\n');
+            (200, "OK", "application/json", &[], body)
+        }
+        ("POST", "/v1/recommend") => recommend(shared, &request.body),
+        ("POST", "/admin/shutdown") if shared.config.enable_admin_shutdown => {
+            shared.shutdown_requested.store(true, Ordering::SeqCst);
+            (
+                200,
+                "OK",
+                "application/json",
+                &[],
+                b"{\"status\":\"shutting-down\"}\n".to_vec(),
+            )
+        }
+        (_, "/healthz" | "/statz" | "/v1/recommend") => (
+            405,
+            "Method Not Allowed",
+            "application/json",
+            &[],
+            error_body("method_not_allowed", "see README: Serving"),
+        ),
+        _ => (
+            404,
+            "Not Found",
+            "application/json",
+            &[],
+            error_body("not_found", "unknown path"),
+        ),
+    }
+}
+
+fn healthz(shared: &Shared) -> Routed {
+    let mut body = String::from("{\"status\":\"ok\",\"mode\":\"");
+    body.push_str(shared.handle.mode());
+    body.push_str("\",\"model_version\":");
+    match shared.handle.model_version() {
+        Some(v) => body.push_str(&v.to_string()),
+        None => body.push_str("null"),
+    }
+    body.push_str("}\n");
+    (200, "OK", "application/json", &[], body.into_bytes())
+}
+
+/// Classify the body (MatrixMarket vs feature JSON), consult the cache,
+/// and compute on miss. Responses are cached only on success: a malformed
+/// body costs its sender a full parse every time, and never pollutes the
+/// cache.
+fn recommend(shared: &Shared, body: &[u8]) -> Routed {
+    let trimmed = trim_leading_ws(body);
+    if trimmed.starts_with(b"%%MatrixMarket") {
+        recommend_matrix(shared, body)
+    } else if trimmed.first() == Some(&b'{') {
+        recommend_features(shared, trimmed)
+    } else {
+        (
+            400,
+            "Bad Request",
+            "application/json",
+            &[],
+            error_body(
+                "unrecognized_body",
+                "expected a MatrixMarket document or {\"features\":[..17 floats..]}",
+            ),
+        )
+    }
+}
+
+fn trim_leading_ws(body: &[u8]) -> &[u8] {
+    let start = body
+        .iter()
+        .position(|b| !b.is_ascii_whitespace())
+        .unwrap_or(body.len());
+    &body[start..]
+}
+
+fn ok_json(bytes: Vec<u8>) -> Routed {
+    (200, "OK", "application/json", &[], bytes)
+}
+
+fn recommend_matrix(shared: &Shared, body: &[u8]) -> Routed {
+    spmv_observe::counter("serve.recommend.matrix", 1);
+    // Key prefix separates the two request namespaces so a feature-vector
+    // key can never alias a MatrixMarket body.
+    let mut key = Vec::with_capacity(body.len() + 1);
+    key.push(b'm');
+    key.extend_from_slice(body);
+    match shared.cache.get_or_reserve(&key) {
+        Lookup::Hit(bytes) => ok_json(bytes.to_vec()),
+        Lookup::Miss(reservation) => {
+            let parsed = {
+                let _span = spmv_observe::span("serve/request/parse");
+                spmv_matrix::mm::read_matrix_market::<f64, _>(body)
+            };
+            let matrix = match parsed {
+                Ok(m) => m.to_csr(),
+                Err(e) => {
+                    // Reservation dropped: the key stays uncached and any
+                    // concurrent duplicate re-parses for itself.
+                    return (
+                        400,
+                        "Bad Request",
+                        "application/json",
+                        &[],
+                        error_body("bad_matrix", &e.to_string()),
+                    );
+                }
+            };
+            let response = {
+                let _span = spmv_observe::span("serve/request/model");
+                shared.handle.recommend_csr(&matrix)
+            };
+            let mut bytes = response.to_json().into_bytes();
+            bytes.push(b'\n');
+            reservation.fulfill(Arc::new(bytes.clone()));
+            ok_json(bytes)
+        }
+    }
+}
+
+/// The wire shape of a pre-extracted request: `{"features":[f0,…,f16]}`.
+#[derive(serde::Deserialize)]
+struct FeatureRequest {
+    features: Vec<f64>,
+}
+
+fn recommend_features(shared: &Shared, body: &[u8]) -> Routed {
+    spmv_observe::counter("serve.recommend.features", 1);
+    let bad = |message: &str| {
+        (
+            400,
+            "Bad Request",
+            "application/json",
+            &[] as &[_],
+            error_body("bad_features", message),
+        )
+    };
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return bad("feature request body is not UTF-8"),
+    };
+    let parsed: FeatureRequest = match serde_json::from_str(text) {
+        Ok(parsed) => parsed,
+        Err(e) => return bad(&format!("unparsable feature request: {e}")),
+    };
+    if parsed.features.len() != FEATURE_COUNT {
+        return bad(&format!(
+            "expected exactly {FEATURE_COUNT} features, got {}",
+            parsed.features.len()
+        ));
+    }
+    if let Some(v) = parsed.features.iter().find(|v| !v.is_finite()) {
+        return bad(&format!("features must be finite, got {v}"));
+    }
+    let fv = match FeatureVector::from_slice(&parsed.features) {
+        Some(fv) => fv,
+        None => return bad("feature vector rejected"),
+    };
+    // Cache key: the 17 exact bit patterns (semantic identity — two
+    // textually different JSON bodies with the same values share a key).
+    let mut key = Vec::with_capacity(1 + FEATURE_COUNT * 8);
+    key.push(b'f');
+    for v in &parsed.features {
+        key.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    match shared.cache.get_or_reserve(&key) {
+        Lookup::Hit(bytes) => ok_json(bytes.to_vec()),
+        Lookup::Miss(reservation) => {
+            let response = {
+                let _span = spmv_observe::span("serve/request/model");
+                shared.batcher.submit(&shared.handle, fv)
+            };
+            let mut bytes = response.to_json().into_bytes();
+            bytes.push(b'\n');
+            reservation.fulfill(Arc::new(bytes.clone()));
+            ok_json(bytes)
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! Deterministic closed-loop load generation for `spmv-serve`.
+//!
+//! The request mix is a pure function of `(total, seed)`: the same inputs
+//! always produce the same bodies in the same order, which is what lets
+//! CI assert that the server's deterministic manifest section is
+//! byte-identical across worker counts — the *work* is fixed, only the
+//! scheduling varies. Bodies are synthesized with a local LCG (no
+//! dependency on the workspace RNG stack) because the generator must stay
+//! self-contained enough to run from the bench harness and the smoke job
+//! alike.
+//!
+//! The runner is closed-loop: `concurrency` client threads each hold at
+//! most one request in flight, pulling the next index from a shared
+//! atomic cursor. Closed-loop load is the right shape for a saturation
+//! test — offered load adapts to service rate instead of stacking an
+//! unbounded backlog.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Splitmix64 step — the mix generator's only source of "randomness".
+fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+}
+
+fn mix(state: u64) -> u64 {
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A tiny deterministic RNG for body synthesis.
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Seeded generator; same seed, same stream.
+    pub fn new(seed: u64) -> Lcg {
+        Lcg {
+            state: seed ^ 0xdead_beef_cafe_f00d,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state);
+        mix(self.state)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// How the generator expects the server to classify a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectClass {
+    /// Well-formed: the server must answer 200.
+    Ok,
+    /// Malformed on purpose: the server must answer a 4xx (never 5xx,
+    /// never drop the connection without a response).
+    ClientError,
+}
+
+/// One scripted request.
+pub struct LoadRequest {
+    /// Stable label for diagnostics (`"banded-17"`, `"bad-features-3"`, …).
+    pub name: String,
+    /// HTTP method.
+    pub method: &'static str,
+    /// Request target.
+    pub target: &'static str,
+    /// Request body (empty for GETs).
+    pub body: Vec<u8>,
+    /// The status class this request must produce.
+    pub expect: ExpectClass,
+}
+
+/// A well-formed banded MatrixMarket body (`n` rows, bandwidth `bw`).
+pub fn banded_mm(n: usize, bw: usize) -> Vec<u8> {
+    let mut entries = Vec::new();
+    for r in 0..n {
+        for c in r.saturating_sub(bw)..(r + bw + 1).min(n) {
+            entries.push((r + 1, c + 1, 1.0 + (r % 7) as f64));
+        }
+    }
+    render_mm(n, n, &entries)
+}
+
+/// A well-formed sparse body with LCG-placed entries (distinct columns
+/// per row; the strict parser rejects duplicate coordinates).
+pub fn scattered_mm(n: usize, per_row: usize, rng: &mut Lcg) -> Vec<u8> {
+    let mut entries = Vec::new();
+    for r in 0..n {
+        let mut cols: Vec<usize> = (0..per_row.max(1) * 3)
+            .map(|_| rng.below(n as u64) as usize)
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols.truncate(per_row.max(1));
+        for c in cols {
+            entries.push((r + 1, c + 1, 0.5 + (rng.below(16) as f64) / 8.0));
+        }
+    }
+    render_mm(n, n, &entries)
+}
+
+/// A body with one pathologically heavy row (the HYB/merge regime).
+pub fn skewed_mm(n: usize) -> Vec<u8> {
+    let mut entries = Vec::new();
+    for c in 0..n {
+        entries.push((1, c + 1, 2.0));
+    }
+    for r in 1..n {
+        entries.push((r + 1, r + 1, 1.0));
+    }
+    render_mm(n, n, &entries)
+}
+
+fn render_mm(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> Vec<u8> {
+    let mut s = String::with_capacity(32 + entries.len() * 12);
+    s.push_str("%%MatrixMarket matrix coordinate real general\n");
+    s.push_str(&format!("{rows} {cols} {}\n", entries.len()));
+    for (r, c, v) in entries {
+        s.push_str(&format!("{r} {c} {v}\n"));
+    }
+    s.into_bytes()
+}
+
+/// A feature-vector request body: 17 finite values derived from `seed`.
+pub fn feature_body(seed: u64) -> Vec<u8> {
+    let mut rng = Lcg::new(seed);
+    let n_rows = 256.0 + rng.below(4096) as f64;
+    let mu = 1.0 + rng.below(32) as f64;
+    let mut values = [0.0_f64; 17];
+    values[0] = n_rows; // n_rows
+    values[1] = n_rows; // n_cols
+    values[2] = n_rows * mu; // nnz_tot
+    values[3] = mu; // nnz_mu
+    values[4] = mu / n_rows; // nnz_frac
+    values[5] = mu * (1.0 + rng.below(4) as f64); // nnz_max
+    values[6] = mu / (2.0 + rng.below(3) as f64); // nnz_sigma
+    for v in values.iter_mut().skip(7) {
+        *v = rng.below(64) as f64;
+    }
+    let mut s = String::from("{\"features\":[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("{v}"));
+    }
+    s.push_str("]}");
+    s.into_bytes()
+}
+
+/// Build the scripted mix: well-formed matrices (banded, scattered,
+/// skewed), feature vectors, exact repeats (cache food), and malformed
+/// payloads, interleaved on a fixed cycle. Pure in `(total, seed)`.
+pub fn build_mix(total: usize, seed: u64) -> Vec<LoadRequest> {
+    let mut rng = Lcg::new(seed);
+    let mut out: Vec<LoadRequest> = Vec::with_capacity(total);
+    for i in 0..total {
+        let req = match i % 8 {
+            0 => LoadRequest {
+                name: format!("banded-{i}"),
+                method: "POST",
+                target: "/v1/recommend",
+                body: banded_mm(48 + (i % 5) * 16, 1 + i % 3),
+                expect: ExpectClass::Ok,
+            },
+            1 => LoadRequest {
+                name: format!("features-{i}"),
+                method: "POST",
+                target: "/v1/recommend",
+                body: feature_body(seed.wrapping_add(i as u64)),
+                expect: ExpectClass::Ok,
+            },
+            2 => LoadRequest {
+                name: format!("scattered-{i}"),
+                method: "POST",
+                target: "/v1/recommend",
+                body: scattered_mm(40 + i % 7, 3, &mut rng),
+                expect: ExpectClass::Ok,
+            },
+            3 => {
+                // Exact repeat of an earlier well-formed request: cache food.
+                // Indices 0/1/2 mod 8 are always well-formed, so aim there.
+                let back = (i / 2) - (i / 2) % 8 + (i % 3);
+                let donor = &out[back];
+                LoadRequest {
+                    name: format!("repeat-{i}-of-{back}"),
+                    method: donor.method,
+                    target: donor.target,
+                    body: donor.body.clone(),
+                    expect: donor.expect,
+                }
+            }
+            4 => LoadRequest {
+                name: format!("bad-matrix-{i}"),
+                method: "POST",
+                target: "/v1/recommend",
+                body: match i % 3 {
+                    0 => {
+                        b"%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n".to_vec()
+                    }
+                    1 => b"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n".to_vec(),
+                    _ => {
+                        b"%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1.0\n".to_vec()
+                    }
+                },
+                expect: ExpectClass::ClientError,
+            },
+            5 => LoadRequest {
+                name: format!("bad-features-{i}"),
+                method: "POST",
+                target: "/v1/recommend",
+                body: match i % 3 {
+                    0 => b"{\"features\":[1,2,3]}".to_vec(),
+                    1 => b"{\"features\":\"oops\"}".to_vec(),
+                    _ => b"{\"other\":true}".to_vec(),
+                },
+                expect: ExpectClass::ClientError,
+            },
+            6 => LoadRequest {
+                name: format!("healthz-{i}"),
+                method: "GET",
+                target: "/healthz",
+                body: Vec::new(),
+                expect: ExpectClass::Ok,
+            },
+            _ => LoadRequest {
+                name: format!("skewed-{i}"),
+                method: "POST",
+                target: "/v1/recommend",
+                body: skewed_mm(64 + (i % 4) * 8),
+                expect: ExpectClass::Ok,
+            },
+        };
+        out.push(req);
+    }
+    out
+}
+
+/// What one request produced.
+pub struct Outcome {
+    /// Index into the scripted mix.
+    pub index: usize,
+    /// HTTP status (0 when the connection failed outright).
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Round-trip latency.
+    pub latency: Duration,
+}
+
+/// Aggregated run results.
+pub struct LoadReport {
+    /// Per-request outcomes, sorted by mix index.
+    pub outcomes: Vec<Outcome>,
+    /// Requests per status code.
+    pub statuses: BTreeMap<u16, usize>,
+    /// Mix entries whose status class contradicted their expectation
+    /// (names), excluding 503s when `allow_503` was set.
+    pub violations: Vec<String>,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Sorted latencies in nanoseconds.
+    fn sorted_latencies_ns(&self) -> Vec<u128> {
+        let mut v: Vec<u128> = self.outcomes.iter().map(|o| o.latency.as_nanos()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn quantile_ns(sorted: &[u128], q: f64) -> u128 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let pos = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[pos.min(sorted.len() - 1)]
+    }
+
+    /// Render the report as one JSON object (statuses, violation names,
+    /// throughput, latency quantiles, and a log2 latency histogram).
+    pub fn to_json(&self) -> String {
+        let sorted = self.sorted_latencies_ns();
+        let secs = self.elapsed.as_secs_f64();
+        let throughput = if secs > 0.0 {
+            self.outcomes.len() as f64 / secs
+        } else {
+            0.0
+        };
+        // log2 histogram over microseconds: bucket k counts latencies in
+        // [2^k, 2^(k+1)) us.
+        let mut histogram: BTreeMap<u32, usize> = BTreeMap::new();
+        for ns in &sorted {
+            let us = (ns / 1_000).max(1);
+            let bucket = 127 - u128::leading_zeros(us);
+            *histogram.entry(bucket).or_insert(0) += 1;
+        }
+        let mut s = String::from("{");
+        s.push_str(&format!("\"requests\":{},", self.outcomes.len()));
+        s.push_str(&format!("\"elapsed_seconds\":{secs},"));
+        s.push_str(&format!("\"throughput_rps\":{throughput},"));
+        s.push_str("\"statuses\":{");
+        for (i, (code, count)) in self.statuses.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{code}\":{count}"));
+        }
+        s.push_str("},");
+        s.push_str(&format!(
+            "\"latency_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},",
+            Self::quantile_ns(&sorted, 0.50),
+            Self::quantile_ns(&sorted, 0.90),
+            Self::quantile_ns(&sorted, 0.99),
+            sorted.last().copied().unwrap_or(0),
+        ));
+        s.push_str("\"latency_log2us_histogram\":{");
+        for (i, (bucket, count)) in histogram.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{bucket}\":{count}"));
+        }
+        s.push_str("},");
+        s.push_str("\"violations\":[");
+        for (i, name) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{name}\""));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// One HTTP/1.1 round trip over a fresh connection (the server always
+/// closes after responding). Returns `(status, body)`.
+pub fn http_roundtrip(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut req = format!("{method} {target} HTTP/1.1\r\nHost: {addr}\r\n");
+    if !body.is_empty() || method == "POST" {
+        req.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    req.push_str("Connection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    stream.write_all(body)?;
+    let mut raw = Vec::new();
+    // A late RST (server closed with unread data) can error the tail of
+    // the read; any complete response already received still counts.
+    match stream.read_to_end(&mut raw) {
+        Ok(_) => {}
+        Err(e) if raw.is_empty() => return Err(e),
+        Err(_) => {}
+    }
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator in response"))?;
+    let head = std::str::from_utf8(&raw[..header_end]).map_err(|_| bad("non-utf8 head"))?;
+    let status_line = head.lines().next().ok_or_else(|| bad("empty head"))?;
+    let code = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("unparsable status line"))?;
+    Ok((code, raw[header_end + 4..].to_vec()))
+}
+
+/// Block until the server accepts TCP connections (bare connect, no
+/// bytes — the server treats empty connections as invisible, so polling
+/// never perturbs its counters). Errors after `timeout`.
+pub fn wait_ready(addr: &str, timeout: Duration) -> std::io::Result<()> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(_) => return Ok(()),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Ask a `spmv-serve` with the admin endpoint enabled to shut down.
+pub fn send_shutdown(addr: &str) -> std::io::Result<u16> {
+    http_roundtrip(addr, "POST", "/admin/shutdown", b"").map(|(code, _)| code)
+}
+
+/// Drive the scripted `mix` against `addr` with `concurrency` closed-loop
+/// client threads. `allow_503` exempts overload rejections from the
+/// expectation check (used when probing saturation on purpose).
+pub fn run(addr: &str, mix: &[LoadRequest], concurrency: usize, allow_503: bool) -> LoadReport {
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let collected: Arc<Mutex<Vec<Outcome>>> = Arc::new(Mutex::new(Vec::with_capacity(mix.len())));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency.max(1) {
+            let cursor = Arc::clone(&cursor);
+            let collected = Arc::clone(&collected);
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= mix.len() {
+                    break;
+                }
+                let req = &mix[index];
+                let sent = Instant::now();
+                let (status, body) = http_roundtrip(addr, req.method, req.target, &req.body)
+                    .unwrap_or((0, Vec::new()));
+                let outcome = Outcome {
+                    index,
+                    status,
+                    body,
+                    latency: sent.elapsed(),
+                };
+                collected
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(outcome);
+            });
+        }
+    });
+    let mut outcomes = match Arc::try_unwrap(collected) {
+        Ok(mutex) => mutex
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+        Err(_) => Vec::new(), // unreachable: all threads joined by scope
+    };
+    outcomes.sort_by_key(|o| o.index);
+    let mut statuses = BTreeMap::new();
+    let mut violations = Vec::new();
+    for outcome in &outcomes {
+        *statuses.entry(outcome.status).or_insert(0) += 1;
+        let ok_class = (200..300).contains(&outcome.status);
+        let client_class = (400..500).contains(&outcome.status);
+        let fine = match mix[outcome.index].expect {
+            ExpectClass::Ok => ok_class || (allow_503 && outcome.status == 503),
+            ExpectClass::ClientError => client_class,
+        };
+        if !fine {
+            violations.push(format!("{}:{}", mix[outcome.index].name, outcome.status));
+        }
+    }
+    LoadReport {
+        outcomes,
+        statuses,
+        violations,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_in_total_and_seed() {
+        let a = build_mix(64, 7);
+        let b = build_mix(64, 7);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.body, y.body);
+            assert_eq!(x.expect, y.expect);
+        }
+        let c = build_mix(64, 8);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.body != y.body),
+            "different seeds must differ somewhere"
+        );
+    }
+
+    #[test]
+    fn mix_contains_exact_repeats_and_both_classes() {
+        let mix = build_mix(64, 7);
+        let repeats = mix
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| i % 8 == 3 && mix.iter().take(*i).any(|p| p.body == r.body))
+            .count();
+        assert!(repeats >= 7, "cache food missing: {repeats}");
+        assert!(mix.iter().any(|r| r.expect == ExpectClass::ClientError));
+        assert!(mix.iter().any(|r| r.expect == ExpectClass::Ok));
+    }
+
+    #[test]
+    fn repeat_donors_are_always_well_formed() {
+        for total in [16usize, 64, 200] {
+            let mix = build_mix(total, 3);
+            for (i, r) in mix.iter().enumerate() {
+                if i % 8 == 3 {
+                    assert_eq!(r.expect, ExpectClass::Ok, "repeat {i} donor malformed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_matrices_parse() {
+        let mut rng = Lcg::new(5);
+        for body in [
+            banded_mm(32, 2),
+            scattered_mm(20, 3, &mut rng),
+            skewed_mm(24),
+        ] {
+            spmv_matrix::mm::read_matrix_market::<f64, _>(&body[..])
+                .expect("generator emits valid mm");
+        }
+    }
+
+    #[test]
+    fn feature_bodies_are_valid_json_with_17_finite_values() {
+        for seed in 0..8 {
+            let body = feature_body(seed);
+            let text = std::str::from_utf8(&body).unwrap();
+            assert!(text.starts_with("{\"features\":["));
+            let inner = text
+                .trim_start_matches("{\"features\":[")
+                .trim_end_matches("]}");
+            let values: Vec<f64> = inner.split(',').map(|v| v.parse().unwrap()).collect();
+            assert_eq!(values.len(), 17);
+            assert!(values.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn response_parser_splits_status_and_body() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi";
+        let (code, body) = parse_response(raw).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, b"hi");
+    }
+}

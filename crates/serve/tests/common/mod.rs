@@ -1,0 +1,90 @@
+//! Shared plumbing for the serve integration tests.
+#![allow(dead_code, clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use spmv_core::experiments::ExperimentConfig;
+use spmv_core::{AdvisorHandle, Env, FormatAdvisor, SearchBudget};
+use spmv_matrix::Precision;
+use spmv_serve::{Server, ServerConfig};
+
+/// Train the tiny advisor once per test process and persist it as an
+/// artifact; every caller loads the same file, so "the server's model"
+/// and "the reference model" are bit-identical by construction. Training
+/// reads the committed label cache under the workspace `results/`, which
+/// must be addressed absolutely (test processes run with the crate as
+/// cwd).
+pub fn tiny_artifact() -> PathBuf {
+    static ARTIFACT: OnceLock<PathBuf> = OnceLock::new();
+    ARTIFACT
+        .get_or_init(|| {
+            let mut cfg = ExperimentConfig::tiny();
+            cfg.cache_path =
+                PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/labels_tiny.json");
+            let corpus = cfg.corpus();
+            let env = Env {
+                arch_idx: 1,
+                precision: Precision::Double,
+            };
+            let advisor = FormatAdvisor::train(&corpus, env, SearchBudget::Quick);
+            let path = std::env::temp_dir().join(format!(
+                "spmv_serve_test_artifact_{}.json",
+                std::process::id()
+            ));
+            advisor.save(&path).expect("save tiny artifact");
+            path
+        })
+        .clone()
+}
+
+/// A model-backed handle from the shared tiny artifact.
+pub fn tiny_handle() -> AdvisorHandle {
+    let handle = AdvisorHandle::from_artifact(&tiny_artifact());
+    assert_eq!(handle.mode(), "model", "tiny artifact must load cleanly");
+    handle
+}
+
+/// Spawn an in-process server with the given config and handle.
+pub fn spawn(config: ServerConfig, handle: AdvisorHandle) -> Server {
+    Server::spawn(config, handle).expect("bind ephemeral port")
+}
+
+/// Write raw bytes to the server, half-close, and read whatever comes
+/// back (possibly nothing). The adversarial tests live on this.
+pub fn raw_exchange(addr: std::net::SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // The server may answer-and-close before the full payload is written
+    // (that is the point of the early-rejection tests), which surfaces
+    // here as EPIPE/ECONNRESET mid-write: keep going and read whatever
+    // response made it into the socket.
+    let _write = stream.write_all(bytes);
+    let _half_close = stream.shutdown(Shutdown::Write);
+    let mut out = Vec::new();
+    let _read = stream.read_to_end(&mut out);
+    out
+}
+
+/// Status code of a raw HTTP response (0 when the server sent nothing).
+pub fn status_of(response: &[u8]) -> u16 {
+    let text = String::from_utf8_lossy(response);
+    text.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Body bytes of a raw HTTP response.
+pub fn body_of(response: &[u8]) -> Vec<u8> {
+    response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| response[p + 4..].to_vec())
+        .unwrap_or_default()
+}

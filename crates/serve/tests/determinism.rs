@@ -1,0 +1,131 @@
+//! Worker-count invariance of the run manifest, against the real
+//! `spmv-serve` binary.
+//!
+//! The deterministic section of the manifest (line 2 — the CI smoke job
+//! extracts it with `sed -n 2p`) must be byte-identical for the same
+//! request mix whether the server runs 1 worker or 4: counters record
+//! *work*, never scheduling. This test lives in its own file so it gets
+//! its own process — the tracer is process-global and the in-process
+//! server tests mutate it.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use spmv_serve::loadgen;
+
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+/// Boot the real binary on an ephemeral port and parse the one
+/// `listening on HOST:PORT` line it prints once ready.
+fn boot(workers: usize, trace_out: &PathBuf) -> ServerProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_spmv-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            &workers.to_string(),
+            "--queue-depth",
+            "64",
+            "--cache-capacity",
+            "256",
+            "--trace-out",
+        ])
+        .arg(trace_out)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn spmv-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listening line");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("listening line has an address")
+        .to_string();
+    assert!(
+        line.contains("listening on"),
+        "unexpected boot line: {line:?}"
+    );
+    ServerProc { child, addr }
+}
+
+/// Drive the scripted mix, request shutdown, and wait for a clean exit.
+fn run_and_collect(workers: usize, trace_out: &PathBuf) -> Vec<String> {
+    let mut server = boot(workers, trace_out);
+    loadgen::wait_ready(&server.addr, Duration::from_secs(10)).expect("server ready");
+
+    let mix = loadgen::build_mix(64, 7);
+    let report = loadgen::run(&server.addr, &mix, 4, false);
+    assert_eq!(
+        report.violations,
+        Vec::<String>::new(),
+        "mix must be clean at {workers} workers; statuses: {:?}",
+        report.statuses
+    );
+
+    let status = loadgen::send_shutdown(&server.addr).expect("shutdown accepted");
+    assert_eq!(status, 200);
+    let exit = server.child.wait().expect("server exits");
+    assert!(exit.success(), "orderly shutdown must exit 0, got {exit:?}");
+
+    let manifest = std::fs::read_to_string(trace_out).expect("manifest written");
+    manifest.lines().map(str::to_string).collect()
+}
+
+#[test]
+fn deterministic_manifest_section_is_worker_count_invariant() {
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let path_w1 = tmp.join(format!("spmv_serve_det_w1_{pid}.json"));
+    let path_w4 = tmp.join(format!("spmv_serve_det_w4_{pid}.json"));
+
+    let lines_w1 = run_and_collect(1, &path_w1);
+    let lines_w4 = run_and_collect(4, &path_w4);
+
+    // Manifest layout contract (what the CI smoke job's `sed -n 2p`
+    // relies on): line 2 is the complete deterministic section on one
+    // line; timing follows and may span several lines.
+    assert!(
+        lines_w1[1].starts_with("\"deterministic\""),
+        "line 2 must be the deterministic section: {}",
+        lines_w1[1]
+    );
+    assert_eq!(
+        lines_w1[1], lines_w4[1],
+        "deterministic section must not depend on worker count"
+    );
+
+    // The section carries real serving state, not an empty shell.
+    for key in [
+        "serve.requests",
+        "serve.cache.hits",
+        "serve.cache.misses",
+        "serve.responses.2xx",
+        "serve.responses.4xx",
+    ] {
+        assert!(
+            lines_w1[1].contains(key),
+            "deterministic section missing {key}: {}",
+            lines_w1[1]
+        );
+    }
+    // Scheduling shows up only in timing: worker counts differ there.
+    let timing_w1 = lines_w1[2..].join("\n");
+    let timing_w4 = lines_w4[2..].join("\n");
+    assert!(timing_w1.contains("\"workers\":\"1\""), "{timing_w1}");
+    assert!(timing_w4.contains("\"workers\":\"4\""), "{timing_w4}");
+
+    std::fs::remove_file(&path_w1).ok();
+    std::fs::remove_file(&path_w4).ok();
+}

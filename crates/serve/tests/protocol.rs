@@ -1,0 +1,270 @@
+//! Adversarial protocol tests against a live server: every malformed or
+//! hostile input must produce a *typed* 4xx/5xx (or deliberate silence
+//! for half-requests) and must never take a worker down — the final
+//! health check in each test proves the server still answers afterwards.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+mod common;
+
+use common::{body_of, raw_exchange, spawn, status_of};
+use spmv_core::AdvisorHandle;
+use spmv_serve::loadgen::http_roundtrip;
+use spmv_serve::ServerConfig;
+
+fn small_server() -> spmv_serve::Server {
+    spawn(
+        ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+            max_body_bytes: 64 * 1024,
+            read_timeout_ms: 400,
+            ..ServerConfig::default()
+        },
+        AdvisorHandle::heuristic(),
+    )
+}
+
+fn assert_alive(server: &spmv_serve::Server) {
+    let (status, body) =
+        http_roundtrip(&server.addr().to_string(), "GET", "/healthz", b"").expect("healthz");
+    assert_eq!(status, 200, "server must stay healthy after abuse");
+    assert!(String::from_utf8_lossy(&body).contains("\"status\":\"ok\""));
+}
+
+#[test]
+fn truncated_request_line_gets_silence_not_a_crash() {
+    let server = small_server();
+    let response = raw_exchange(server.addr(), b"POST /v1/reco");
+    assert!(
+        response.is_empty(),
+        "a half request deserves no response, got {:?}",
+        String::from_utf8_lossy(&response)
+    );
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn empty_connection_gets_silence() {
+    let server = small_server();
+    let response = raw_exchange(server.addr(), b"");
+    assert!(response.is_empty());
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn non_numeric_content_length_is_400() {
+    let server = small_server();
+    let response = raw_exchange(
+        server.addr(),
+        b"POST /v1/recommend HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+    );
+    assert_eq!(status_of(&response), 400);
+    assert!(String::from_utf8_lossy(&body_of(&response)).contains("bad_content_length"));
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn negative_content_length_is_400() {
+    let server = small_server();
+    let response = raw_exchange(
+        server.addr(),
+        b"POST /v1/recommend HTTP/1.1\r\nContent-Length: -20\r\n\r\n",
+    );
+    assert_eq!(status_of(&response), 400);
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_declared_body_is_413_before_the_body_is_sent() {
+    let server = small_server();
+    // Declare far beyond max_body_bytes but send nothing after the
+    // headers: the rejection must come from the declaration alone.
+    let response = raw_exchange(
+        server.addr(),
+        b"POST /v1/recommend HTTP/1.1\r\nContent-Length: 10000000\r\n\r\n",
+    );
+    assert_eq!(status_of(&response), 413);
+    assert!(String::from_utf8_lossy(&body_of(&response)).contains("body_too_large"));
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn post_without_content_length_is_411() {
+    let server = small_server();
+    let response = raw_exchange(server.addr(), b"POST /v1/recommend HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&response), 411);
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn chunked_transfer_encoding_is_501() {
+    let server = small_server();
+    let response = raw_exchange(
+        server.addr(),
+        b"POST /v1/recommend HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+    );
+    assert_eq!(status_of(&response), 501);
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn http2_preface_is_505() {
+    let server = small_server();
+    let response = raw_exchange(server.addr(), b"PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n");
+    assert_eq!(status_of(&response), 505);
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn premature_disconnect_mid_body_gets_silence() {
+    let server = small_server();
+    let response = raw_exchange(
+        server.addr(),
+        b"POST /v1/recommend HTTP/1.1\r\nContent-Length: 5000\r\n\r\nonly a little",
+    );
+    assert!(
+        response.is_empty(),
+        "nothing sensible can be said to a vanished client"
+    );
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn stalled_client_is_timed_out_with_408() {
+    let server = small_server(); // read_timeout_ms = 400
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    std::io::Write::write_all(&mut stream, b"GET /healthz HT").unwrap();
+    // ...and stall without closing. The worker's socket timeout fires.
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut out = Vec::new();
+    std::io::Read::read_to_end(&mut stream, &mut out).unwrap();
+    assert_eq!(status_of(&out), 408);
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn non_utf8_body_is_typed_400() {
+    let server = small_server();
+    // Invalid UTF-8 after an opening brace: the feature-request path must
+    // reject it as a typed error, not panic in a string conversion.
+    let mut req = b"POST /v1/recommend HTTP/1.1\r\nContent-Length: 5\r\n\r\n".to_vec();
+    req.extend_from_slice(b"{\xff\xfe\xfd}");
+    let response = raw_exchange(server.addr(), &req);
+    assert_eq!(status_of(&response), 400);
+    assert!(String::from_utf8_lossy(&body_of(&response)).contains("bad_features"));
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn unrecognized_body_is_typed_400() {
+    let server = small_server();
+    let (status, body) = http_roundtrip(
+        &server.addr().to_string(),
+        "POST",
+        "/v1/recommend",
+        b"this is neither a matrix nor features",
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&body).contains("unrecognized_body"));
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_matrix_market_is_typed_400() {
+    let server = small_server();
+    let addr = server.addr().to_string();
+    for body in [
+        // Header promises 2 entries, delivers 1.
+        &b"%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n"[..],
+        // Out-of-bounds coordinate.
+        &b"%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1.0\n"[..],
+        // Not a number where a value belongs.
+        &b"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 banana\n"[..],
+    ] {
+        let (status, response) = http_roundtrip(&addr, "POST", "/v1/recommend", body).unwrap();
+        assert_eq!(status, 400, "body: {}", String::from_utf8_lossy(body));
+        assert!(String::from_utf8_lossy(&response).contains("bad_matrix"));
+    }
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn wrong_arity_feature_vector_is_typed_400() {
+    let server = small_server();
+    let (status, body) = http_roundtrip(
+        &server.addr().to_string(),
+        "POST",
+        "/v1/recommend",
+        b"{\"features\":[1,2,3]}",
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&body).contains("expected exactly 17"));
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn non_finite_features_are_typed_400() {
+    let server = small_server();
+    // serde_json has no Infinity literal, so smuggle a huge exponent in:
+    // 1e999 overflows to +inf on parse in permissive parsers or fails —
+    // either way the server must answer 400, not 500.
+    let (status, _body) = http_roundtrip(
+        &server.addr().to_string(),
+        "POST",
+        "/v1/recommend",
+        b"{\"features\":[1e999,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]}",
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_path_is_404_and_wrong_method_is_405() {
+    let server = small_server();
+    let addr = server.addr().to_string();
+    let (status, _) = http_roundtrip(&addr, "GET", "/nope", b"").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = http_roundtrip(&addr, "DELETE", "/healthz", b"").unwrap();
+    assert_eq!(status, 405);
+    // Admin shutdown is not routed unless explicitly enabled.
+    let (status, _) = http_roundtrip(&addr, "POST", "/admin/shutdown", b"").unwrap();
+    assert_eq!(status, 404);
+    assert!(!server.shutdown_requested());
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_headers_are_431() {
+    let server = small_server();
+    let mut req = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    for i in 0..2000 {
+        req.extend_from_slice(format!("X-Padding-{i}: {}\r\n", "y".repeat(64)).as_bytes());
+    }
+    req.extend_from_slice(b"\r\n");
+    let response = raw_exchange(server.addr(), &req);
+    assert_eq!(status_of(&response), 431);
+    assert_alive(&server);
+    server.shutdown();
+}

@@ -289,14 +289,41 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.err("invalid escape")),
                     }
                 }
-                _ => {
-                    // Consume one UTF-8 character.
+                b if b < 0x80 => {
+                    // Bulk-copy the plain ASCII run up to the next quote,
+                    // escape, or non-ASCII byte. Validating one character
+                    // at a time against the *remaining* input would make
+                    // long strings quadratic (each `from_utf8` call scans
+                    // to the end); this visits every byte exactly once.
                     let start = self.pos;
-                    let s = std::str::from_utf8(&self.bytes[start..])
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b >= 0x80 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
+                    out.push_str(run);
+                }
+                b => {
+                    // Non-ASCII: decode exactly one UTF-8 character from a
+                    // slice bounded by its leading-byte length.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    let s =
+                        std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("invalid UTF-8"))?;
                     out.push(c);
-                    self.pos += c.len_utf8();
+                    self.pos += len;
                 }
             }
         }
@@ -443,6 +470,34 @@ mod tests {
             m[1].1,
             Value::Seq(vec![Value::F64(1e-6), Value::F64(-2500.0), Value::F64(4.0)])
         );
+    }
+
+    #[test]
+    fn multibyte_and_mixed_strings_roundtrip() {
+        for s in ["héllo wörld", "日本語テキスト", "a\u{1F600}b", "mixé\nüñ"] {
+            let v = Value::Str(s.to_string());
+            let mut out = String::new();
+            super::write_value(&v, &mut out, None);
+            assert_eq!(parse_value(&out).unwrap(), v, "{s}");
+        }
+        // Unterminated strings still error, ASCII run or not.
+        assert!(parse_value("\"ab").is_err());
+        assert!(parse_value("\"héllo").is_err());
+    }
+
+    #[test]
+    fn megabyte_string_parses_in_linear_time() {
+        // Regression: the per-character path used to re-validate the whole
+        // remaining input for every byte, making a string like a model
+        // artifact's embedded payload quadratic to parse (minutes for a
+        // 2 MB artifact). Linear parsing finishes this instantly; the old
+        // code would effectively hang the test.
+        let body: String = "abcdefgh".repeat(128 * 1024); // 1 MiB
+        let text = format!("{{\"payload\":\"{body}\",\"tail\":\"é\\n\"}}");
+        let v = parse_value(&text).unwrap();
+        let m = v.as_map().unwrap();
+        assert_eq!(m[0].1.as_str().unwrap().len(), body.len());
+        assert_eq!(m[1].1, Value::Str("é\n".into()));
     }
 
     #[test]
