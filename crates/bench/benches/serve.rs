@@ -1,16 +1,22 @@
 //! Criterion bench: serving overhead — what one HTTP round trip through
 //! `spmv-serve` costs on top of the bare advisor call.
 //!
-//! Two groups:
+//! Three groups:
 //!
 //! * `serve_roundtrip` — single closed-loop client against an in-process
 //!   server: the protocol floor (`/healthz`), a matrix recommendation
 //!   with the cache disabled (parse + featurize + advise every time), the
 //!   same request cache-hot (response bytes served from the LRU), and a
-//!   17-feature vector request through the micro-batcher.
+//!   17-feature vector request through the micro-batcher. Each shape is
+//!   measured twice: one-shot (`Connection: close` per request — the
+//!   legacy contract, retained as the regression baseline) and keep-alive
+//!   (one persistent connection reused across iterations).
 //! * `serve_closed_loop` — the scripted `loadgen` mix (the same request
 //!   stream the CI smoke job and the e2e test drive) at closed-loop
-//!   concurrency 1 and 4, measured end to end.
+//!   concurrency 1 and 4 over one-shot connections, measured end to end.
+//! * `serve_pipelined` — the same mix over persistent connections at
+//!   pipeline depths 1, 4, and 16 (4 closed-loop clients), the headline
+//!   throughput path of the event-driven core.
 //!
 //! The server runs the heuristic advisor so the numbers isolate serving
 //! cost (socket, parse, cache, batcher) from model inference, and the
@@ -70,8 +76,41 @@ fn bench_roundtrip(c: &mut Criterion) {
             )
         });
     });
+    // The same shapes over one persistent connection: what a request
+    // costs once connection setup is off the per-request path.
+    let mut warm_conn = loadgen::KeepAliveClient::connect(&warm_addr).expect("connect keep-alive");
+    let mut cold_conn = loadgen::KeepAliveClient::connect(&cold_addr).expect("connect keep-alive");
+    group.bench_function("healthz_keepalive", |b| {
+        b.iter(|| {
+            let (status, _) = warm_conn.call("GET", "/healthz", b"").expect("healthz");
+            assert_eq!(status, 200);
+        });
+    });
+    group.bench_function("recommend_matrix_cold_keepalive", |b| {
+        b.iter(|| {
+            let (status, _) = cold_conn
+                .call("POST", "/v1/recommend", &matrix)
+                .expect("cold matrix");
+            assert_eq!(status, 200);
+        });
+    });
+    group.bench_function("recommend_matrix_hot_keepalive", |b| {
+        // Prime once; every iteration after is an LRU hit.
+        let (status, _) = warm_conn
+            .call("POST", "/v1/recommend", &matrix)
+            .expect("prime");
+        assert_eq!(status, 200);
+        b.iter(|| {
+            let (status, _) = warm_conn
+                .call("POST", "/v1/recommend", &matrix)
+                .expect("hot matrix");
+            assert_eq!(status, 200);
+        });
+    });
     group.finish();
 
+    drop(warm_conn);
+    drop(cold_conn);
     cold.shutdown();
     warm.shutdown();
 }
@@ -101,5 +140,26 @@ fn bench_closed_loop(c: &mut Criterion) {
     server.shutdown();
 }
 
-criterion_group!(benches, bench_roundtrip, bench_closed_loop);
+fn bench_pipelined(c: &mut Criterion) {
+    let server = boot(256);
+    let addr = server.addr().to_string();
+    let mix = loadgen::build_mix(32, 7);
+
+    let mut group = c.benchmark_group("serve_pipelined");
+    group.throughput(Throughput::Elements(mix.len() as u64));
+    group.sample_size(20);
+    for &depth in &[1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("mix32_c4", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let report = loadgen::run_persistent(&addr, &mix, 4, depth, false);
+                assert!(report.violations.is_empty(), "{:?}", report.violations);
+                report.outcomes.len()
+            });
+        });
+    }
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_roundtrip, bench_closed_loop, bench_pipelined);
 criterion_main!(benches);

@@ -3,14 +3,19 @@
 //! Usage:
 //!   spmv-serve-load --addr HOST:PORT [--requests N] [--concurrency N]
 //!                   [--seed N] [--wait-ready-ms N] [--allow-503]
-//!                   [--shutdown]
+//!                   [--persistent] [--pipeline-depth N] [--shutdown]
 //!
 //! Drives the scripted request mix from `spmv_serve::loadgen` (a pure
 //! function of `--requests`/`--seed`) against a running server and
 //! prints one JSON report line: status tallies, throughput, latency
 //! quantiles, a log2 latency histogram, and any expectation violations.
-//! `--shutdown` sends `POST /admin/shutdown` after the run — the CI
-//! smoke job uses that to collect the server's exit manifest.
+//! The default mode is one-shot (`Connection: close` per request — the
+//! regression path for old clients); `--persistent` reuses keep-alive
+//! connections, and `--pipeline-depth N` additionally pipelines N
+//! requests per write burst (implies `--persistent` when > 1).
+//! Per-request status-class expectations are enforced identically in
+//! both modes. `--shutdown` sends `POST /admin/shutdown` after the run
+//! — the CI smoke job uses that to collect the server's exit manifest.
 //!
 //! Exit codes (stable, for scripting):
 //!   0  every request matched its expected status class
@@ -31,7 +36,8 @@ const EXIT_VIOLATIONS: u8 = 7;
 
 const USAGE: &str = "usage: spmv-serve-load --addr HOST:PORT [--requests N] \
                      [--concurrency N] [--seed N] [--wait-ready-ms N] \
-                     [--allow-503] [--shutdown]";
+                     [--allow-503] [--persistent] [--pipeline-depth N] \
+                     [--shutdown]";
 
 fn fail(code: u8, msg: &str) -> ExitCode {
     eprintln!("spmv-serve-load: error: {msg}");
@@ -45,6 +51,8 @@ struct Opts {
     seed: u64,
     wait_ready_ms: u64,
     allow_503: bool,
+    persistent: bool,
+    pipeline_depth: usize,
     shutdown: bool,
 }
 
@@ -56,6 +64,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
     let mut seed = 7u64;
     let mut wait_ready_ms = 10_000u64;
     let mut allow_503 = false;
+    let mut persistent = false;
+    let mut pipeline_depth = 1usize;
     let mut shutdown = false;
     fn number(flag: &str, value: Option<String>) -> Result<u64, String> {
         value
@@ -74,6 +84,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
             "--seed" => seed = number(&a, args.next())?,
             "--wait-ready-ms" => wait_ready_ms = number(&a, args.next())?,
             "--allow-503" => allow_503 = true,
+            "--persistent" => persistent = true,
+            "--pipeline-depth" => pipeline_depth = (number(&a, args.next())? as usize).max(1),
             "--shutdown" => shutdown = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'; see --help")),
@@ -87,6 +99,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
         seed,
         wait_ready_ms,
         allow_503,
+        persistent: persistent || pipeline_depth > 1,
+        pipeline_depth,
         shutdown,
     }))
 }
@@ -115,7 +129,17 @@ fn main() -> ExitCode {
     }
 
     let mix = loadgen::build_mix(opts.requests, opts.seed);
-    let report = loadgen::run(&opts.addr, &mix, opts.concurrency, opts.allow_503);
+    let report = if opts.persistent {
+        loadgen::run_persistent(
+            &opts.addr,
+            &mix,
+            opts.concurrency,
+            opts.pipeline_depth,
+            opts.allow_503,
+        )
+    } else {
+        loadgen::run(&opts.addr, &mix, opts.concurrency, opts.allow_503)
+    };
     println!("{}", report.to_json());
 
     if opts.shutdown {

@@ -4,7 +4,14 @@
 //!   spmv-serve [--model <advisor.json>] [--addr HOST:PORT]
 //!              [--workers N] [--queue-depth N] [--cache-capacity N]
 //!              [--max-body-bytes N] [--read-timeout-ms N] [--max-batch N]
+//!              [--keep-alive-max N] [--idle-timeout-ms N]
 //!              [--trace-out <trace.json>]
+//!
+//! `--workers` is the shard count of the event-driven core: each worker
+//! is a shared-nothing epoll loop owning the connections it accepted.
+//! Connections are persistent by default (HTTP/1.1 keep-alive, bounded
+//! by `--keep-alive-max` requests and `--idle-timeout-ms` of silence);
+//! clients sending `Connection: close` get the old one-shot behavior.
 //!
 //! Boot behavior is the graceful-degradation contract from DESIGN.md §4e
 //! applied at process scope: a missing or rejected `--model` artifact
@@ -40,6 +47,7 @@ const EXIT_BIND: u8 = 5;
 const USAGE: &str = "usage: spmv-serve [--model <advisor.json>] [--addr HOST:PORT] \
                      [--workers N] [--queue-depth N] [--cache-capacity N] \
                      [--max-body-bytes N] [--read-timeout-ms N] [--max-batch N] \
+                     [--keep-alive-max N] [--idle-timeout-ms N] \
                      [--handler-delay-ms N] [--trace-out <trace.json>]";
 
 fn fail(code: u8, msg: &str) -> ExitCode {
@@ -87,6 +95,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
             "--max-body-bytes" => config.max_body_bytes = number(&a, args.next())?,
             "--read-timeout-ms" => config.read_timeout_ms = number(&a, args.next())? as u64,
             "--max-batch" => config.max_batch = number(&a, args.next())?.max(1),
+            "--keep-alive-max" => config.keep_alive_max_requests = number(&a, args.next())?.max(1),
+            "--idle-timeout-ms" => config.idle_timeout_ms = number(&a, args.next())? as u64,
             "--handler-delay-ms" => config.handler_delay_ms = number(&a, args.next())? as u64,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'; see --help")),

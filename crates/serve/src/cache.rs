@@ -1,18 +1,33 @@
-//! Single-flight LRU cache over serialized recommendation responses.
+//! Sharded single-flight LRU cache over serialized recommendation
+//! responses.
 //!
 //! Keyed by *request content* (the raw MatrixMarket body, or the bit
 //! patterns of a feature vector), valued by the exact response bytes, so
 //! a cache hit is bit-identical to the cold-miss response it memoizes.
 //!
+//! ## Sharding — by key, never by worker
+//!
+//! The cache is split into [`DEFAULT_SHARDS`] independent shards, each
+//! with its own mutex, condvar, and LRU clock; a key's home shard is a
+//! pure function of its content hash. That is a deliberate choice over
+//! per-worker caches: which *worker shard* serves a connection is
+//! scheduling (one-shot clients arrive on arbitrary ephemeral
+//! connections), and per-worker caches would make hit/miss totals
+//! depend on connection placement — breaking the invariant that the
+//! deterministic manifest section is a pure function of the request
+//! mix. Key-sharding keeps every identical request in one shard, so
+//! single-flight and the `1 miss + n-1 hits` accounting hold at any
+//! worker count, while the mutex contention of the old single-lock
+//! design is split `DEFAULT_SHARDS` ways.
+//!
 //! ## Single flight
 //!
 //! The first arrival for a key inserts a *pending* slot and computes; any
 //! concurrent arrival for the same key blocks on the slot instead of
-//! recomputing, and is counted as a hit. This is what makes the cache
-//! counters a pure function of the request mix: for `n` identical
-//! well-formed requests the tally is always 1 miss + `n-1` hits, no
-//! matter how the requests interleave across worker threads — the
-//! property the 1-vs-4-worker manifest diff in CI depends on.
+//! recomputing, and is counted as a hit. For `n` identical well-formed
+//! requests the tally is always 1 miss + `n-1` hits, no matter how the
+//! requests interleave across worker shards — the property the
+//! 1-vs-4-worker manifest diff in CI depends on.
 //!
 //! ## Collision safety
 //!
@@ -20,13 +35,19 @@
 //! two keys that collide in the hash coexist as separate slots and never
 //! alias each other's responses.
 //!
-//! Lookup is a linear scan over the slot vector — deliberately: capacity
-//! is a handful-to-thousands knob, the scan is branch-predictable, and it
-//! keeps eviction (true least-recently-used, pending slots pinned) free
-//! of auxiliary index structures that would have to stay coherent under
-//! the condvar dance.
+//! Lookup is a linear scan over the shard's slot vector — deliberately:
+//! per-shard capacity is a handful-to-hundreds knob, the scan is
+//! branch-predictable, and it keeps eviction (true least-recently-used
+//! within the shard, pending slots pinned) free of auxiliary index
+//! structures that would have to stay coherent under the condvar dance.
+//! Eviction counts are deterministic for a given build because the
+//! shard count is a compile-time constant, not a deployment knob.
 
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Number of key-hash shards. Fixed at compile time so cache behavior
+/// (including eviction under pressure) never varies with `--workers`.
+pub const DEFAULT_SHARDS: usize = 8;
 
 /// 64-bit FNV-1a (the workspace's standard content hash).
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -87,6 +108,23 @@ impl Inner {
     }
 }
 
+/// One key-hash shard: its own lock, waiters, and LRU clock.
+struct CacheShard {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+impl CacheShard {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Shard state is only ever mutated under this lock by code that
+        // does not panic; if it somehow did, serving stale-but-complete
+        // slots is still sound, so shrug the poison off.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 /// What a lookup resolved to.
 pub enum Lookup<'a> {
     /// The cached (or concurrently computed) response bytes.
@@ -99,7 +137,8 @@ pub enum Lookup<'a> {
 /// fill. Dropping it unfulfilled (the compute path failed) removes the
 /// slot and wakes waiters so they can take over.
 pub struct Reservation<'a> {
-    cache: Option<&'a ResponseCache>,
+    shard: Option<&'a CacheShard>,
+    shard_capacity: usize,
     hash: u64,
     key: Vec<u8>,
 }
@@ -107,35 +146,35 @@ pub struct Reservation<'a> {
 impl Reservation<'_> {
     /// Publish the computed response and wake every waiter.
     pub fn fulfill(mut self, value: Arc<Vec<u8>>) {
-        if let Some(cache) = self.cache.take() {
+        if let Some(shard) = self.shard.take() {
             {
-                let mut inner = cache.lock();
+                let mut inner = shard.lock();
                 if let Some(idx) = inner.position(self.hash, &self.key) {
                     inner.slots[idx].value = Some(value);
                     inner.touch(idx);
                 }
-                let evicted = inner.evict_to(cache.capacity);
+                let evicted = inner.evict_to(self.shard_capacity);
                 if evicted > 0 {
                     spmv_observe::counter("serve.cache.evictions", evicted);
                 }
             }
-            cache.cond.notify_all();
+            shard.cond.notify_all();
         }
     }
 }
 
 impl Drop for Reservation<'_> {
     fn drop(&mut self) {
-        if let Some(cache) = self.cache.take() {
+        if let Some(shard) = self.shard.take() {
             {
-                let mut inner = cache.lock();
+                let mut inner = shard.lock();
                 if let Some(idx) = inner.position(self.hash, &self.key) {
                     if inner.slots[idx].value.is_none() {
                         inner.slots.swap_remove(idx);
                     }
                 }
             }
-            cache.cond.notify_all();
+            shard.cond.notify_all();
         }
     }
 }
@@ -143,58 +182,72 @@ impl Drop for Reservation<'_> {
 /// The cache. `capacity == 0` disables it: every lookup is a miss with a
 /// no-op reservation, and nothing is retained.
 pub struct ResponseCache {
-    capacity: usize,
+    /// Per-shard retained-slot budget; total capacity is spread evenly.
+    shard_capacity: usize,
+    disabled: bool,
     hasher: fn(&[u8]) -> u64,
-    inner: Mutex<Inner>,
-    cond: Condvar,
+    shards: Vec<CacheShard>,
 }
 
 impl ResponseCache {
-    /// A cache holding up to `capacity` completed responses.
+    /// A cache holding up to `capacity` completed responses, spread over
+    /// [`DEFAULT_SHARDS`] key-hash shards.
     pub fn new(capacity: usize) -> ResponseCache {
+        ResponseCache::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (tests use 1 to pin exact
+    /// global LRU ordering).
+    pub fn with_shards(capacity: usize, nshards: usize) -> ResponseCache {
+        let nshards = nshards.max(1);
         ResponseCache {
-            capacity,
+            shard_capacity: capacity.div_ceil(nshards),
+            disabled: capacity == 0,
             hasher: fnv1a,
-            inner: Mutex::new(Inner {
-                slots: Vec::new(),
-                tick: 0,
-            }),
-            cond: Condvar::new(),
+            shards: (0..nshards)
+                .map(|_| CacheShard {
+                    inner: Mutex::new(Inner {
+                        slots: Vec::new(),
+                        tick: 0,
+                    }),
+                    cond: Condvar::new(),
+                })
+                .collect(),
         }
     }
 
-    /// Test hook: a cache with a custom (e.g. constant) hash function, for
-    /// exercising the collision path on demand.
+    /// Test hook: a single-shard cache with a custom (e.g. constant)
+    /// hash function, for exercising the collision path on demand.
     #[doc(hidden)]
     pub fn with_hasher(capacity: usize, hasher: fn(&[u8]) -> u64) -> ResponseCache {
         ResponseCache {
             hasher,
-            ..ResponseCache::new(capacity)
+            ..ResponseCache::with_shards(capacity, 1)
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        // Cache state is only ever mutated under this lock by code that
-        // does not panic; if it somehow did, serving stale-but-complete
-        // slots is still sound, so shrug the poison off.
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn shard_of(&self, hash: u64) -> &CacheShard {
+        // High bits: FNV-1a mixes them well, and the slot scan already
+        // compares the full hash so no entropy is wasted.
+        let idx = (hash >> 32) as usize % self.shards.len();
+        &self.shards[idx]
     }
 
     /// Look `key` up; either return the (possibly awaited) response bytes
     /// or make this caller responsible for computing them.
     pub fn get_or_reserve(&self, key: &[u8]) -> Lookup<'_> {
-        if self.capacity == 0 {
+        if self.disabled {
             spmv_observe::counter("serve.cache.misses", 1);
             return Lookup::Miss(Reservation {
-                cache: None,
+                shard: None,
+                shard_capacity: 0,
                 hash: 0,
                 key: Vec::new(),
             });
         }
         let hash = (self.hasher)(key);
-        let mut inner = self.lock();
+        let shard = self.shard_of(hash);
+        let mut inner = shard.lock();
         loop {
             match inner.position(hash, key) {
                 Some(idx) if inner.slots[idx].value.is_some() => {
@@ -209,7 +262,7 @@ impl ResponseCache {
                 Some(_pending) => {
                     // Another worker is computing this exact key: wait for
                     // it instead of redoing the work (single flight).
-                    inner = self
+                    inner = shard
                         .cond
                         .wait(inner)
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -225,7 +278,8 @@ impl ResponseCache {
                     });
                     spmv_observe::counter("serve.cache.misses", 1);
                     return Lookup::Miss(Reservation {
-                        cache: Some(self),
+                        shard: Some(shard),
+                        shard_capacity: self.shard_capacity,
                         hash,
                         key: key.to_vec(),
                     });
@@ -237,16 +291,21 @@ impl ResponseCache {
     /// Whether a *completed* entry for `key` is resident (no recency bump,
     /// no counters). Test/introspection helper.
     pub fn contains(&self, key: &[u8]) -> bool {
+        if self.disabled {
+            return false;
+        }
         let hash = (self.hasher)(key);
-        let inner = self.lock();
+        let shard = self.shard_of(hash);
+        let inner = shard.lock();
         inner
             .position(hash, key)
             .is_some_and(|idx| inner.slots[idx].value.is_some())
     }
 
-    /// Number of resident slots (completed + pending).
+    /// Number of resident slots (completed + pending), summed across
+    /// shards.
     pub fn len(&self) -> usize {
-        self.lock().slots.len()
+        self.shards.iter().map(|s| s.lock().slots.len()).sum()
     }
 
     /// Whether the cache holds nothing.
@@ -279,7 +338,8 @@ mod tests {
 
     #[test]
     fn capacity_evicts_least_recently_used() {
-        let cache = ResponseCache::new(2);
+        // Single shard pins global LRU order.
+        let cache = ResponseCache::with_shards(2, 1);
         fill(&cache, b"a", b"1");
         fill(&cache, b"b", b"2");
         // Touch `a`, making `b` the LRU victim.
@@ -292,8 +352,20 @@ mod tests {
     }
 
     #[test]
+    fn sharded_cache_retains_at_most_capacity_overall() {
+        let cache = ResponseCache::new(16);
+        for i in 0..64u32 {
+            fill(&cache, &i.to_le_bytes(), b"v");
+        }
+        // Per-shard budget is ceil(16/8) = 2; with 8 shards the total
+        // retained population never exceeds the requested capacity.
+        assert!(cache.len() <= 16, "len = {}", cache.len());
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
     fn colliding_hashes_do_not_alias() {
-        // Constant hasher: every key collides.
+        // Constant hasher: every key collides (and lands in one shard).
         let cache = ResponseCache::with_hasher(4, |_| 42);
         fill(&cache, b"alpha", b"A");
         fill(&cache, b"beta", b"B");
@@ -352,7 +424,7 @@ mod tests {
 
     #[test]
     fn pending_slots_are_never_evicted() {
-        let cache = ResponseCache::new(1);
+        let cache = ResponseCache::with_shards(1, 1);
         let pending = match cache.get_or_reserve(b"pinned") {
             Lookup::Miss(res) => res,
             Lookup::Hit(_) => panic!(),
@@ -361,5 +433,32 @@ mod tests {
         pending.fulfill(Arc::new(b"done".to_vec()));
         assert!(cache.contains(b"pinned"));
         assert!(cache.len() <= 1 || cache.contains(b"pinned"));
+    }
+
+    #[test]
+    fn hit_miss_totals_are_shard_count_invariant() {
+        // The same key sequence produces identical hit/miss behavior at
+        // 1 and 8 shards: every key's single flight lives in its home
+        // shard, so lookups resolve the same way.
+        for nshards in [1usize, 8] {
+            let cache = ResponseCache::with_shards(64, nshards);
+            let keys: Vec<Vec<u8>> = (0..16u32).map(|i| i.to_le_bytes().to_vec()).collect();
+            for k in &keys {
+                assert!(
+                    matches!(cache.get_or_reserve(k), Lookup::Miss(_)),
+                    "first sight must miss at {nshards} shards"
+                );
+                // Unfulfilled reservation dropped: recomputes next time.
+            }
+            for k in &keys {
+                fill(&cache, k, b"v");
+            }
+            for k in &keys {
+                assert!(
+                    matches!(cache.get_or_reserve(k), Lookup::Hit(_)),
+                    "fulfilled key must hit at {nshards} shards"
+                );
+            }
+        }
     }
 }

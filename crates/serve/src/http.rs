@@ -1,14 +1,22 @@
-//! A deliberately minimal HTTP/1.1 subset, hand-rolled over `std::io`.
+//! A deliberately minimal HTTP/1.1 subset, hand-rolled over byte
+//! buffers.
 //!
 //! The server speaks exactly what its clients need — `POST` with
 //! `Content-Length`, `GET` without — and rejects everything else with a
-//! typed [`ProtocolError`] that maps to one 4xx/5xx status. There is no
-//! keep-alive (every response carries `Connection: close`), no chunked
-//! transfer, no continuation lines: each accepted TCP connection is one
-//! request, one response. That restriction is what makes the parser
-//! small enough to exhaustively adversarial-test (`tests/protocol.rs`)
-//! and keeps the admission-control story simple (one queue slot == one
-//! request).
+//! typed [`ProtocolError`] that maps to one 4xx/5xx status. Since the
+//! persistent-connection rework, a connection carries *many* requests:
+//! the parser is incremental ([`parse_request`] consumes one complete
+//! request from a reused buffer and reports how many bytes it ate, so
+//! pipelined requests queue naturally behind it), and responses carry
+//! `Connection: keep-alive` or `Connection: close` according to the
+//! negotiated policy — HTTP/1.1 defaults to keep-alive, HTTP/1.0 to
+//! close, an explicit `Connection:` request header wins, and the server
+//! closes after protocol-level errors, on shutdown, and when a
+//! connection reaches its `max-requests` budget. One-shot clients that
+//! send `Connection: close` (the CLI, the old loadgen path) see exactly
+//! the pre-keep-alive behavior. There is still no chunked transfer and
+//! no continuation lines — that restriction is what keeps the parser
+//! small enough to exhaustively adversarial-test (`tests/protocol.rs`).
 //!
 //! Nothing in this module panics on wire input: malformed bytes become
 //! `Err` variants, and the `deny(unwrap_used)` lint scope covers the
@@ -41,6 +49,8 @@ pub struct Request {
     pub method: String,
     /// The request target path (`/v1/recommend`).
     pub target: String,
+    /// HTTP minor version (`1` for HTTP/1.1, `0` for HTTP/1.0).
+    pub minor_version: u8,
     /// Headers with lower-cased names, in arrival order.
     pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length`).
@@ -54,6 +64,25 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client is willing to reuse this connection:
+    /// an explicit `Connection:` header wins, otherwise HTTP/1.1
+    /// defaults to keep-alive and HTTP/1.0 to close.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => {
+                let v = v.to_ascii_lowercase();
+                if v.split(',').any(|t| t.trim() == "close") {
+                    false
+                } else if v.split(',').any(|t| t.trim() == "keep-alive") {
+                    true
+                } else {
+                    self.minor_version >= 1
+                }
+            }
+            None => self.minor_version >= 1,
+        }
     }
 }
 
@@ -187,35 +216,39 @@ fn header_end(buf: &[u8]) -> Option<usize> {
         .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
 }
 
-/// Read exactly one request from `stream` under `limits`.
+/// Result of trying to parse one request out of a connection buffer.
+pub enum Parse {
+    /// The buffer does not yet hold a complete request; read more bytes.
+    Partial,
+    /// One complete request, consuming the first `usize` bytes of the
+    /// buffer. Pipelined bytes beyond that belong to the next request.
+    Done(Request, usize),
+}
+
+/// Try to parse exactly one request from the front of `buf`.
 ///
-/// The caller is expected to have armed socket read timeouts; timeouts
-/// surface as [`ProtocolError::Timeout`].
-pub fn read_request<R: Read>(stream: &mut R, limits: &Limits) -> Result<Request, ProtocolError> {
-    // Accumulate until the blank line, never beyond the header cap.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let head_len = loop {
-        if let Some(end) = header_end(&buf) {
-            break end;
+/// Incremental and restartable: feed it the same buffer again after
+/// appending more bytes. Limits are enforced per state — headers that
+/// never terminate within `max_header_bytes` fail with 431 *before* the
+/// request completes, and an oversized declared body fails with 413
+/// from the header alone, before any body byte is read.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parse, ProtocolError> {
+    let head_len = match header_end(buf) {
+        Some(end) => end,
+        None => {
+            if buf.len() > limits.max_header_bytes {
+                return Err(ProtocolError::HeaderTooLarge {
+                    limit: limits.max_header_bytes,
+                });
+            }
+            return Ok(Parse::Partial);
         }
-        if buf.len() > limits.max_header_bytes {
-            return Err(ProtocolError::HeaderTooLarge {
-                limit: limits.max_header_bytes,
-            });
-        }
-        let n = stream.read(&mut chunk).map_err(|e| map_io(e, buf.len()))?;
-        if n == 0 {
-            return Err(if buf.is_empty() {
-                ProtocolError::EmptyConnection
-            } else {
-                ProtocolError::ClientGone {
-                    bytes_seen: buf.len(),
-                }
-            });
-        }
-        buf.extend_from_slice(&chunk[..n]);
     };
+    if head_len > limits.max_header_bytes {
+        return Err(ProtocolError::HeaderTooLarge {
+            limit: limits.max_header_bytes,
+        });
+    }
 
     let head = std::str::from_utf8(&buf[..head_len])
         .map_err(|_| ProtocolError::BadHeader("non-UTF-8 header bytes".to_string()))?;
@@ -226,9 +259,12 @@ pub fn read_request<R: Read>(stream: &mut R, limits: &Limits) -> Result<Request,
         (Some(m), Some(t), Some(v), None) => (m.to_string(), t.to_string(), v),
         _ => return Err(ProtocolError::BadRequestLine(request_line.to_string())),
     };
-    if !version.starts_with("HTTP/1.") {
-        return Err(ProtocolError::UnsupportedVersion(version.to_string()));
-    }
+    let minor_version = match version.strip_prefix("HTTP/1.") {
+        Some(minor) => minor
+            .parse::<u8>()
+            .map_err(|_| ProtocolError::UnsupportedVersion(version.to_string()))?,
+        None => return Err(ProtocolError::UnsupportedVersion(version.to_string())),
+    };
 
     let mut headers = Vec::new();
     for line in lines {
@@ -263,37 +299,103 @@ pub fn read_request<R: Read>(stream: &mut R, limits: &Limits) -> Result<Request,
             declared,
         });
     }
-
-    let mut body = buf[head_len..].to_vec();
-    if body.len() > declared {
-        // More bytes than declared: the pipeline sent trailing garbage.
-        // This server reads one request per connection, so just drop the
-        // excess instead of failing the well-formed prefix.
-        body.truncate(declared);
-    }
-    while body.len() < declared {
-        let want = (declared - body.len()).min(chunk.len());
-        let n = stream
-            .read(&mut chunk[..want])
-            .map_err(|e| map_io(e, head_len + body.len()))?;
-        if n == 0 {
-            return Err(ProtocolError::ClientGone {
-                bytes_seen: head_len + body.len(),
-            });
-        }
-        body.extend_from_slice(&chunk[..n]);
+    if buf.len() - head_len < declared {
+        return Ok(Parse::Partial);
     }
 
-    Ok(Request {
-        method,
-        target,
-        headers,
-        body,
-    })
+    let body = buf[head_len..head_len + declared].to_vec();
+    Ok(Parse::Done(
+        Request {
+            method,
+            target,
+            minor_version,
+            headers,
+            body,
+        },
+        head_len + declared,
+    ))
 }
 
-/// Write a complete response (status line, standard headers, body) and
-/// flush. Every response closes the connection.
+/// Read exactly one request from `stream` under `limits` (blocking
+/// convenience over [`parse_request`] for one-shot callers and tests).
+/// Pipelined bytes beyond the first request are read but ignored.
+///
+/// The caller is expected to have armed socket read timeouts; timeouts
+/// surface as [`ProtocolError::Timeout`].
+pub fn read_request<R: Read>(stream: &mut R, limits: &Limits) -> Result<Request, ProtocolError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parse_request(&buf, limits)? {
+            Parse::Done(request, _consumed) => return Ok(request),
+            Parse::Partial => {}
+        }
+        let n = stream.read(&mut chunk).map_err(|e| map_io(e, buf.len()))?;
+        if n == 0 {
+            return Err(if buf.is_empty() {
+                ProtocolError::EmptyConnection
+            } else {
+                ProtocolError::ClientGone {
+                    bytes_seen: buf.len(),
+                }
+            });
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Append a complete response (status line, standard headers, body) to
+/// `out`. `keep_alive` selects the `Connection:` header; the caller owns
+/// actually closing (or not closing) the transport to match.
+pub fn render_response_into(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) {
+    out.extend_from_slice(b"HTTP/1.1 ");
+    let mut code = [0u8; 3];
+    code[0] = b'0' + ((status / 100) % 10) as u8;
+    code[1] = b'0' + ((status / 10) % 10) as u8;
+    code[2] = b'0' + (status % 10) as u8;
+    out.extend_from_slice(&code);
+    out.push(b' ');
+    out.extend_from_slice(reason.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Type: ");
+    out.extend_from_slice(content_type.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Length: ");
+    let mut len_buf = [0u8; 20];
+    let mut n = body.len();
+    let mut i = len_buf.len();
+    loop {
+        i -= 1;
+        len_buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&len_buf[i..]);
+    if keep_alive {
+        out.extend_from_slice(b"\r\nConnection: keep-alive\r\n");
+    } else {
+        out.extend_from_slice(b"\r\nConnection: close\r\n");
+    }
+    for (name, value) in extra_headers {
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+}
+
+/// Write a complete `Connection: close` response and flush — the
+/// blocking convenience for one-shot paths (overload shedding, tests).
 pub fn write_response<W: Write>(
     stream: &mut W,
     status: u16,
@@ -302,19 +404,17 @@ pub fn write_response<W: Write>(
     extra_headers: &[(&str, &str)],
     body: &[u8],
 ) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
-        body.len()
+    let mut out = Vec::with_capacity(128 + body.len());
+    render_response_into(
+        &mut out,
+        status,
+        reason,
+        content_type,
+        extra_headers,
+        body,
+        false,
     );
-    for (name, value) in extra_headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    stream.write_all(&out)?;
     stream.flush()
 }
 
@@ -364,6 +464,7 @@ mod tests {
                 .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.target, "/v1/recommend");
+        assert_eq!(req.minor_version, 1);
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body, b"hello");
     }
@@ -477,9 +578,72 @@ mod tests {
     }
 
     #[test]
-    fn excess_body_bytes_are_dropped() {
+    fn excess_body_bytes_are_left_for_the_pipeline() {
+        // One-shot read_request ignores them; the incremental parser
+        // reports the exact consumed length so they become request 2.
         let req = parse(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nabEXTRA").unwrap();
         assert_eq!(req.body, b"ab");
+        match parse_request(
+            b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nabEXTRA",
+            &Limits::default(),
+        )
+        .unwrap()
+        {
+            Parse::Done(req, consumed) => {
+                assert_eq!(req.body, b"ab");
+                assert_eq!(
+                    consumed,
+                    b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nab".len()
+                );
+            }
+            Parse::Partial => panic!("complete request must parse"),
+        }
+    }
+
+    #[test]
+    fn incremental_parse_reports_partial_until_complete() {
+        let full = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        let limits = Limits::default();
+        for cut in 0..full.len() {
+            match parse_request(&full[..cut], &limits).unwrap() {
+                Parse::Partial => {}
+                Parse::Done(..) => panic!("cut at {cut} is incomplete"),
+            }
+        }
+        assert!(matches!(
+            parse_request(full, &limits).unwrap(),
+            Parse::Done(_, n) if n == full.len()
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let wire = b"GET /healthz HTTP/1.1\r\n\r\nPOST /v1/recommend HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let limits = Limits::default();
+        let (first, n1) = match parse_request(wire, &limits).unwrap() {
+            Parse::Done(r, n) => (r, n),
+            Parse::Partial => panic!(),
+        };
+        assert_eq!(first.target, "/healthz");
+        let (second, n2) = match parse_request(&wire[n1..], &limits).unwrap() {
+            Parse::Done(r, n) => (r, n),
+            Parse::Partial => panic!(),
+        };
+        assert_eq!(second.target, "/v1/recommend");
+        assert_eq!(second.body, b"hi");
+        assert_eq!(n1 + n2, wire.len());
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_version_and_header() {
+        let req = parse(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(req.wants_keep_alive(), "1.1 defaults to keep-alive");
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.wants_keep_alive(), "1.0 defaults to close");
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.wants_keep_alive(), "explicit close wins");
+        let req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.wants_keep_alive(), "explicit keep-alive wins");
     }
 
     #[test]
@@ -497,9 +661,30 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
+        // The blocking one-shot writer always closes; persistent
+        // connections render with keep_alive=true instead.
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn rendered_keep_alive_response_advertises_reuse() {
+        let mut out = Vec::new();
+        render_response_into(
+            &mut out,
+            200,
+            "OK",
+            "application/json",
+            &[],
+            b"{\"ok\":true}",
+            true,
+        );
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
     }
 
     #[test]

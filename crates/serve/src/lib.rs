@@ -1,50 +1,61 @@
-//! `spmv-serve`: a threaded TCP inference server for the format advisor.
+//! `spmv-serve`: a persistent-connection, event-driven TCP inference
+//! server for the format advisor.
 //!
 //! Std-only by design (plus workspace crates): the listener is a plain
-//! `TcpListener`, HTTP/1.1 is the hand-rolled subset in [`http`], and
-//! concurrency is a bounded worker pool fed through a
-//! `std::sync::mpsc::sync_channel`. The pieces:
+//! nonblocking `TcpListener`, HTTP/1.1 is the hand-rolled subset in
+//! [`http`], readiness comes from the tiny epoll shim in `epoll` (raw
+//! `extern` declarations against the libc std already links — zero new
+//! dependencies), and concurrency is N shared-nothing shard threads
+//! (`event`), each running its own epoll loop over the connections it
+//! accepted. The pieces:
 //!
-//! - **Admission control** — the acceptor `try_send`s each accepted
-//!   connection into the bounded channel; when the queue is full it
-//!   answers `503` + `Retry-After` itself and closes, so overload sheds
-//!   *new* work while everything already queued still completes.
+//! - **Keep-alive + pipelining** — a connection carries many requests;
+//!   responses advertise `Connection: keep-alive` up to a bounded
+//!   per-connection request budget and idle timeout, and the
+//!   `Connection: close` one-shot path is preserved unchanged for the
+//!   CLI and old clients.
+//! - **Admission control** — each shard admits up to `queue_depth + 1`
+//!   concurrent connections (the budget the old bounded channel gave a
+//!   worker); past that it answers `503` + `Retry-After` immediately,
+//!   so overload sheds *new* work while admitted work completes.
 //! - **Shared advisor** — one [`AdvisorHandle`] (model or degraded
-//!   heuristic) serves every worker; it is immutable after boot, so no
+//!   heuristic) serves every shard; it is immutable after boot, so no
 //!   lock guards it.
 //! - **Single-flight LRU cache** ([`cache`]) — responses are memoized by
-//!   request content; concurrent identical requests collapse to one
-//!   model pass.
+//!   request content in key-hash shards (fixed count, deliberately not
+//!   tied to the worker shard count); concurrent identical requests
+//!   collapse to one model pass.
 //! - **Micro-batching** ([`batch`]) — feature-vector requests queue into
 //!   a leader–follower batcher that drains them through one batch call.
 //! - **Observability** — every stage runs under `spmv-observe` spans and
 //!   counters chosen so the manifest's deterministic section is a pure
-//!   function of the request mix (see `tests/determinism.rs`).
-//!
-//! One connection carries one request and one response
-//! (`Connection: close`); see [`http`] for why.
+//!   function of the request mix at any shard count and any keep-alive
+//!   vs close client mix (see `tests/determinism.rs`); scheduling facts
+//!   (connections accepted/shed/reused per shard) are merged into the
+//!   quarantined timing section at shutdown.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod cache;
+mod epoll;
+mod event;
 pub mod http;
 pub mod loadgen;
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 use spmv_core::AdvisorHandle;
 use spmv_features::{FeatureVector, FEATURE_COUNT};
 
 use crate::batch::Batcher;
 use crate::cache::{Lookup, ResponseCache};
-use crate::http::{error_body, read_request, write_response, Limits, ProtocolError, Request};
+use crate::event::ShardStats;
+use crate::http::{error_body, Limits, ProtocolError, Request};
 
 /// Everything tunable about a server instance.
 #[derive(Debug, Clone)]
@@ -75,6 +86,12 @@ pub struct ServerConfig {
     /// Whether `POST /admin/shutdown` is routed (the binary enables it;
     /// embedded tests usually prefer [`ServerHandle::shutdown`]).
     pub enable_admin_shutdown: bool,
+    /// Most requests served over one keep-alive connection before the
+    /// server closes it (`1` degrades to a pure one-shot server).
+    pub keep_alive_max_requests: usize,
+    /// How long an idle keep-alive connection (≥1 request served,
+    /// nothing buffered) is retained before a silent close (ms).
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +107,8 @@ impl Default for ServerConfig {
             max_batch: 8,
             handler_delay_ms: 0,
             enable_admin_shutdown: false,
+            keep_alive_max_requests: 1024,
+            idle_timeout_ms: 5_000,
         }
     }
 }
@@ -111,14 +130,15 @@ struct Shared {
 /// A running server: resolved address, control surface, join handles.
 pub struct Server {
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
+    stats: Vec<Arc<ShardStats>>,
 }
 
 impl Server {
-    /// Bind, spawn the acceptor and worker pool, and return immediately.
+    /// Bind, spawn the shard event loops, and return immediately.
     pub fn spawn(config: ServerConfig, handle: AdvisorHandle) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let limits = Limits {
             max_header_bytes: config.max_header_bytes,
@@ -135,29 +155,29 @@ impl Server {
             config,
         });
 
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(shared.config.queue_depth);
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..shared.config.workers.max(1))
-            .map(|i| {
+        // Every shard registers the same listener with EPOLLEXCLUSIVE,
+        // so a connect wakes one shard, which then owns the connection.
+        let listener = Arc::new(listener);
+        let stats: Vec<Arc<ShardStats>> = (0..shared.config.workers.max(1))
+            .map(|_| Arc::new(ShardStats::new()))
+            .collect();
+        let shards = stats
+            .iter()
+            .enumerate()
+            .map(|(i, shard_stats)| {
                 let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
+                let listener = Arc::clone(&listener);
+                let shard_stats = Arc::clone(shard_stats);
                 std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx))
+                    .name(format!("serve-shard-{i}"))
+                    .spawn(move || event::shard_loop(shared, listener, shard_stats))
             })
             .collect::<std::io::Result<Vec<_>>>()?;
 
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("serve-acceptor".to_string())
-                .spawn(move || acceptor_loop(&shared, &listener, &tx))?
-        };
-
         Ok(Server {
             shared,
-            acceptor: Some(acceptor),
-            workers,
+            shards,
+            stats,
         })
     }
 
@@ -171,134 +191,34 @@ impl Server {
         self.shared.shutdown_requested.load(Ordering::SeqCst)
     }
 
-    /// Stop accepting, let queued and in-flight requests finish, join
-    /// every thread. Idempotent with respect to an admin shutdown already
-    /// in progress.
+    /// Stop accepting, let admitted and in-flight requests finish
+    /// (bounded by their deadlines), join every shard, and publish the
+    /// scheduling stats into the manifest's timing section. Idempotent
+    /// with respect to an admin shutdown already in progress.
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock a parked `accept` with a throwaway connection; if the
-        // listener is already gone this is a harmless failed connect.
-        let _poke = TcpStream::connect(self.shared.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _join = acceptor.join();
+        // Shards notice the flag within one epoll tick; no wake-up poke
+        // is needed because waits are bounded.
+        for shard in self.shards.drain(..) {
+            let _join = shard.join();
         }
-        // The acceptor owned the sender; with it gone each worker drains
-        // the remaining queue and then sees the channel disconnect.
-        for worker in self.workers.drain(..) {
-            let _join = worker.join();
-        }
-    }
-}
-
-fn acceptor_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _peer)) => stream,
-            Err(_) if shared.stop.load(Ordering::SeqCst) => break,
-            Err(_) => continue,
-        };
-        if shared.stop.load(Ordering::SeqCst) {
-            // The wake-up poke (or a late client) after stop: never admit
-            // it, so shutdown can't be re-extended by new arrivals.
-            break;
-        }
-        match tx.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(stream)) => reject_overload(shared, stream),
-            Err(TrySendError::Disconnected(_)) => break,
-        }
-    }
-}
-
-/// Queue full: shed this connection with `503 Retry-After: 1`. Runs on
-/// the acceptor thread — deliberately, so a saturated worker pool cannot
-/// delay the rejection path too.
-fn reject_overload(shared: &Shared, mut stream: TcpStream) {
-    spmv_observe::counter("serve.rejected.overload", 1);
-    let _timeout = stream.set_write_timeout(Some(Duration::from_millis(
-        shared.config.read_timeout_ms.max(1),
-    )));
-    let body = error_body("overloaded", "request queue is full; retry shortly");
-    let _write = write_response(
-        &mut stream,
-        503,
-        "Service Unavailable",
-        "application/json",
-        &[("Retry-After", "1")],
-        &body,
-    );
-    drain_before_close(&mut stream);
-}
-
-/// Swallow whatever request bytes are already buffered before dropping a
-/// connection whose request was never (fully) read. Closing a socket
-/// with unread data makes the kernel send RST instead of FIN, and an RST
-/// can destroy the response sitting in the client's receive buffer — the
-/// client would see a vanished connection instead of its 503/413. A few
-/// short reads turn the close into an orderly FIN.
-fn drain_before_close(stream: &mut TcpStream) {
-    let _timeout = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut scratch = [0u8; 4096];
-    for _ in 0..16 {
-        match std::io::Read::read(stream, &mut scratch) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
-    }
-}
-
-fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
-    loop {
-        let next = {
-            let guard = match rx.lock() {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            guard.recv()
-        };
-        match next {
-            Ok(stream) => handle_connection(shared, stream),
-            Err(_) => break, // channel closed and drained: shutdown
-        }
-    }
-}
-
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let timeout = Duration::from_millis(shared.config.read_timeout_ms.max(1));
-    let _set = stream.set_read_timeout(Some(timeout));
-    let _set = stream.set_write_timeout(Some(timeout));
-    if shared.config.handler_delay_ms > 0 {
-        std::thread::sleep(Duration::from_millis(shared.config.handler_delay_ms));
-    }
-    match read_request(&mut stream, &shared.limits) {
-        Ok(request) => {
-            let _span = spmv_observe::span("serve/request");
-            spmv_observe::counter("serve.requests", 1);
-            let (status, reason, content_type, extra, body) = route(shared, &request);
-            count_status(status);
-            let _write = write_response(&mut stream, status, reason, content_type, extra, &body);
-        }
-        Err(err) => match err.status() {
-            // No response possible or warranted (empty probe connection,
-            // vanished client, transport error). Probes stay invisible to
-            // the counters; mid-request disconnects are counted.
-            None => {
-                if !matches!(err, ProtocolError::EmptyConnection) {
-                    spmv_observe::counter("serve.disconnects", 1);
-                }
-            }
-            Some((status, reason, kind)) => {
-                spmv_observe::counter("serve.requests", 1);
-                count_protocol_error(&err);
-                count_status(status);
-                let body = error_body(kind, &err.to_string());
-                let _write =
-                    write_response(&mut stream, status, reason, "application/json", &[], &body);
-                // Early rejections (413, 431, …) leave request bytes
-                // unread; see drain_before_close for why that matters.
-                drain_before_close(&mut stream);
-            }
-        },
+        // Connection accounting is scheduling (which shard got which
+        // connection, how clients reused keep-alive): it goes to the
+        // timing section, never to the deterministic counters.
+        let total = |f: fn(&ShardStats) -> u64| -> u64 { self.stats.iter().map(|s| f(s)).sum() };
+        spmv_observe::set_timing_info("serve.shards", &self.stats.len().to_string());
+        spmv_observe::set_timing_info(
+            "serve.conns.accepted",
+            &total(|s| s.accepted.load(Ordering::Relaxed)).to_string(),
+        );
+        spmv_observe::set_timing_info(
+            "serve.conns.shed",
+            &total(|s| s.shed.load(Ordering::Relaxed)).to_string(),
+        );
+        spmv_observe::set_timing_info(
+            "serve.requests.reused_conn",
+            &total(|s| s.reused.load(Ordering::Relaxed)).to_string(),
+        );
     }
 }
 

@@ -9,11 +9,22 @@
 //! self-contained enough to run from the bench harness and the smoke job
 //! alike.
 //!
-//! The runner is closed-loop: `concurrency` client threads each hold at
-//! most one request in flight, pulling the next index from a shared
-//! atomic cursor. Closed-loop load is the right shape for a saturation
-//! test — offered load adapts to service rate instead of stacking an
-//! unbounded backlog.
+//! Two closed-loop runners share the scripted mix:
+//!
+//! - [`run`] — **one-shot**: every request rides its own connection with
+//!   `Connection: close`, exactly what the CLI and old clients do. Kept
+//!   as the regression path.
+//! - [`run_persistent`] — **keep-alive + pipelining**: each client
+//!   thread holds one persistent connection, claims `pipeline_depth`
+//!   consecutive mix indices at a time, writes them as one burst, and
+//!   reads the responses back in order. When the server closes (its
+//!   per-connection request budget, or an error), the unanswered tail
+//!   of the chunk is re-sent on a fresh connection, so per-request
+//!   status-class expectations hold in both modes.
+//!
+//! Closed-loop load is the right shape for a saturation test — offered
+//! load adapts to service rate instead of stacking an unbounded
+//! backlog.
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -345,8 +356,9 @@ impl LoadReport {
     }
 }
 
-/// One HTTP/1.1 round trip over a fresh connection (the server always
-/// closes after responding). Returns `(status, body)`.
+/// One HTTP/1.1 round trip over a fresh connection. The request carries
+/// `Connection: close`, so the (keep-alive-capable) server answers and
+/// closes — the legacy one-shot contract. Returns `(status, body)`.
 pub fn http_roundtrip(
     addr: &str,
     method: &str,
@@ -442,12 +454,23 @@ pub fn run(addr: &str, mix: &[LoadRequest], concurrency: usize, allow_503: bool)
             });
         }
     });
-    let mut outcomes = match Arc::try_unwrap(collected) {
+    let outcomes = match Arc::try_unwrap(collected) {
         Ok(mutex) => mutex
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner),
         Err(_) => Vec::new(), // unreachable: all threads joined by scope
     };
+    aggregate(mix, outcomes, started.elapsed(), allow_503)
+}
+
+/// Fold raw outcomes into the report, checking every request's status
+/// class against its scripted expectation.
+fn aggregate(
+    mix: &[LoadRequest],
+    mut outcomes: Vec<Outcome>,
+    elapsed: Duration,
+    allow_503: bool,
+) -> LoadReport {
     outcomes.sort_by_key(|o| o.index);
     let mut statuses = BTreeMap::new();
     let mut violations = Vec::new();
@@ -467,8 +490,300 @@ pub fn run(addr: &str, mix: &[LoadRequest], concurrency: usize, allow_503: bool)
         outcomes,
         statuses,
         violations,
-        elapsed: started.elapsed(),
+        elapsed,
     }
+}
+
+/// Render one request for a keep-alive connection (no `Connection`
+/// header: HTTP/1.1 defaults to keep-alive, and the server honors it).
+fn render_keepalive_request(wire: &mut Vec<u8>, addr: &str, req: &LoadRequest) {
+    wire.extend_from_slice(req.method.as_bytes());
+    wire.push(b' ');
+    wire.extend_from_slice(req.target.as_bytes());
+    wire.extend_from_slice(b" HTTP/1.1\r\nHost: ");
+    wire.extend_from_slice(addr.as_bytes());
+    wire.extend_from_slice(b"\r\n");
+    if !req.body.is_empty() || req.method == "POST" {
+        wire.extend_from_slice(format!("Content-Length: {}\r\n", req.body.len()).as_bytes());
+    }
+    wire.extend_from_slice(b"\r\n");
+    wire.extend_from_slice(&req.body);
+}
+
+/// Try to split one complete response off the front of `buf`. Returns
+/// `(status, body, close_hinted, total_consumed)`.
+fn split_response(buf: &[u8]) -> Option<(u16, Vec<u8>, bool, usize)> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let mut lines = head.lines();
+    let status = lines
+        .next()?
+        .split_whitespace()
+        .nth(1)?
+        .parse::<u16>()
+        .ok()?;
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in lines {
+        let (name, value) = line.split_once(':')?;
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().ok()?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            close = value.trim().eq_ignore_ascii_case("close");
+        }
+    }
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return None;
+    }
+    Some((status, buf[head_end + 4..total].to_vec(), close, total))
+}
+
+/// Read one complete response from a persistent connection, carrying
+/// partial bytes across calls in `residue`.
+fn read_one_response(
+    stream: &mut TcpStream,
+    residue: &mut Vec<u8>,
+) -> std::io::Result<(u16, Vec<u8>, bool)> {
+    loop {
+        if let Some((status, body, close, total)) = split_response(residue) {
+            residue.drain(..total);
+            return Ok((status, body, close));
+        }
+        let mut scratch = [0u8; 16 * 1024];
+        match stream.read(&mut scratch)? {
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                ))
+            }
+            n => residue.extend_from_slice(&scratch[..n]),
+        }
+    }
+}
+
+/// A single persistent keep-alive connection for hand-driven round
+/// trips. The bench harness uses this to measure the protocol floor
+/// without paying per-request connection setup; when the server retires
+/// the connection (keep-alive request budget, shutdown) the next call
+/// reconnects transparently.
+pub struct KeepAliveClient {
+    addr: String,
+    stream: Option<TcpStream>,
+    residue: Vec<u8>,
+}
+
+impl KeepAliveClient {
+    /// Open the initial connection to `addr`.
+    pub fn connect(addr: &str) -> std::io::Result<KeepAliveClient> {
+        let mut client = KeepAliveClient {
+            addr: addr.to_string(),
+            stream: None,
+            residue: Vec::new(),
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        self.residue.clear();
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    fn try_call(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Vec<u8>, bool)> {
+        let stream = self.stream.as_mut().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotConnected, "no connection")
+        })?;
+        let mut wire = Vec::with_capacity(128 + body.len());
+        wire.extend_from_slice(method.as_bytes());
+        wire.push(b' ');
+        wire.extend_from_slice(target.as_bytes());
+        wire.extend_from_slice(b" HTTP/1.1\r\nHost: ");
+        wire.extend_from_slice(self.addr.as_bytes());
+        wire.extend_from_slice(b"\r\n");
+        if !body.is_empty() || method == "POST" {
+            wire.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        wire.extend_from_slice(body);
+        stream.write_all(&wire)?;
+        read_one_response(stream, &mut self.residue)
+    }
+
+    /// One round trip on the live connection, reconnecting and retrying
+    /// once if the server hung up between requests.
+    pub fn call(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let mut last_err = None;
+        for _ in 0..2 {
+            if self.stream.is_none() {
+                self.reconnect()?;
+            }
+            match self.try_call(method, target, body) {
+                Ok((status, response, close)) => {
+                    if close {
+                        self.stream = None;
+                    }
+                    return Ok((status, response));
+                }
+                Err(e) => {
+                    self.stream = None;
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("keep-alive call failed")))
+    }
+}
+
+/// Drive the scripted `mix` over persistent keep-alive connections:
+/// `concurrency` closed-loop threads, each claiming `pipeline_depth`
+/// consecutive indices per turn, writing them as one pipelined burst and
+/// reading the responses in order. A server-initiated close (request
+/// budget, error) triggers a reconnect that re-sends the unanswered tail
+/// of the chunk, so every mix entry still gets exactly one outcome.
+pub fn run_persistent(
+    addr: &str,
+    mix: &[LoadRequest],
+    concurrency: usize,
+    pipeline_depth: usize,
+    allow_503: bool,
+) -> LoadReport {
+    let depth = pipeline_depth.max(1);
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let collected: Arc<Mutex<Vec<Outcome>>> = Arc::new(Mutex::new(Vec::with_capacity(mix.len())));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency.max(1) {
+            let cursor = Arc::clone(&cursor);
+            let collected = Arc::clone(&collected);
+            scope.spawn(move || {
+                let mut conn: Option<TcpStream> = None;
+                let mut residue: Vec<u8> = Vec::new();
+                let record = |outcome: Outcome| {
+                    collected
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(outcome);
+                };
+                loop {
+                    let start = cursor.fetch_add(depth, Ordering::Relaxed);
+                    if start >= mix.len() {
+                        break;
+                    }
+                    let end = (start + depth).min(mix.len());
+                    let mut pending: Vec<usize> = (start..end).collect();
+                    let mut attempts = 0u32;
+                    while !pending.is_empty() {
+                        let stream = match conn.as_mut() {
+                            Some(stream) => stream,
+                            None => {
+                                residue.clear();
+                                match TcpStream::connect(addr) {
+                                    Ok(stream) => {
+                                        let _t =
+                                            stream.set_read_timeout(Some(Duration::from_secs(30)));
+                                        let _t =
+                                            stream.set_write_timeout(Some(Duration::from_secs(30)));
+                                        let _n = stream.set_nodelay(true);
+                                        conn.insert(stream)
+                                    }
+                                    Err(_) => {
+                                        attempts += 1;
+                                        if attempts > 5 {
+                                            break;
+                                        }
+                                        std::thread::sleep(Duration::from_millis(5));
+                                        continue;
+                                    }
+                                }
+                            }
+                        };
+                        let burst_started = Instant::now();
+                        let mut wire = Vec::new();
+                        for &index in &pending {
+                            render_keepalive_request(&mut wire, addr, &mix[index]);
+                        }
+                        if stream.write_all(&wire).is_err() {
+                            conn = None;
+                            attempts += 1;
+                            if attempts > 5 {
+                                break;
+                            }
+                            continue;
+                        }
+                        let mut answered = 0;
+                        let mut server_closed = false;
+                        for &index in &pending {
+                            match read_one_response(stream, &mut residue) {
+                                Ok((status, body, close)) => {
+                                    record(Outcome {
+                                        index,
+                                        status,
+                                        body,
+                                        latency: burst_started.elapsed(),
+                                    });
+                                    answered += 1;
+                                    if close {
+                                        server_closed = true;
+                                        break;
+                                    }
+                                }
+                                Err(_) => {
+                                    server_closed = true;
+                                    break;
+                                }
+                            }
+                        }
+                        pending.drain(..answered);
+                        if server_closed {
+                            conn = None;
+                        }
+                        if answered > 0 {
+                            attempts = 0;
+                        } else {
+                            attempts += 1;
+                            if attempts > 5 {
+                                break;
+                            }
+                        }
+                    }
+                    // Connect/read failures exhausted their retries:
+                    // status 0 marks the loss (and fails expectations).
+                    for index in pending {
+                        record(Outcome {
+                            index,
+                            status: 0,
+                            body: Vec::new(),
+                            latency: Duration::ZERO,
+                        });
+                    }
+                }
+            });
+        }
+    });
+    let outcomes = match Arc::try_unwrap(collected) {
+        Ok(mutex) => mutex
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+        Err(_) => Vec::new(), // unreachable: all threads joined by scope
+    };
+    aggregate(mix, outcomes, started.elapsed(), allow_503)
 }
 
 #[cfg(test)]

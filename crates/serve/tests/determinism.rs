@@ -1,12 +1,15 @@
-//! Worker-count invariance of the run manifest, against the real
+//! Scheduling invariance of the run manifest, against the real
 //! `spmv-serve` binary.
 //!
 //! The deterministic section of the manifest (line 2 — the CI smoke job
 //! extracts it with `sed -n 2p`) must be byte-identical for the same
-//! request mix whether the server runs 1 worker or 4: counters record
-//! *work*, never scheduling. This test lives in its own file so it gets
-//! its own process — the tracer is process-global and the in-process
-//! server tests mutate it.
+//! request mix across the whole scheduling matrix: 1 worker or 4,
+//! one-shot `Connection: close` clients or persistent pipelined
+//! keep-alive clients. Counters record *work*, never scheduling — shard
+//! count, connection reuse, and pipelining depth may only show up in the
+//! timing section. This test lives in its own file so it gets its own
+//! process — the tracer is process-global and the in-process server
+//! tests mutate it.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
@@ -60,13 +63,24 @@ fn boot(workers: usize, trace_out: &PathBuf) -> ServerProc {
     ServerProc { child, addr }
 }
 
+/// How the load generator talks to the server for one matrix cell.
+#[derive(Clone, Copy)]
+enum Transport {
+    OneShot,
+    /// Keep-alive connections pipelining this many requests per burst.
+    Pipelined(usize),
+}
+
 /// Drive the scripted mix, request shutdown, and wait for a clean exit.
-fn run_and_collect(workers: usize, trace_out: &PathBuf) -> Vec<String> {
+fn run_and_collect(workers: usize, transport: Transport, trace_out: &PathBuf) -> Vec<String> {
     let mut server = boot(workers, trace_out);
     loadgen::wait_ready(&server.addr, Duration::from_secs(10)).expect("server ready");
 
     let mix = loadgen::build_mix(64, 7);
-    let report = loadgen::run(&server.addr, &mix, 4, false);
+    let report = match transport {
+        Transport::OneShot => loadgen::run(&server.addr, &mix, 4, false),
+        Transport::Pipelined(depth) => loadgen::run_persistent(&server.addr, &mix, 4, depth, false),
+    };
     assert_eq!(
         report.violations,
         Vec::<String>::new(),
@@ -84,27 +98,42 @@ fn run_and_collect(workers: usize, trace_out: &PathBuf) -> Vec<String> {
 }
 
 #[test]
-fn deterministic_manifest_section_is_worker_count_invariant() {
+fn deterministic_manifest_section_is_scheduling_invariant() {
     let tmp = std::env::temp_dir();
     let pid = std::process::id();
-    let path_w1 = tmp.join(format!("spmv_serve_det_w1_{pid}.json"));
-    let path_w4 = tmp.join(format!("spmv_serve_det_w4_{pid}.json"));
 
-    let lines_w1 = run_and_collect(1, &path_w1);
-    let lines_w4 = run_and_collect(4, &path_w4);
+    // The full matrix the acceptance contract names: {1,4} workers ×
+    // {one-shot, persistent}. The persistent cells also vary pipeline
+    // depth so reuse and batching both get a chance to leak.
+    let cells = [
+        ("w1_oneshot", 1, Transport::OneShot),
+        ("w4_oneshot", 4, Transport::OneShot),
+        ("w1_pipelined", 1, Transport::Pipelined(4)),
+        ("w4_pipelined", 4, Transport::Pipelined(16)),
+    ];
+    let mut paths = Vec::new();
+    let mut manifests = Vec::new();
+    for (tag, workers, transport) in cells {
+        let path = tmp.join(format!("spmv_serve_det_{tag}_{pid}.json"));
+        manifests.push((tag, run_and_collect(workers, transport, &path)));
+        paths.push(path);
+    }
 
     // Manifest layout contract (what the CI smoke job's `sed -n 2p`
     // relies on): line 2 is the complete deterministic section on one
     // line; timing follows and may span several lines.
+    let (_, baseline) = &manifests[0];
     assert!(
-        lines_w1[1].starts_with("\"deterministic\""),
+        baseline[1].starts_with("\"deterministic\""),
         "line 2 must be the deterministic section: {}",
-        lines_w1[1]
+        baseline[1]
     );
-    assert_eq!(
-        lines_w1[1], lines_w4[1],
-        "deterministic section must not depend on worker count"
-    );
+    for (tag, lines) in &manifests[1..] {
+        assert_eq!(
+            &baseline[1], &lines[1],
+            "deterministic section diverged in cell {tag}"
+        );
+    }
 
     // The section carries real serving state, not an empty shell.
     for key in [
@@ -115,17 +144,37 @@ fn deterministic_manifest_section_is_worker_count_invariant() {
         "serve.responses.4xx",
     ] {
         assert!(
-            lines_w1[1].contains(key),
+            baseline[1].contains(key),
             "deterministic section missing {key}: {}",
-            lines_w1[1]
+            baseline[1]
         );
     }
-    // Scheduling shows up only in timing: worker counts differ there.
-    let timing_w1 = lines_w1[2..].join("\n");
-    let timing_w4 = lines_w4[2..].join("\n");
-    assert!(timing_w1.contains("\"workers\":\"1\""), "{timing_w1}");
-    assert!(timing_w4.contains("\"workers\":\"4\""), "{timing_w4}");
 
-    std::fs::remove_file(&path_w1).ok();
-    std::fs::remove_file(&path_w4).ok();
+    // Scheduling shows up only in timing: worker counts differ there,
+    // and connection reuse is visible for the persistent cells.
+    let timing = |idx: usize| manifests[idx].1[2..].join("\n");
+    assert!(timing(0).contains("\"workers\":\"1\""), "{}", timing(0));
+    assert!(timing(1).contains("\"workers\":\"4\""), "{}", timing(1));
+    for idx in [0, 1, 2, 3] {
+        assert!(
+            timing(idx).contains("serve.conns.accepted"),
+            "{}",
+            timing(idx)
+        );
+    }
+    // One-shot clients never reuse; pipelined clients must.
+    assert!(
+        timing(0).contains("\"serve.requests.reused_conn\":\"0\""),
+        "{}",
+        timing(0)
+    );
+    assert!(
+        !timing(2).contains("\"serve.requests.reused_conn\":\"0\""),
+        "persistent cell must reuse connections: {}",
+        timing(2)
+    );
+
+    for path in paths {
+        std::fs::remove_file(&path).ok();
+    }
 }

@@ -319,8 +319,7 @@ impl<'a> Parser<'a> {
                         .bytes
                         .get(self.pos..self.pos + len)
                         .ok_or_else(|| self.err("invalid UTF-8"))?;
-                    let s =
-                        std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
                     let c = s.chars().next().ok_or_else(|| self.err("invalid UTF-8"))?;
                     out.push(c);
                     self.pos += len;
