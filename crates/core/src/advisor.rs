@@ -456,8 +456,51 @@ impl FormatAdvisor {
         }
     }
 
-    /// Persist the trained advisor as a versioned, checksummed artifact.
-    pub fn save(&self, path: &std::path::Path) -> Result<(), ArtifactError> {
+    /// Retrain the classifier on feedback samples, keeping everything else
+    /// (environment, feature set, format list, time predictor, model
+    /// version) from `self`. This is the online-learning candidate
+    /// constructor: the serving layer collects `(features, best format)`
+    /// pairs from `/v1/feedback`, and the background retrainer turns them
+    /// into a candidate advisor here.
+    ///
+    /// Byte-deterministic: the same sample multiset and seed produce the
+    /// same advisor (and therefore the same artifact bytes) at any thread
+    /// count and for any sample arrival order — see
+    /// [`spmv_ml::online::fit_online_classifier`].
+    ///
+    /// Returns `None` when the samples cannot support a fit (empty, or a
+    /// format outside this advisor's format list).
+    pub fn retrain_from_feedback(
+        &self,
+        samples: &[(FeatureVector, Format)],
+        seed: u64,
+    ) -> Option<FormatAdvisor> {
+        let _span = spmv_observe::span!("advisor/retrain_online", samples = samples.len() as u64);
+        let mut rows = Vec::with_capacity(samples.len());
+        let mut labels = Vec::with_capacity(samples.len());
+        for (fv, format) in samples {
+            let class = self.formats.iter().position(|f| f == format)?;
+            rows.push(fv.project(self.set));
+            labels.push(class);
+        }
+        let classifier =
+            spmv_ml::online::fit_online_classifier(&rows, &labels, self.formats.len(), seed)?;
+        Some(FormatAdvisor {
+            env: self.env,
+            set: self.set,
+            formats: self.formats.clone(),
+            classifier,
+            predictor: self.predictor.clone(),
+            model_version: self.model_version,
+        })
+    }
+
+    /// Serialize the advisor into the versioned, checksummed envelope and
+    /// return the exact bytes [`FormatAdvisor::save`] would write. The
+    /// online hot-swap path trades candidates as byte buffers — never as
+    /// live objects — so every candidate passes the same envelope
+    /// validation a cold-booted artifact would.
+    pub fn to_artifact_bytes(&self) -> Result<Vec<u8>, ArtifactError> {
         let payload =
             serde_json::to_string(self).map_err(|e| ArtifactError::Malformed(e.to_string()))?;
         let artifact = Artifact {
@@ -467,9 +510,57 @@ impl FormatAdvisor {
             checksum: checksum_of(&payload),
             payload,
         };
-        let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), &artifact)
+        serde_json::to_string(&artifact)
+            .map(String::into_bytes)
             .map_err(|e| ArtifactError::Malformed(e.to_string()))
+    }
+
+    /// The checksum this advisor's envelope would carry — the same string
+    /// [`FormatAdvisor::save`] records and `/healthz` discloses.
+    pub fn artifact_checksum(&self) -> Result<String, ArtifactError> {
+        let payload =
+            serde_json::to_string(self).map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+        Ok(checksum_of(&payload))
+    }
+
+    /// Validate envelope bytes and deserialize the advisor, returning the
+    /// verified checksum alongside it. Applies exactly the checks of
+    /// [`FormatAdvisor::load`]: magic, envelope version, checksum, GPU
+    /// model version.
+    pub fn from_artifact_bytes(bytes: &[u8]) -> Result<(FormatAdvisor, String), ArtifactError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| ArtifactError::Malformed(format!("not utf-8: {e}")))?;
+        let artifact: Artifact =
+            serde_json::from_str(text).map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+        if artifact.magic != ARTIFACT_MAGIC {
+            return Err(ArtifactError::WrongMagic(artifact.magic));
+        }
+        if artifact.artifact_version != ARTIFACT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion(artifact.artifact_version));
+        }
+        let found = checksum_of(&artifact.payload);
+        if found != artifact.checksum {
+            return Err(ArtifactError::ChecksumMismatch {
+                expected: artifact.checksum,
+                found,
+            });
+        }
+        if artifact.model_version != spmv_gpusim::MODEL_VERSION {
+            return Err(ArtifactError::StaleModel {
+                artifact: artifact.model_version,
+                current: spmv_gpusim::MODEL_VERSION,
+            });
+        }
+        let advisor: FormatAdvisor = serde_json::from_str(&artifact.payload)
+            .map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+        Ok((advisor, artifact.checksum))
+    }
+
+    /// Persist the trained advisor as a versioned, checksummed artifact.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), ArtifactError> {
+        let bytes = self.to_artifact_bytes()?;
+        std::fs::write(path, bytes)?;
+        Ok(())
     }
 
     /// Load a previously saved advisor, rejecting anything that is not a
@@ -504,6 +595,16 @@ impl FormatAdvisor {
                 &key,
             )));
         }
+        let bytes = std::fs::read(path)?;
+        Self::from_artifact_bytes(&bytes).map(|(advisor, _)| advisor)
+    }
+
+    /// Read only the envelope of a saved artifact — magic, versions,
+    /// checksum, payload size — validating everything except the payload
+    /// deserialization. This is what `spmv-advisor --model-info` prints:
+    /// cheap enough to run against a fleet's artifact store, strict enough
+    /// to catch corruption.
+    pub fn inspect_artifact(path: &std::path::Path) -> Result<ArtifactInfo, ArtifactError> {
         let text = std::fs::read_to_string(path)?;
         let artifact: Artifact =
             serde_json::from_str(&text).map_err(|e| ArtifactError::Malformed(e.to_string()))?;
@@ -520,14 +621,31 @@ impl FormatAdvisor {
                 found,
             });
         }
-        if artifact.model_version != spmv_gpusim::MODEL_VERSION {
-            return Err(ArtifactError::StaleModel {
-                artifact: artifact.model_version,
-                current: spmv_gpusim::MODEL_VERSION,
-            });
-        }
-        serde_json::from_str(&artifact.payload).map_err(|e| ArtifactError::Malformed(e.to_string()))
+        Ok(ArtifactInfo {
+            artifact_version: artifact.artifact_version,
+            model_version: artifact.model_version,
+            checksum: artifact.checksum,
+            payload_bytes: artifact.payload.len(),
+            stale: artifact.model_version != spmv_gpusim::MODEL_VERSION,
+        })
     }
+}
+
+/// Envelope metadata of a saved artifact, as reported by
+/// [`FormatAdvisor::inspect_artifact`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactInfo {
+    /// Envelope format version.
+    pub artifact_version: u32,
+    /// GPU-model version the training labels were measured under.
+    pub model_version: u32,
+    /// Verified FNV-1a checksum of the payload.
+    pub checksum: String,
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+    /// True when the artifact's model version differs from the current
+    /// simulator's — [`FormatAdvisor::load`] would reject it as stale.
+    pub stale: bool,
 }
 
 #[cfg(test)]

@@ -8,6 +8,14 @@
 //!                [--train-scale tiny|small] [--explain] [--json]
 //!                [--model <advisor.json>] [--save-model <advisor.json>]
 //!                [--trace-out <trace.json>]
+//!   spmv-advisor --model-info <advisor.json> [--json]
+//!
+//! `--model-info` validates an artifact's envelope (magic, version,
+//! checksum, staleness against the current GPU-model version) without
+//! deserializing the payload, and prints what a server's `/healthz`
+//! would disclose for it — the fleet-side half of the generation/
+//! checksum provenance story (DESIGN.md §4i). Exit 4 if the envelope is
+//! rejected, exactly like `--model`.
 //!
 //! `--json` replaces the human-readable report with exactly one JSON
 //! line — the same bytes `spmv-serve` returns for the same matrix and
@@ -36,7 +44,7 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use spmv_core::experiments::ExperimentConfig;
@@ -56,7 +64,8 @@ const EXIT_ARTIFACT: u8 = 4;
 const USAGE: &str = "usage: spmv-advisor <matrix.mtx> [--gpu k80c|p100] \
                      [--precision single|double] [--train-scale tiny|small] [--explain] \
                      [--json] [--model <advisor.json>] [--save-model <advisor.json>] \
-                     [--trace-out <trace.json>]";
+                     [--trace-out <trace.json>]\n\
+                     \x20      spmv-advisor --model-info <advisor.json> [--json]";
 
 fn fail(code: u8, msg: &str) -> ExitCode {
     eprintln!("spmv-advisor: error: {msg}");
@@ -73,6 +82,7 @@ struct Opts {
     model: Option<PathBuf>,
     save_model: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    model_info: bool,
 }
 
 /// Parse argv. `Ok(None)` means `--help` was requested (exit 0);
@@ -88,6 +98,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
     let mut model: Option<PathBuf> = None;
     let mut save_model: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut model_info = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--gpu" => match args.next().as_deref() {
@@ -119,6 +130,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
             },
             "--explain" => explain = true,
             "--json" => json = true,
+            "--model-info" => model_info = true,
             "--help" | "-h" => return Ok(None),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag '{other}'; see --help"))
@@ -134,7 +146,13 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
             }
         }
     }
-    let path = path.ok_or_else(|| "no input file; see --help".to_string())?;
+    let path = path.ok_or_else(|| {
+        if model_info {
+            "no artifact file; usage: spmv-advisor --model-info <advisor.json>".to_string()
+        } else {
+            "no input file; see --help".to_string()
+        }
+    })?;
     Ok(Some(Opts {
         path,
         arch_idx,
@@ -145,6 +163,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
         model,
         save_model,
         trace_out,
+        model_info,
     }))
 }
 
@@ -185,8 +204,54 @@ fn main() -> ExitCode {
     code
 }
 
+/// `--model-info`: validate and describe an artifact envelope. The
+/// checksum and versions printed here are exactly what a server loading
+/// this artifact discloses on `/healthz`, so a fleet script can verify
+/// "the artifact I shipped is the one serving" without a round trip
+/// through a recommendation.
+fn model_info(path: &Path, json: bool) -> ExitCode {
+    let info = match FormatAdvisor::inspect_artifact(path) {
+        Ok(info) => info,
+        Err(e) => {
+            return fail(
+                EXIT_ARTIFACT,
+                &format!("inspecting {}: {e}", path.display()),
+            )
+        }
+    };
+    if json {
+        println!(
+            "{{\"artifact_version\":{},\"model_version\":{},\"checksum\":\"{}\",\
+             \"payload_bytes\":{},\"stale\":{}}}",
+            info.artifact_version,
+            info.model_version,
+            info.checksum,
+            info.payload_bytes,
+            info.stale
+        );
+    } else {
+        println!("{}: valid advisor artifact", path.display());
+        println!("  envelope version : {}", info.artifact_version);
+        println!(
+            "  model version    : {}{}",
+            info.model_version,
+            if info.stale {
+                " (STALE: GPU model has moved on)"
+            } else {
+                ""
+            }
+        );
+        println!("  checksum         : {} (verified)", info.checksum);
+        println!("  payload          : {} bytes", info.payload_bytes);
+    }
+    ExitCode::SUCCESS
+}
+
 fn run(opts: &Opts) -> ExitCode {
     let _span = spmv_core::observe::span("advisor/run");
+    if opts.model_info {
+        return model_info(&opts.path, opts.json);
+    }
     // 1. Load the matrix: exit 3 on anything the parser rejects.
     let coo = match mm::read_matrix_market_file::<f64, _>(&opts.path) {
         Ok(m) => m,

@@ -115,6 +115,27 @@ impl AdvisorHandle {
         }
     }
 
+    /// The wrapped model advisor (`None` in heuristic mode). The online
+    /// retrainer uses this to borrow the active generation's advisor as
+    /// the retrain base; request paths never need it.
+    pub fn advisor(&self) -> Option<&FormatAdvisor> {
+        match &self.backend {
+            AdvisorBackend::Model(a) => Some(a),
+            AdvisorBackend::Heuristic { .. } => None,
+        }
+    }
+
+    /// The checksum the wrapped advisor's artifact envelope would carry
+    /// (`None` in heuristic mode, or if serialization fails). `/healthz`
+    /// discloses this so operators can match a serving process to an
+    /// artifact in storage without touching the filesystem.
+    pub fn artifact_checksum(&self) -> Option<String> {
+        match &self.backend {
+            AdvisorBackend::Model(a) => a.artifact_checksum().ok(),
+            AdvisorBackend::Heuristic { .. } => None,
+        }
+    }
+
     /// Recommend for a parsed matrix. Extracts features once and runs both
     /// the classifier and the time regressor on the same vector, so the
     /// answer matches [`FormatAdvisor::recommend`] +

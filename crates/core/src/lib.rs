@@ -34,13 +34,15 @@ pub mod indirect;
 pub mod labels;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod observe;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod online;
 pub mod regress;
 pub mod report;
 pub mod slowdown;
 
 pub use ablation::ablations;
 pub use advisor::{
-    AdvisorError, ArtifactError, FormatAdvisor, Recommendation, RecommendationSource,
+    AdvisorError, ArtifactError, ArtifactInfo, FormatAdvisor, Recommendation, RecommendationSource,
 };
 pub use classify::{evaluate_classifier, xgboost_importance, EvalOutcome, ModelKind, SearchBudget};
 pub use dataset::{ClassificationTask, RegressionTask};
@@ -58,6 +60,10 @@ pub use labels::{
     LabelFailure, LabelOutcome, LabeledCorpus, MatrixRecord, N_FORMATS,
 };
 pub use observe::TraceSession;
+pub use online::{
+    FeedbackError, FeedbackEvent, FeedbackOutcome, Generation, OnlineAdvisor, OnlineConfig,
+    OnlineStatus, Reservoir, ShadowVerdict,
+};
 pub use regress::{
     evaluate_regressor, train_time_predictor, RegModelKind, RegressOutcome, TimePredictor,
 };

@@ -1,0 +1,1087 @@
+//! The online-learning loop: feedback ingestion → reservoir corpus →
+//! deterministic retrain → shadow canary → atomic generation hot-swap,
+//! with auto-rollback and the heuristic advisor as the floor.
+//!
+//! ## Shape
+//!
+//! [`OnlineAdvisor`] owns a chain of [`Generation`]s — immutable
+//! `(number, checksum, advisor handle)` triples shared as `Arc`s. Request
+//! paths call [`OnlineAdvisor::snapshot`] and hold one `Arc` for the whole
+//! request, so the generation number a response is attributed to and the
+//! model that computed it can never be torn apart by a concurrent swap:
+//! coherence is by construction, not by locking around the model call.
+//! Swaps (promotion, rollback) replace the `Arc` under a short mutex that
+//! is never held across a model evaluation or I/O.
+//!
+//! ## Lifecycle
+//!
+//! 1. `POST /v1/feedback` events land in a hash-priority [`Reservoir`]
+//!    (bottom-k by seeded content hash, so the retained sample set is a
+//!    pure function of the event *multiset* — worker count and arrival
+//!    order cannot change it, unlike classic Algorithm R).
+//! 2. After `retrain_after` measured events, a background retrainer builds
+//!    a candidate advisor from the reservoir
+//!    ([`FormatAdvisor::retrain_from_feedback`]), with a seed derived from
+//!    the configured run seed and the candidate's generation number —
+//!    replaying the same scripted mix reproduces the artifact
+//!    byte-for-byte.
+//! 3. The candidate is serialized into the PR 2 envelope and must pass
+//!    full envelope validation ([`FormatAdvisor::from_artifact_bytes`])
+//!    before it exists as a generation at all: a corrupt candidate is
+//!    rejected exactly like a corrupt on-disk artifact.
+//! 4. **Shadow canary:** the candidate scores live recommend traffic
+//!    alongside the active model for `canary_window` requests; it is
+//!    promoted only if it agrees with the active model on at least
+//!    `canary_agree_pct` percent of them.
+//! 5. **Watchdog:** after promotion, failed-feedback reports and
+//!    per-request heuristic fallbacks attributed to the new generation
+//!    count as errors; `watchdog_errors` of them inside the
+//!    `watchdog_window` observation window roll the previous generation
+//!    back in. A clean window confirms the promotion.
+//!
+//! ## Determinism
+//!
+//! Every counter this module emits is a pure function of the feedback /
+//! request multiset (reservoir content, retrain output, canary verdicts
+//! all are — see each site), so they live in the manifest's deterministic
+//! section and CI pins them byte-identical across worker counts. Wall
+//! times and thread identities never enter this module's state.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use spmv_features::FeatureVector;
+use spmv_matrix::Format;
+
+use crate::advisor::FormatAdvisor;
+use crate::faults::fnv1a_64;
+use crate::handle::AdvisorHandle;
+
+/// Fewer measured samples than this and a retrain is skipped outright —
+/// a classifier fit on two points is noise, not a candidate.
+pub const MIN_RETRAIN_SAMPLES: usize = 4;
+
+/// One immutable model generation. Requests hold an `Arc<Generation>` for
+/// their whole lifetime, so the `(number, checksum, handle)` triple they
+/// observe is always coherent — a hot-swap replaces the pointer, never
+/// the pointee.
+pub struct Generation {
+    /// Monotonic generation number; 0 is the boot generation.
+    pub number: u64,
+    /// The artifact-envelope checksum of the wrapped advisor (`None` for
+    /// a heuristic-backed generation, which has no artifact).
+    pub checksum: Option<String>,
+    /// The advisor answering requests for this generation.
+    pub handle: AdvisorHandle,
+}
+
+impl Generation {
+    /// Wrap `handle` as generation `number`, computing its envelope
+    /// checksum once up front.
+    pub fn new(number: u64, handle: AdvisorHandle) -> Generation {
+        let checksum = handle.artifact_checksum();
+        Generation {
+            number,
+            checksum,
+            handle,
+        }
+    }
+
+    /// The boot generation (number 0).
+    pub fn initial(handle: AdvisorHandle) -> Arc<Generation> {
+        Arc::new(Generation::new(0, handle))
+    }
+}
+
+/// What a feedback event reports about the recommended format.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeedbackOutcome {
+    /// Measured SpMV seconds for the recommended format on the client's
+    /// hardware (finite, positive — validated at ingestion).
+    Measured(f64),
+    /// The recommended format failed outright on the client (could not be
+    /// built, or produced wrong results). Counts against the watchdog.
+    Failed,
+}
+
+/// One `POST /v1/feedback` event after body validation.
+#[derive(Debug, Clone)]
+pub struct FeedbackEvent {
+    /// The features of the matrix the recommendation was for.
+    pub features: FeatureVector,
+    /// The format the client ran (normally the recommended one).
+    pub format: Format,
+    /// The model generation that produced the recommendation.
+    pub generation: u64,
+    /// What happened when the client used it.
+    pub outcome: FeedbackOutcome,
+}
+
+/// Why a feedback event was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeedbackError {
+    /// The event names a generation this server never produced.
+    UnknownGeneration {
+        /// The generation the event claimed.
+        given: u64,
+        /// The highest generation number this server has created.
+        newest: u64,
+    },
+    /// The measured runtime is non-finite or not positive.
+    InvalidRuntime,
+    /// The feature vector contains non-finite values.
+    NonFiniteFeatures,
+}
+
+impl std::fmt::Display for FeedbackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeedbackError::UnknownGeneration { given, newest } => {
+                write!(f, "unknown generation {given} (newest is {newest})")
+            }
+            FeedbackError::InvalidRuntime => {
+                write!(f, "seconds must be finite and positive")
+            }
+            FeedbackError::NonFiniteFeatures => {
+                write!(f, "features must be finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeedbackError {}
+
+/// Configuration of the online loop. The zero-ish defaults keep it inert:
+/// `retrain_after == 0` disables retraining entirely, so a server that
+/// never opts in behaves exactly like the pre-online server.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Maximum measured samples retained in the reservoir.
+    pub reservoir_capacity: usize,
+    /// Schedule a retrain after this many measured feedback events
+    /// (0 disables retraining).
+    pub retrain_after: usize,
+    /// Shadow-score the candidate on this many live recommend requests
+    /// before deciding promotion.
+    pub canary_window: u64,
+    /// Promote only if candidate/active agreement is at least this
+    /// percentage over the window.
+    pub canary_agree_pct: u64,
+    /// Post-promotion observation window, in feedback events attributed
+    /// to the promoted generation.
+    pub watchdog_window: u64,
+    /// Errors (failed feedback or per-request fallbacks) within the
+    /// window that trigger auto-rollback.
+    pub watchdog_errors: u64,
+    /// Run seed: reservoir priorities and retrain seeds derive from it.
+    pub seed: u64,
+    /// Test hook: corrupt every candidate's artifact bytes before
+    /// validation, proving the envelope gate rejects them.
+    pub corrupt_candidate: bool,
+    /// When set, every candidate's envelope bytes are also written to
+    /// `candidate-gen<N>.json` in this directory (best-effort) so CI can
+    /// diff artifacts across replays byte-for-byte.
+    pub artifact_dir: Option<PathBuf>,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            reservoir_capacity: 256,
+            retrain_after: 0,
+            canary_window: 8,
+            canary_agree_pct: 75,
+            watchdog_window: 6,
+            watchdog_errors: 3,
+            seed: 0x6f6e_6c69,
+            corrupt_candidate: false,
+            artifact_dir: None,
+        }
+    }
+}
+
+/// A measured feedback sample retained by the reservoir.
+#[derive(Debug, Clone)]
+struct Sample {
+    features: FeatureVector,
+    format: Format,
+    seconds: f64,
+}
+
+fn feature_hash(fv: &FeatureVector) -> u64 {
+    let mut bytes = Vec::with_capacity(fv.as_slice().len() * 8);
+    for v in fv.as_slice() {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fnv1a_64(&[&bytes])
+}
+
+fn sample_hash(fv: &FeatureVector, format: Format, seconds: f64) -> u64 {
+    let fh = feature_hash(fv);
+    fnv1a_64(&[
+        &fh.to_le_bytes(),
+        format.label().as_bytes(),
+        &seconds.to_bits().to_le_bytes(),
+    ])
+}
+
+/// Order-independent bottom-k sampler. Each distinct sample gets a
+/// priority from its content hash mixed with the run seed; the reservoir
+/// keeps the `capacity` lowest priorities. Because the retained set
+/// depends only on which samples arrived — never on when, or on which
+/// worker thread carried them — the retrain corpus is a pure function of
+/// the feedback multiset, which is what makes the candidate artifact
+/// replayable byte-for-byte at any worker count.
+pub struct Reservoir {
+    by_priority: BTreeMap<(u64, u64), Sample>,
+    capacity: usize,
+    seed: u64,
+}
+
+impl Reservoir {
+    /// An empty reservoir keeping at most `capacity` samples.
+    pub fn new(capacity: usize, seed: u64) -> Reservoir {
+        Reservoir {
+            by_priority: BTreeMap::new(),
+            capacity: capacity.max(1),
+            seed,
+        }
+    }
+
+    /// Offer one measured sample. Exact duplicates (same features, format,
+    /// and seconds) are dropped; when full, the highest-priority resident
+    /// (possibly the newcomer itself) is evicted.
+    fn offer(&mut self, features: FeatureVector, format: Format, seconds: f64) {
+        let content = sample_hash(&features, format, seconds);
+        let priority = fnv1a_64(&[&self.seed.to_le_bytes(), &content.to_le_bytes()]);
+        let key = (priority, content);
+        if self.by_priority.contains_key(&key) {
+            spmv_observe::counter("online.reservoir.duplicates", 1);
+            return;
+        }
+        spmv_observe::counter("online.reservoir.inserted", 1);
+        self.by_priority.insert(
+            key,
+            Sample {
+                features,
+                format,
+                seconds,
+            },
+        );
+        if self.by_priority.len() > self.capacity {
+            if let Some((&last, _)) = self.by_priority.iter().next_back() {
+                self.by_priority.remove(&last);
+                spmv_observe::counter("online.reservoir.evicted", 1);
+            }
+        }
+    }
+
+    /// Samples currently retained.
+    pub fn len(&self) -> usize {
+        self.by_priority.len()
+    }
+
+    /// True when no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.by_priority.is_empty()
+    }
+
+    /// The retrain corpus: per distinct feature vector, the format with
+    /// the lowest observed runtime (ties broken by lower format class id).
+    /// Returned in a canonical content order, so callers can hand it
+    /// straight to the order-independent retrain entry point.
+    pub fn training_samples(&self) -> Vec<(FeatureVector, Format)> {
+        let mut best: BTreeMap<u64, (FeatureVector, Format, f64)> = BTreeMap::new();
+        for sample in self.by_priority.values() {
+            let fh = feature_hash(&sample.features);
+            match best.get(&fh) {
+                Some((_, prev_fmt, prev_secs)) => {
+                    let better = sample.seconds < *prev_secs
+                        || (sample.seconds == *prev_secs
+                            && sample.format.class_id() < prev_fmt.class_id());
+                    if better {
+                        best.insert(fh, (sample.features.clone(), sample.format, sample.seconds));
+                    }
+                }
+                None => {
+                    best.insert(fh, (sample.features.clone(), sample.format, sample.seconds));
+                }
+            }
+        }
+        best.into_values().map(|(fv, fmt, _)| (fv, fmt)).collect()
+    }
+}
+
+/// Where the canary state machine is.
+#[derive(Clone)]
+enum Phase {
+    /// No candidate in flight.
+    Idle,
+    /// A candidate is shadow-scoring live traffic.
+    Shadow {
+        candidate: Arc<Generation>,
+        scored: u64,
+        agreed: u64,
+    },
+    /// A candidate was promoted and is under watchdog observation.
+    Watch {
+        generation: u64,
+        observed: u64,
+        errors: u64,
+    },
+}
+
+impl Phase {
+    fn label(&self) -> &'static str {
+        match self {
+            Phase::Idle => "idle",
+            Phase::Shadow { .. } => "shadow",
+            Phase::Watch { .. } => "watch",
+        }
+    }
+}
+
+struct Inner {
+    active: Arc<Generation>,
+    previous: Option<Arc<Generation>>,
+    /// Number the next candidate will get; also the exclusive upper bound
+    /// of generation numbers that have ever existed.
+    next_generation: u64,
+    phase: Phase,
+    measured_since_retrain: usize,
+    retrain_pending: bool,
+    retraining: bool,
+}
+
+/// A point-in-time view of the online loop for `/healthz` and `/statz`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OnlineStatus {
+    /// Active generation number.
+    pub generation: u64,
+    /// Active generation's artifact checksum (`None` when heuristic).
+    pub checksum: Option<String>,
+    /// `"model"` or `"heuristic"`.
+    pub mode: &'static str,
+    /// GPU-model version of the active advisor.
+    pub model_version: Option<u32>,
+    /// Canary phase: `"idle"`, `"shadow"`, or `"watch"`.
+    pub canary: &'static str,
+}
+
+/// What [`OnlineAdvisor::record_shadow`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowVerdict {
+    /// The window is still open.
+    Scored,
+    /// The window closed and the candidate was promoted to this generation.
+    Promoted(u64),
+    /// The window closed and the candidate was rejected.
+    Rejected,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The swap-capable advisor the server shares across its shards. See the
+/// module docs for the lifecycle; the key property is that
+/// [`OnlineAdvisor::snapshot`] is a single `Arc` clone under a short lock,
+/// and no lock is ever held across a model evaluation, a retrain, or I/O.
+pub struct OnlineAdvisor {
+    state: Mutex<Inner>,
+    wake: Condvar,
+    reservoir: Mutex<Reservoir>,
+    config: OnlineConfig,
+    stop: AtomicBool,
+}
+
+impl OnlineAdvisor {
+    /// Wrap `handle` as generation 0 under `config`.
+    pub fn new(handle: AdvisorHandle, config: OnlineConfig) -> OnlineAdvisor {
+        let reservoir = Reservoir::new(config.reservoir_capacity, config.seed);
+        OnlineAdvisor {
+            state: Mutex::new(Inner {
+                active: Generation::initial(handle),
+                previous: None,
+                next_generation: 1,
+                phase: Phase::Idle,
+                measured_since_retrain: 0,
+                retrain_pending: false,
+                retraining: false,
+            }),
+            wake: Condvar::new(),
+            reservoir: Mutex::new(reservoir),
+            config,
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// The configuration this loop runs under.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// The active generation, as one coherent `Arc`. Request paths call
+    /// this once and use the same snapshot for cache keys, the model
+    /// call, and response attribution.
+    pub fn snapshot(&self) -> Arc<Generation> {
+        Arc::clone(&lock(&self.state).active)
+    }
+
+    /// Point-in-time status for `/healthz` and `/statz`, read under one
+    /// lock so generation, checksum, and canary phase are coherent.
+    pub fn status(&self) -> OnlineStatus {
+        let inner = lock(&self.state);
+        OnlineStatus {
+            generation: inner.active.number,
+            checksum: inner.active.checksum.clone(),
+            mode: inner.active.handle.mode(),
+            model_version: inner.active.handle.model_version(),
+            canary: inner.phase.label(),
+        }
+    }
+
+    /// Ingest one validated feedback event: reservoir for measured
+    /// outcomes, watchdog accounting for events attributed to a generation
+    /// under observation, and retrain scheduling when the threshold trips.
+    pub fn ingest(&self, event: FeedbackEvent) -> Result<(), FeedbackError> {
+        if !event.features.is_finite() {
+            spmv_observe::counter("online.feedback.rejected", 1);
+            return Err(FeedbackError::NonFiniteFeatures);
+        }
+        if let FeedbackOutcome::Measured(secs) = event.outcome {
+            if !secs.is_finite() || secs <= 0.0 {
+                spmv_observe::counter("online.feedback.rejected", 1);
+                return Err(FeedbackError::InvalidRuntime);
+            }
+        }
+        {
+            let inner = lock(&self.state);
+            if event.generation >= inner.next_generation {
+                spmv_observe::counter("online.feedback.rejected", 1);
+                return Err(FeedbackError::UnknownGeneration {
+                    given: event.generation,
+                    newest: inner.next_generation - 1,
+                });
+            }
+        }
+
+        let failed = matches!(event.outcome, FeedbackOutcome::Failed);
+        if let FeedbackOutcome::Measured(secs) = event.outcome {
+            spmv_observe::counter("online.feedback.accepted", 1);
+            lock(&self.reservoir).offer(event.features, event.format, secs);
+        } else {
+            spmv_observe::counter("online.feedback.failed_reports", 1);
+        }
+
+        let mut inner = lock(&self.state);
+        // Watchdog accounting: only events attributed to the generation
+        // under observation move the window.
+        if let Phase::Watch {
+            generation,
+            observed,
+            errors,
+        } = &mut inner.phase
+        {
+            if event.generation == *generation {
+                *observed += 1;
+                if failed {
+                    *errors += 1;
+                    spmv_observe::counter("online.watchdog.errors", 1);
+                }
+                if *errors >= self.config.watchdog_errors {
+                    Self::rollback(&mut inner);
+                } else if *observed >= self.config.watchdog_window {
+                    inner.phase = Phase::Idle;
+                    spmv_observe::counter("online.canary.confirmed", 1);
+                }
+            }
+        }
+        // Retrain scheduling: measured events count toward the threshold;
+        // a retrain is only scheduled from a quiet state so one candidate
+        // is in flight at a time.
+        if !failed {
+            inner.measured_since_retrain += 1;
+            if self.config.retrain_after > 0
+                && inner.measured_since_retrain >= self.config.retrain_after
+                && matches!(inner.phase, Phase::Idle)
+                && !inner.retrain_pending
+                && !inner.retraining
+            {
+                inner.measured_since_retrain = 0;
+                inner.retrain_pending = true;
+                spmv_observe::counter("online.retrain.scheduled", 1);
+                self.wake.notify_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// The shadow candidate, if one is scoring — request paths use this to
+    /// run the candidate on the same input as the active model.
+    pub fn shadow_candidate(&self) -> Option<Arc<Generation>> {
+        match &lock(&self.state).phase {
+            Phase::Shadow { candidate, .. } => Some(Arc::clone(candidate)),
+            _ => None,
+        }
+    }
+
+    /// Record one shadow comparison: the active model picked
+    /// `active_format`, the candidate picked `candidate_format`. Closes
+    /// the window (promote or reject) when `canary_window` comparisons
+    /// have been scored. A no-op if the phase moved on concurrently.
+    pub fn record_shadow(&self, active_format: Format, candidate_format: Format) -> ShadowVerdict {
+        let mut inner = lock(&self.state);
+        let (window, agree_pct) = (self.config.canary_window, self.config.canary_agree_pct);
+        if let Phase::Shadow {
+            candidate,
+            scored,
+            agreed,
+        } = &mut inner.phase
+        {
+            *scored += 1;
+            spmv_observe::counter("online.canary.scored", 1);
+            if active_format == candidate_format {
+                *agreed += 1;
+                spmv_observe::counter("online.canary.agreed", 1);
+            }
+            if *scored < window {
+                return ShadowVerdict::Scored;
+            }
+            let pass = *agreed * 100 >= agree_pct * *scored;
+            let candidate = Arc::clone(candidate);
+            if pass {
+                let number = candidate.number;
+                inner.previous = Some(std::mem::replace(&mut inner.active, candidate));
+                inner.phase = Phase::Watch {
+                    generation: number,
+                    observed: 0,
+                    errors: 0,
+                };
+                spmv_observe::counter("online.canary.promoted", 1);
+                spmv_observe::counter("online.swap.promotions", 1);
+                ShadowVerdict::Promoted(number)
+            } else {
+                inner.phase = Phase::Idle;
+                spmv_observe::counter("online.canary.rejected", 1);
+                ShadowVerdict::Rejected
+            }
+        } else {
+            ShadowVerdict::Scored
+        }
+    }
+
+    /// Report that a request answered by `generation` fell back to the
+    /// heuristic per-request (the model path errored). Under watchdog
+    /// observation this counts as an error against that generation.
+    pub fn note_fallback(&self, generation: u64) {
+        let mut inner = lock(&self.state);
+        if let Phase::Watch {
+            generation: watched,
+            errors,
+            ..
+        } = &mut inner.phase
+        {
+            if generation == *watched {
+                *errors += 1;
+                spmv_observe::counter("online.watchdog.errors", 1);
+                if *errors >= self.config.watchdog_errors {
+                    Self::rollback(&mut inner);
+                }
+            }
+        }
+    }
+
+    /// Revert to the previous generation (or the heuristic floor if none
+    /// survives). Called with the state lock held.
+    fn rollback(inner: &mut Inner) {
+        spmv_observe::counter("online.swap.rollbacks", 1);
+        match inner.previous.take() {
+            Some(prev) => inner.active = prev,
+            None => {
+                // No previous generation to return to: degrade to the
+                // heuristic floor rather than keep serving a bad model.
+                let number = inner.next_generation;
+                inner.next_generation += 1;
+                inner.active = Arc::new(Generation::new(number, AdvisorHandle::heuristic()));
+            }
+        }
+        inner.phase = Phase::Idle;
+    }
+
+    /// Block until no retrain is pending or running (or `timeout`
+    /// elapses). The scripted canary lifecycle uses this (via
+    /// `POST /admin/canary/sync`) to make "the retrainer finished" an
+    /// explicit, deterministic point in the request sequence instead of a
+    /// polling race.
+    pub fn wait_quiescent(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inner = lock(&self.state);
+        while inner.retrain_pending || inner.retraining {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .wake
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+        }
+        true
+    }
+
+    /// Ask the retrainer loop to exit and wake it.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+
+    /// The retrainer loop body: park until a retrain is scheduled (or
+    /// [`OnlineAdvisor::stop`]), build and validate a candidate, open the
+    /// shadow window. Run this on a dedicated background thread — never a
+    /// request shard — so no request ever blocks on a retrain.
+    pub fn run_retrainer(&self) {
+        loop {
+            let (base, number) = {
+                let mut inner = lock(&self.state);
+                while !self.stop.load(Ordering::SeqCst) && !inner.retrain_pending {
+                    let (guard, _) = self
+                        .wake
+                        .wait_timeout(inner, Duration::from_millis(200))
+                        .unwrap_or_else(PoisonError::into_inner);
+                    inner = guard;
+                }
+                if self.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                inner.retrain_pending = false;
+                inner.retraining = true;
+                let number = inner.next_generation;
+                inner.next_generation += 1;
+                (Arc::clone(&inner.active), number)
+            };
+
+            let candidate = self.build_candidate(&base, number);
+
+            let mut inner = lock(&self.state);
+            inner.retraining = false;
+            if let Some(generation) = candidate {
+                // Only open the window from Idle: a concurrent rollback
+                // or operator action may have moved the phase.
+                if matches!(inner.phase, Phase::Idle) {
+                    inner.phase = Phase::Shadow {
+                        candidate: generation,
+                        scored: 0,
+                        agreed: 0,
+                    };
+                }
+            }
+            self.wake.notify_all();
+        }
+    }
+
+    /// Build one candidate generation: retrain on the reservoir corpus,
+    /// serialize through the artifact envelope, validate the bytes exactly
+    /// like a cold-booted artifact, and wrap the survivor.
+    fn build_candidate(&self, base: &Generation, number: u64) -> Option<Arc<Generation>> {
+        let _span = spmv_observe::span!("online/retrain", generation = number);
+        let Some(advisor) = base.handle.advisor() else {
+            spmv_observe::counter("online.retrain.skipped", 1);
+            return None;
+        };
+        let samples = lock(&self.reservoir).training_samples();
+        if samples.len() < MIN_RETRAIN_SAMPLES {
+            spmv_observe::counter("online.retrain.skipped", 1);
+            return None;
+        }
+        let seed = fnv1a_64(&[
+            b"online-retrain",
+            &self.config.seed.to_le_bytes(),
+            &number.to_le_bytes(),
+        ]);
+        let Some(candidate) = advisor.retrain_from_feedback(&samples, seed) else {
+            spmv_observe::counter("online.retrain.skipped", 1);
+            return None;
+        };
+        let Ok(mut bytes) = candidate.to_artifact_bytes() else {
+            spmv_observe::counter("online.retrain.skipped", 1);
+            return None;
+        };
+        if self.config.corrupt_candidate {
+            corrupt_in_place(&mut bytes);
+        }
+        if let Some(dir) = &self.config.artifact_dir {
+            // Best-effort: the candidate must not fail because a debug
+            // artifact could not be written.
+            let _unused = std::fs::create_dir_all(dir);
+            let _unused = std::fs::write(dir.join(format!("candidate-gen{number}.json")), &bytes);
+        }
+        match FormatAdvisor::from_artifact_bytes(&bytes) {
+            Ok((validated, checksum)) => {
+                spmv_observe::counter("online.retrain.built", 1);
+                Some(Arc::new(Generation {
+                    number,
+                    checksum: Some(checksum),
+                    handle: AdvisorHandle::from_advisor(validated),
+                }))
+            }
+            Err(_) => {
+                spmv_observe::counter("online.artifact.rejected", 1);
+                None
+            }
+        }
+    }
+}
+
+/// Flip one digit character in the serialized envelope. Incrementing a
+/// digit keeps the JSON well-formed, so the corruption is caught by the
+/// checksum gate specifically — the strongest form of the "a corrupt
+/// candidate is rejected by the envelope" guarantee.
+fn corrupt_in_place(bytes: &mut [u8]) {
+    if let Some(b) = bytes.iter_mut().rev().find(|b| (b'0'..=b'8').contains(b)) {
+        *b += 1;
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::classify::SearchBudget;
+    use crate::env::Env;
+    use crate::labels::tests_support::tiny_labeled_corpus;
+    use spmv_features::FEATURE_COUNT;
+    use std::collections::BTreeSet;
+
+    fn fv(tag: f64) -> FeatureVector {
+        let mut values = [0.0; FEATURE_COUNT];
+        values[0] = 64.0 + tag;
+        values[1] = 64.0;
+        values[2] = 256.0 + tag * 3.0;
+        values[3] = 4.0 + tag / 7.0;
+        values[4] = 1.5;
+        values[5] = 9.0 + tag;
+        FeatureVector::from_values(values)
+    }
+
+    #[test]
+    fn reservoir_is_arrival_order_independent() {
+        let mut fwd = Reservoir::new(8, 42);
+        let mut rev = Reservoir::new(8, 42);
+        let samples: Vec<(FeatureVector, Format, f64)> = (0..32)
+            .map(|i| {
+                (
+                    fv(f64::from(i)),
+                    Format::ALL[i as usize % 6],
+                    1e-6 * f64::from(i + 1),
+                )
+            })
+            .collect();
+        for (f, fmt, s) in &samples {
+            fwd.offer(f.clone(), *fmt, *s);
+        }
+        for (f, fmt, s) in samples.iter().rev() {
+            rev.offer(f.clone(), *fmt, *s);
+        }
+        assert_eq!(fwd.len(), 8);
+        let key = |r: &Reservoir| -> Vec<(u64, u64)> { r.by_priority.keys().copied().collect() };
+        assert_eq!(key(&fwd), key(&rev));
+    }
+
+    #[test]
+    fn reservoir_dedups_and_bounds() {
+        let mut r = Reservoir::new(4, 7);
+        for _ in 0..3 {
+            r.offer(fv(1.0), Format::Csr, 1e-6);
+        }
+        assert_eq!(r.len(), 1);
+        for i in 0..20 {
+            r.offer(fv(f64::from(i)), Format::Csr, 1e-6);
+        }
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn training_samples_pick_fastest_format_per_feature_key() {
+        let mut r = Reservoir::new(16, 7);
+        r.offer(fv(1.0), Format::Csr, 5e-6);
+        r.offer(fv(1.0), Format::Ell, 2e-6);
+        r.offer(fv(1.0), Format::Hyb, 9e-6);
+        r.offer(fv(2.0), Format::Coo, 1e-6);
+        let samples = r.training_samples();
+        assert_eq!(samples.len(), 2);
+        let formats: BTreeSet<&str> = samples.iter().map(|(_, f)| f.label()).collect();
+        assert!(formats.contains("ELL"));
+        assert!(formats.contains("COO"));
+    }
+
+    #[test]
+    fn feedback_validation_rejects_bad_events() {
+        let online = OnlineAdvisor::new(AdvisorHandle::heuristic(), OnlineConfig::default());
+        let ok = FeedbackEvent {
+            features: fv(1.0),
+            format: Format::Csr,
+            generation: 0,
+            outcome: FeedbackOutcome::Measured(1e-6),
+        };
+        assert!(online.ingest(ok.clone()).is_ok());
+        let future = FeedbackEvent {
+            generation: 5,
+            ..ok.clone()
+        };
+        assert_eq!(
+            online.ingest(future),
+            Err(FeedbackError::UnknownGeneration {
+                given: 5,
+                newest: 0
+            })
+        );
+        let bad_secs = FeedbackEvent {
+            outcome: FeedbackOutcome::Measured(-1.0),
+            ..ok.clone()
+        };
+        assert_eq!(online.ingest(bad_secs), Err(FeedbackError::InvalidRuntime));
+        let nan = FeedbackEvent {
+            features: FeatureVector::from_values([f64::NAN; FEATURE_COUNT]),
+            ..ok
+        };
+        assert_eq!(online.ingest(nan), Err(FeedbackError::NonFiniteFeatures));
+    }
+
+    #[test]
+    fn heuristic_base_skips_retrain_without_candidate() {
+        let config = OnlineConfig {
+            retrain_after: 2,
+            ..OnlineConfig::default()
+        };
+        let online = Arc::new(OnlineAdvisor::new(AdvisorHandle::heuristic(), config));
+        let runner = {
+            let online = Arc::clone(&online);
+            std::thread::spawn(move || online.run_retrainer())
+        };
+        for i in 0..2 {
+            online
+                .ingest(FeedbackEvent {
+                    features: fv(f64::from(i)),
+                    format: Format::Csr,
+                    generation: 0,
+                    outcome: FeedbackOutcome::Measured(1e-6),
+                })
+                .unwrap();
+        }
+        assert!(online.wait_quiescent(Duration::from_secs(10)));
+        assert_eq!(online.status().generation, 0);
+        assert_eq!(online.status().canary, "idle");
+        online.stop();
+        runner.join().unwrap();
+    }
+
+    fn trained_online(config: OnlineConfig) -> Arc<OnlineAdvisor> {
+        let corpus = tiny_labeled_corpus(61);
+        let advisor = FormatAdvisor::train(&corpus, Env::ALL[1], SearchBudget::Quick);
+        Arc::new(OnlineAdvisor::new(
+            AdvisorHandle::from_advisor(advisor),
+            config,
+        ))
+    }
+
+    /// Drive the full lifecycle in-process: feedback fills the reservoir,
+    /// the retrainer opens a shadow window, echo-agreement promotes, and
+    /// failed feedback rolls back — while reader threads hammer
+    /// `snapshot()` and assert every observed `(number, checksum)` pair is
+    /// coherent (never a torn combination).
+    #[test]
+    fn lifecycle_promotes_then_rolls_back_with_coherent_snapshots() {
+        let config = OnlineConfig {
+            retrain_after: 8,
+            canary_window: 4,
+            canary_agree_pct: 50,
+            watchdog_window: 4,
+            watchdog_errors: 2,
+            ..OnlineConfig::default()
+        };
+        let online = trained_online(config);
+        let runner = {
+            let online = Arc::clone(&online);
+            std::thread::spawn(move || online.run_retrainer())
+        };
+
+        let stop_readers = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let online = Arc::clone(&online);
+                let stop = Arc::clone(&stop_readers);
+                std::thread::spawn(move || {
+                    let mut seen: Vec<(u64, Option<String>)> = Vec::new();
+                    while !stop.load(Ordering::SeqCst) {
+                        let snap = online.snapshot();
+                        seen.push((snap.number, snap.checksum.clone()));
+                    }
+                    seen
+                })
+            })
+            .collect();
+
+        let gen0 = online.snapshot();
+        // Feed measured feedback: the recommended format echoed back as
+        // observed-best, so the candidate learns to mimic the active model.
+        for i in 0..8 {
+            let features = fv(f64::from(i));
+            let rec = gen0.handle.recommend_features(&features);
+            online
+                .ingest(FeedbackEvent {
+                    features,
+                    format: rec.format,
+                    generation: gen0.number,
+                    outcome: FeedbackOutcome::Measured(1e-6 * f64::from(i + 1)),
+                })
+                .unwrap();
+        }
+        assert!(online.wait_quiescent(Duration::from_secs(30)));
+        assert_eq!(online.status().canary, "shadow");
+        let candidate = online.shadow_candidate().expect("candidate in shadow");
+        assert_eq!(candidate.number, 1);
+
+        // Score the shadow window on the training keys: agreement is high
+        // because the candidate memorized the active model's answers.
+        let mut last = ShadowVerdict::Scored;
+        for i in 0..4 {
+            let features = fv(f64::from(i));
+            let active_fmt = online
+                .snapshot()
+                .handle
+                .recommend_features(&features)
+                .format;
+            let cand_fmt = candidate.handle.recommend_features(&features).format;
+            last = online.record_shadow(active_fmt, cand_fmt);
+        }
+        assert_eq!(last, ShadowVerdict::Promoted(1));
+        let promoted = online.status();
+        assert_eq!(promoted.generation, 1);
+        assert_eq!(promoted.canary, "watch");
+        let gen1_checksum = promoted.checksum.clone().expect("model checksum");
+
+        // Watchdog: two failed reports attributed to generation 1 trip
+        // the rollback.
+        for i in 0..2 {
+            online
+                .ingest(FeedbackEvent {
+                    features: fv(100.0 + f64::from(i)),
+                    format: Format::Csr,
+                    generation: 1,
+                    outcome: FeedbackOutcome::Failed,
+                })
+                .unwrap();
+        }
+        let rolled = online.status();
+        assert_eq!(rolled.generation, 0);
+        assert_eq!(rolled.canary, "idle");
+        assert_eq!(rolled.checksum, gen0.checksum);
+
+        stop_readers.store(true, Ordering::SeqCst);
+        let valid: BTreeSet<(u64, Option<String>)> =
+            [(0, gen0.checksum.clone()), (1, Some(gen1_checksum))]
+                .into_iter()
+                .collect();
+        for reader in readers {
+            for pair in reader.join().unwrap() {
+                assert!(valid.contains(&pair), "torn snapshot: {pair:?}");
+            }
+        }
+        online.stop();
+        runner.join().unwrap();
+    }
+
+    /// The same feedback multiset and seed reproduce the candidate
+    /// artifact byte-for-byte, regardless of feedback arrival order.
+    #[test]
+    fn retrain_is_byte_deterministic_across_arrival_orders() {
+        let dir_a = std::env::temp_dir().join(format!("spmv_online_det_a_{}", std::process::id()));
+        let dir_b = std::env::temp_dir().join(format!("spmv_online_det_b_{}", std::process::id()));
+        let run = |dir: &std::path::Path, reverse: bool| {
+            let config = OnlineConfig {
+                retrain_after: 8,
+                artifact_dir: Some(dir.to_path_buf()),
+                ..OnlineConfig::default()
+            };
+            let online = trained_online(config);
+            let runner = {
+                let online = Arc::clone(&online);
+                std::thread::spawn(move || online.run_retrainer())
+            };
+            let mut events: Vec<FeedbackEvent> = (0..8)
+                .map(|i| FeedbackEvent {
+                    features: fv(f64::from(i)),
+                    format: Format::ALL[i as usize % 6],
+                    generation: 0,
+                    outcome: FeedbackOutcome::Measured(1e-6 * f64::from(i + 1)),
+                })
+                .collect();
+            if reverse {
+                events.reverse();
+            }
+            for e in events {
+                online.ingest(e).unwrap();
+            }
+            assert!(online.wait_quiescent(Duration::from_secs(30)));
+            online.stop();
+            runner.join().unwrap();
+            std::fs::read(dir.join("candidate-gen1.json")).unwrap()
+        };
+        let a = run(&dir_a, false);
+        let b = run(&dir_b, true);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "candidate artifact must be replayable byte-for-byte");
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    /// A corrupt candidate is rejected by the envelope checksum gate and
+    /// never becomes a generation.
+    #[test]
+    fn corrupt_candidate_is_rejected_before_promotion() {
+        let config = OnlineConfig {
+            retrain_after: 8,
+            corrupt_candidate: true,
+            ..OnlineConfig::default()
+        };
+        let online = trained_online(config);
+        let runner = {
+            let online = Arc::clone(&online);
+            std::thread::spawn(move || online.run_retrainer())
+        };
+        for i in 0..8 {
+            online
+                .ingest(FeedbackEvent {
+                    features: fv(f64::from(i)),
+                    format: Format::ALL[i as usize % 6],
+                    generation: 0,
+                    outcome: FeedbackOutcome::Measured(1e-6 * f64::from(i + 1)),
+                })
+                .unwrap();
+        }
+        assert!(online.wait_quiescent(Duration::from_secs(30)));
+        let status = online.status();
+        assert_eq!(status.generation, 0, "corrupt candidate must not promote");
+        assert_eq!(status.canary, "idle");
+        assert!(online.shadow_candidate().is_none());
+        online.stop();
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn corruption_helper_changes_exactly_one_digit() {
+        let mut bytes = b"{\"checksum\":\"00ff\",\"v\":12}".to_vec();
+        let before = bytes.clone();
+        corrupt_in_place(&mut bytes);
+        let diffs: Vec<usize> = (0..bytes.len())
+            .filter(|&i| bytes[i] != before[i])
+            .collect();
+        assert_eq!(diffs.len(), 1);
+        assert!(bytes[diffs[0]].is_ascii_digit());
+    }
+}

@@ -32,6 +32,7 @@ pub mod gridsearch;
 pub mod metrics;
 pub mod mlp;
 pub mod model;
+pub mod online;
 pub mod parallel;
 pub mod reportcard;
 pub mod scaler;
@@ -47,6 +48,7 @@ pub use gridsearch::{grid_search_classifier, grid_search_regressor, GridResult};
 pub use metrics::{accuracy, confusion_matrix, relative_mean_error, slowdown, SlowdownTable};
 pub use mlp::{MlpClassifier, MlpParams, MlpRegressor};
 pub use model::{Classifier, Regressor};
+pub use online::{fit_online_classifier, online_gbt_params};
 pub use parallel::{thread_budget, CellPanic, Executor};
 pub use reportcard::{classification_report, ClassStats, ClassificationReport};
 pub use scaler::StandardScaler;

@@ -1,0 +1,154 @@
+//! Online retraining entry point: fit a compact classifier on a small
+//! feedback corpus, deterministically for a given seed.
+//!
+//! The offline trainer ([`crate::gbt`] driven through
+//! `spmv_core::FormatAdvisor::train`) assumes a full labeled corpus and a
+//! search budget. The online path is different: a few hundred
+//! reservoir-sampled feedback rows at most, retrained in the background of
+//! a serving process, where the only acceptable cost is milliseconds and
+//! the only acceptable output is a byte-reproducible artifact. This module
+//! owns that entry point so the serving layer never has to pick
+//! hyperparameters.
+//!
+//! Determinism: [`fit_online_classifier`] must produce the same model for
+//! the same `(rows multiset, seed)` at any thread count and for any
+//! arrival order of the rows. The GBT fit itself is scheduling-invariant
+//! ([`GbtClassifier::fit_with`]) but *row-order sensitive* (floating-point
+//! accumulation, tie-breaking in split scans), so the rows are first
+//! sorted into a canonical content order, then permuted by a seeded
+//! Fisher–Yates shuffle. The final order is a pure function of the row
+//! multiset and the seed — nothing about how the caller collected the rows
+//! can leak into the artifact bytes.
+
+use crate::data::FeatureMatrix;
+use crate::gbt::{GbtClassifier, GbtParams, SplitMethod};
+use crate::parallel::Executor;
+
+/// Hyperparameters of the online refresh fit. Smaller than the offline
+/// budget on every axis: the corpus is tiny and the fit runs while live
+/// traffic is being served.
+pub fn online_gbt_params() -> GbtParams {
+    GbtParams {
+        n_estimators: 40,
+        max_depth: 3,
+        learning_rate: 0.3,
+        split_method: SplitMethod::Exact,
+        ..GbtParams::default()
+    }
+}
+
+/// Deterministic seeded permutation of `0..n` (Fisher–Yates over a
+/// splitmix64 stream).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Total order on `(row, label)` pairs by content: lexicographic over the
+/// row values (`total_cmp`, so NaN payloads still order), then the label.
+fn content_cmp(a: &(Vec<f64>, usize), b: &(Vec<f64>, usize)) -> std::cmp::Ordering {
+    for (x, y) in a.0.iter().zip(b.0.iter()) {
+        let ord = x.total_cmp(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.1.cmp(&b.1)
+}
+
+/// Fit the online classifier on `(rows, labels)` with `n_classes` output
+/// classes. `rows` are already-projected feature rows (one per feedback
+/// sample); `labels` are class ids in `0..n_classes`.
+///
+/// Byte-deterministic: the same row multiset and seed produce the same
+/// model at any thread count and for any arrival order of the rows.
+///
+/// Returns `None` when the corpus cannot support a fit at all: no rows,
+/// ragged row widths, or out-of-range labels.
+pub fn fit_online_classifier(
+    rows: &[Vec<f64>],
+    labels: &[usize],
+    n_classes: usize,
+    seed: u64,
+) -> Option<GbtClassifier> {
+    if rows.is_empty() || rows.len() != labels.len() || n_classes == 0 {
+        return None;
+    }
+    let width = rows[0].len();
+    if width == 0 || rows.iter().any(|r| r.len() != width) {
+        return None;
+    }
+    if labels.iter().any(|&y| y >= n_classes) {
+        return None;
+    }
+    let mut pairs: Vec<(Vec<f64>, usize)> =
+        rows.iter().cloned().zip(labels.iter().copied()).collect();
+    pairs.sort_by(content_cmp);
+    let order = permutation(pairs.len(), seed);
+    let shuffled: Vec<Vec<f64>> = order.iter().map(|&i| pairs[i].0.clone()).collect();
+    let y: Vec<usize> = order.iter().map(|&i| pairs[i].1).collect();
+    let x = FeatureMatrix::from_rows(&shuffled);
+    let mut model = GbtClassifier::new(online_gbt_params());
+    model.fit_with(&Executor::serial(), &x, &y, n_classes);
+    Some(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Classifier;
+
+    fn corpus() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let rows: Vec<Vec<f64>> = (0..24)
+            .map(|i| {
+                let f = f64::from(i);
+                vec![f, f * 2.0, if i % 2 == 0 { 100.0 } else { -100.0 }]
+            })
+            .collect();
+        let labels: Vec<usize> = (0..24).map(|i| i % 2).collect();
+        (rows, labels)
+    }
+
+    #[test]
+    fn fits_and_memorizes_a_small_corpus() {
+        let (rows, labels) = corpus();
+        let model = fit_online_classifier(&rows, &labels, 2, 7).expect("fit");
+        let x = FeatureMatrix::from_rows(&rows);
+        assert_eq!(model.predict(&x), labels);
+    }
+
+    #[test]
+    fn arrival_order_does_not_change_the_model() {
+        let (rows, labels) = corpus();
+        let a = fit_online_classifier(&rows, &labels, 2, 7).expect("fit");
+        let mut rev_rows = rows.clone();
+        let mut rev_labels = labels.clone();
+        rev_rows.reverse();
+        rev_labels.reverse();
+        let b = fit_online_classifier(&rev_rows, &rev_labels, 2, 7).expect("fit");
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_corpora() {
+        assert!(fit_online_classifier(&[], &[], 2, 0).is_none());
+        assert!(fit_online_classifier(&[vec![1.0]], &[0], 0, 0).is_none());
+        assert!(fit_online_classifier(&[vec![1.0], vec![1.0, 2.0]], &[0, 1], 2, 0).is_none());
+        assert!(fit_online_classifier(&[vec![1.0]], &[5], 2, 0).is_none());
+    }
+}

@@ -4,13 +4,21 @@
 //! single shared artifact; batching amortizes the per-call bookkeeping
 //! (projection setup, observability) and bounds lock traffic. The shape:
 //!
-//! 1. every submitter enqueues its job on a shared queue;
+//! 1. every submitter enqueues its job — feature vector plus the
+//!    generation snapshot its request took — on a shared queue;
 //! 2. whoever can take the *model lock* becomes the leader, drains up to
-//!    `max_batch` jobs, runs them through
-//!    [`AdvisorHandle::recommend_features_batch`], and publishes each
-//!    result into the job's completion slot;
+//!    `max_batch` jobs, runs each run of same-generation jobs through
+//!    [`spmv_core::AdvisorHandle::recommend_features_batch`], and
+//!    publishes each result into the job's completion slot;
 //! 3. submitters whose job was drained by another leader wait on their
 //!    slot's condvar.
+//!
+//! Jobs carry their own [`Generation`] so a hot-swap mid-queue cannot
+//! tear a request: the leader answers every job with the generation its
+//! submitter snapshotted, never with whatever happens to be active when
+//! the batch drains. Around a swap a single drain may therefore split
+//! into two batch calls — the price of coherence, paid only in the
+//! instant a swap lands.
 //!
 //! There is no pacing timer: a leader is elected the moment any job is
 //! enqueued and the model is free, so a lone request never waits for a
@@ -24,7 +32,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use spmv_core::{AdvisorHandle, RecommendResponse};
+use spmv_core::{Generation, RecommendResponse};
 use spmv_features::FeatureVector;
 
 struct CompletionSlot {
@@ -51,6 +59,7 @@ impl CompletionSlot {
 
 struct Job {
     fv: FeatureVector,
+    generation: Arc<Generation>,
     slot: Arc<CompletionSlot>,
 }
 
@@ -82,9 +91,31 @@ impl Batcher {
         queue.drain(..n).collect()
     }
 
-    /// Run `fv` through the advisor, possibly batched with concurrent
-    /// submissions. Blocks until this job's result is ready.
-    pub fn submit(&self, handle: &AdvisorHandle, fv: FeatureVector) -> RecommendResponse {
+    /// Run the drained jobs, one batch call per run of same-generation
+    /// jobs, answering each job with the generation its submitter
+    /// snapshotted.
+    fn execute(batch: Vec<Job>) {
+        let mut start = 0;
+        while start < batch.len() {
+            let generation = &batch[start].generation;
+            let end = start
+                + batch[start..]
+                    .iter()
+                    .take_while(|job| Arc::ptr_eq(&job.generation, generation))
+                    .count();
+            let fvs: Vec<FeatureVector> =
+                batch[start..end].iter().map(|job| job.fv.clone()).collect();
+            let responses = generation.handle.recommend_features_batch(&fvs);
+            for (job, resp) in batch[start..end].iter().zip(responses) {
+                job.slot.put(resp);
+            }
+            start = end;
+        }
+    }
+
+    /// Run `fv` through `generation`'s advisor, possibly batched with
+    /// concurrent submissions. Blocks until this job's result is ready.
+    pub fn submit(&self, generation: &Arc<Generation>, fv: FeatureVector) -> RecommendResponse {
         spmv_observe::counter("serve.batch.jobs", 1);
         let slot = Arc::new(CompletionSlot {
             done: Mutex::new(None),
@@ -97,6 +128,7 @@ impl Batcher {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             queue.push_back(Job {
                 fv,
+                generation: Arc::clone(generation),
                 slot: Arc::clone(&slot),
             });
         }
@@ -114,12 +146,7 @@ impl Batcher {
                         if batch.is_empty() {
                             break;
                         }
-                        let fvs: Vec<FeatureVector> =
-                            batch.iter().map(|job| job.fv.clone()).collect();
-                        let responses = handle.recommend_features_batch(&fvs);
-                        for (job, resp) in batch.into_iter().zip(responses) {
-                            job.slot.put(resp);
-                        }
+                        Self::execute(batch);
                     }
                 }
                 Err(_) => {
@@ -162,25 +189,53 @@ mod tests {
 
     #[test]
     fn single_submit_matches_direct_call() {
-        let handle = AdvisorHandle::heuristic();
+        let generation = Generation::initial(spmv_core::AdvisorHandle::heuristic());
         let batcher = Batcher::new(8);
-        let direct = handle.recommend_features(&fv(3.0));
-        let batched = batcher.submit(&handle, fv(3.0));
+        let direct = generation.handle.recommend_features(&fv(3.0));
+        let batched = batcher.submit(&generation, fv(3.0));
         assert_eq!(direct.to_json(), batched.to_json());
     }
 
     #[test]
     fn concurrent_submits_each_get_their_own_answer() {
-        let handle = Arc::new(AdvisorHandle::heuristic());
+        let generation = Generation::initial(spmv_core::AdvisorHandle::heuristic());
         let batcher = Arc::new(Batcher::new(4));
         let workers: Vec<_> = (0..16)
             .map(|i| {
-                let handle = Arc::clone(&handle);
+                let generation = Arc::clone(&generation);
                 let batcher = Arc::clone(&batcher);
                 std::thread::spawn(move || {
                     let mu = 1.0 + f64::from(i);
-                    let got = batcher.submit(&handle, fv(mu));
-                    let want = handle.recommend_features(&fv(mu));
+                    let got = batcher.submit(&generation, fv(mu));
+                    let want = generation.handle.recommend_features(&fv(mu));
+                    assert_eq!(got.to_json(), want.to_json(), "mu={mu}");
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    /// Jobs queued under different generations are answered by their own
+    /// generation's advisor, even when one leader drains them together.
+    #[test]
+    fn mixed_generation_batch_answers_each_job_with_its_own_generation() {
+        let gen_a = Generation::initial(spmv_core::AdvisorHandle::heuristic());
+        let gen_b = Arc::new(Generation::new(1, spmv_core::AdvisorHandle::heuristic()));
+        let batcher = Arc::new(Batcher::new(8));
+        let workers: Vec<_> = (0..8)
+            .map(|i| {
+                let generation = if i % 2 == 0 {
+                    Arc::clone(&gen_a)
+                } else {
+                    Arc::clone(&gen_b)
+                };
+                let batcher = Arc::clone(&batcher);
+                std::thread::spawn(move || {
+                    let mu = 1.0 + f64::from(i);
+                    let got = batcher.submit(&generation, fv(mu));
+                    let want = generation.handle.recommend_features(&fv(mu));
                     assert_eq!(got.to_json(), want.to_json(), "mu={mu}");
                 })
             })

@@ -4,6 +4,7 @@
 //!   spmv-serve-load --addr HOST:PORT [--requests N] [--concurrency N]
 //!                   [--seed N] [--wait-ready-ms N] [--allow-503]
 //!                   [--persistent] [--pipeline-depth N] [--shutdown]
+//!                   [--lifecycle promote|rollback|corrupt]
 //!
 //! Drives the scripted request mix from `spmv_serve::loadgen` (a pure
 //! function of `--requests`/`--seed`) against a running server and
@@ -17,6 +18,14 @@
 //! both modes. `--shutdown` sends `POST /admin/shutdown` after the run
 //! — the CI smoke job uses that to collect the server's exit manifest.
 //!
+//! `--lifecycle <kind>` replaces the concurrent mix with a **serial**
+//! online-learning scenario from `spmv_serve::lifecycle` (feedback →
+//! retrain → canary → swap, then rollback or corruption depending on
+//! the kind), asserting generation numbers, canary phases, and
+//! lifecycle counters along the way. The server must run with the
+//! matching `--online-*` flags and `--cache-capacity 0`; violations
+//! exit 7 exactly like mix expectation failures.
+//!
 //! Exit codes (stable, for scripting):
 //!   0  every request matched its expected status class
 //!   2  usage error
@@ -28,6 +37,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use spmv_serve::lifecycle::{self, LifecycleKind};
 use spmv_serve::loadgen;
 
 const EXIT_USAGE: u8 = 2;
@@ -37,7 +47,7 @@ const EXIT_VIOLATIONS: u8 = 7;
 const USAGE: &str = "usage: spmv-serve-load --addr HOST:PORT [--requests N] \
                      [--concurrency N] [--seed N] [--wait-ready-ms N] \
                      [--allow-503] [--persistent] [--pipeline-depth N] \
-                     [--shutdown]";
+                     [--shutdown] [--lifecycle promote|rollback|corrupt]";
 
 fn fail(code: u8, msg: &str) -> ExitCode {
     eprintln!("spmv-serve-load: error: {msg}");
@@ -54,6 +64,7 @@ struct Opts {
     persistent: bool,
     pipeline_depth: usize,
     shutdown: bool,
+    lifecycle: Option<LifecycleKind>,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String> {
@@ -67,6 +78,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
     let mut persistent = false;
     let mut pipeline_depth = 1usize;
     let mut shutdown = false;
+    let mut lifecycle_kind = None;
     fn number(flag: &str, value: Option<String>) -> Result<u64, String> {
         value
             .as_deref()
@@ -87,6 +99,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
             "--persistent" => persistent = true,
             "--pipeline-depth" => pipeline_depth = (number(&a, args.next())? as usize).max(1),
             "--shutdown" => shutdown = true,
+            "--lifecycle" => match args.next().as_deref().and_then(LifecycleKind::parse) {
+                Some(kind) => lifecycle_kind = Some(kind),
+                None => return Err("--lifecycle needs promote|rollback|corrupt".into()),
+            },
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'; see --help")),
         }
@@ -102,6 +118,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
         persistent: persistent || pipeline_depth > 1,
         pipeline_depth,
         shutdown,
+        lifecycle: lifecycle_kind,
     }))
 }
 
@@ -128,19 +145,27 @@ fn main() -> ExitCode {
         );
     }
 
-    let mix = loadgen::build_mix(opts.requests, opts.seed);
-    let report = if opts.persistent {
-        loadgen::run_persistent(
-            &opts.addr,
-            &mix,
-            opts.concurrency,
-            opts.pipeline_depth,
-            opts.allow_503,
-        )
+    let violations = if let Some(kind) = opts.lifecycle {
+        let script = lifecycle::lifecycle_script(kind, opts.seed);
+        let report = lifecycle::run_lifecycle(&opts.addr, &script);
+        println!("{}", report.to_json());
+        report.violations
     } else {
-        loadgen::run(&opts.addr, &mix, opts.concurrency, opts.allow_503)
+        let mix = loadgen::build_mix(opts.requests, opts.seed);
+        let report = if opts.persistent {
+            loadgen::run_persistent(
+                &opts.addr,
+                &mix,
+                opts.concurrency,
+                opts.pipeline_depth,
+                opts.allow_503,
+            )
+        } else {
+            loadgen::run(&opts.addr, &mix, opts.concurrency, opts.allow_503)
+        };
+        println!("{}", report.to_json());
+        report.violations
     };
-    println!("{}", report.to_json());
 
     if opts.shutdown {
         match loadgen::send_shutdown(&opts.addr) {
@@ -149,15 +174,15 @@ fn main() -> ExitCode {
         }
     }
 
-    if report.violations.is_empty() {
+    if violations.is_empty() {
         ExitCode::SUCCESS
     } else {
         fail(
             EXIT_VIOLATIONS,
             &format!(
                 "{} responses contradicted expectations: {}",
-                report.violations.len(),
-                report.violations.join(", ")
+                violations.len(),
+                violations.join(", ")
             ),
         )
     }

@@ -5,7 +5,24 @@
 //!              [--workers N] [--queue-depth N] [--cache-capacity N]
 //!              [--max-body-bytes N] [--read-timeout-ms N] [--max-batch N]
 //!              [--keep-alive-max N] [--idle-timeout-ms N]
+//!              [--online-retrain-after N] [--online-reservoir N]
+//!              [--online-canary-window N] [--online-agree-pct N]
+//!              [--online-watchdog-window N] [--online-watchdog-errors N]
+//!              [--online-seed N] [--online-artifact-dir DIR]
+//!              [--online-corrupt-candidate]
 //!              [--trace-out <trace.json>]
+//!
+//! The `--online-*` family configures the online-learning loop (DESIGN.md
+//! §4i): `POST /v1/feedback` events land in a seeded reservoir, every
+//! `--online-retrain-after` measured events a background thread retrains
+//! a candidate, the candidate shadow-scores `--online-canary-window` live
+//! requests and is hot-swapped in only at `--online-agree-pct` percent
+//! agreement, after which `--online-watchdog-errors` failures within
+//! `--online-watchdog-window` attributed events roll it back.
+//! Retraining is **off** by default (`--online-retrain-after 0`).
+//! `--online-artifact-dir` persists every candidate's envelope bytes for
+//! replay diffing; `--online-corrupt-candidate` is the fault hook proving
+//! envelope validation gates promotion.
 //!
 //! `--workers` is the shard count of the event-driven core: each worker
 //! is a shared-nothing epoll loop owning the connections it accepted.
@@ -48,7 +65,12 @@ const USAGE: &str = "usage: spmv-serve [--model <advisor.json>] [--addr HOST:POR
                      [--workers N] [--queue-depth N] [--cache-capacity N] \
                      [--max-body-bytes N] [--read-timeout-ms N] [--max-batch N] \
                      [--keep-alive-max N] [--idle-timeout-ms N] \
-                     [--handler-delay-ms N] [--trace-out <trace.json>]";
+                     [--handler-delay-ms N] [--online-retrain-after N] \
+                     [--online-reservoir N] [--online-canary-window N] \
+                     [--online-agree-pct N] [--online-watchdog-window N] \
+                     [--online-watchdog-errors N] [--online-seed N] \
+                     [--online-artifact-dir DIR] [--online-corrupt-candidate] \
+                     [--trace-out <trace.json>]";
 
 fn fail(code: u8, msg: &str) -> ExitCode {
     eprintln!("spmv-serve: error: {msg}");
@@ -98,6 +120,28 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
             "--keep-alive-max" => config.keep_alive_max_requests = number(&a, args.next())?.max(1),
             "--idle-timeout-ms" => config.idle_timeout_ms = number(&a, args.next())? as u64,
             "--handler-delay-ms" => config.handler_delay_ms = number(&a, args.next())? as u64,
+            "--online-retrain-after" => config.online.retrain_after = number(&a, args.next())?,
+            "--online-reservoir" => {
+                config.online.reservoir_capacity = number(&a, args.next())?.max(1)
+            }
+            "--online-canary-window" => {
+                config.online.canary_window = number(&a, args.next())?.max(1) as u64
+            }
+            "--online-agree-pct" => {
+                config.online.canary_agree_pct = number(&a, args.next())?.min(100) as u64
+            }
+            "--online-watchdog-window" => {
+                config.online.watchdog_window = number(&a, args.next())?.max(1) as u64
+            }
+            "--online-watchdog-errors" => {
+                config.online.watchdog_errors = number(&a, args.next())?.max(1) as u64
+            }
+            "--online-seed" => config.online.seed = number(&a, args.next())? as u64,
+            "--online-artifact-dir" => match args.next() {
+                Some(p) => config.online.artifact_dir = Some(PathBuf::from(p)),
+                None => return Err("--online-artifact-dir needs a path".into()),
+            },
+            "--online-corrupt-candidate" => config.online.corrupt_candidate = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'; see --help")),
         }
@@ -138,6 +182,15 @@ fn main() -> ExitCode {
     if trace.is_some() {
         spmv_core::observe::set_provenance("tool", "spmv-serve");
         spmv_core::observe::set_provenance("mode", handle.mode());
+        // Online-loop parameters shape the deterministic counters (how
+        // many feedbacks schedule a retrain, the reservoir seed), so they
+        // are provenance, not timing: two manifests are only comparable
+        // when these match.
+        spmv_core::observe::set_provenance(
+            "online.retrain_after",
+            &opts.config.online.retrain_after.to_string(),
+        );
+        spmv_core::observe::set_provenance("online.seed", &opts.config.online.seed.to_string());
         // Worker count is scheduling, not work: timing-info only, so the
         // deterministic manifest section matches across -w values.
         spmv_core::observe::set_timing_info("workers", &opts.config.workers.to_string());

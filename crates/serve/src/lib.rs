@@ -18,9 +18,16 @@
 //!   concurrent connections (the budget the old bounded channel gave a
 //!   worker); past that it answers `503` + `Retry-After` immediately,
 //!   so overload sheds *new* work while admitted work completes.
-//! - **Shared advisor** — one [`AdvisorHandle`] (model or degraded
-//!   heuristic) serves every shard; it is immutable after boot, so no
-//!   lock guards it.
+//! - **Shared advisor** — one [`spmv_core::OnlineAdvisor`] serves every
+//!   shard. Each request takes one generation snapshot (an `Arc` clone)
+//!   and uses it for its cache key, model call, and response attribution,
+//!   so a concurrent hot-swap can never tear a request across
+//!   generations. The wrapped advisors are immutable; only the active
+//!   pointer moves.
+//! - **Online learning** — `POST /v1/feedback` feeds a seeded reservoir;
+//!   a background retrainer builds candidate artifacts deterministically,
+//!   shadow-scores them on live traffic, and promotes or rolls back by
+//!   atomic generation swap (see `spmv_core::online` and DESIGN.md §4i).
 //! - **Single-flight LRU cache** ([`cache`]) — responses are memoized by
 //!   request content in key-hash shards (fixed count, deliberately not
 //!   tied to the worker shard count); concurrent identical requests
@@ -42,15 +49,21 @@ pub mod cache;
 mod epoll;
 mod event;
 pub mod http;
+pub mod lifecycle;
 pub mod loadgen;
 
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use spmv_core::AdvisorHandle;
+use spmv_core::{
+    AdvisorHandle, FeedbackEvent, FeedbackOutcome, Generation, OnlineAdvisor, OnlineConfig,
+    RecommendationSource,
+};
 use spmv_features::{FeatureVector, FEATURE_COUNT};
+use spmv_matrix::Format;
 
 use crate::batch::Batcher;
 use crate::cache::{Lookup, ResponseCache};
@@ -92,6 +105,9 @@ pub struct ServerConfig {
     /// How long an idle keep-alive connection (≥1 request served,
     /// nothing buffered) is retained before a silent close (ms).
     pub idle_timeout_ms: u64,
+    /// The online-learning loop (feedback → retrain → canary → swap).
+    /// Inert by default (`retrain_after == 0` never schedules a retrain).
+    pub online: OnlineConfig,
 }
 
 impl Default for ServerConfig {
@@ -109,12 +125,13 @@ impl Default for ServerConfig {
             enable_admin_shutdown: false,
             keep_alive_max_requests: 1024,
             idle_timeout_ms: 5_000,
+            online: OnlineConfig::default(),
         }
     }
 }
 
 struct Shared {
-    handle: AdvisorHandle,
+    online: OnlineAdvisor,
     cache: ResponseCache,
     batcher: Batcher,
     config: ServerConfig,
@@ -132,6 +149,8 @@ pub struct Server {
     shared: Arc<Shared>,
     shards: Vec<JoinHandle<()>>,
     stats: Vec<Arc<ShardStats>>,
+    /// The background retrainer (only spawned when retraining is enabled).
+    retrainer: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -147,13 +166,27 @@ impl Server {
         let shared = Arc::new(Shared {
             cache: ResponseCache::new(config.cache_capacity),
             batcher: Batcher::new(config.max_batch),
-            handle,
+            online: OnlineAdvisor::new(handle, config.online.clone()),
             limits,
             stop: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
             addr,
             config,
         });
+
+        // The retrainer never runs on a request shard: no request blocks
+        // on a retrain. It parks on a condvar until feedback volume
+        // schedules a job.
+        let retrainer = if shared.config.online.retrain_after > 0 {
+            let shared_retrainer = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("serve-retrainer".to_string())
+                    .spawn(move || shared_retrainer.online.run_retrainer())?,
+            )
+        } else {
+            None
+        };
 
         // Every shard registers the same listener with EPOLLEXCLUSIVE,
         // so a connect wakes one shard, which then owns the connection.
@@ -178,6 +211,7 @@ impl Server {
             shared,
             shards,
             stats,
+            retrainer,
         })
     }
 
@@ -201,6 +235,10 @@ impl Server {
         // is needed because waits are bounded.
         for shard in self.shards.drain(..) {
             let _join = shard.join();
+        }
+        self.shared.online.stop();
+        if let Some(retrainer) = self.retrainer.take() {
+            let _join = retrainer.join();
         }
         // Connection accounting is scheduling (which shard got which
         // connection, how clients reused keep-alive): it goes to the
@@ -262,12 +300,9 @@ type Routed = (
 fn route(shared: &Shared, request: &Request) -> Routed {
     match (request.method.as_str(), request.target.as_str()) {
         ("GET", "/healthz") => healthz(shared),
-        ("GET", "/statz") => {
-            let mut body = spmv_observe::counters_section().into_bytes();
-            body.push(b'\n');
-            (200, "OK", "application/json", &[], body)
-        }
+        ("GET", "/statz") => statz(shared),
         ("POST", "/v1/recommend") => recommend(shared, &request.body),
+        ("POST", "/v1/feedback") => feedback(shared, &request.body),
         ("POST", "/admin/shutdown") if shared.config.enable_admin_shutdown => {
             shared.shutdown_requested.store(true, Ordering::SeqCst);
             (
@@ -278,7 +313,10 @@ fn route(shared: &Shared, request: &Request) -> Routed {
                 b"{\"status\":\"shutting-down\"}\n".to_vec(),
             )
         }
-        (_, "/healthz" | "/statz" | "/v1/recommend") => (
+        ("POST", "/admin/canary/sync") if shared.config.enable_admin_shutdown => {
+            canary_sync(shared)
+        }
+        (_, "/healthz" | "/statz" | "/v1/recommend" | "/v1/feedback") => (
             405,
             "Method Not Allowed",
             "application/json",
@@ -295,16 +333,73 @@ fn route(shared: &Shared, request: &Request) -> Routed {
     }
 }
 
-fn healthz(shared: &Shared) -> Routed {
-    let mut body = String::from("{\"status\":\"ok\",\"mode\":\"");
-    body.push_str(shared.handle.mode());
+/// Append the swap-observability fields — generation, artifact checksum,
+/// advisor mode, canary phase — read as one coherent status.
+fn push_status_fields(body: &mut String, status: &spmv_core::OnlineStatus) {
+    body.push_str("\"mode\":\"");
+    body.push_str(status.mode);
     body.push_str("\",\"model_version\":");
-    match shared.handle.model_version() {
+    match status.model_version {
         Some(v) => body.push_str(&v.to_string()),
         None => body.push_str("null"),
     }
+    body.push_str(",\"generation\":");
+    body.push_str(&status.generation.to_string());
+    body.push_str(",\"checksum\":");
+    match &status.checksum {
+        Some(sum) => {
+            body.push('"');
+            body.push_str(sum);
+            body.push('"');
+        }
+        None => body.push_str("null"),
+    }
+    body.push_str(",\"canary\":\"");
+    body.push_str(status.canary);
+    body.push('"');
+}
+
+fn healthz(shared: &Shared) -> Routed {
+    let status = shared.online.status();
+    let mut body = String::from("{\"status\":\"ok\",");
+    push_status_fields(&mut body, &status);
     body.push_str("}\n");
     (200, "OK", "application/json", &[], body.into_bytes())
+}
+
+fn statz(shared: &Shared) -> Routed {
+    let status = shared.online.status();
+    let mut body = String::from("{");
+    push_status_fields(&mut body, &status);
+    body.push_str(",\"counters\":");
+    body.push_str(&spmv_observe::counters_section());
+    body.push_str("}\n");
+    (200, "OK", "application/json", &[], body.into_bytes())
+}
+
+/// Block (bounded) until no retrain is pending or running, then report
+/// the canary state. Scripted lifecycle runs use this to make "retrainer
+/// done" an explicit point in the request sequence — one deterministic
+/// request instead of a polling race. Admin-gated alongside shutdown.
+fn canary_sync(shared: &Shared) -> Routed {
+    let quiescent = shared.online.wait_quiescent(Duration::from_secs(30));
+    let status = shared.online.status();
+    let mut body = String::from("{\"status\":\"");
+    body.push_str(if quiescent { "quiescent" } else { "busy" });
+    body.push_str("\",");
+    push_status_fields(&mut body, &status);
+    body.push_str("}\n");
+    if quiescent {
+        (200, "OK", "application/json", &[], body.into_bytes())
+    } else {
+        (
+            503,
+            "Service Unavailable",
+            "application/json",
+            &[],
+            body.into_bytes(),
+        )
+    }
 }
 
 /// Classify the body (MatrixMarket vs feature JSON), consult the cache,
@@ -343,12 +438,44 @@ fn ok_json(bytes: Vec<u8>) -> Routed {
     (200, "OK", "application/json", &[], bytes)
 }
 
+/// Generation-scoped cache key: the snapshot's generation number leads,
+/// then the namespace byte (`'m'`/`'f'`), then the content. A hot-swap
+/// therefore changes every key, so a cached answer from generation N can
+/// never be served as generation N+1's.
+fn scoped_key(generation: &Generation, namespace: u8, content_len: usize) -> Vec<u8> {
+    let mut key = Vec::with_capacity(9 + content_len);
+    key.extend_from_slice(&generation.number.to_le_bytes());
+    key.push(namespace);
+    key
+}
+
+/// Post-response online accounting for one recommend miss: per-request
+/// heuristic fallbacks under a model generation feed the watchdog, and a
+/// shadow candidate (if one is scoring) is run on the same input.
+fn online_observe<F>(
+    shared: &Shared,
+    snapshot: &Arc<Generation>,
+    response: &spmv_core::RecommendResponse,
+    candidate_format: F,
+) where
+    F: FnOnce(&Generation) -> Format,
+{
+    if snapshot.handle.mode() == "model" && response.source == RecommendationSource::Heuristic {
+        shared.online.note_fallback(snapshot.number);
+    }
+    if let Some(candidate) = shared.online.shadow_candidate() {
+        let _span = spmv_observe::span("serve/request/shadow");
+        let format = candidate_format(&candidate);
+        shared.online.record_shadow(response.format, format);
+    }
+}
+
 fn recommend_matrix(shared: &Shared, body: &[u8]) -> Routed {
     spmv_observe::counter("serve.recommend.matrix", 1);
+    let snapshot = shared.online.snapshot();
     // Key prefix separates the two request namespaces so a feature-vector
     // key can never alias a MatrixMarket body.
-    let mut key = Vec::with_capacity(body.len() + 1);
-    key.push(b'm');
+    let mut key = scoped_key(&snapshot, b'm', body.len());
     key.extend_from_slice(body);
     match shared.cache.get_or_reserve(&key) {
         Lookup::Hit(bytes) => ok_json(bytes.to_vec()),
@@ -373,8 +500,11 @@ fn recommend_matrix(shared: &Shared, body: &[u8]) -> Routed {
             };
             let response = {
                 let _span = spmv_observe::span("serve/request/model");
-                shared.handle.recommend_csr(&matrix)
+                snapshot.handle.recommend_csr(&matrix)
             };
+            online_observe(shared, &snapshot, &response, |candidate| {
+                candidate.handle.recommend_csr(&matrix).format
+            });
             let mut bytes = response.to_json().into_bytes();
             bytes.push(b'\n');
             reservation.fulfill(Arc::new(bytes.clone()));
@@ -421,10 +551,10 @@ fn recommend_features(shared: &Shared, body: &[u8]) -> Routed {
         Some(fv) => fv,
         None => return bad("feature vector rejected"),
     };
+    let snapshot = shared.online.snapshot();
     // Cache key: the 17 exact bit patterns (semantic identity — two
     // textually different JSON bodies with the same values share a key).
-    let mut key = Vec::with_capacity(1 + FEATURE_COUNT * 8);
-    key.push(b'f');
+    let mut key = scoped_key(&snapshot, b'f', FEATURE_COUNT * 8);
     for v in &parsed.features {
         key.extend_from_slice(&v.to_bits().to_le_bytes());
     }
@@ -433,12 +563,98 @@ fn recommend_features(shared: &Shared, body: &[u8]) -> Routed {
         Lookup::Miss(reservation) => {
             let response = {
                 let _span = spmv_observe::span("serve/request/model");
-                shared.batcher.submit(&shared.handle, fv)
+                shared.batcher.submit(&snapshot, fv.clone())
             };
+            online_observe(shared, &snapshot, &response, |candidate| {
+                candidate.handle.recommend_features(&fv).format
+            });
             let mut bytes = response.to_json().into_bytes();
             bytes.push(b'\n');
             reservation.fulfill(Arc::new(bytes.clone()));
             ok_json(bytes)
         }
+    }
+}
+
+/// The wire shape of `POST /v1/feedback`: the features the
+/// recommendation was for, the format the client actually ran, the model
+/// generation that recommended it, and the outcome — either measured
+/// `seconds` or `"status":"failed"` when the format failed outright on
+/// the client's hardware.
+#[derive(serde::Deserialize)]
+struct FeedbackBody {
+    features: Vec<f64>,
+    format: String,
+    #[serde(default)]
+    generation: u64,
+    #[serde(default)]
+    seconds: Option<f64>,
+    #[serde(default)]
+    status: Option<String>,
+}
+
+fn feedback(shared: &Shared, body: &[u8]) -> Routed {
+    spmv_observe::counter("serve.feedback.requests", 1);
+    let bad = |message: &str| {
+        (
+            400,
+            "Bad Request",
+            "application/json",
+            &[] as &[_],
+            error_body("bad_feedback", message),
+        )
+    };
+    let text = match std::str::from_utf8(trim_leading_ws(body)) {
+        Ok(text) => text,
+        Err(_) => return bad("feedback body is not UTF-8"),
+    };
+    let parsed: FeedbackBody = match serde_json::from_str(text) {
+        Ok(parsed) => parsed,
+        Err(e) => return bad(&format!("unparsable feedback: {e}")),
+    };
+    if parsed.features.len() != FEATURE_COUNT {
+        return bad(&format!(
+            "expected exactly {FEATURE_COUNT} features, got {}",
+            parsed.features.len()
+        ));
+    }
+    if let Some(v) = parsed.features.iter().find(|v| !v.is_finite()) {
+        return bad(&format!("features must be finite, got {v}"));
+    }
+    let Some(features) = FeatureVector::from_slice(&parsed.features) else {
+        return bad("feature vector rejected");
+    };
+    let Some(format) = Format::ALL
+        .iter()
+        .copied()
+        .find(|f| f.label() == parsed.format)
+    else {
+        return bad(&format!("unknown format {:?}", parsed.format));
+    };
+    let outcome = match (parsed.status.as_deref(), parsed.seconds) {
+        (Some("failed"), _) => FeedbackOutcome::Failed,
+        (None | Some("ok"), Some(seconds)) => FeedbackOutcome::Measured(seconds),
+        (None | Some("ok"), None) => {
+            return bad("measured feedback requires \"seconds\"");
+        }
+        (Some(other), _) => {
+            return bad(&format!("unknown status {other:?} (expected ok|failed)"));
+        }
+    };
+    let event = FeedbackEvent {
+        features,
+        format,
+        generation: parsed.generation,
+        outcome,
+    };
+    match shared.online.ingest(event) {
+        Ok(()) => (
+            200,
+            "OK",
+            "application/json",
+            &[],
+            b"{\"status\":\"accepted\"}\n".to_vec(),
+        ),
+        Err(e) => bad(&e.to_string()),
     }
 }

@@ -1,0 +1,381 @@
+//! Scripted online-learning lifecycle scenarios for `spmv-serve-load`.
+//!
+//! A lifecycle run is a **serial** request script (one-shot connections,
+//! one request at a time) that drives the feedback → retrain → shadow
+//! canary → hot-swap loop end to end against a live server and asserts
+//! the observable state transitions along the way: `/healthz` must
+//! disclose the expected generation number and canary phase, `/statz`
+//! must carry the expected lifecycle counters. Serial on purpose — the
+//! assertions are about a state machine, so the script must be the only
+//! traffic.
+//!
+//! The server under test must be booted with `--cache-capacity 0` and
+//! the matching `--online-*` flags (the [`RETRAIN_AFTER`] …
+//! [`WATCHDOG_ERRORS`] constants below): with the cache off, every
+//! recommend is a miss and therefore shadow-scored while a candidate is
+//! in flight — a cache hit would bypass the canary and the window would
+//! never close.
+//!
+//! The three scenarios mirror the three exits of the canary state
+//! machine:
+//!
+//! - [`LifecycleKind::Promote`] — probes teach the reservoir that the
+//!   active model's recommendations are the observed-best formats, so
+//!   the retrained candidate mimics the active model and passes the
+//!   agreement gate; the script ends on generation 1 under watchdog
+//!   observation.
+//! - [`LifecycleKind::Rollback`] — promote, then report
+//!   [`WATCHDOG_ERRORS`] failed outcomes against the new generation; the
+//!   watchdog must revert to generation 0 within the window.
+//! - [`LifecycleKind::Corrupt`] — the server runs with
+//!   `--online-corrupt-candidate`, so the candidate's envelope bytes are
+//!   corrupted before validation; the envelope gate must reject it and
+//!   the server must still be on generation 0, phase idle.
+//!
+//! `POST /admin/canary/sync` (admin-gated, like shutdown) makes
+//! "retrainer finished" an explicit point in the request sequence, so
+//! the script never races the background thread.
+
+use crate::loadgen::{feature_body, feedback_body, feedback_failed_body, http_roundtrip};
+
+/// Measured feedback events that schedule a retrain in lifecycle runs.
+pub const RETRAIN_AFTER: usize = 12;
+/// Shadow comparisons scored before the canary verdict.
+pub const CANARY_WINDOW: u64 = 8;
+/// Minimum candidate/active agreement (percent) for promotion.
+pub const CANARY_AGREE_PCT: u64 = 75;
+/// Post-promotion observation window, in attributed feedback events.
+pub const WATCHDOG_WINDOW: u64 = 6;
+/// Errors within the watchdog window that trigger auto-rollback.
+pub const WATCHDOG_ERRORS: u64 = 3;
+
+/// One step of a lifecycle script.
+#[derive(Debug, Clone)]
+pub enum LifecycleOp {
+    /// `GET /healthz`: assert the active generation number and canary
+    /// phase. Also updates the runner's generation tracker, which later
+    /// feedback ops attribute their events to.
+    Healthz {
+        /// The generation `/healthz` must report.
+        expect_generation: u64,
+        /// The canary phase (`"idle"`, `"shadow"`, `"watch"`) it must report.
+        expect_canary: &'static str,
+    },
+    /// `POST /v1/recommend` with `feature_body(seed)`, then echo the
+    /// recommended format back as measured feedback — the client "ran"
+    /// the recommendation and it was the best choice, which is what
+    /// teaches the candidate to mimic the active model.
+    Probe {
+        /// Feature-body seed.
+        seed: u64,
+        /// The runtime the echo reports.
+        seconds: f64,
+    },
+    /// `POST /v1/recommend` with `feature_body(seed)` only — live
+    /// traffic for the shadow canary to score.
+    Score {
+        /// Feature-body seed.
+        seed: u64,
+    },
+    /// `POST /v1/feedback` reporting a failed outcome attributed to the
+    /// tracked generation (watchdog food).
+    FeedbackFailed {
+        /// Feature-body seed.
+        seed: u64,
+    },
+    /// `POST /admin/canary/sync`: block until the retrainer is
+    /// quiescent (no retrain pending or running).
+    Sync,
+    /// `GET /statz`: assert the body contains `expect`.
+    Statz {
+        /// Substring the status body must contain.
+        expect: String,
+    },
+}
+
+/// Which canary exit a script drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleKind {
+    /// Candidate agrees and is swapped in (ends on generation 1, watch).
+    Promote,
+    /// Promote, then watchdog-trip back to generation 0.
+    Rollback,
+    /// Corruption hook: candidate rejected by envelope validation.
+    Corrupt,
+}
+
+impl LifecycleKind {
+    /// Parse a `--lifecycle` argument.
+    pub fn parse(s: &str) -> Option<LifecycleKind> {
+        match s {
+            "promote" => Some(LifecycleKind::Promote),
+            "rollback" => Some(LifecycleKind::Rollback),
+            "corrupt" => Some(LifecycleKind::Corrupt),
+            _ => None,
+        }
+    }
+}
+
+/// Build the scripted scenario. Pure in `(kind, seed)` — replaying the
+/// same script against a server booted with the same `--online-seed`
+/// reproduces the candidate artifact byte-for-byte.
+pub fn lifecycle_script(kind: LifecycleKind, seed: u64) -> Vec<LifecycleOp> {
+    let mut ops = vec![LifecycleOp::Healthz {
+        expect_generation: 0,
+        expect_canary: "idle",
+    }];
+    // Feed the reservoir: RETRAIN_AFTER distinct probes, echoing the
+    // active model's recommendation as the observed-best format. The
+    // 12th measured event schedules the retrain.
+    for i in 0..RETRAIN_AFTER {
+        ops.push(LifecycleOp::Probe {
+            seed: seed.wrapping_add(i as u64),
+            seconds: 1e-5 * (i + 1) as f64,
+        });
+    }
+    ops.push(LifecycleOp::Sync);
+    if kind == LifecycleKind::Corrupt {
+        // The corrupted candidate must have been rejected by envelope
+        // validation before it ever became a generation.
+        ops.push(LifecycleOp::Healthz {
+            expect_generation: 0,
+            expect_canary: "idle",
+        });
+        ops.push(LifecycleOp::Statz {
+            expect: "\"online.artifact.rejected\":1".to_string(),
+        });
+        return ops;
+    }
+    // A healthy candidate is now shadow-scoring. Score it on the same
+    // seeds it trained on: the candidate memorized those points, so it
+    // agrees with the active model and the gate passes deterministically.
+    ops.push(LifecycleOp::Healthz {
+        expect_generation: 0,
+        expect_canary: "shadow",
+    });
+    for i in 0..CANARY_WINDOW {
+        ops.push(LifecycleOp::Score {
+            seed: seed.wrapping_add(i),
+        });
+    }
+    ops.push(LifecycleOp::Healthz {
+        expect_generation: 1,
+        expect_canary: "watch",
+    });
+    ops.push(LifecycleOp::Statz {
+        expect: "\"online.swap.promotions\":1".to_string(),
+    });
+    if kind == LifecycleKind::Rollback {
+        // Report failures against the promoted generation until the
+        // watchdog trips; the previous generation must come back.
+        for i in 0..WATCHDOG_ERRORS {
+            ops.push(LifecycleOp::FeedbackFailed {
+                seed: seed.wrapping_add(1000 + i),
+            });
+        }
+        ops.push(LifecycleOp::Healthz {
+            expect_generation: 0,
+            expect_canary: "idle",
+        });
+        ops.push(LifecycleOp::Statz {
+            expect: "\"online.swap.rollbacks\":1".to_string(),
+        });
+    }
+    ops
+}
+
+/// What a lifecycle run observed.
+pub struct LifecycleReport {
+    /// Steps executed.
+    pub steps: usize,
+    /// Assertion failures, in script order (`step:what` strings).
+    pub violations: Vec<String>,
+}
+
+impl LifecycleReport {
+    /// One JSON line for scripting, mirroring `LoadReport::to_json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"steps\":{},", self.steps));
+        s.push_str("\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{v}\""));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Pull `"key":<u64>` out of a JSON body by substring scan (the status
+/// bodies are flat, server-generated, and tested — a parser would be
+/// ceremony).
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let rest = body.split(&format!("\"{key}\":")).nth(1)?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Pull `"key":"value"` out of a JSON body by substring scan.
+fn json_str(body: &str, key: &str) -> Option<String> {
+    let rest = body.split(&format!("\"{key}\":\"")).nth(1)?;
+    Some(rest.chars().take_while(|c| *c != '"').collect())
+}
+
+/// Run the script serially against `addr`. Every op records at most a
+/// few violations and the run always continues — a broken server yields
+/// a full diagnosis, not a truncated one.
+pub fn run_lifecycle(addr: &str, script: &[LifecycleOp]) -> LifecycleReport {
+    let mut violations = Vec::new();
+    // The generation later feedback is attributed to; updated from what
+    // /healthz actually reported (not the expectation), so attribution
+    // follows reality even while expectations are failing.
+    let mut generation = 0u64;
+    for (step, op) in script.iter().enumerate() {
+        let mut violate = |what: String| violations.push(format!("{step}:{what}"));
+        match op {
+            LifecycleOp::Healthz {
+                expect_generation,
+                expect_canary,
+            } => {
+                let (status, body) =
+                    http_roundtrip(addr, "GET", "/healthz", b"").unwrap_or((0, Vec::new()));
+                let body = String::from_utf8_lossy(&body).to_string();
+                if status != 200 {
+                    violate(format!("healthz-status-{status}"));
+                    continue;
+                }
+                match json_u64(&body, "generation") {
+                    Some(actual) => {
+                        generation = actual;
+                        if actual != *expect_generation {
+                            violate(format!(
+                                "healthz-generation-{actual}-want-{expect_generation}"
+                            ));
+                        }
+                    }
+                    None => violate("healthz-no-generation".to_string()),
+                }
+                let canary = json_str(&body, "canary").unwrap_or_default();
+                if canary != *expect_canary {
+                    violate(format!("healthz-canary-{canary}-want-{expect_canary}"));
+                }
+            }
+            LifecycleOp::Probe { seed, seconds } => {
+                let (status, body) =
+                    http_roundtrip(addr, "POST", "/v1/recommend", &feature_body(*seed))
+                        .unwrap_or((0, Vec::new()));
+                if status != 200 {
+                    violate(format!("probe-recommend-status-{status}"));
+                    continue;
+                }
+                let body = String::from_utf8_lossy(&body).to_string();
+                let Some(format) = json_str(&body, "format") else {
+                    violate("probe-no-format".to_string());
+                    continue;
+                };
+                let echo = feedback_body(*seed, &format, generation, *seconds);
+                let (status, _b) =
+                    http_roundtrip(addr, "POST", "/v1/feedback", &echo).unwrap_or((0, Vec::new()));
+                if status != 200 {
+                    violate(format!("probe-feedback-status-{status}"));
+                }
+            }
+            LifecycleOp::Score { seed } => {
+                let (status, _b) =
+                    http_roundtrip(addr, "POST", "/v1/recommend", &feature_body(*seed))
+                        .unwrap_or((0, Vec::new()));
+                if status != 200 {
+                    violate(format!("score-status-{status}"));
+                }
+            }
+            LifecycleOp::FeedbackFailed { seed } => {
+                let body = feedback_failed_body(*seed, "CSR", generation);
+                let (status, _b) =
+                    http_roundtrip(addr, "POST", "/v1/feedback", &body).unwrap_or((0, Vec::new()));
+                if status != 200 {
+                    violate(format!("failed-feedback-status-{status}"));
+                }
+            }
+            LifecycleOp::Sync => {
+                let (status, _b) = http_roundtrip(addr, "POST", "/admin/canary/sync", b"")
+                    .unwrap_or((0, Vec::new()));
+                if status != 200 {
+                    violate(format!("sync-status-{status}"));
+                }
+            }
+            LifecycleOp::Statz { expect } => {
+                let (status, body) =
+                    http_roundtrip(addr, "GET", "/statz", b"").unwrap_or((0, Vec::new()));
+                let body = String::from_utf8_lossy(&body).to_string();
+                if status != 200 {
+                    violate(format!("statz-status-{status}"));
+                } else if !body.contains(expect.as_str()) {
+                    violate(format!("statz-missing-{expect}"));
+                }
+            }
+        }
+    }
+    LifecycleReport {
+        steps: script.len(),
+        violations,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_pure_and_shaped_by_kind() {
+        let a = format!("{:?}", lifecycle_script(LifecycleKind::Promote, 11));
+        let b = format!("{:?}", lifecycle_script(LifecycleKind::Promote, 11));
+        assert_eq!(a, b);
+        let promote = lifecycle_script(LifecycleKind::Promote, 11);
+        let rollback = lifecycle_script(LifecycleKind::Rollback, 11);
+        let corrupt = lifecycle_script(LifecycleKind::Corrupt, 11);
+        assert!(rollback.len() > promote.len());
+        assert!(corrupt.len() < promote.len());
+        let probes = |ops: &[LifecycleOp]| {
+            ops.iter()
+                .filter(|op| matches!(op, LifecycleOp::Probe { .. }))
+                .count()
+        };
+        assert_eq!(probes(&promote), RETRAIN_AFTER);
+        assert_eq!(probes(&corrupt), RETRAIN_AFTER);
+        let scores = promote
+            .iter()
+            .filter(|op| matches!(op, LifecycleOp::Score { .. }))
+            .count();
+        assert_eq!(scores as u64, CANARY_WINDOW);
+        let fails = rollback
+            .iter()
+            .filter(|op| matches!(op, LifecycleOp::FeedbackFailed { .. }))
+            .count();
+        assert_eq!(fails as u64, WATCHDOG_ERRORS);
+    }
+
+    #[test]
+    fn json_scrapers_read_the_status_shape() {
+        let body = "{\"status\":\"ok\",\"mode\":\"model\",\"model_version\":3,\
+                    \"generation\":2,\"checksum\":\"abc\",\"canary\":\"watch\"}";
+        assert_eq!(json_u64(body, "generation"), Some(2));
+        assert_eq!(json_str(body, "canary").as_deref(), Some("watch"));
+        assert_eq!(json_str(body, "checksum").as_deref(), Some("abc"));
+        assert_eq!(json_u64(body, "missing"), None);
+    }
+
+    #[test]
+    fn report_renders_violations() {
+        let report = LifecycleReport {
+            steps: 3,
+            violations: vec!["1:healthz-status-0".to_string()],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"steps\":3"), "{json}");
+        assert!(json.contains("healthz-status-0"), "{json}");
+    }
+}

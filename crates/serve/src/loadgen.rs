@@ -7,7 +7,11 @@
 //! scheduling varies. Bodies are synthesized with a local LCG (no
 //! dependency on the workspace RNG stack) because the generator must stay
 //! self-contained enough to run from the bench harness and the smoke job
-//! alike.
+//! alike. Besides recommend traffic the mix carries `POST /v1/feedback`
+//! reports — measured ones that must be accepted and malformed ones that
+//! must be rejected with a 4xx — so the online-learning ingestion path is
+//! exercised (and its counters pinned) by every scripted run; the
+//! end-to-end retrain→canary→swap scenarios live in [`crate::lifecycle`].
 //!
 //! Two closed-loop runners share the scripted mix:
 //!
@@ -143,6 +147,10 @@ fn render_mm(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> Vec<u
     s.into_bytes()
 }
 
+/// `Format::label()` strings, for synthesizing feedback bodies without
+/// dragging the matrix crate into the generator's non-test surface.
+pub const FORMAT_LABELS: [&str; 6] = ["COO", "ELL", "CSR", "HYB", "merge-CSR", "CSR5"];
+
 /// A feature-vector request body: 17 finite values derived from `seed`.
 pub fn feature_body(seed: u64) -> Vec<u8> {
     let mut rng = Lcg::new(seed);
@@ -170,14 +178,42 @@ pub fn feature_body(seed: u64) -> Vec<u8> {
     s.into_bytes()
 }
 
+/// A measured-feedback body echoing `feature_body(seed)`'s features: the
+/// client reports it ran `format` on that matrix for `seconds`, on a
+/// recommendation from `generation`.
+pub fn feedback_body(seed: u64, format: &str, generation: u64, seconds: f64) -> Vec<u8> {
+    let mut body = feature_body(seed);
+    body.pop(); // trailing '}'
+    body.extend_from_slice(
+        format!(",\"format\":\"{format}\",\"generation\":{generation},\"seconds\":{seconds}")
+            .as_bytes(),
+    );
+    body.push(b'}');
+    body
+}
+
+/// A failed-outcome feedback body: `format` failed outright on the
+/// client for the matrix behind `feature_body(seed)`.
+pub fn feedback_failed_body(seed: u64, format: &str, generation: u64) -> Vec<u8> {
+    let mut body = feature_body(seed);
+    body.pop(); // trailing '}'
+    body.extend_from_slice(
+        format!(",\"format\":\"{format}\",\"generation\":{generation},\"status\":\"failed\"")
+            .as_bytes(),
+    );
+    body.push(b'}');
+    body
+}
+
 /// Build the scripted mix: well-formed matrices (banded, scattered,
-/// skewed), feature vectors, exact repeats (cache food), and malformed
-/// payloads, interleaved on a fixed cycle. Pure in `(total, seed)`.
+/// skewed), feature vectors, exact repeats (cache food), measured and
+/// malformed feedback reports, and malformed recommend payloads,
+/// interleaved on a fixed cycle. Pure in `(total, seed)`.
 pub fn build_mix(total: usize, seed: u64) -> Vec<LoadRequest> {
     let mut rng = Lcg::new(seed);
     let mut out: Vec<LoadRequest> = Vec::with_capacity(total);
     for i in 0..total {
-        let req = match i % 8 {
+        let req = match i % 10 {
             0 => LoadRequest {
                 name: format!("banded-{i}"),
                 method: "POST",
@@ -201,8 +237,8 @@ pub fn build_mix(total: usize, seed: u64) -> Vec<LoadRequest> {
             },
             3 => {
                 // Exact repeat of an earlier well-formed request: cache food.
-                // Indices 0/1/2 mod 8 are always well-formed, so aim there.
-                let back = (i / 2) - (i / 2) % 8 + (i % 3);
+                // Indices 0/1/2 mod 10 are always well-formed, so aim there.
+                let back = (i / 2) - (i / 2) % 10 + (i % 3);
                 let donor = &out[back];
                 LoadRequest {
                     name: format!("repeat-{i}-of-{back}"),
@@ -245,12 +281,38 @@ pub fn build_mix(total: usize, seed: u64) -> Vec<LoadRequest> {
                 body: Vec::new(),
                 expect: ExpectClass::Ok,
             },
-            _ => LoadRequest {
+            7 => LoadRequest {
                 name: format!("skewed-{i}"),
                 method: "POST",
                 target: "/v1/recommend",
                 body: skewed_mm(64 + (i % 4) * 8),
                 expect: ExpectClass::Ok,
+            },
+            8 => {
+                // Measured feedback against the boot generation (0), which
+                // every server has. Distinct seeds keep the bodies distinct,
+                // so the reservoir counters stay a pure function of the mix.
+                let label = FORMAT_LABELS[rng.below(FORMAT_LABELS.len() as u64) as usize];
+                let seconds = (1 + rng.below(1000)) as f64 * 1e-7;
+                LoadRequest {
+                    name: format!("feedback-{i}"),
+                    method: "POST",
+                    target: "/v1/feedback",
+                    body: feedback_body(seed.wrapping_add(i as u64), label, 0, seconds),
+                    expect: ExpectClass::Ok,
+                }
+            }
+            _ => LoadRequest {
+                name: format!("bad-feedback-{i}"),
+                method: "POST",
+                target: "/v1/feedback",
+                body: match i % 3 {
+                    // Wrong arity, unknown format, unknown generation.
+                    0 => b"{\"features\":[1,2],\"format\":\"CSR\",\"seconds\":0.001}".to_vec(),
+                    1 => feedback_body(seed.wrapping_add(i as u64), "NOPE", 0, 1e-6),
+                    _ => feedback_body(seed.wrapping_add(i as u64), "CSR", 9999, 1e-6),
+                },
+                expect: ExpectClass::ClientError,
             },
         };
         out.push(req);
@@ -814,9 +876,9 @@ mod tests {
         let repeats = mix
             .iter()
             .enumerate()
-            .filter(|(i, r)| i % 8 == 3 && mix.iter().take(*i).any(|p| p.body == r.body))
+            .filter(|(i, r)| i % 10 == 3 && mix.iter().take(*i).any(|p| p.body == r.body))
             .count();
-        assert!(repeats >= 7, "cache food missing: {repeats}");
+        assert!(repeats >= 6, "cache food missing: {repeats}");
         assert!(mix.iter().any(|r| r.expect == ExpectClass::ClientError));
         assert!(mix.iter().any(|r| r.expect == ExpectClass::Ok));
     }
@@ -826,10 +888,50 @@ mod tests {
         for total in [16usize, 64, 200] {
             let mix = build_mix(total, 3);
             for (i, r) in mix.iter().enumerate() {
-                if i % 8 == 3 {
+                if i % 10 == 3 {
                     assert_eq!(r.expect, ExpectClass::Ok, "repeat {i} donor malformed");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn mix_contains_feedback_of_both_classes_with_distinct_ok_bodies() {
+        let mix = build_mix(64, 7);
+        let ok_feedback: Vec<_> = mix
+            .iter()
+            .filter(|r| r.target == "/v1/feedback" && r.expect == ExpectClass::Ok)
+            .collect();
+        let bad_feedback = mix
+            .iter()
+            .filter(|r| r.target == "/v1/feedback" && r.expect == ExpectClass::ClientError)
+            .count();
+        assert!(ok_feedback.len() >= 5, "measured feedback missing");
+        assert!(bad_feedback >= 5, "malformed feedback missing");
+        // Distinct bodies: the reservoir's insert counter equals the
+        // feedback count regardless of arrival order only when no two
+        // scripted events are exact duplicates.
+        for (a, x) in ok_feedback.iter().enumerate() {
+            for y in ok_feedback.iter().skip(a + 1) {
+                assert_ne!(x.body, y.body, "duplicate scripted feedback");
+            }
+        }
+    }
+
+    #[test]
+    fn feedback_bodies_embed_format_generation_and_outcome() {
+        let measured = String::from_utf8(feedback_body(9, "CSR5", 3, 0.00025)).unwrap();
+        assert!(measured.starts_with("{\"features\":["));
+        assert!(measured.contains("\"format\":\"CSR5\""), "{measured}");
+        assert!(measured.contains("\"generation\":3"), "{measured}");
+        assert!(measured.contains("\"seconds\":0.00025"), "{measured}");
+        let failed = String::from_utf8(feedback_failed_body(9, "ELL", 1)).unwrap();
+        assert!(failed.contains("\"status\":\"failed\""), "{failed}");
+        assert!(failed.contains("\"generation\":1"), "{failed}");
+        // Every advertised label round-trips through the server's format
+        // table (compile-time drift check against spmv_matrix).
+        for (label, format) in FORMAT_LABELS.iter().zip(spmv_matrix::Format::ALL) {
+            assert_eq!(*label, format.label(), "FORMAT_LABELS out of sync");
         }
     }
 

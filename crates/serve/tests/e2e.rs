@@ -137,7 +137,7 @@ fn concurrent_mixed_load_matches_the_cli_surface() {
         })
         .unwrap_or(0);
     assert!(
-        hits >= 8,
+        hits >= 7,
         "expected cache hits from repeats, statz: {statz}"
     );
 
