@@ -1,0 +1,103 @@
+//! Criterion bench: native CPU SpMV kernel throughput — the measurement
+//! engine behind the `cpu-native` label environment.
+//!
+//! Two arms per (format, nnz) quantify the SIMD dispatch:
+//! * `avx2` — the runtime-dispatched AVX2+FMA path [`SimdLevel::detect`]
+//!   resolves to on this machine (falls back to scalar where the CPU
+//!   lacks the features, or where a format has no vector kernel).
+//! * `scalar` — the same kernels pinned to [`SimdLevel::Scalar`], the
+//!   `cpu-scalar` row of a native label grid.
+//!
+//! A third `reference` arm (CSR only) times the naive scalar
+//! `CsrMatrix::spmv` the differential tests compare against — the
+//! baseline of the PR's ">=2x at 400k nnz" claim.
+//!
+//! Throughput is reported in non-zeros/s; GFLOP/s = 2·nnz / time. The
+//! headline numbers (per-format GFLOP/s at 400k nnz, SIMD-vs-scalar
+//! speedups) are recorded in `BENCH_exec.json` at the repo root;
+//! regenerate with `cargo bench --bench exec`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_corpus::{GenKind, MatrixSpec};
+use spmv_exec::{spmv, ExecScratch, PreparedMatrix, SimdLevel};
+use spmv_matrix::{CsrMatrix, Format, RowStats};
+
+/// Uniform random matrix at ~32 nnz/row — the density regime the vector
+/// kernels are built for (8 nnz/row leaves every format bound on the
+/// per-row loop overhead rather than the inner product).
+fn uniform(nnz: usize, seed: u64) -> CsrMatrix<f64> {
+    MatrixSpec {
+        name: "bench".into(),
+        kind: GenKind::Uniform {
+            n_rows: nnz / 32,
+            n_cols: nnz / 32,
+            nnz,
+        },
+        seed,
+    }
+    .generate()
+}
+
+/// Deterministic sign-alternating dense vector (same scheme the native
+/// labeling path and the differential tests use).
+fn fill_x(x: &mut [f64]) {
+    for (i, v) in x.iter_mut().enumerate() {
+        let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        *v = if h & 1 == 0 {
+            frac + 0.5
+        } else {
+            -(frac + 0.5)
+        };
+    }
+}
+
+/// One SpMV per iteration, per format, per SIMD tier. Preparation (the
+/// format conversion) happens once outside the timed region, exactly as
+/// in the measurement harness.
+fn bench_spmv_formats(c: &mut Criterion) {
+    let detected = SimdLevel::detect();
+    let mut group = c.benchmark_group("exec_spmv");
+    group.sample_size(50);
+    for &nnz in &[20_000usize, 100_000, 400_000] {
+        let csr = uniform(nnz, 9);
+        let stats = RowStats::of(csr.row_ptr());
+        let mut x = vec![0.0f64; csr.n_cols()];
+        fill_x(&mut x);
+        {
+            let mut y = vec![0.0f64; csr.n_rows()];
+            group.throughput(Throughput::Elements(csr.nnz() as u64));
+            group.bench_with_input(BenchmarkId::new("CSR/reference", nnz), &csr, |b, m| {
+                b.iter(|| {
+                    m.spmv(&x, &mut y);
+                    criterion::black_box(y[0])
+                });
+            });
+        }
+        for fmt in Format::ALL {
+            let mut scratch = ExecScratch::new();
+            let prepared = match PreparedMatrix::build(&csr, fmt, &stats, &mut scratch) {
+                Ok(p) => p,
+                Err(_) => continue, // ELL padding cap etc. — not a bench failure
+            };
+            let mut y = vec![0.0f64; csr.n_rows()];
+            group.throughput(Throughput::Elements(csr.nnz() as u64));
+            for (arm, level) in [("avx2", detected), ("scalar", SimdLevel::Scalar)] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/{arm}", fmt.label()), nnz),
+                    &prepared,
+                    |b, m| {
+                        b.iter(|| {
+                            spmv(m, &x, &mut y, level);
+                            criterion::black_box(y[0])
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv_formats);
+criterion_main!(benches);

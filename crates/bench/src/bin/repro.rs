@@ -16,6 +16,18 @@
 //! experiment-cell sweeps (default: the `SPMV_THREADS` environment
 //! variable, else all cores). Results are byte-identical at any setting.
 //!
+//! `--env sim|cpu-native` selects where label times come from: the GPU
+//! simulator (default) or real timed runs of the native CPU kernels in
+//! `spmv-exec`. `--exec-synthetic` replaces native timing with the
+//! deterministic pseudo-measurement stream (seeded by the suite seed) so
+//! the whole native pipeline replays byte-identically in CI. Non-simulator
+//! runs cache labels and write artifacts under environment-tagged paths
+//! (`results/<scale>/cpu-native/...`), never clobbering the committed
+//! simulator artifacts; hardware-specific exhibits (fig2/fig3/sec5a) are
+//! skipped, and two extra artifacts appear: `exec_divergence` (simulated
+//! vs measured winner structure) and `exec_oracle` (advisor-pick vs
+//! oracle throughput on the native labels).
+//!
 //! `--trace-out PATH` (or `SPMV_TRACE=PATH`) writes a run manifest: a JSON
 //! observability artifact whose deterministic section (counters, span
 //! shape, provenance) is byte-identical at any thread count, with wall
@@ -27,11 +39,11 @@ use std::time::Instant;
 
 use spmv_core::ablation::ablations;
 use spmv_core::experiments::{
-    classification_tables, fig2, fig3, fig6, fig7, importance_figure, sec5a, slowdown_table,
-    table1, table14, ExperimentConfig, ExperimentResult,
+    classification_tables, exec_divergence, exec_oracle, fig2, fig3, fig6, fig7, importance_figure,
+    sec5a, slowdown_table, table1, table14, ExperimentConfig, ExperimentResult,
 };
 use spmv_core::extensions::extensions;
-use spmv_core::ModelKind;
+use spmv_core::{LabelEnvironment, ModelKind};
 use spmv_matrix::Precision;
 
 fn main() {
@@ -40,6 +52,8 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut threads_flag: Option<usize> = None;
     let mut trace_flag: Option<PathBuf> = None;
+    let mut env_flag: Option<LabelEnvironment> = None;
+    let mut exec_synthetic = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -47,6 +61,14 @@ fn main() {
             "--quick" => cfg = ExperimentConfig::quick(),
             "--full" => cfg = ExperimentConfig::full(),
             "--paper-grids" => cfg = cfg.clone().with_paper_grids(),
+            "--env" => {
+                let spec = it.next().map(String::as_str).unwrap_or("");
+                env_flag = Some(LabelEnvironment::parse(spec).unwrap_or_else(|| {
+                    eprintln!("error: --env needs sim|cpu-native|cpu-synthetic (got {spec:?})");
+                    std::process::exit(2);
+                }));
+            }
+            "--exec-synthetic" => exec_synthetic = true,
             "--threads" => {
                 let n = it
                     .next()
@@ -65,7 +87,7 @@ fn main() {
                 trace_flag = Some(PathBuf::from(p));
             }
             "--help" | "-h" => {
-                eprintln!("usage: repro [--tiny|--quick|--full] [--paper-grids] [--threads N] [--trace-out PATH] [table1 fig2 fig3 table4..table14 fig4..fig7 ablation ...]");
+                eprintln!("usage: repro [--tiny|--quick|--full] [--paper-grids] [--env sim|cpu-native] [--exec-synthetic] [--threads N] [--trace-out PATH] [table1 fig2 fig3 table4..table14 fig4..fig7 ablation ...]");
                 return;
             }
             other => ids.push(other.to_string()),
@@ -74,6 +96,16 @@ fn main() {
     // Applied after scale selection: --tiny/--quick/--full replace cfg
     // wholesale, and the flag must win over SPMV_THREADS and core count.
     cfg.threads = spmv_ml::thread_budget(threads_flag);
+    if let Some(env) = env_flag {
+        cfg = cfg.with_env(env);
+    }
+    // `--exec-synthetic` (or `--env cpu-synthetic`) replays the native
+    // pipeline on the deterministic stream, seeded by the suite seed so
+    // every scale gets its own stable labels.
+    if exec_synthetic || matches!(cfg.env, LabelEnvironment::CpuSynthetic { .. }) {
+        let seed = cfg.suite_seed;
+        cfg = cfg.with_env(LabelEnvironment::CpuSynthetic { seed });
+    }
     let trace = spmv_core::TraceSession::start(trace_flag);
     if trace.is_some() {
         // Run identity lands in the deterministic section; anything that
@@ -83,17 +115,27 @@ fn main() {
         spmv_core::observe::set_provenance("scale", &format!("{:?}", cfg.scale));
         spmv_core::observe::set_provenance("suite_seed", &cfg.suite_seed.to_string());
         spmv_core::observe::set_provenance("split_seed", &cfg.split_seed.to_string());
+        spmv_core::observe::set_provenance("env", cfg.env.tag());
         spmv_core::observe::set_timing_info("threads", &cfg.threads.to_string());
     }
     let want = |id: &str| ids.is_empty() || ids.iter().any(|x| x == id);
 
     // Each scale writes to its own directory so a full-scale run does not
     // clobber the default Small-scale artifacts EXPERIMENTS.md references.
-    let outdir = match cfg.scale {
+    // Non-simulator environments get a further env-tagged subdirectory so
+    // measured/synthetic artifacts never overwrite the committed simulator
+    // ones (`git diff --exit-code results/` stays a valid determinism check).
+    let scale_dir = match cfg.scale {
         spmv_corpus::CorpusScale::Tiny => "results/tiny",
         spmv_corpus::CorpusScale::Small => "results",
         spmv_corpus::CorpusScale::Full => "results/full",
     };
+    let outdir = if cfg.env == LabelEnvironment::Simulator {
+        scale_dir.to_string()
+    } else {
+        format!("{scale_dir}/{}", cfg.env.tag())
+    };
+    let outdir = outdir.as_str();
     std::fs::create_dir_all(outdir).expect("create results dir");
 
     eprintln!(
@@ -130,9 +172,16 @@ fn main() {
     };
 
     run("table1", &mut || vec![table1(&corpus)]);
-    run("fig2", &mut || vec![fig2()]);
-    run("fig3", &mut || vec![fig3()]);
-    run("sec5a", &mut || vec![sec5a(&corpus)]);
+    if cfg.env == LabelEnvironment::Simulator {
+        run("fig2", &mut || vec![fig2()]);
+        run("fig3", &mut || vec![fig3()]);
+        run("sec5a", &mut || vec![sec5a(&corpus)]);
+    } else {
+        eprintln!(
+            "[repro] env {}: skipping fig2/fig3/sec5a (simulator-hardware exhibits)",
+            cfg.env.tag()
+        );
+    }
     run(
         "table4,table5,table6,table7,table8,table9,table10",
         &mut || classification_tables(&corpus, &cfg),
@@ -160,6 +209,16 @@ fn main() {
     run("fig6", &mut || vec![fig6(&corpus, &cfg)]);
     run("fig7", &mut || vec![fig7(&corpus, &cfg)]);
     run("table14", &mut || vec![table14(&corpus, &cfg)]);
+    if cfg.env != LabelEnvironment::Simulator {
+        run("exec_oracle", &mut || vec![exec_oracle(&corpus, &cfg)]);
+        run("exec_divergence", &mut || {
+            // The simulated twin of this corpus: same suite, same seeds,
+            // labels from the GPU model instead of the CPU kernels.
+            eprintln!("[repro] collecting/loading simulator labels for exec_divergence...");
+            let sim_corpus = cfg.clone().with_env(LabelEnvironment::Simulator).corpus();
+            vec![exec_divergence(&sim_corpus, &corpus, cfg.env)]
+        });
+    }
     if ids.iter().any(|x| x == "ablation") {
         run("ablation", &mut || ablations(&corpus, &cfg));
     }

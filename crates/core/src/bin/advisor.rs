@@ -25,6 +25,13 @@
 //!
 //! `--model` loads a saved advisor artifact instead of training;
 //! `--save-model` persists the trained advisor for later `--model` runs.
+//! `--train-env sim|cpu-native|cpu-synthetic` picks where training labels
+//! come from (default: the GPU simulator). Under a CPU environment the
+//! two architecture rows are `cpu-simd`/`cpu-scalar` instead of
+//! K80c/P100, so `--gpu k80c` selects the SIMD row and `--gpu p100` the
+//! scalar row; native label collection runs the `spmv-exec` kernels on
+//! first use and caches under an env-tagged name next to the simulator
+//! cache.
 //! `--explain` additionally prints the GPU model's per-format timing
 //! breakdown (launch / compute / DRAM / L2 / critical-path / atomics and
 //! the binding bottleneck) — the "why" behind the recommendation.
@@ -48,7 +55,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use spmv_core::experiments::ExperimentConfig;
-use spmv_core::{Env, FormatAdvisor, Recommendation, SearchBudget};
+use spmv_core::{Env, FormatAdvisor, LabelEnvironment, Recommendation, SearchBudget};
 use spmv_corpus::CorpusScale;
 use spmv_features::{extract, FeatureId};
 use spmv_gpusim::{predict, KernelProfile};
@@ -62,7 +69,8 @@ const EXIT_MATRIX: u8 = 3;
 const EXIT_ARTIFACT: u8 = 4;
 
 const USAGE: &str = "usage: spmv-advisor <matrix.mtx> [--gpu k80c|p100] \
-                     [--precision single|double] [--train-scale tiny|small] [--explain] \
+                     [--precision single|double] [--train-scale tiny|small] \
+                     [--train-env sim|cpu-native|cpu-synthetic] [--explain] \
                      [--json] [--model <advisor.json>] [--save-model <advisor.json>] \
                      [--trace-out <trace.json>]\n\
                      \x20      spmv-advisor --model-info <advisor.json> [--json]";
@@ -77,6 +85,7 @@ struct Opts {
     arch_idx: usize,
     precision: Precision,
     scale: CorpusScale,
+    train_env: LabelEnvironment,
     explain: bool,
     json: bool,
     model: Option<PathBuf>,
@@ -93,6 +102,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
     let mut arch_idx = 1usize; // P100
     let mut precision = Precision::Double;
     let mut scale = CorpusScale::Small;
+    let mut train_env = LabelEnvironment::Simulator;
     let mut explain = false;
     let mut json = false;
     let mut model: Option<PathBuf> = None;
@@ -115,6 +125,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
                 Some("tiny") => scale = CorpusScale::Tiny,
                 Some("small") => scale = CorpusScale::Small,
                 other => return Err(format!("unknown --train-scale {other:?} (tiny|small)")),
+            },
+            "--train-env" => match args.next().as_deref().and_then(LabelEnvironment::parse) {
+                Some(env) => train_env = env,
+                None => {
+                    return Err("unknown --train-env (sim|cpu-native|cpu-synthetic)".to_string())
+                }
             },
             "--model" => match args.next() {
                 Some(p) => model = Some(PathBuf::from(p)),
@@ -158,6 +174,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
         arch_idx,
         precision,
         scale,
+        train_env,
         explain,
         json,
         model,
@@ -311,9 +328,18 @@ fn run(opts: &Opts) -> ExitCode {
                 CorpusScale::Tiny => ExperimentConfig::tiny(),
                 _ => ExperimentConfig::quick(),
             };
+            // `cpu-synthetic` takes its stream seed from the suite so the
+            // labels line up with what `repro --exec-synthetic` collects.
+            let train_env = match opts.train_env {
+                LabelEnvironment::CpuSynthetic { .. } => LabelEnvironment::CpuSynthetic {
+                    seed: cfg.suite_seed,
+                },
+                other => other,
+            };
+            let cfg = cfg.with_env(train_env);
             eprintln!(
                 "\ntraining advisor for {} (corpus cached under results/)...",
-                env.label()
+                train_env.env_label(env)
             );
             let corpus = cfg.corpus();
             FormatAdvisor::train(&corpus, env, SearchBudget::Quick)

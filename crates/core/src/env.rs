@@ -1,7 +1,10 @@
-//! Experiment environments: the (GPU, precision) grid the paper's tables
-//! iterate over.
+//! Experiment environments: the (machine, precision) grid the paper's
+//! tables iterate over, plus the descriptor of *how* the label times in
+//! that grid were produced — the GPU simulator (the default), native CPU
+//! kernel measurement, or the deterministic synthetic replay of it.
 
 use serde::{Deserialize, Serialize};
+use spmv_exec::{ExecMode, SimdLevel};
 use spmv_gpusim::GpuArch;
 use spmv_matrix::Precision;
 
@@ -47,6 +50,164 @@ impl Env {
     }
 }
 
+/// The two architecture rows of a CPU-measured label grid, in `arch_idx`
+/// order: row 0 runs the kernels at the best available SIMD tier, row 1
+/// pins them scalar. Two "machines" the way K80c/P100 are two machines —
+/// the format-selection problem is posed identically over them.
+pub const CPU_ARCH_LABELS: [&str; 2] = ["cpu-simd", "cpu-scalar"];
+
+/// Where label times come from: the paper-calibrated GPU simulator, real
+/// timed runs of the native CPU kernels in `spmv-exec`, or the
+/// deterministic synthetic stand-in for those runs (CI replay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelEnvironment {
+    /// The GPU simulator over [`GpuArch::PAPER_MACHINES`] (default).
+    Simulator,
+    /// Measured native CPU kernels: arch rows are
+    /// [`CPU_ARCH_LABELS`] (detected-SIMD and forced-scalar tiers).
+    CpuNative,
+    /// The same grid shape as [`LabelEnvironment::CpuNative`], but times
+    /// come from [`spmv_exec::synthetic_time`] — machine-independent and
+    /// byte-reproducible, for CI replay of the native pipeline.
+    CpuSynthetic {
+        /// Stream seed folded into every pseudo-time.
+        seed: u64,
+    },
+}
+
+impl LabelEnvironment {
+    /// Parse a CLI spelling. `cpu-synthetic` gets seed 0; callers wanting
+    /// a specific replay seed construct the variant directly.
+    pub fn parse(s: &str) -> Option<LabelEnvironment> {
+        match s {
+            "sim" | "simulator" => Some(LabelEnvironment::Simulator),
+            "cpu-native" | "cpu" => Some(LabelEnvironment::CpuNative),
+            "cpu-synthetic" => Some(LabelEnvironment::CpuSynthetic { seed: 0 }),
+            _ => None,
+        }
+    }
+
+    /// Short stable tag: cache-file suffixes, artifact subdirectories,
+    /// run-manifest provenance.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            LabelEnvironment::Simulator => "sim",
+            LabelEnvironment::CpuNative => "cpu-native",
+            LabelEnvironment::CpuSynthetic { .. } => "cpu-synthetic",
+        }
+    }
+
+    /// How the native collector produces times; `None` for the simulator.
+    pub fn exec_mode(&self) -> Option<ExecMode> {
+        match *self {
+            LabelEnvironment::Simulator => None,
+            LabelEnvironment::CpuNative => Some(ExecMode::Measured),
+            LabelEnvironment::CpuSynthetic { seed } => Some(ExecMode::Synthetic { seed }),
+        }
+    }
+
+    /// The architecture-row name for `arch_idx` — exactly
+    /// `env.arch().name` under the simulator, so every string derived
+    /// from it (sweep seeds, rendered tables) is unchanged there.
+    pub fn arch_name(&self, arch_idx: usize) -> &'static str {
+        match self {
+            LabelEnvironment::Simulator => GpuArch::PAPER_MACHINES[arch_idx].name,
+            _ => CPU_ARCH_LABELS[arch_idx],
+        }
+    }
+
+    /// Row label for one grid cell, e.g. `"P100 double"` or
+    /// `"cpu-simd single"`; equals [`Env::label`] under the simulator.
+    pub fn env_label(&self, env: Env) -> String {
+        format!("{} {}", self.arch_name(env.arch_idx), env.precision.label())
+    }
+
+    /// The serializable descriptor of this environment.
+    pub fn spec(&self) -> EnvSpec {
+        match *self {
+            LabelEnvironment::Simulator => EnvSpec::default(),
+            LabelEnvironment::CpuNative => EnvSpec::cpu("cpu-native", None),
+            LabelEnvironment::CpuSynthetic { seed } => EnvSpec::cpu("cpu-synthetic", Some(seed)),
+        }
+    }
+
+    /// The SIMD tier arch row `arch_idx` of a CPU grid dispatches at. In
+    /// synthetic mode row 0 is pinned to AVX2 *coefficients* regardless
+    /// of the host (pseudo-times never run kernels), keeping CI labels
+    /// machine-independent; measured mode probes the real CPU.
+    pub fn cpu_tier(&self, arch_idx: usize) -> SimdLevel {
+        match (arch_idx, self) {
+            (0, LabelEnvironment::CpuNative) => SimdLevel::detect(),
+            (0, LabelEnvironment::CpuSynthetic { .. }) => SimdLevel::Avx2,
+            _ => SimdLevel::Scalar,
+        }
+    }
+}
+
+/// Serializable descriptor of the measurement environment a label grid
+/// came from: which backend, which architecture rows, what operation, and
+/// which precisions. Threaded into label-cache validity checks and the
+/// run manifest's deterministic section, so a cache produced by one
+/// backend is never silently reused by another.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnvSpec {
+    /// Backend kind: `"simulator"`, `"cpu-native"`, or `"cpu-synthetic"`.
+    pub kind: String,
+    /// Architecture rows of the grid, in `arch_idx` order.
+    pub archs: Vec<String>,
+    /// Operation measured (always `"spmv"` today).
+    pub op: String,
+    /// Precision columns, in [`Precision::ALL`] order.
+    pub precisions: Vec<String>,
+    /// Synthetic-mode stream seed; `None` for measured backends.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub synth_seed: Option<u64>,
+}
+
+impl EnvSpec {
+    fn with_archs(kind: &str, archs: Vec<String>, synth_seed: Option<u64>) -> EnvSpec {
+        EnvSpec {
+            kind: kind.to_string(),
+            archs,
+            op: "spmv".to_string(),
+            precisions: Precision::ALL
+                .iter()
+                .map(|p| p.label().to_string())
+                .collect(),
+            synth_seed,
+        }
+    }
+
+    fn cpu(kind: &str, synth_seed: Option<u64>) -> EnvSpec {
+        Self::with_archs(
+            kind,
+            CPU_ARCH_LABELS.iter().map(|s| s.to_string()).collect(),
+            synth_seed,
+        )
+    }
+
+    /// Whether this is the default simulator environment (the one label
+    /// caches predate the field for, so it serializes as nothing at all).
+    pub fn is_simulator(&self) -> bool {
+        self.kind == "simulator"
+    }
+}
+
+impl Default for EnvSpec {
+    /// The simulator descriptor — the implied environment of every label
+    /// cache written before environments were recorded.
+    fn default() -> EnvSpec {
+        Self::with_archs(
+            "simulator",
+            GpuArch::PAPER_MACHINES
+                .iter()
+                .map(|a| a.name.to_string())
+                .collect(),
+            None,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,5 +225,71 @@ mod tests {
     fn arch_resolution() {
         assert_eq!(Env::ALL[0].arch().name, "K80c");
         assert_eq!(Env::ALL[2].arch().name, "P100");
+    }
+
+    #[test]
+    fn simulator_labels_are_unchanged_by_the_environment_indirection() {
+        // sweep_seed and every rendered table go through these strings:
+        // under the simulator they must be byte-identical to the
+        // pre-LabelEnvironment spellings.
+        let le = LabelEnvironment::Simulator;
+        for env in Env::ALL {
+            assert_eq!(le.env_label(env), env.label());
+            assert_eq!(le.arch_name(env.arch_idx), env.arch().name);
+        }
+    }
+
+    #[test]
+    fn cpu_environments_expose_the_simd_and_scalar_rows() {
+        let le = LabelEnvironment::CpuNative;
+        assert_eq!(le.arch_name(0), "cpu-simd");
+        assert_eq!(le.arch_name(1), "cpu-scalar");
+        assert_eq!(
+            le.env_label(Env {
+                arch_idx: 0,
+                precision: Precision::Double
+            }),
+            "cpu-simd double"
+        );
+        assert_eq!(le.cpu_tier(1), SimdLevel::Scalar);
+        // Synthetic row 0 is pinned to AVX2 coefficients on any host.
+        let synth = LabelEnvironment::CpuSynthetic { seed: 3 };
+        assert_eq!(synth.cpu_tier(0), SimdLevel::Avx2);
+        assert_eq!(synth.exec_mode(), Some(ExecMode::Synthetic { seed: 3 }));
+    }
+
+    #[test]
+    fn env_spec_round_trips_and_defaults_to_simulator() {
+        let sim = EnvSpec::default();
+        assert!(sim.is_simulator());
+        assert_eq!(sim.archs, vec!["K80c", "P100"]);
+        let native = LabelEnvironment::CpuNative.spec();
+        assert!(!native.is_simulator());
+        assert_eq!(native.archs, vec!["cpu-simd", "cpu-scalar"]);
+        assert_eq!(native.op, "spmv");
+        let json = serde_json::to_string(&native).unwrap();
+        assert!(!json.contains("synth_seed"), "measured spec omits the seed");
+        let back: EnvSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, native);
+        let synth = LabelEnvironment::CpuSynthetic { seed: 9 }.spec();
+        assert_eq!(synth.synth_seed, Some(9));
+        assert_ne!(synth, native);
+    }
+
+    #[test]
+    fn parse_covers_the_cli_spellings() {
+        assert_eq!(
+            LabelEnvironment::parse("sim"),
+            Some(LabelEnvironment::Simulator)
+        );
+        assert_eq!(
+            LabelEnvironment::parse("cpu-native"),
+            Some(LabelEnvironment::CpuNative)
+        );
+        assert_eq!(
+            LabelEnvironment::parse("cpu-synthetic"),
+            Some(LabelEnvironment::CpuSynthetic { seed: 0 })
+        );
+        assert_eq!(LabelEnvironment::parse("gpu"), None);
     }
 }

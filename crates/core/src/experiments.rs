@@ -10,11 +10,12 @@ use spmv_gpusim::{GpuArch, Simulator};
 use spmv_matrix::{CsrMatrix, Format, Precision, SparseMatrix};
 use spmv_ml::{thread_budget, Executor, SlowdownTable};
 
+use crate::advisor::FormatAdvisor;
 use crate::classify::{evaluate_classifier, xgboost_importance, ModelKind, SearchBudget};
 use crate::dataset::{ClassificationTask, RegressionTask};
-use crate::env::Env;
+use crate::env::{Env, LabelEnvironment};
 use crate::indirect::evaluate_indirect;
-use crate::labels::LabeledCorpus;
+use crate::labels::{LabeledCorpus, MatrixRecord, N_FORMATS};
 use crate::regress::{evaluate_regressor, RegModelKind};
 use crate::report::{pct, render_bars, render_table};
 use crate::slowdown::slowdown_of;
@@ -32,8 +33,11 @@ pub struct ExperimentConfig {
     pub budget: SearchBudget,
     /// Worker threads for label collection and experiment-cell sweeps.
     pub threads: usize,
-    /// Label cache file.
+    /// Label cache file (for the simulator environment; other
+    /// environments suffix their tag — see [`Self::env_cache_path`]).
     pub cache_path: PathBuf,
+    /// Where label times come from (simulator, native CPU, synthetic).
+    pub env: LabelEnvironment,
 }
 
 impl ExperimentConfig {
@@ -47,6 +51,7 @@ impl ExperimentConfig {
             budget: SearchBudget::Quick,
             threads: thread_budget(None),
             cache_path: PathBuf::from("results/labels_small.json"),
+            env: LabelEnvironment::Simulator,
         }
     }
 
@@ -78,15 +83,50 @@ impl ExperimentConfig {
         }
     }
 
-    /// Load (or collect and cache) the labeled corpus.
+    /// Switch the label environment (native CPU measurement or its
+    /// synthetic CI replay instead of the default simulator).
+    pub fn with_env(mut self, env: LabelEnvironment) -> ExperimentConfig {
+        self.env = env;
+        self
+    }
+
+    /// The label-cache path for the active environment: the simulator
+    /// uses `cache_path` verbatim; other environments insert their tag
+    /// before the extension (`labels_tiny.cpu-native.json`), so the two
+    /// backends never clobber each other's caches.
+    pub fn env_cache_path(&self) -> PathBuf {
+        match self.env {
+            LabelEnvironment::Simulator => self.cache_path.clone(),
+            env => {
+                let stem = self
+                    .cache_path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("labels");
+                self.cache_path
+                    .with_file_name(format!("{stem}.{}.json", env.tag()))
+            }
+        }
+    }
+
+    /// Load (or collect and cache) the labeled corpus in the configured
+    /// environment.
     pub fn corpus(&self) -> LabeledCorpus {
         let suite = SyntheticSuite::sample(self.scale, self.suite_seed);
-        LabeledCorpus::load_or_collect(
-            &suite,
-            &Simulator::default(),
-            self.threads,
-            &self.cache_path,
-        )
+        match self.env {
+            LabelEnvironment::Simulator => LabeledCorpus::load_or_collect(
+                &suite,
+                &Simulator::default(),
+                self.threads,
+                &self.cache_path,
+            ),
+            env => LabeledCorpus::load_or_collect_native(
+                &suite,
+                env,
+                self.threads,
+                &self.env_cache_path(),
+            ),
+        }
     }
 }
 
@@ -456,7 +496,7 @@ pub fn accuracy_table(
         let task = ClassificationTask::build(corpus, env, formats, set, drop_coo);
         let seed = sweep_seed(
             cfg.split_seed,
-            &[id, &env.label(), set.label(), kind.label()],
+            &[id, &cfg.env.env_label(env), set.label(), kind.label()],
         );
         evaluate_classifier(&Executor::serial(), kind, &task, seed, cfg.budget).accuracy
     });
@@ -464,7 +504,7 @@ pub fn accuracy_table(
     for (env, accs) in Env::ALL.into_iter().zip(accs.chunks(nm)) {
         let best = accs.iter().copied().fold(0.0f64, f64::max);
         let mut cells = vec![
-            env.arch().name.to_string(),
+            cfg.env.arch_name(env.arch_idx).to_string(),
             env.precision.label().to_string(),
         ];
         for a in accs {
@@ -572,7 +612,10 @@ pub fn importance_figure(
     let imps = exec.map(envs.len(), |i| {
         let env = envs[i];
         let task = ClassificationTask::build(corpus, env, &all, FeatureSet::Set123, true);
-        xgboost_importance(&task, sweep_seed(cfg.split_seed, &[id, &env.label()]))
+        xgboost_importance(
+            &task,
+            sweep_seed(cfg.split_seed, &[id, &cfg.env.env_label(env)]),
+        )
     });
     let mut body = String::new();
     for (env, imp) in envs.into_iter().zip(imps) {
@@ -582,7 +625,10 @@ pub fn importance_figure(
             .collect();
         items.sort_by(|a, b| a.1.total_cmp(&b.1));
         body.push_str(&render_bars(
-            &format!("XGBoost feature importance (F score) — {}", env.label()),
+            &format!(
+                "XGBoost feature importance (F score) — {}",
+                cfg.env.env_label(env)
+            ),
             &items,
             "splits",
         ));
@@ -627,7 +673,7 @@ pub fn slowdown_table(
         let task = ClassificationTask::build(corpus, env, &all, set, true);
         let seed = sweep_seed(
             cfg.split_seed,
-            &[id, &env.label(), set.label(), kind.label()],
+            &[id, &cfg.env.env_label(env), set.label(), kind.label()],
         );
         let out = evaluate_classifier(&Executor::serial(), kind, &task, seed, cfg.budget);
         let t: SlowdownTable = slowdown_of(&task, &out);
@@ -641,8 +687,9 @@ pub fn slowdown_table(
         ]
     });
     let title = format!(
-        "Slowdown cases using {} on P100, double precision (test set)",
-        kind.label()
+        "Slowdown cases using {} on {}, double precision (test set)",
+        kind.label(),
+        cfg.env.arch_name(1)
     );
     let body = render_table(
         &title,
@@ -687,7 +734,7 @@ pub fn fig6(corpus: &LabeledCorpus, cfg: &ExperimentConfig) -> ExperimentResult 
         let task = RegressionTask::build(corpus, env, &all, set);
         let seed = sweep_seed(
             cfg.split_seed,
-            &["fig6", &env.label(), set.label(), kind.label()],
+            &["fig6", &cfg.env.env_label(env), set.label(), kind.label()],
         );
         evaluate_regressor(kind, &task, seed, cfg.budget).rme
     });
@@ -703,7 +750,10 @@ pub fn fig6(corpus: &LabeledCorpus, cfg: &ExperimentConfig) -> ExperimentResult 
             })
             .collect();
         body.push_str(&render_table(
-            &format!("Average RME %, 6 formats — {} (double)", env.arch().name),
+            &format!(
+                "Average RME %, 6 formats — {} (double)",
+                cfg.env.arch_name(env.arch_idx)
+            ),
             &[
                 "feature set".into(),
                 "MLP regressor".into(),
@@ -743,7 +793,7 @@ pub fn fig7(corpus: &LabeledCorpus, cfg: &ExperimentConfig) -> ExperimentResult 
         let task = RegressionTask::build(corpus, env, &[fmt], set);
         let seed = sweep_seed(
             cfg.split_seed,
-            &["fig7", &env.label(), fmt.label(), set.label()],
+            &["fig7", &cfg.env.env_label(env), fmt.label(), set.label()],
         );
         evaluate_regressor(RegModelKind::MlpEnsemble, &task, seed, cfg.budget).rme
     });
@@ -763,7 +813,7 @@ pub fn fig7(corpus: &LabeledCorpus, cfg: &ExperimentConfig) -> ExperimentResult 
         body.push_str(&render_table(
             &format!(
                 "Per-format RME %, MLP ensemble regressor — {} (double)",
-                env.arch().name
+                cfg.env.arch_name(env.arch_idx)
             ),
             &header,
             &rows,
@@ -795,7 +845,10 @@ pub fn table14(corpus: &LabeledCorpus, cfg: &ExperimentConfig) -> ExperimentResu
             0 => {
                 let ctask =
                     ClassificationTask::build(corpus, env, &all, FeatureSet::Important, true);
-                let seed = sweep_seed(cfg.split_seed, &["table14", &env.label(), "XGBST"]);
+                let seed = sweep_seed(
+                    cfg.split_seed,
+                    &["table14", &cfg.env.env_label(env), "XGBST"],
+                );
                 evaluate_classifier(
                     &Executor::serial(),
                     ModelKind::Xgboost,
@@ -807,7 +860,10 @@ pub fn table14(corpus: &LabeledCorpus, cfg: &ExperimentConfig) -> ExperimentResu
             }
             col => {
                 let rtask = RegressionTask::build(corpus, env, &all, FeatureSet::Important);
-                let seed = sweep_seed(cfg.split_seed, &["table14", &env.label(), "indirect"]);
+                let seed = sweep_seed(
+                    cfg.split_seed,
+                    &["table14", &cfg.env.env_label(env), "indirect"],
+                );
                 let tolerance = if col == 1 { 0.0 } else { 0.05 };
                 evaluate_indirect(
                     RegModelKind::MlpEnsemble,
@@ -825,7 +881,7 @@ pub fn table14(corpus: &LabeledCorpus, cfg: &ExperimentConfig) -> ExperimentResu
         .zip(accs.chunks(3))
         .map(|(env, a)| {
             vec![
-                env.arch().name.to_string(),
+                cfg.env.arch_name(env.arch_idx).to_string(),
                 env.precision.label().to_string(),
                 pct(a[0]),
                 pct(a[1]),
@@ -847,6 +903,172 @@ pub fn table14(corpus: &LabeledCorpus, cfg: &ExperimentConfig) -> ExperimentResu
     ExperimentResult {
         id: "table14",
         title: "Table XIV — indirect classification".into(),
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Native-execution studies: simulated vs measured labels
+// ---------------------------------------------------------------------------
+
+/// Winner share per format for one (corpus, env) row of the divergence
+/// table.
+fn winner_share_row(label: String, corpus: &LabeledCorpus, env: Env) -> Vec<String> {
+    let usable = corpus.usable(&Format::ALL);
+    let mut wins = [0usize; N_FORMATS];
+    for r in &usable {
+        if let Some(best) = r.best_format(env, &Format::ALL) {
+            wins[best.class_id()] += 1;
+        }
+    }
+    let n = usable.len().max(1) as f64;
+    let mut cells = vec![label, usable.len().to_string()];
+    cells.extend(
+        wins.iter()
+            .map(|&w| format!("{:.0}%", 100.0 * w as f64 / n)),
+    );
+    cells
+}
+
+/// How the measured (or synthetic) CPU environment diverges from the GPU
+/// simulator on the *same* corpus: per-environment winner distributions
+/// side by side, plus the per-matrix winner agreement between the
+/// simulator's P100 rows and the CPU's vectorized rows. Low agreement is
+/// the point — it demonstrates that format selection is
+/// environment-specific, which is why labels must come from the
+/// deployment environment (the paper's premise, §IV-B).
+pub fn exec_divergence(
+    sim: &LabeledCorpus,
+    native: &LabeledCorpus,
+    native_env: LabelEnvironment,
+) -> ExperimentResult {
+    let mut rows = Vec::new();
+    for env in Env::ALL {
+        rows.push(winner_share_row(format!("sim {}", env.label()), sim, env));
+    }
+    for env in Env::ALL {
+        rows.push(winner_share_row(
+            format!("exec {}", native_env.env_label(env)),
+            native,
+            env,
+        ));
+    }
+    let mut header: Vec<String> = vec!["environment".into(), "usable".into()];
+    header.extend(Format::ALL.iter().map(|f| f.label().to_string()));
+    let mut body = render_table(
+        "Winner distribution: simulated GPU labels vs native CPU labels (same corpus)",
+        &header,
+        &rows,
+    );
+    // Per-matrix agreement between the simulator's P100 row and the CPU's
+    // vectorized row, matched by record (both corpora label the same
+    // suite in the same order).
+    for prec in Precision::ALL {
+        let sim_env = Env {
+            arch_idx: 1,
+            precision: prec,
+        };
+        let cpu_env = Env {
+            arch_idx: 0,
+            precision: prec,
+        };
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for (rs, rn) in sim.records.iter().zip(&native.records) {
+            let (a, b) = (
+                rs.best_format(sim_env, &Format::ALL),
+                rn.best_format(cpu_env, &Format::ALL),
+            );
+            if let (Some(a), Some(b)) = (a, b) {
+                total += 1;
+                if a == b {
+                    agree += 1;
+                }
+            }
+        }
+        body.push_str(&format!(
+            "winner agreement, sim {} vs exec {}: {agree}/{total} ({:.1}%)\n",
+            sim_env.label(),
+            native_env.env_label(cpu_env),
+            100.0 * agree as f64 / total.max(1) as f64
+        ));
+    }
+    ExperimentResult {
+        id: "exec_divergence",
+        title: "Native execution — simulated vs measured winner divergence".into(),
+        body,
+    }
+}
+
+/// Advisor-vs-oracle throughput on a natively labeled corpus: train the
+/// [`FormatAdvisor`] on 3/4 of the records, then score its picks on the
+/// held-out quarter by *achieved fraction of oracle throughput* —
+/// the deployment metric (a wrong pick that is 2% slower matters less
+/// than one that is 2x slower), alongside plain pick accuracy.
+pub fn exec_oracle(corpus: &LabeledCorpus, cfg: &ExperimentConfig) -> ExperimentResult {
+    let all: Vec<Format> = Format::ALL.to_vec();
+    let train = LabeledCorpus {
+        suite_seed: corpus.suite_seed,
+        model_version: corpus.model_version,
+        env_spec: corpus.env_spec.clone(),
+        records: corpus
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 4 != 0)
+            .map(|(_, r)| r.clone())
+            .collect(),
+    };
+    let test: Vec<&MatrixRecord> = corpus
+        .records
+        .iter()
+        .enumerate()
+        .filter(|(i, r)| i % 4 == 0 && r.complete_for(&all))
+        .map(|(_, r)| r)
+        .collect();
+    let mut rows = Vec::new();
+    for env in Env::ALL {
+        let advisor = FormatAdvisor::train(&train, env, cfg.budget);
+        let mut hits = 0usize;
+        let mut ratio_sum = 0.0f64;
+        let mut worst = 1.0f64;
+        for r in &test {
+            let pick = advisor.recommend_features(&r.features).format;
+            let ts = r.env_times(env);
+            let t_pick = ts[pick.class_id()].unwrap_or(f64::INFINITY);
+            let t_best = all
+                .iter()
+                .filter_map(|f| ts[f.class_id()])
+                .fold(f64::INFINITY, f64::min);
+            if r.best_format(env, &all) == Some(pick) {
+                hits += 1;
+            }
+            ratio_sum += t_best / t_pick;
+            worst = worst.max(t_pick / t_best);
+        }
+        let n = test.len().max(1) as f64;
+        rows.push(vec![
+            cfg.env.env_label(env),
+            test.len().to_string(),
+            pct(hits as f64 / n),
+            format!("{:.1}%", 100.0 * ratio_sum / n),
+            format!("{worst:.2}x"),
+        ]);
+    }
+    let body = render_table(
+        "Advisor pick vs oracle on native CPU labels (held-out quarter)",
+        &[
+            "environment".into(),
+            "test matrices".into(),
+            "pick accuracy".into(),
+            "of oracle throughput".into(),
+            "worst slowdown".into(),
+        ],
+        &rows,
+    );
+    ExperimentResult {
+        id: "exec_oracle",
+        title: "Native execution — advisor-vs-oracle throughput".into(),
         body,
     }
 }
@@ -949,5 +1171,64 @@ mod tests {
         let r = fig2();
         assert!(r.body.contains("rgg_like"));
         assert!(r.body.contains("auto_like"));
+    }
+
+    #[test]
+    fn env_cache_path_suffixes_non_simulator_environments() {
+        let cfg = ExperimentConfig::tiny();
+        assert_eq!(cfg.env_cache_path(), cfg.cache_path);
+        let native = cfg.clone().with_env(LabelEnvironment::CpuNative);
+        assert_eq!(
+            native.env_cache_path(),
+            PathBuf::from("results/labels_tiny.cpu-native.json")
+        );
+        let synth = cfg.with_env(LabelEnvironment::CpuSynthetic { seed: 1 });
+        assert_eq!(
+            synth.env_cache_path(),
+            PathBuf::from("results/labels_tiny.cpu-synthetic.json")
+        );
+    }
+
+    #[test]
+    fn exec_experiments_render_on_a_synthetic_native_corpus() {
+        let env = LabelEnvironment::CpuSynthetic { seed: 17 };
+        let suite = SyntheticSuite::sample(CorpusScale::Tiny, 71);
+        let native = LabeledCorpus::collect_native(&suite, env, 2);
+        let sim = tiny_labeled_corpus(71);
+
+        let div = exec_divergence(&sim, &native, env);
+        assert!(div.body.contains("sim P100 double"));
+        assert!(div.body.contains("exec cpu-simd double"));
+        assert!(div.body.contains("winner agreement"));
+
+        let mut cfg = ExperimentConfig::tiny().with_env(env);
+        cfg.threads = 2;
+        let oracle = exec_oracle(&native, &cfg);
+        assert!(oracle.body.contains("cpu-simd single"));
+        assert!(oracle.body.contains("cpu-scalar double"));
+        assert!(oracle.body.contains('%'));
+    }
+
+    #[test]
+    fn accuracy_table_on_native_corpus_uses_cpu_row_labels() {
+        let env = LabelEnvironment::CpuSynthetic { seed: 17 };
+        let suite = SyntheticSuite::sample(CorpusScale::Tiny, 71);
+        let native = LabeledCorpus::collect_native(&suite, env, 2);
+        let mut cfg = ExperimentConfig::tiny().with_env(env);
+        cfg.threads = 2;
+        let r = accuracy_table(
+            "table4",
+            "t",
+            &native,
+            &Format::BASIC,
+            FeatureSet::Set1,
+            &cfg,
+        );
+        assert!(r.body.contains("cpu-simd") && r.body.contains("cpu-scalar"));
+        assert!(
+            !r.body.contains("K80c"),
+            "GPU names must not leak: {}",
+            r.body
+        );
     }
 }

@@ -22,7 +22,7 @@ use spmv_matrix::{
 };
 use spmv_ml::Executor;
 
-use crate::env::Env;
+use crate::env::{Env, EnvSpec};
 use crate::faults::{FaultPlan, FaultSite};
 
 /// Number of formats (indexing follows [`Format::ALL`]).
@@ -147,6 +147,13 @@ pub struct LabeledCorpus {
     /// cache from an older model is re-collected rather than reused.
     #[serde(default)]
     pub model_version: u32,
+    /// Descriptor of the environment the times were measured in
+    /// (backend kind, architecture rows, operation, precisions).
+    /// Simulator corpora — the implied environment of every cache written
+    /// before the field existed — skip it entirely, keeping those caches
+    /// byte-identical.
+    #[serde(default, skip_serializing_if = "EnvSpec::is_simulator")]
+    pub env_spec: EnvSpec,
     /// All labeled matrices.
     pub records: Vec<MatrixRecord>,
 }
@@ -416,6 +423,7 @@ impl LabeledCorpus {
         LabeledCorpus {
             suite_seed: suite.seed,
             model_version: spmv_gpusim::MODEL_VERSION,
+            env_spec: EnvSpec::default(),
             records,
         }
     }
@@ -452,6 +460,7 @@ impl LabeledCorpus {
                 if c.suite_seed == suite.seed
                     && c.records.len() == suite.len()
                     && c.model_version == spmv_gpusim::MODEL_VERSION
+                    && c.env_spec.is_simulator()
                 {
                     spmv_observe::counter("labeling.cache_hits", 1);
                     return c;
@@ -743,6 +752,18 @@ mod tests {
         );
         let back: MatrixRecord = serde_json::from_str(&json).unwrap();
         assert!(back.failures.is_empty());
+    }
+
+    #[test]
+    fn simulator_corpus_serializes_without_env_spec() {
+        // The env_spec field must be invisible for simulator corpora so
+        // every pre-existing label cache stays byte-identical.
+        let c = tiny_corpus();
+        assert!(c.env_spec.is_simulator());
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(!json.contains("env_spec"), "simulator cache drifted");
+        let back: LabeledCorpus = serde_json::from_str(&json).unwrap();
+        assert!(back.env_spec.is_simulator());
     }
 
     #[test]

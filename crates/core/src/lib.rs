@@ -33,6 +33,8 @@ pub mod indirect;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod labels;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod native;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod observe;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod online;
@@ -46,7 +48,7 @@ pub use advisor::{
 };
 pub use classify::{evaluate_classifier, xgboost_importance, EvalOutcome, ModelKind, SearchBudget};
 pub use dataset::{ClassificationTask, RegressionTask};
-pub use env::Env;
+pub use env::{Env, EnvSpec, LabelEnvironment, CPU_ARCH_LABELS};
 pub use experiments::{sweep_seed, ExperimentConfig, ExperimentResult};
 pub use extensions::extensions;
 pub use faults::{read_matrix_market_file_with, FaultPlan, FaultSite};
@@ -59,6 +61,7 @@ pub use labels::{
     measure_matrix, measure_matrix_outcomes, measure_matrix_outcomes_reference, CellTimes,
     LabelFailure, LabelOutcome, LabeledCorpus, MatrixRecord, N_FORMATS,
 };
+pub use native::{measure_matrix_native_outcomes_in, NativeScratch};
 pub use observe::TraceSession;
 pub use online::{
     FeedbackError, FeedbackEvent, FeedbackOutcome, Generation, OnlineAdvisor, OnlineConfig,

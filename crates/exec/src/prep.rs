@@ -1,0 +1,514 @@
+//! Execution views: per-format kernel operands derived from a CSR matrix.
+//!
+//! Kernel setup reuses the PR-3 value-free [`FormatStructure`] layouts for
+//! every index plane (ELL's padded column-major plane, HYB's head/tail
+//! split, CSR5's transposed tiles, COO's expanded row stream) and only
+//! adds the value planes the structural layer deliberately omits. All
+//! derived arrays land in a caller-owned [`ExecScratch`] that grows to a
+//! sweep's high-water mark and then stops allocating, so preparing a
+//! matrix for execution is alloc-free in steady state — and preparation
+//! always happens outside the measured region.
+
+use spmv_matrix::{
+    merge_path_search, CsrMatrix, FormatStructure, MatrixError, MergeCoordinate, RowStats, Scalar,
+    StructureScratch,
+};
+
+/// Column-strip width (in `x` elements) of the cache-blocked CSR kernel:
+/// 8192 doubles = 64 KiB per strip window, sized so one strip of `x` plus
+/// the streamed triplets stay L1/L2-resident.
+pub const STRIP_COLS: usize = 8192;
+
+/// A CSR matrix switches to the cache-blocked column-strip kernel when its
+/// `x` vector exceeds this many elements (1 MiB of doubles): below that the
+/// whole gather window fits in L2 and strip bucketing is pure overhead.
+pub const BLOCK_THRESHOLD_COLS: usize = 131_072;
+
+/// Merge-path items consumed per segment by the merge-CSR kernel. Segments
+/// bound the row/nz imbalance any one inner loop sees, mirroring the GPU
+/// decomposition the format exists for.
+pub const MERGE_SEG_ITEMS: usize = 4096;
+
+/// Largest supported CSR5 tile width (per-lane cursor arrays are
+/// stack-allocated at this size in the kernel).
+pub const MAX_OMEGA: usize = 64;
+
+/// Reusable buffers for [`PreparedMatrix::build`]. Keep one per worker and
+/// feed it every (matrix, format) pair in turn.
+#[derive(Debug, Default)]
+pub struct ExecScratch<T> {
+    /// Index-plane scratch shared with the structural profiling layer.
+    structure: StructureScratch,
+    /// ELL / HYB-head padded value plane; CSR5 transposed tile values.
+    vals: Vec<T>,
+    /// HYB tail values.
+    tail_vals: Vec<T>,
+    /// Blocked-CSR strip-bucketed row indices.
+    brows: Vec<u32>,
+    /// Blocked-CSR strip-bucketed column indices.
+    bcols: Vec<u32>,
+    /// Blocked-CSR strip-bucketed values.
+    bvals: Vec<T>,
+    /// Blocked-CSR strip extents (`n_strips + 1` offsets into the streams).
+    strip_ptr: Vec<u32>,
+    /// Merge-CSR segment boundary coordinates.
+    segs: Vec<MergeCoordinate>,
+    /// CSR5 per-tile start rows (`n_tiles + 1`; last entry = tail row).
+    tile_rows: Vec<u32>,
+}
+
+impl<T: Scalar> ExecScratch<T> {
+    /// A fresh, empty scratch (buffers allocate lazily on first use).
+    pub fn new() -> ExecScratch<T> {
+        ExecScratch {
+            structure: StructureScratch::new(),
+            vals: Vec::new(),
+            tail_vals: Vec::new(),
+            brows: Vec::new(),
+            bcols: Vec::new(),
+            bvals: Vec::new(),
+            strip_ptr: Vec::new(),
+            segs: Vec::new(),
+            tile_rows: Vec::new(),
+        }
+    }
+}
+
+/// COO execution view: triplet streams in row-major order.
+#[derive(Debug, Clone, Copy)]
+pub struct CooExec<'a, T> {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Row index per non-zero (non-decreasing).
+    pub rows: &'a [u32],
+    /// Column index per non-zero.
+    pub cols: &'a [u32],
+    /// Value per non-zero.
+    pub vals: &'a [T],
+}
+
+/// CSR execution view: the matrix arrays borrowed directly.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrExec<'a, T> {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Row-pointer array (`n_rows + 1` entries).
+    pub row_ptr: &'a [u32],
+    /// Column indices, row-contiguous.
+    pub col_idx: &'a [u32],
+    /// Values, row-contiguous.
+    pub vals: &'a [T],
+}
+
+/// Cache-blocked CSR execution view: triplets bucketed into column strips
+/// of [`STRIP_COLS`] so each strip's `x` window is cache-resident while
+/// its entries stream.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrBlockedExec<'a, T> {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Strip extents: strip `s` owns stream entries
+    /// `strip_ptr[s]..strip_ptr[s+1]`.
+    pub strip_ptr: &'a [u32],
+    /// Row index per entry, strip-bucketed (row-major within a strip).
+    pub rows: &'a [u32],
+    /// Column index per entry.
+    pub cols: &'a [u32],
+    /// Value per entry.
+    pub vals: &'a [T],
+}
+
+/// ELL execution view: padded column-major column and value planes
+/// (padding slots hold column 0 and value zero).
+#[derive(Debug, Clone, Copy)]
+pub struct EllExec<'a, T> {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// True (unpadded) non-zero count.
+    pub nnz: usize,
+    /// Padded row width `K`.
+    pub width: usize,
+    /// Column-index plane, column-major (`width * n_rows` slots).
+    pub col_plane: &'a [u32],
+    /// Value plane, column-major, zero in padding slots.
+    pub val_plane: &'a [T],
+}
+
+/// HYB execution view: ELL head plus COO tail.
+#[derive(Debug, Clone, Copy)]
+pub struct HybExec<'a, T> {
+    /// The regular head.
+    pub head: EllExec<'a, T>,
+    /// The irregular spill.
+    pub tail: CooExec<'a, T>,
+}
+
+/// Merge-CSR execution view: plain CSR arrays plus precomputed equal-work
+/// merge-path segment boundaries.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeExec<'a, T> {
+    /// The CSR arrays the merge path walks.
+    pub csr: CsrExec<'a, T>,
+    /// Segment boundaries (`n_segs + 1` coordinates, first `(0,0)`, last
+    /// `(n_rows, nnz)`).
+    pub segs: &'a [MergeCoordinate],
+}
+
+/// CSR5 execution view: transposed full tiles plus the CSR-ordered tail.
+#[derive(Debug, Clone, Copy)]
+pub struct Csr5Exec<'a, T> {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// Tile width (SIMD lanes); at most [`MAX_OMEGA`].
+    pub omega: usize,
+    /// Tile height (entries per lane).
+    pub sigma: usize,
+    /// Number of full tiles.
+    pub n_tiles: usize,
+    /// Transposed tile column indices (step-major: consecutive entries are
+    /// one step across all lanes).
+    pub cols_t: &'a [u32],
+    /// Transposed tile values, same layout.
+    pub vals_t: &'a [T],
+    /// Per-tile start row (`n_tiles + 1`; the last entry is the row of the
+    /// first tail element, or `n_rows` when the tail is empty).
+    pub tile_rows: &'a [u32],
+    /// The source row pointer (lane row cursors walk it).
+    pub row_ptr: &'a [u32],
+    /// Column indices of the CSR-ordered tail.
+    pub tail_cols: &'a [u32],
+    /// Values of the CSR-ordered tail.
+    pub tail_vals: &'a [T],
+}
+
+/// A matrix prepared for native execution in one concrete format.
+#[derive(Debug, Clone, Copy)]
+pub enum PreparedMatrix<'a, T> {
+    /// COO triplet streams.
+    Coo(CooExec<'a, T>),
+    /// Plain CSR (row-sequential kernel).
+    Csr(CsrExec<'a, T>),
+    /// Cache-blocked CSR (column-strip streams; chosen automatically for
+    /// matrices whose `x` exceeds [`BLOCK_THRESHOLD_COLS`]).
+    CsrBlocked(CsrBlockedExec<'a, T>),
+    /// ELL padded planes.
+    Ell(EllExec<'a, T>),
+    /// HYB head + tail.
+    Hyb(HybExec<'a, T>),
+    /// Merge-path CSR.
+    MergeCsr(MergeExec<'a, T>),
+    /// CSR5 transposed tiles.
+    Csr5(Csr5Exec<'a, T>),
+}
+
+impl<'a, T: Scalar> PreparedMatrix<'a, T> {
+    /// Prepare `csr` for execution in `format`. `stats` must be
+    /// [`RowStats::of`] the same matrix. Fails exactly when the
+    /// value-carrying conversion fails (ELL padding cap), with the
+    /// identical error — so native labeling records the same failure
+    /// cells the simulator path does.
+    pub fn build(
+        csr: &'a CsrMatrix<T>,
+        format: spmv_matrix::Format,
+        stats: &RowStats,
+        scratch: &'a mut ExecScratch<T>,
+    ) -> Result<PreparedMatrix<'a, T>, MatrixError> {
+        let n_rows = csr.n_rows();
+        let nnz = csr.nnz();
+        // The structural layer derives every index plane; this function
+        // only adds the value planes it deliberately omits.
+        let structure = FormatStructure::build(csr, format, stats, &mut scratch.structure)?;
+        Ok(match structure {
+            FormatStructure::Coo(s) => PreparedMatrix::Coo(CooExec {
+                n_rows,
+                rows: s.rows,
+                cols: s.cols,
+                vals: csr.values(),
+            }),
+            FormatStructure::Csr(s) => {
+                if csr.n_cols() > BLOCK_THRESHOLD_COLS && nnz > 0 {
+                    build_blocked_csr(
+                        csr,
+                        &mut scratch.strip_ptr,
+                        &mut scratch.brows,
+                        &mut scratch.bcols,
+                        &mut scratch.bvals,
+                    );
+                    PreparedMatrix::CsrBlocked(CsrBlockedExec {
+                        n_rows,
+                        strip_ptr: &scratch.strip_ptr,
+                        rows: &scratch.brows,
+                        cols: &scratch.bcols,
+                        vals: &scratch.bvals,
+                    })
+                } else {
+                    PreparedMatrix::Csr(CsrExec {
+                        n_rows,
+                        row_ptr: s.row_ptr,
+                        col_idx: s.col_idx,
+                        vals: csr.values(),
+                    })
+                }
+            }
+            FormatStructure::Ell(s) => {
+                build_padded_vals(
+                    csr.row_ptr(),
+                    csr.values(),
+                    n_rows,
+                    s.width,
+                    &mut scratch.vals,
+                );
+                PreparedMatrix::Ell(EllExec {
+                    n_rows,
+                    nnz: s.nnz,
+                    width: s.width,
+                    col_plane: s.col_plane,
+                    val_plane: &scratch.vals,
+                })
+            }
+            FormatStructure::Hyb(s) => {
+                let k = s.ell.width;
+                build_hyb_vals(
+                    csr.row_ptr(),
+                    csr.values(),
+                    n_rows,
+                    stats.hyb_threshold(),
+                    k,
+                    &mut scratch.vals,
+                    &mut scratch.tail_vals,
+                );
+                PreparedMatrix::Hyb(HybExec {
+                    head: EllExec {
+                        n_rows,
+                        nnz: s.ell.nnz,
+                        width: k,
+                        col_plane: s.ell.col_plane,
+                        val_plane: &scratch.vals,
+                    },
+                    tail: CooExec {
+                        n_rows,
+                        rows: s.tail.rows,
+                        cols: s.tail.cols,
+                        vals: &scratch.tail_vals,
+                    },
+                })
+            }
+            FormatStructure::MergeCsr(s) => {
+                build_merge_segments(csr.row_ptr(), n_rows, nnz, &mut scratch.segs);
+                PreparedMatrix::MergeCsr(MergeExec {
+                    csr: CsrExec {
+                        n_rows,
+                        row_ptr: s.row_ptr,
+                        col_idx: s.col_idx,
+                        vals: csr.values(),
+                    },
+                    segs: &scratch.segs,
+                })
+            }
+            FormatStructure::Csr5(s) => {
+                let tile_nnz = s.config.tile_nnz();
+                build_csr5_vals(
+                    csr.values(),
+                    s.config.omega,
+                    s.config.sigma,
+                    s.n_tiles,
+                    &mut scratch.vals,
+                );
+                build_tile_rows(
+                    csr.row_ptr(),
+                    n_rows,
+                    tile_nnz,
+                    s.n_tiles,
+                    &mut scratch.tile_rows,
+                );
+                let tail_start = s.n_tiles * tile_nnz;
+                PreparedMatrix::Csr5(Csr5Exec {
+                    n_rows,
+                    nnz,
+                    omega: s.config.omega,
+                    sigma: s.config.sigma,
+                    n_tiles: s.n_tiles,
+                    cols_t: s.cols_t,
+                    vals_t: &scratch.vals,
+                    tile_rows: &scratch.tile_rows,
+                    row_ptr: csr.row_ptr(),
+                    tail_cols: s.tail_cols,
+                    tail_vals: &csr.values()[tail_start..],
+                })
+            }
+        })
+    }
+
+    /// Which format this view executes.
+    pub fn format(&self) -> spmv_matrix::Format {
+        use spmv_matrix::Format;
+        match self {
+            PreparedMatrix::Coo(_) => Format::Coo,
+            PreparedMatrix::Csr(_) | PreparedMatrix::CsrBlocked(_) => Format::Csr,
+            PreparedMatrix::Ell(_) => Format::Ell,
+            PreparedMatrix::Hyb(_) => Format::Hyb,
+            PreparedMatrix::MergeCsr(_) => Format::MergeCsr,
+            PreparedMatrix::Csr5(_) => Format::Csr5,
+        }
+    }
+
+    /// Stored non-zeros — the 2·nnz flop count the GFLOP/s figures use
+    /// (padding slots never count as useful work).
+    pub fn nnz(&self) -> usize {
+        match self {
+            PreparedMatrix::Coo(v) => v.vals.len(),
+            PreparedMatrix::Csr(v) => v.vals.len(),
+            PreparedMatrix::CsrBlocked(v) => v.vals.len(),
+            PreparedMatrix::Ell(v) => v.nnz,
+            PreparedMatrix::Hyb(v) => v.head.nnz + v.tail.vals.len(),
+            PreparedMatrix::MergeCsr(v) => v.csr.vals.len(),
+            PreparedMatrix::Csr5(v) => v.nnz,
+        }
+    }
+}
+
+/// Fill `plane` with the column-major padded value plane matching the ELL
+/// column plane (zero in padding slots, as `EllMatrix::from_csr` writes).
+fn build_padded_vals<T: Scalar>(
+    row_ptr: &[u32],
+    vals: &[T],
+    n_rows: usize,
+    width: usize,
+    plane: &mut Vec<T>,
+) {
+    plane.clear();
+    plane.resize(n_rows * width, T::ZERO);
+    for (r, w) in row_ptr.windows(2).enumerate() {
+        let (s, e) = (w[0] as usize, w[1] as usize);
+        for (k, &v) in vals[s..e].iter().enumerate() {
+            plane[k * n_rows + r] = v;
+        }
+    }
+}
+
+/// Fill the HYB head value plane and tail value stream (split mirrors
+/// `HybMatrix::from_csr`: each row's first `min(len, k)` entries head).
+fn build_hyb_vals<T: Scalar>(
+    row_ptr: &[u32],
+    vals: &[T],
+    n_rows: usize,
+    k: usize,
+    head_width: usize,
+    plane: &mut Vec<T>,
+    tail: &mut Vec<T>,
+) {
+    plane.clear();
+    plane.resize(n_rows * head_width, T::ZERO);
+    tail.clear();
+    for (r, w) in row_ptr.windows(2).enumerate() {
+        let (s, e) = (w[0] as usize, w[1] as usize);
+        let split = (e - s).min(k);
+        for (slot, &v) in vals[s..s + split].iter().enumerate() {
+            plane[slot * n_rows + r] = v;
+        }
+        tail.extend_from_slice(&vals[s + split..e]);
+    }
+}
+
+/// Bucket CSR entries into column strips of [`STRIP_COLS`], preserving row
+/// order within each strip (a counting sort over strips).
+fn build_blocked_csr<T: Scalar>(
+    csr: &CsrMatrix<T>,
+    strip_ptr: &mut Vec<u32>,
+    brows: &mut Vec<u32>,
+    bcols: &mut Vec<u32>,
+    bvals: &mut Vec<T>,
+) {
+    let nnz = csr.nnz();
+    let n_strips = csr.n_cols().div_ceil(STRIP_COLS);
+    strip_ptr.clear();
+    strip_ptr.resize(n_strips + 1, 0);
+    for &c in csr.col_idx() {
+        strip_ptr[c as usize / STRIP_COLS + 1] += 1;
+    }
+    for s in 0..n_strips {
+        strip_ptr[s + 1] += strip_ptr[s];
+    }
+    brows.clear();
+    brows.resize(nnz, 0);
+    bcols.clear();
+    bcols.resize(nnz, 0);
+    bvals.clear();
+    bvals.resize(nnz, T::ZERO);
+    let mut cursor: Vec<u32> = strip_ptr[..n_strips].to_vec();
+    for (r, w) in csr.row_ptr().windows(2).enumerate() {
+        for i in w[0] as usize..w[1] as usize {
+            let c = csr.col_idx()[i];
+            let strip = c as usize / STRIP_COLS;
+            let pos = cursor[strip] as usize;
+            cursor[strip] += 1;
+            brows[pos] = r as u32;
+            bcols[pos] = c;
+            bvals[pos] = csr.values()[i];
+        }
+    }
+}
+
+/// Precompute equal-work merge-path segment boundaries, one per
+/// [`MERGE_SEG_ITEMS`] merge items.
+fn build_merge_segments(
+    row_ptr: &[u32],
+    n_rows: usize,
+    nnz: usize,
+    segs: &mut Vec<MergeCoordinate>,
+) {
+    let total = n_rows + nnz;
+    let n_segs = total.div_ceil(MERGE_SEG_ITEMS).max(1);
+    let row_ends = &row_ptr[1..];
+    segs.clear();
+    for p in 0..=n_segs {
+        let d = (total * p) / n_segs;
+        segs.push(merge_path_search(d, row_ends, nnz));
+    }
+}
+
+/// Fill `vals_t` with CSR5's transposed full-tile value plane (same
+/// permutation the structural layer applies to column indices).
+fn build_csr5_vals<T: Scalar>(
+    vals: &[T],
+    omega: usize,
+    sigma: usize,
+    n_tiles: usize,
+    vals_t: &mut Vec<T>,
+) {
+    let tile_nnz = omega * sigma;
+    vals_t.clear();
+    vals_t.resize(n_tiles * tile_nnz, T::ZERO);
+    for t in 0..n_tiles {
+        let base = t * tile_nnz;
+        for lane in 0..omega {
+            for s in 0..sigma {
+                vals_t[base + s * omega + lane] = vals[base + lane * sigma + s];
+            }
+        }
+    }
+}
+
+/// Per-tile start rows: `tile_rows[t]` is the row containing the tile's
+/// first entry; the final entry is the tail's first row (or `n_rows`).
+fn build_tile_rows(
+    row_ptr: &[u32],
+    n_rows: usize,
+    tile_nnz: usize,
+    n_tiles: usize,
+    tile_rows: &mut Vec<u32>,
+) {
+    tile_rows.clear();
+    let mut r = 0usize;
+    for t in 0..=n_tiles {
+        let g = (t * tile_nnz) as u32;
+        // First row whose extent reaches past entry `g` (empty rows and,
+        // at `g == nnz`, every row get skipped — yielding `n_rows`).
+        while r < n_rows && row_ptr[r + 1] <= g {
+            r += 1;
+        }
+        tile_rows.push(r as u32);
+    }
+}

@@ -52,6 +52,7 @@ fn reference_corpus(suite: &SyntheticSuite, sim: &Simulator) -> LabeledCorpus {
     LabeledCorpus {
         suite_seed: suite.seed,
         model_version: spmv_gpusim::MODEL_VERSION,
+        env_spec: spmv_core::EnvSpec::default(),
         records,
     }
 }
