@@ -28,6 +28,16 @@
 //! vs measured winner structure) and `exec_oracle` (advisor-pick vs
 //! oracle throughput on the native labels).
 //!
+//! `--scenario` (simulator env only) adds the `cross_scenario` experiment:
+//! labels the suite under every (op, arch) cell of the scenario grid —
+//! SpMV / SpMM k=4 / SpMM k=16 / 8-iteration solver, each on the GPU pair
+//! and the many-core pair — caches each cell under
+//! `results/labels_<scale>.<tag>.json`, and trains one unified advisor
+//! (v2 feature layout with the scenario descriptor appended) against
+//! per-scenario experts, reporting the accuracy gap and worst unified
+//! slowdown per cell. Given alone it runs ONLY that experiment; combined
+//! with ids it rides along. Byte-identical at any `--threads`.
+//!
 //! `--trace-out PATH` (or `SPMV_TRACE=PATH`) writes a run manifest: a JSON
 //! observability artifact whose deterministic section (counters, span
 //! shape, provenance) is byte-identical at any thread count, with wall
@@ -39,8 +49,8 @@ use std::time::Instant;
 
 use spmv_core::ablation::ablations;
 use spmv_core::experiments::{
-    classification_tables, exec_divergence, exec_oracle, fig2, fig3, fig6, fig7, importance_figure,
-    sec5a, slowdown_table, table1, table14, ExperimentConfig, ExperimentResult,
+    classification_tables, cross_scenario, exec_divergence, exec_oracle, fig2, fig3, fig6, fig7,
+    importance_figure, sec5a, slowdown_table, table1, table14, ExperimentConfig, ExperimentResult,
 };
 use spmv_core::extensions::extensions;
 use spmv_core::{LabelEnvironment, ModelKind};
@@ -69,6 +79,9 @@ fn main() {
                 }));
             }
             "--exec-synthetic" => exec_synthetic = true,
+            // Shorthand for the cross-scenario experiment id: alone it
+            // runs only that experiment, alongside ids it rides along.
+            "--scenario" => ids.push("cross_scenario".to_string()),
             "--threads" => {
                 let n = it
                     .next()
@@ -87,7 +100,7 @@ fn main() {
                 trace_flag = Some(PathBuf::from(p));
             }
             "--help" | "-h" => {
-                eprintln!("usage: repro [--tiny|--quick|--full] [--paper-grids] [--env sim|cpu-native] [--exec-synthetic] [--threads N] [--trace-out PATH] [table1 fig2 fig3 table4..table14 fig4..fig7 ablation ...]");
+                eprintln!("usage: repro [--tiny|--quick|--full] [--paper-grids] [--env sim|cpu-native] [--exec-synthetic] [--scenario] [--threads N] [--trace-out PATH] [table1 fig2 fig3 table4..table14 fig4..fig7 ablation cross_scenario ...]");
                 return;
             }
             other => ids.push(other.to_string()),
@@ -218,6 +231,18 @@ fn main() {
             let sim_corpus = cfg.clone().with_env(LabelEnvironment::Simulator).corpus();
             vec![exec_divergence(&sim_corpus, &corpus, cfg.env)]
         });
+    }
+    if ids.iter().any(|x| x == "cross_scenario") {
+        if cfg.env == LabelEnvironment::Simulator {
+            // Collects (or loads) its own env-tagged label caches for the
+            // full (op, arch) grid; the main corpus above is untouched.
+            run("cross_scenario", &mut || vec![cross_scenario(&cfg)]);
+        } else {
+            eprintln!(
+                "[repro] env {}: skipping cross_scenario (scenario cells are simulator-modeled)",
+                cfg.env.tag()
+            );
+        }
     }
     if ids.iter().any(|x| x == "ablation") {
         run("ablation", &mut || ablations(&corpus, &cfg));

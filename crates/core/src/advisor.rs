@@ -24,7 +24,7 @@ use spmv_ml::{Classifier, GbtClassifier, GbtParams};
 
 use crate::classify::SearchBudget;
 use crate::dataset::{ClassificationTask, RegressionTask};
-use crate::env::Env;
+use crate::env::{Env, Scenario};
 use crate::faults::{fnv1a_64, FaultPlan, FaultSite};
 use crate::heuristic::HeuristicAdvisor;
 use crate::labels::LabeledCorpus;
@@ -145,6 +145,16 @@ pub enum ArtifactError {
         /// Version this build predicts with.
         current: u32,
     },
+    /// The envelope's recorded feature arity does not match the payload's
+    /// model. Pre-scenario envelopes record no arity (read as 0), so a
+    /// legacy 17-feature artifact presented to the widened advisor is a
+    /// typed rejection here — never a silently misindexed feature row.
+    FeatureArityMismatch {
+        /// Arity recorded in the envelope (0 = legacy, unrecorded).
+        artifact: u32,
+        /// Arity the payload's model actually consumes.
+        expected: u32,
+    },
     /// A [`FaultPlan`] injected a failure at the load site.
     Injected(String),
 }
@@ -176,6 +186,12 @@ impl std::fmt::Display for ArtifactError {
                 f,
                 "stale advisor: trained under GPU model v{artifact}, simulator is v{current}"
             ),
+            ArtifactError::FeatureArityMismatch { artifact, expected } => write!(
+                f,
+                "feature-arity mismatch: envelope records {artifact} input features, \
+                 the payload's model consumes {expected} (legacy pre-scenario artifacts \
+                 record 0; retrain and re-save)"
+            ),
             ArtifactError::Injected(why) => write!(f, "{why}"),
         }
     }
@@ -204,6 +220,12 @@ struct Artifact {
     magic: String,
     artifact_version: u32,
     model_version: u32,
+    /// Number of input features the payload's classifier consumes (base
+    /// feature-set columns plus any scenario-descriptor extras). Absent in
+    /// pre-scenario envelopes (serde default 0), which is exactly how the
+    /// widened loader detects and rejects them.
+    #[serde(default)]
+    feature_arity: u32,
     checksum: String,
     payload: String,
 }
@@ -225,6 +247,13 @@ pub struct FormatAdvisor {
     /// GPU-model version the training labels were measured under.
     #[serde(default)]
     model_version: u32,
+    /// Scenario-descriptor values appended after the projected matrix
+    /// features on every model input (feature-vector v2). Empty for plain
+    /// per-environment advisors, so pre-scenario payloads deserialize
+    /// unchanged; [`FormatAdvisor::train_for_scenario`] pins it to the
+    /// trained cell's descriptor.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    scenario_extra: Vec<f64>,
 }
 
 impl FormatAdvisor {
@@ -265,12 +294,82 @@ impl FormatAdvisor {
             classifier,
             predictor,
             model_version: corpus.model_version,
+            scenario_extra: Vec::new(),
+        }
+    }
+
+    /// Train on a scenario-labeled corpus for one `(scenario, env)` cell,
+    /// producing a **feature-vector v2** advisor: every model input is the
+    /// projected matrix features plus the cell's fixed
+    /// [`Scenario::descriptor`] block. The widened arity is recorded in the
+    /// artifact envelope, so a v2 advisor and a plain 7-feature one can
+    /// never silently read each other's rows.
+    pub fn train_for_scenario(
+        corpus: &LabeledCorpus,
+        scenario: Scenario,
+        env: Env,
+        budget: SearchBudget,
+    ) -> FormatAdvisor {
+        let _span = spmv_observe::span!(
+            "advisor/train_scenario",
+            corpus = corpus.records.len() as u64
+        );
+        let set = FeatureSet::Important;
+        let formats = Format::ALL.to_vec();
+        let extra: Vec<f64> = scenario.descriptor(env).to_vec();
+
+        let ctask = ClassificationTask::build_with_extra(corpus, env, &formats, set, true, &extra);
+        let mut classifier = GbtClassifier::new(GbtParams {
+            n_estimators: match budget {
+                SearchBudget::Quick => 60,
+                SearchBudget::Paper => 200,
+            },
+            max_depth: 6,
+            learning_rate: 0.1,
+            ..GbtParams::default()
+        });
+        classifier.fit(&ctask.x, &ctask.y, formats.len());
+
+        let rtask = RegressionTask::build_with_extra(corpus, env, &formats, set, &extra);
+        let all: Vec<usize> = (0..rtask.len()).collect();
+        let predictor = train_time_predictor(
+            RegModelKind::MlpEnsemble,
+            &rtask,
+            &all,
+            budget,
+            corpus.suite_seed,
+        );
+
+        FormatAdvisor {
+            env,
+            set,
+            formats,
+            classifier,
+            predictor,
+            model_version: corpus.model_version,
+            scenario_extra: extra,
         }
     }
 
     /// The environment this advisor was trained for.
     pub fn env(&self) -> Env {
         self.env
+    }
+
+    /// Number of input features the classifier consumes: the projected
+    /// feature-set columns plus any scenario-descriptor extras. This is
+    /// the arity the artifact envelope records and the loader enforces.
+    pub fn feature_arity(&self) -> u32 {
+        (self.set.len() + self.scenario_extra.len()) as u32
+    }
+
+    /// One classifier input row: the projection of `fv` onto the advisor's
+    /// feature set, followed by the scenario-descriptor extras (empty for
+    /// plain advisors — feature-vector v1 rows are the v2 prefix).
+    fn input_row(&self, fv: &FeatureVector) -> Vec<f64> {
+        let mut row = fv.project(self.set);
+        row.extend_from_slice(&self.scenario_extra);
+        row
     }
 
     /// GPU-model version the training labels were measured under.
@@ -356,7 +455,7 @@ impl FormatAdvisor {
         if !fv.is_finite() {
             return Err(AdvisorError::NonFiniteFeatures);
         }
-        let features = fv.project(self.set);
+        let features = self.input_row(fv);
         let probs = self
             .classifier
             .predict_proba_one(&features, self.formats.len());
@@ -419,7 +518,7 @@ impl FormatAdvisor {
     }
 
     fn raw_times_from(&self, fv: &FeatureVector) -> Vec<(Format, f64)> {
-        let base = fv.project(self.set);
+        let base = self.input_row(fv);
         self.formats
             .iter()
             .enumerate()
@@ -480,7 +579,7 @@ impl FormatAdvisor {
         let mut labels = Vec::with_capacity(samples.len());
         for (fv, format) in samples {
             let class = self.formats.iter().position(|f| f == format)?;
-            rows.push(fv.project(self.set));
+            rows.push(self.input_row(fv));
             labels.push(class);
         }
         let classifier =
@@ -492,6 +591,7 @@ impl FormatAdvisor {
             classifier,
             predictor: self.predictor.clone(),
             model_version: self.model_version,
+            scenario_extra: self.scenario_extra.clone(),
         })
     }
 
@@ -507,6 +607,7 @@ impl FormatAdvisor {
             magic: ARTIFACT_MAGIC.to_string(),
             artifact_version: ARTIFACT_VERSION,
             model_version: self.model_version,
+            feature_arity: self.feature_arity(),
             checksum: checksum_of(&payload),
             payload,
         };
@@ -553,6 +654,18 @@ impl FormatAdvisor {
         }
         let advisor: FormatAdvisor = serde_json::from_str(&artifact.payload)
             .map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+        // Arity gate (feature-vector v2): the envelope must record the
+        // exact input width the payload's model consumes. Legacy envelopes
+        // record nothing (read as 0) and are rejected here — a 7-feature
+        // model must never be fed a 15-column scenario row, or vice versa,
+        // by silent misindexing.
+        let expected = advisor.feature_arity();
+        if artifact.feature_arity != expected {
+            return Err(ArtifactError::FeatureArityMismatch {
+                artifact: artifact.feature_arity,
+                expected,
+            });
+        }
         Ok((advisor, artifact.checksum))
     }
 
@@ -624,6 +737,7 @@ impl FormatAdvisor {
         Ok(ArtifactInfo {
             artifact_version: artifact.artifact_version,
             model_version: artifact.model_version,
+            feature_arity: artifact.feature_arity,
             checksum: artifact.checksum,
             payload_bytes: artifact.payload.len(),
             stale: artifact.model_version != spmv_gpusim::MODEL_VERSION,
@@ -639,6 +753,9 @@ pub struct ArtifactInfo {
     pub artifact_version: u32,
     /// GPU-model version the training labels were measured under.
     pub model_version: u32,
+    /// Input-feature arity the envelope records (0 = legacy envelope
+    /// predating feature-vector v2 — [`FormatAdvisor::load`] rejects it).
+    pub feature_arity: u32,
     /// Verified FNV-1a checksum of the payload.
     pub checksum: String,
     /// Payload size in bytes.
@@ -789,6 +906,7 @@ mod tests {
             magic: pristine.magic.clone(),
             artifact_version: pristine.artifact_version,
             model_version: 0,
+            feature_arity: pristine.feature_arity,
             checksum: pristine.checksum.clone(),
             payload: pristine.payload.clone(),
         };
@@ -814,6 +932,43 @@ mod tests {
             Err(ArtifactError::WrongMagic(_))
         ));
 
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_envelope_without_arity_is_rejected_as_typed_mismatch() {
+        // A PR-7-era envelope has no feature_arity key. Presented to the
+        // widened loader it must be a typed rejection — artifact reads 0,
+        // the payload's 7-feature model is the expectation — never a
+        // silently misindexed advisor.
+        let a = advisor();
+        let path = tmpfile("legacy.json");
+        a.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        match &mut v {
+            serde_json::Value::Map(entries) => {
+                let before = entries.len();
+                entries.retain(|(k, _)| k != "feature_arity");
+                assert_eq!(entries.len(), before - 1, "arity key present");
+            }
+            other => panic!("envelope must be a map, got {other:?}"),
+        }
+        std::fs::write(&path, serde_json::to_string(&v).unwrap()).unwrap();
+        match FormatAdvisor::load(&path) {
+            Err(ArtifactError::FeatureArityMismatch { artifact, expected }) => {
+                assert_eq!(artifact, 0, "legacy envelopes read as arity 0");
+                assert_eq!(expected, 7, "imp. feature set is 7 columns");
+            }
+            Err(e) => panic!("expected FeatureArityMismatch, got {e}"),
+            Ok(_) => panic!("a legacy envelope must not load"),
+        }
+        // And an untampered save still loads, recording its true arity.
+        a.save(&path).unwrap();
+        assert!(FormatAdvisor::load(&path).is_ok());
+        assert_eq!(a.feature_arity(), 7);
+        let info = FormatAdvisor::inspect_artifact(&path).unwrap();
+        assert_eq!(info.feature_arity, 7);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -31,7 +31,13 @@
 //! K80c/P100, so `--gpu k80c` selects the SIMD row and `--gpu p100` the
 //! scalar row; native label collection runs the `spmv-exec` kernels on
 //! first use and caches under an env-tagged name next to the simulator
-//! cache.
+//! cache. Scenario tags (`gpu-spmv`, `gpu-spmm4`, `gpu-spmm16`,
+//! `gpu-solver`, `mc-spmv`, `mc-spmm4`, `mc-spmm16`, `mc-solver`) are
+//! also accepted: they label under the named (op, arch) cell and train a
+//! v2-layout advisor whose rows append the scenario's eight-number
+//! descriptor after the matrix features (DESIGN.md §4k); the envelope
+//! records the widened feature arity, so such artifacts are rejected
+//! (exit 4) by pre-scenario loaders and vice versa.
 //! `--explain` additionally prints the GPU model's per-format timing
 //! breakdown (launch / compute / DRAM / L2 / critical-path / atomics and
 //! the binding bottleneck) — the "why" behind the recommendation.
@@ -70,10 +76,12 @@ const EXIT_ARTIFACT: u8 = 4;
 
 const USAGE: &str = "usage: spmv-advisor <matrix.mtx> [--gpu k80c|p100] \
                      [--precision single|double] [--train-scale tiny|small] \
-                     [--train-env sim|cpu-native|cpu-synthetic] [--explain] \
+                     [--train-env sim|cpu-native|cpu-synthetic|<scenario>] [--explain] \
                      [--json] [--model <advisor.json>] [--save-model <advisor.json>] \
                      [--trace-out <trace.json>]\n\
-                     \x20      spmv-advisor --model-info <advisor.json> [--json]";
+                     \x20      spmv-advisor --model-info <advisor.json> [--json]\n\
+                     \x20      scenarios: gpu-spmv gpu-spmm4 gpu-spmm16 gpu-solver \
+                     mc-spmv mc-spmm4 mc-spmm16 mc-solver";
 
 fn fail(code: u8, msg: &str) -> ExitCode {
     eprintln!("spmv-advisor: error: {msg}");
@@ -129,7 +137,11 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
             "--train-env" => match args.next().as_deref().and_then(LabelEnvironment::parse) {
                 Some(env) => train_env = env,
                 None => {
-                    return Err("unknown --train-env (sim|cpu-native|cpu-synthetic)".to_string())
+                    return Err(
+                        "unknown --train-env (sim|cpu-native|cpu-synthetic|scenario tag; \
+                         see --help)"
+                            .to_string(),
+                    )
                 }
             },
             "--model" => match args.next() {
@@ -238,10 +250,11 @@ fn model_info(path: &Path, json: bool) -> ExitCode {
     };
     if json {
         println!(
-            "{{\"artifact_version\":{},\"model_version\":{},\"checksum\":\"{}\",\
-             \"payload_bytes\":{},\"stale\":{}}}",
+            "{{\"artifact_version\":{},\"model_version\":{},\"feature_arity\":{},\
+             \"checksum\":\"{}\",\"payload_bytes\":{},\"stale\":{}}}",
             info.artifact_version,
             info.model_version,
+            info.feature_arity,
             info.checksum,
             info.payload_bytes,
             info.stale
@@ -258,6 +271,7 @@ fn model_info(path: &Path, json: bool) -> ExitCode {
                 ""
             }
         );
+        println!("  feature arity    : {}", info.feature_arity);
         println!("  checksum         : {} (verified)", info.checksum);
         println!("  payload          : {} bytes", info.payload_bytes);
     }
@@ -342,7 +356,13 @@ fn run(opts: &Opts) -> ExitCode {
                 train_env.env_label(env)
             );
             let corpus = cfg.corpus();
-            FormatAdvisor::train(&corpus, env, SearchBudget::Quick)
+            match train_env.scenario() {
+                // Scenario cells train the v2-layout advisor: matrix
+                // features plus the cell's (op, arch, precision)
+                // descriptor, recorded in the envelope's feature arity.
+                Some(sc) => FormatAdvisor::train_for_scenario(&corpus, sc, env, SearchBudget::Quick),
+                None => FormatAdvisor::train(&corpus, env, SearchBudget::Quick),
+            }
         }
     };
     if let Some(sp) = &opts.save_model {

@@ -36,6 +36,22 @@ impl ClassificationTask {
         set: FeatureSet,
         drop_coo_best: bool,
     ) -> ClassificationTask {
+        Self::build_with_extra(corpus, env, formats, set, drop_coo_best, &[])
+    }
+
+    /// [`ClassificationTask::build`] with a fixed block of extra feature
+    /// columns appended after the projected matrix features on every row —
+    /// the feature-vector v2 layout, where the extras are a scenario's
+    /// `(op, arch, precision)` descriptor. With an empty `extra` this is
+    /// exactly `build`.
+    pub fn build_with_extra(
+        corpus: &LabeledCorpus,
+        env: Env,
+        formats: &[Format],
+        set: FeatureSet,
+        drop_coo_best: bool,
+        extra: &[f64],
+    ) -> ClassificationTask {
         let mut rows = Vec::new();
         let mut y = Vec::new();
         let mut class_times = Vec::new();
@@ -55,7 +71,9 @@ impl ClassificationTask {
             if drop_coo_best && formats[best] == Format::Coo {
                 continue;
             }
-            rows.push(r.features.project(set));
+            let mut row = r.features.project(set);
+            row.extend_from_slice(extra);
+            rows.push(row);
             y.push(best);
             class_times.push(times);
             names.push(r.name.clone());
@@ -118,6 +136,21 @@ impl RegressionTask {
         formats: &[Format],
         set: FeatureSet,
     ) -> RegressionTask {
+        Self::build_with_extra(corpus, env, formats, set, &[])
+    }
+
+    /// [`RegressionTask::build`] with extra feature columns inserted after
+    /// the projected matrix features and *before* the format one-hot — the
+    /// feature-vector v2 layout ([`ClassificationTask::build_with_extra`]
+    /// plus the one-hot tail). With an empty `extra` this is exactly
+    /// `build`.
+    pub fn build_with_extra(
+        corpus: &LabeledCorpus,
+        env: Env,
+        formats: &[Format],
+        set: FeatureSet,
+        extra: &[f64],
+    ) -> RegressionTask {
         let mut rows = Vec::new();
         let mut y = Vec::new();
         let mut record_of = Vec::new();
@@ -125,7 +158,8 @@ impl RegressionTask {
         let mut class_times = Vec::new();
         for r in corpus.usable(formats) {
             let ts = r.env_times(env);
-            let base = r.features.project(set);
+            let mut base = r.features.project(set);
+            base.extend_from_slice(extra);
             let rec_idx = class_times.len();
             let times: Vec<f64> = formats
                 .iter()
@@ -227,6 +261,46 @@ mod tests {
         let t = RegressionTask::build(&corpus, Env::ALL[0], &[Format::Csr5], FeatureSet::Important);
         assert_eq!(t.x.n_cols(), 7);
         assert_eq!(t.len(), t.n_records());
+    }
+
+    #[test]
+    fn extra_columns_sit_between_features_and_one_hot() {
+        // Feature-vector v2 layout: [projected features | extras | one-hot].
+        let corpus = tiny_labeled_corpus(9);
+        let env = Env::ALL[3];
+        let extra = [3.0, 5.0, 7.0];
+        let c = ClassificationTask::build_with_extra(
+            &corpus,
+            env,
+            &Format::ALL,
+            FeatureSet::Important,
+            true,
+            &extra,
+        );
+        assert_eq!(c.x.n_cols(), 7 + 3);
+        for i in 0..c.len() {
+            assert_eq!(&c.x.row(i)[7..10], &extra);
+        }
+        let r = RegressionTask::build_with_extra(&corpus, env, &Format::ALL, FeatureSet::Set1, &extra);
+        assert_eq!(r.x.n_cols(), 5 + 3 + 6);
+        for i in 0..r.len().min(24) {
+            let row = r.x.row(i);
+            assert_eq!(&row[5..8], &extra);
+            let hot: Vec<usize> = (0..6).filter(|&j| row[8 + j] == 1.0).collect();
+            assert_eq!(hot, vec![r.format_of[i]]);
+        }
+        // Empty extras reproduce the plain builders exactly.
+        let plain = ClassificationTask::build(&corpus, env, &Format::ALL, FeatureSet::Set1, true);
+        let via = ClassificationTask::build_with_extra(
+            &corpus,
+            env,
+            &Format::ALL,
+            FeatureSet::Set1,
+            true,
+            &[],
+        );
+        assert_eq!(plain.y, via.y);
+        assert_eq!(plain.x.n_cols(), via.x.n_cols());
     }
 
     #[test]

@@ -5,7 +5,8 @@
 
 use serde::{Deserialize, Serialize};
 use spmv_exec::{ExecMode, SimdLevel};
-use spmv_gpusim::GpuArch;
+use spmv_features::SCENARIO_DESCRIPTOR_COUNT;
+use spmv_gpusim::{GpuArch, SpOp, SOLVER_DEFAULT_ITERS};
 use spmv_matrix::Precision;
 
 /// One (machine, precision) cell of the paper's tables.
@@ -56,6 +57,159 @@ impl Env {
 /// the format-selection problem is posed identically over them.
 pub const CPU_ARCH_LABELS: [&str; 2] = ["cpu-simd", "cpu-scalar"];
 
+/// The sparse operation of a scenario cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioOp {
+    /// One sparse-matrix--vector product (the paper's op).
+    Spmv,
+    /// SpMM with a 4-wide dense block.
+    Spmm4,
+    /// SpMM with a 16-wide dense block.
+    Spmm16,
+    /// Iterative-solver repeated products (warm x-cache after iter 1).
+    Solver,
+}
+
+impl ScenarioOp {
+    /// All operations in scenario-grid order.
+    pub const ALL: [ScenarioOp; 4] = [
+        ScenarioOp::Spmv,
+        ScenarioOp::Spmm4,
+        ScenarioOp::Spmm16,
+        ScenarioOp::Solver,
+    ];
+
+    /// Stable label: env-spec `op` field, tags, table headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioOp::Spmv => "spmv",
+            ScenarioOp::Spmm4 => "spmm4",
+            ScenarioOp::Spmm16 => "spmm16",
+            ScenarioOp::Solver => "solver",
+        }
+    }
+
+    /// The simulator operation this cell measures.
+    pub fn op(self) -> SpOp {
+        match self {
+            ScenarioOp::Spmv => SpOp::Spmv,
+            ScenarioOp::Spmm4 => SpOp::Spmm { k: 4 },
+            ScenarioOp::Spmm16 => SpOp::Spmm { k: 16 },
+            ScenarioOp::Solver => SpOp::Solver {
+                iters: SOLVER_DEFAULT_ITERS,
+            },
+        }
+    }
+}
+
+/// Which pair of machine models a scenario's two arch rows come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchSet {
+    /// The paper's GPUs: [`GpuArch::PAPER_MACHINES`] (K80c, P100).
+    PaperGpus,
+    /// Many-core CPU-style presets: [`GpuArch::MANYCORE_MACHINES`]
+    /// (MC-wide, MC-flat).
+    ManyCore,
+}
+
+impl ArchSet {
+    /// Both machine pairs, GPU rows first.
+    pub const ALL: [ArchSet; 2] = [ArchSet::PaperGpus, ArchSet::ManyCore];
+
+    /// The two machines, in `arch_idx` order.
+    pub fn machines(self) -> &'static [GpuArch; 2] {
+        match self {
+            ArchSet::PaperGpus => &GpuArch::PAPER_MACHINES,
+            ArchSet::ManyCore => &GpuArch::MANYCORE_MACHINES,
+        }
+    }
+
+    /// Short tag prefix ("gpu" / "mc").
+    pub fn label(self) -> &'static str {
+        match self {
+            ArchSet::PaperGpus => "gpu",
+            ArchSet::ManyCore => "mc",
+        }
+    }
+}
+
+/// One (operation, machine-pair) cell of the multi-scenario label space.
+/// Crossed with [`Env`]'s (arch row, precision) grid it names one
+/// `(op, arch, precision)` labeling cell. `Scenario` is threaded through
+/// [`LabelEnvironment::Scenario`] exactly like the CPU backends: tagged
+/// caches, same fault-site keys, committed simulator artifacts untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scenario {
+    /// Operation measured.
+    pub op: ScenarioOp,
+    /// Machine pair supplying the two arch rows.
+    pub archs: ArchSet,
+}
+
+impl Scenario {
+    /// The full 4-op x 2-machine-pair grid, arch-major then op order —
+    /// the order `cross_scenario` tables and the CI matrix iterate.
+    pub const ALL: [Scenario; 8] = [
+        Scenario { op: ScenarioOp::Spmv, archs: ArchSet::PaperGpus },
+        Scenario { op: ScenarioOp::Spmm4, archs: ArchSet::PaperGpus },
+        Scenario { op: ScenarioOp::Spmm16, archs: ArchSet::PaperGpus },
+        Scenario { op: ScenarioOp::Solver, archs: ArchSet::PaperGpus },
+        Scenario { op: ScenarioOp::Spmv, archs: ArchSet::ManyCore },
+        Scenario { op: ScenarioOp::Spmm4, archs: ArchSet::ManyCore },
+        Scenario { op: ScenarioOp::Spmm16, archs: ArchSet::ManyCore },
+        Scenario { op: ScenarioOp::Solver, archs: ArchSet::ManyCore },
+    ];
+
+    /// Stable tag, e.g. `"gpu-spmm4"` or `"mc-solver"`: cache suffixes,
+    /// CLI spellings, provenance strings.
+    pub fn tag(self) -> &'static str {
+        match (self.archs, self.op) {
+            (ArchSet::PaperGpus, ScenarioOp::Spmv) => "gpu-spmv",
+            (ArchSet::PaperGpus, ScenarioOp::Spmm4) => "gpu-spmm4",
+            (ArchSet::PaperGpus, ScenarioOp::Spmm16) => "gpu-spmm16",
+            (ArchSet::PaperGpus, ScenarioOp::Solver) => "gpu-solver",
+            (ArchSet::ManyCore, ScenarioOp::Spmv) => "mc-spmv",
+            (ArchSet::ManyCore, ScenarioOp::Spmm4) => "mc-spmm4",
+            (ArchSet::ManyCore, ScenarioOp::Spmm16) => "mc-spmm16",
+            (ArchSet::ManyCore, ScenarioOp::Solver) => "mc-solver",
+        }
+    }
+
+    /// Parse a scenario tag back (the inverse of [`Scenario::tag`]).
+    pub fn parse(s: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|sc| sc.tag() == s)
+    }
+
+    /// The two machines of this scenario's arch rows.
+    pub fn machines(self) -> &'static [GpuArch; 2] {
+        self.archs.machines()
+    }
+
+    /// The feature-vector **v2** descriptor block for one `(arch row,
+    /// precision)` cell of this scenario: appended after the projected
+    /// matrix features so one model can be trained across cells. Layout
+    /// and names are pinned by
+    /// [`spmv_features::SCENARIO_DESCRIPTOR_NAMES`].
+    pub fn descriptor(self, env: Env) -> [f64; SCENARIO_DESCRIPTOR_COUNT] {
+        let arch = &self.machines()[env.arch_idx];
+        let (k, iters) = match self.op.op() {
+            SpOp::Spmv => (1.0, 1.0),
+            SpOp::Spmm { k } => (k as f64, 1.0),
+            SpOp::Solver { iters } => (1.0, iters as f64),
+        };
+        [
+            k,
+            iters,
+            arch.sms as f64,
+            arch.cores_per_sm as f64,
+            (arch.l2_bytes as f64).log2(),
+            arch.dram_bw_gbs,
+            if arch.texture_gather { 1.0 } else { 0.0 },
+            if env.precision == Precision::Double { 1.0 } else { 0.0 },
+        ]
+    }
+}
+
 /// Where label times come from: the paper-calibrated GPU simulator, real
 /// timed runs of the native CPU kernels in `spmv-exec`, or the
 /// deterministic synthetic stand-in for those runs (CI replay).
@@ -73,17 +227,25 @@ pub enum LabelEnvironment {
         /// Stream seed folded into every pseudo-time.
         seed: u64,
     },
+    /// One multi-scenario simulator cell: the GPU performance model run
+    /// under a [`Scenario`]'s operation over its machine pair. The
+    /// `(ScenarioOp::Spmv, ArchSet::PaperGpus)` cell is byte-identical to
+    /// [`LabelEnvironment::Simulator`]'s labels (pinned by the
+    /// differential tests) but is cached and tagged as its own
+    /// environment, so the committed simulator caches stay untouched.
+    Scenario(Scenario),
 }
 
 impl LabelEnvironment {
     /// Parse a CLI spelling. `cpu-synthetic` gets seed 0; callers wanting
-    /// a specific replay seed construct the variant directly.
+    /// a specific replay seed construct the variant directly. Scenario
+    /// cells parse by their [`Scenario::tag`] (`gpu-spmm4`, `mc-solver`, ...).
     pub fn parse(s: &str) -> Option<LabelEnvironment> {
         match s {
             "sim" | "simulator" => Some(LabelEnvironment::Simulator),
             "cpu-native" | "cpu" => Some(LabelEnvironment::CpuNative),
             "cpu-synthetic" => Some(LabelEnvironment::CpuSynthetic { seed: 0 }),
-            _ => None,
+            other => Scenario::parse(other).map(LabelEnvironment::Scenario),
         }
     }
 
@@ -94,13 +256,24 @@ impl LabelEnvironment {
             LabelEnvironment::Simulator => "sim",
             LabelEnvironment::CpuNative => "cpu-native",
             LabelEnvironment::CpuSynthetic { .. } => "cpu-synthetic",
+            LabelEnvironment::Scenario(sc) => sc.tag(),
         }
     }
 
-    /// How the native collector produces times; `None` for the simulator.
+    /// The scenario cell, when this environment is one.
+    pub fn scenario(&self) -> Option<Scenario> {
+        match self {
+            LabelEnvironment::Scenario(sc) => Some(*sc),
+            _ => None,
+        }
+    }
+
+    /// How the native collector produces times; `None` for the simulator
+    /// and for scenario cells (whose times come from the op-aware
+    /// simulator, never from native kernels).
     pub fn exec_mode(&self) -> Option<ExecMode> {
         match *self {
-            LabelEnvironment::Simulator => None,
+            LabelEnvironment::Simulator | LabelEnvironment::Scenario(_) => None,
             LabelEnvironment::CpuNative => Some(ExecMode::Measured),
             LabelEnvironment::CpuSynthetic { seed } => Some(ExecMode::Synthetic { seed }),
         }
@@ -112,6 +285,7 @@ impl LabelEnvironment {
     pub fn arch_name(&self, arch_idx: usize) -> &'static str {
         match self {
             LabelEnvironment::Simulator => GpuArch::PAPER_MACHINES[arch_idx].name,
+            LabelEnvironment::Scenario(sc) => sc.machines()[arch_idx].name,
             _ => CPU_ARCH_LABELS[arch_idx],
         }
     }
@@ -128,6 +302,7 @@ impl LabelEnvironment {
             LabelEnvironment::Simulator => EnvSpec::default(),
             LabelEnvironment::CpuNative => EnvSpec::cpu("cpu-native", None),
             LabelEnvironment::CpuSynthetic { seed } => EnvSpec::cpu("cpu-synthetic", Some(seed)),
+            LabelEnvironment::Scenario(sc) => EnvSpec::scenario(sc),
         }
     }
 
@@ -151,11 +326,13 @@ impl LabelEnvironment {
 /// backend is never silently reused by another.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EnvSpec {
-    /// Backend kind: `"simulator"`, `"cpu-native"`, or `"cpu-synthetic"`.
+    /// Backend kind: `"simulator"`, `"cpu-native"`, `"cpu-synthetic"`,
+    /// or `"scenario"` (the op-aware simulator cells).
     pub kind: String,
     /// Architecture rows of the grid, in `arch_idx` order.
     pub archs: Vec<String>,
-    /// Operation measured (always `"spmv"` today).
+    /// Operation measured: `"spmv"` for every pre-scenario backend;
+    /// scenario cells record their [`ScenarioOp::label`].
     pub op: String,
     /// Precision columns, in [`Precision::ALL`] order.
     pub precisions: Vec<String>,
@@ -165,11 +342,11 @@ pub struct EnvSpec {
 }
 
 impl EnvSpec {
-    fn with_archs(kind: &str, archs: Vec<String>, synth_seed: Option<u64>) -> EnvSpec {
+    fn with_archs(kind: &str, archs: Vec<String>, op: &str, synth_seed: Option<u64>) -> EnvSpec {
         EnvSpec {
             kind: kind.to_string(),
             archs,
-            op: "spmv".to_string(),
+            op: op.to_string(),
             precisions: Precision::ALL
                 .iter()
                 .map(|p| p.label().to_string())
@@ -182,7 +359,19 @@ impl EnvSpec {
         Self::with_archs(
             kind,
             CPU_ARCH_LABELS.iter().map(|s| s.to_string()).collect(),
+            "spmv",
             synth_seed,
+        )
+    }
+
+    /// The descriptor of one scenario cell: kind `"scenario"`, the
+    /// machine-pair names as arch rows, and the cell's operation.
+    pub fn scenario(sc: Scenario) -> EnvSpec {
+        Self::with_archs(
+            "scenario",
+            sc.machines().iter().map(|a| a.name.to_string()).collect(),
+            sc.op.label(),
+            None,
         )
     }
 
@@ -203,6 +392,7 @@ impl Default for EnvSpec {
                 .iter()
                 .map(|a| a.name.to_string())
                 .collect(),
+            "spmv",
             None,
         )
     }
@@ -274,6 +464,114 @@ mod tests {
         let synth = LabelEnvironment::CpuSynthetic { seed: 9 }.spec();
         assert_eq!(synth.synth_seed, Some(9));
         assert_ne!(synth, native);
+    }
+
+    #[test]
+    fn scenario_grid_covers_eight_distinct_cells() {
+        let tags: Vec<&str> = Scenario::ALL.iter().map(|s| s.tag()).collect();
+        assert_eq!(
+            tags,
+            vec![
+                "gpu-spmv",
+                "gpu-spmm4",
+                "gpu-spmm16",
+                "gpu-solver",
+                "mc-spmv",
+                "mc-spmm4",
+                "mc-spmm16",
+                "mc-solver"
+            ]
+        );
+        for sc in Scenario::ALL {
+            assert_eq!(Scenario::parse(sc.tag()), Some(sc));
+            let le = LabelEnvironment::parse(sc.tag()).expect("tag parses");
+            assert_eq!(le, LabelEnvironment::Scenario(sc));
+            assert_eq!(le.tag(), sc.tag());
+            assert_eq!(le.scenario(), Some(sc));
+            assert_eq!(le.exec_mode(), None, "scenario cells never run kernels");
+        }
+        assert_eq!(Scenario::parse("gpu-spmm8"), None);
+    }
+
+    #[test]
+    fn gpu_spmv_scenario_mirrors_the_simulator_grid_strings() {
+        // The differential anchor cell: same arch names, same row labels —
+        // the strings every sweep seed and fault-site key derive from.
+        let sc = Scenario::ALL[0];
+        let le = LabelEnvironment::Scenario(sc);
+        for env in Env::ALL {
+            assert_eq!(le.arch_name(env.arch_idx), env.arch().name);
+            assert_eq!(le.env_label(env), env.label());
+        }
+        // But it is NOT the simulator environment: its cache is tagged.
+        assert_ne!(le, LabelEnvironment::Simulator);
+        assert!(!le.spec().is_simulator());
+    }
+
+    #[test]
+    fn scenario_specs_distinguish_every_cell() {
+        let mut seen = std::collections::HashSet::new();
+        for sc in Scenario::ALL {
+            let spec = LabelEnvironment::Scenario(sc).spec();
+            assert_eq!(spec.kind, "scenario");
+            assert_eq!(spec.op, sc.op.label());
+            let json = serde_json::to_string(&spec).unwrap();
+            assert!(seen.insert(json), "{} spec collides", sc.tag());
+            let back: EnvSpec = serde_json::from_str(
+                &serde_json::to_string(&spec).unwrap(),
+            )
+            .unwrap();
+            assert_eq!(back, spec);
+        }
+        let mc = LabelEnvironment::Scenario(Scenario {
+            op: ScenarioOp::Solver,
+            archs: ArchSet::ManyCore,
+        });
+        assert_eq!(mc.spec().archs, vec!["MC-wide", "MC-flat"]);
+        assert_eq!(mc.arch_name(1), "MC-flat");
+        assert_eq!(
+            mc.env_label(Env {
+                arch_idx: 0,
+                precision: Precision::Single
+            }),
+            "MC-wide single"
+        );
+    }
+
+    #[test]
+    fn descriptors_have_the_pinned_layout_and_separate_cells() {
+        use spmv_features::SCENARIO_DESCRIPTOR_NAMES;
+        assert_eq!(SCENARIO_DESCRIPTOR_NAMES.len(), SCENARIO_DESCRIPTOR_COUNT);
+        let env = Env {
+            arch_idx: 0,
+            precision: Precision::Double,
+        };
+        let spmm = Scenario {
+            op: ScenarioOp::Spmm16,
+            archs: ArchSet::PaperGpus,
+        }
+        .descriptor(env);
+        assert_eq!(spmm[0], 16.0, "op_k");
+        assert_eq!(spmm[1], 1.0, "op_iters");
+        assert_eq!(spmm[7], 1.0, "prec_double");
+        let solver = Scenario {
+            op: ScenarioOp::Solver,
+            archs: ArchSet::ManyCore,
+        }
+        .descriptor(env);
+        assert_eq!(solver[0], 1.0);
+        assert!(solver[1] > 1.0, "solver iterates");
+        assert_eq!(solver[6], 0.0, "many-core has no texture path");
+        // Every (scenario, env) cell gets a distinct descriptor.
+        let mut seen = std::collections::HashSet::new();
+        for sc in Scenario::ALL {
+            for env in Env::ALL {
+                let d = sc.descriptor(env);
+                assert!(d.iter().all(|v| v.is_finite()));
+                let key: Vec<u64> = d.iter().map(|v| v.to_bits()).collect();
+                assert!(seen.insert(key), "{} {:?} descriptor collides", sc.tag(), env);
+            }
+        }
     }
 
     #[test]

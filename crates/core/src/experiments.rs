@@ -8,12 +8,14 @@ use spmv_corpus::{bucket_labels, CorpusScale, GenKind, MatrixSpec, SyntheticSuit
 use spmv_features::{FeatureId, FeatureSet};
 use spmv_gpusim::{GpuArch, Simulator};
 use spmv_matrix::{CsrMatrix, Format, Precision, SparseMatrix};
-use spmv_ml::{thread_budget, Executor, SlowdownTable};
+use spmv_ml::{
+    thread_budget, Classifier, Executor, FeatureMatrix, GbtClassifier, GbtParams, SlowdownTable,
+};
 
 use crate::advisor::FormatAdvisor;
 use crate::classify::{evaluate_classifier, xgboost_importance, ModelKind, SearchBudget};
 use crate::dataset::{ClassificationTask, RegressionTask};
-use crate::env::{Env, LabelEnvironment};
+use crate::env::{Env, LabelEnvironment, Scenario};
 use crate::indirect::evaluate_indirect;
 use crate::labels::{LabeledCorpus, MatrixRecord, N_FORMATS};
 use crate::regress::{evaluate_regressor, RegModelKind};
@@ -119,6 +121,12 @@ impl ExperimentConfig {
                 &Simulator::default(),
                 self.threads,
                 &self.cache_path,
+            ),
+            LabelEnvironment::Scenario(sc) => LabeledCorpus::load_or_collect_scenario(
+                &suite,
+                sc,
+                self.threads,
+                &self.env_cache_path(),
             ),
             env => LabeledCorpus::load_or_collect_native(
                 &suite,
@@ -1073,6 +1081,214 @@ pub fn exec_oracle(corpus: &LabeledCorpus, cfg: &ExperimentConfig) -> Experiment
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-scenario study: one unified advisor vs per-scenario experts
+// ---------------------------------------------------------------------------
+
+/// The mod-4 holdout the native studies use, applied per scenario corpus:
+/// records with `i % 4 != 0` train, the rest (when complete) test.
+fn scenario_train_part(corpus: &LabeledCorpus) -> LabeledCorpus {
+    LabeledCorpus {
+        suite_seed: corpus.suite_seed,
+        model_version: corpus.model_version,
+        env_spec: corpus.env_spec.clone(),
+        records: corpus
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 4 != 0)
+            .map(|(_, r)| r.clone())
+            .collect(),
+    }
+}
+
+/// Collect (or load from the env-tagged caches) every scenario cell's
+/// corpus and run the cross-scenario study on them.
+pub fn cross_scenario(cfg: &ExperimentConfig) -> ExperimentResult {
+    let suite = SyntheticSuite::sample(cfg.scale, cfg.suite_seed);
+    let corpora: Vec<(Scenario, LabeledCorpus)> = Scenario::ALL
+        .iter()
+        .map(|&sc| {
+            let path = cfg
+                .clone()
+                .with_env(LabelEnvironment::Scenario(sc))
+                .env_cache_path();
+            (
+                sc,
+                LabeledCorpus::load_or_collect_scenario(&suite, sc, cfg.threads, &path),
+            )
+        })
+        .collect();
+    cross_scenario_from(&corpora, cfg)
+}
+
+/// The tentpole study: does one unified model over the feature-vector v2
+/// rows — matrix features plus the `(op, arch, precision)` scenario
+/// descriptor — match a fleet of per-scenario expert advisors?
+///
+/// Per (scenario, machine) cell at double precision: a plain
+/// [`FormatAdvisor`] expert trains on that cell's train split alone, while
+/// the unified XGBoost classifier trains once on the pooled descriptor-
+/// augmented rows of *every* cell. Both are scored on the held-out quarter
+/// by pick accuracy; the unified model additionally by achieved fraction
+/// of oracle throughput and worst-case slowdown (the deployment metrics).
+/// The rendered table reports the per-cell accuracy gap and its mean —
+/// the price of replacing 16 expert models with one.
+pub fn cross_scenario_from(
+    corpora: &[(Scenario, LabeledCorpus)],
+    cfg: &ExperimentConfig,
+) -> ExperimentResult {
+    let all: Vec<Format> = Format::ALL.to_vec();
+    let set = FeatureSet::Important;
+    let envs = [
+        Env {
+            arch_idx: 0,
+            precision: Precision::Double,
+        },
+        Env {
+            arch_idx: 1,
+            precision: Precision::Double,
+        },
+    ];
+
+    // One unified classifier over the pooled train rows of every cell,
+    // scenario-major then arch-row order — a deterministic row order, and
+    // `fit` itself is bit-identical at any thread count.
+    let mut uni_rows: Vec<Vec<f64>> = Vec::new();
+    let mut uni_y: Vec<usize> = Vec::new();
+    for (sc, corpus) in corpora {
+        let train = scenario_train_part(corpus);
+        for env in envs {
+            let t = ClassificationTask::build_with_extra(
+                &train,
+                env,
+                &all,
+                set,
+                true,
+                &sc.descriptor(env),
+            );
+            for i in 0..t.len() {
+                uni_rows.push(t.x.row(i).to_vec());
+                uni_y.push(t.y[i]);
+            }
+        }
+    }
+    let mut unified = GbtClassifier::new(GbtParams {
+        n_estimators: match cfg.budget {
+            SearchBudget::Quick => 60,
+            SearchBudget::Paper => 200,
+        },
+        max_depth: 6,
+        learning_rate: 0.1,
+        ..GbtParams::default()
+    });
+    unified.fit(&FeatureMatrix::from_rows(&uni_rows), &uni_y, all.len());
+
+    // The expert fleet: one per cell, trained on that cell's split alone.
+    // Every cell is a pure function of its corpus, so the sweep executor
+    // keeps the result order (and bytes) schedule-independent.
+    let exec = Executor::new(cfg.threads);
+    let experts: Vec<FormatAdvisor> = exec.map(corpora.len() * envs.len(), |c| {
+        let (_, corpus) = &corpora[c / envs.len()];
+        let env = envs[c % envs.len()];
+        FormatAdvisor::train(&scenario_train_part(corpus), env, cfg.budget)
+    });
+
+    let mut rows = Vec::new();
+    let (mut e_acc_sum, mut u_acc_sum, mut cells) = (0.0f64, 0.0f64, 0usize);
+    let mut worst_overall = 1.0f64;
+    for (ci, (sc, corpus)) in corpora.iter().enumerate() {
+        let test: Vec<&MatrixRecord> = corpus
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| i % 4 == 0 && r.complete_for(&all))
+            .map(|(_, r)| r)
+            .collect();
+        for (ei, env) in envs.iter().enumerate() {
+            let expert = &experts[ci * envs.len() + ei];
+            let desc = sc.descriptor(*env);
+            let (mut e_hits, mut u_hits) = (0usize, 0usize);
+            let mut ratio_sum = 0.0f64;
+            let mut worst = 1.0f64;
+            for r in &test {
+                let best = r.best_format(*env, &all);
+                if best == Some(expert.recommend_features(&r.features).format) {
+                    e_hits += 1;
+                }
+                let mut row = r.features.project(set);
+                row.extend_from_slice(&desc);
+                let probs = unified.predict_proba_one(&row, all.len());
+                let class = probs
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                let u_pick = all[class];
+                if best == Some(u_pick) {
+                    u_hits += 1;
+                }
+                let ts = r.env_times(*env);
+                let t_pick = ts[u_pick.class_id()].unwrap_or(f64::INFINITY);
+                let t_best = all
+                    .iter()
+                    .filter_map(|f| ts[f.class_id()])
+                    .fold(f64::INFINITY, f64::min);
+                ratio_sum += t_best / t_pick;
+                worst = worst.max(t_pick / t_best);
+            }
+            let n = test.len().max(1) as f64;
+            let (e_acc, u_acc) = (e_hits as f64 / n, u_hits as f64 / n);
+            e_acc_sum += e_acc;
+            u_acc_sum += u_acc;
+            cells += 1;
+            worst_overall = worst_overall.max(worst);
+            rows.push(vec![
+                sc.tag().to_string(),
+                sc.machines()[env.arch_idx].name.to_string(),
+                test.len().to_string(),
+                pct(e_acc),
+                pct(u_acc),
+                format!("{:+.1}pp", 100.0 * (u_acc - e_acc)),
+                format!("{:.1}%", 100.0 * ratio_sum / n),
+                format!("{worst:.2}x"),
+            ]);
+        }
+    }
+    let mut body = render_table(
+        "Cross-scenario study: per-cell expert advisors vs one unified model \
+         (double precision, held-out quarter)",
+        &[
+            "scenario".into(),
+            "machine".into(),
+            "test n".into(),
+            "expert acc".into(),
+            "unified acc".into(),
+            "gap".into(),
+            "unified %oracle".into(),
+            "worst slowdown".into(),
+        ],
+        &rows,
+    );
+    let nc = cells.max(1) as f64;
+    body.push_str(&format!(
+        "\nunified model: {} training rows over {} cells; mean expert acc {}, \
+         mean unified acc {}, mean gap {:+.1}pp, worst unified slowdown {:.2}x\n",
+        uni_rows.len(),
+        cells,
+        pct(e_acc_sum / nc),
+        pct(u_acc_sum / nc),
+        100.0 * (u_acc_sum - e_acc_sum) / nc,
+        worst_overall,
+    ));
+    ExperimentResult {
+        id: "cross_scenario",
+        title: "Cross-scenario — unified advisor vs per-scenario experts".into(),
+        body,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1207,6 +1423,32 @@ mod tests {
         assert!(oracle.body.contains("cpu-simd single"));
         assert!(oracle.body.contains("cpu-scalar double"));
         assert!(oracle.body.contains('%'));
+    }
+
+    #[test]
+    fn cross_scenario_table_is_thread_invariant_and_reports_the_gap() {
+        // A two-scenario subset keeps the test cheap; the full 8-cell grid
+        // runs through `repro --scenario` and the golden sweep.
+        let suite = SyntheticSuite::sample(CorpusScale::Tiny, 71);
+        let subset = [Scenario::ALL[0], Scenario::ALL[5]];
+        let corpora: Vec<(Scenario, LabeledCorpus)> = subset
+            .iter()
+            .map(|&sc| (sc, LabeledCorpus::collect_scenario(&suite, sc, 2)))
+            .collect();
+        let mut cfg = ExperimentConfig::tiny();
+        cfg.threads = 1;
+        let serial = cross_scenario_from(&corpora, &cfg);
+        cfg.threads = 4;
+        let par = cross_scenario_from(&corpora, &cfg);
+        assert_eq!(
+            serial.body, par.body,
+            "cross-scenario bytes must not depend on the thread count"
+        );
+        assert_eq!(serial.id, "cross_scenario");
+        assert!(serial.body.contains("gpu-spmv") && serial.body.contains("mc-spmm4"));
+        assert!(serial.body.contains("K80c") && serial.body.contains("MC-wide"));
+        assert!(serial.body.contains("mean gap"));
+        assert!(serial.body.contains("pp"), "gap rendered in points");
     }
 
     #[test]

@@ -319,6 +319,59 @@ pub fn measure_matrix_outcomes_reference(
     (times, failures)
 }
 
+/// The feature block of one record — the shared front half of every
+/// collector's worker body (simulator, native, scenario): injected or
+/// organic extraction failures degrade to a zeroed vector plus a
+/// matrix-wide [`LabelFailure`], and the finite guard keeps NaN/Inf out
+/// of every training set.
+pub(crate) fn worker_features(
+    spec_name: &str,
+    csr: &CsrMatrix<f64>,
+    stats: &RowStats,
+    plan: &FaultPlan,
+    failures: &mut Vec<LabelFailure>,
+) -> FeatureVector {
+    if plan.should_fail(FaultSite::FeatureExtraction, spec_name) {
+        failures.push(LabelFailure {
+            format: None,
+            env: None,
+            reason: FaultPlan::reason(FaultSite::FeatureExtraction, spec_name),
+        });
+        return FeatureVector::zeros();
+    }
+    let f = extract_with_stats(csr, stats);
+    if f.is_finite() {
+        f
+    } else {
+        failures.push(LabelFailure {
+            format: None,
+            env: None,
+            reason: "feature extraction produced non-finite values".to_string(),
+        });
+        FeatureVector::zeros()
+    }
+}
+
+/// The degraded all-failed record a contained worker panic leaves, so
+/// the corpus stays aligned with the suite (shared by every collector).
+pub(crate) fn panic_record(suite: &SyntheticSuite, i: usize, message: &str) -> MatrixRecord {
+    spmv_observe::counter("labeling.worker_panics", 1);
+    let spec = &suite.specs[i];
+    MatrixRecord {
+        name: spec.name.clone(),
+        bucket: suite.bucket_of[i],
+        family: spec.kind.family().to_string(),
+        shape: (0, 0, 0),
+        features: FeatureVector::zeros(),
+        times: [[[None; N_FORMATS]; 2]; 2],
+        failures: vec![LabelFailure {
+            format: None,
+            env: None,
+            reason: format!("label worker panicked: {message}"),
+        }],
+    }
+}
+
 impl LabeledCorpus {
     /// Label every matrix of `suite`, running `threads` workers.
     pub fn collect(suite: &SyntheticSuite, sim: &Simulator, threads: usize) -> LabeledCorpus {
@@ -358,28 +411,7 @@ impl LabeledCorpus {
             // features below.
             let stats = RowStats::of(csr.row_ptr());
             let mut failures: Vec<LabelFailure> = Vec::new();
-            let features = if plan.should_fail(FaultSite::FeatureExtraction, &spec.name) {
-                failures.push(LabelFailure {
-                    format: None,
-                    env: None,
-                    reason: FaultPlan::reason(FaultSite::FeatureExtraction, &spec.name),
-                });
-                FeatureVector::zeros()
-            } else {
-                let f = extract_with_stats(&csr, &stats);
-                // Finite-feature guard: a degenerate matrix must never
-                // smuggle NaN/Inf into the training set.
-                if f.is_finite() {
-                    f
-                } else {
-                    failures.push(LabelFailure {
-                        format: None,
-                        env: None,
-                        reason: "feature extraction produced non-finite values".to_string(),
-                    });
-                    FeatureVector::zeros()
-                }
-            };
+            let features = worker_features(&spec.name, &csr, &stats, plan, &mut failures);
             let (times, measure_failures) =
                 measure_matrix_outcomes_in(&csr, &stats, scratch, sim, spec.seed, &spec.name, plan);
             failures.extend(measure_failures);
@@ -399,25 +431,9 @@ impl LabeledCorpus {
             .enumerate()
             .map(|(i, r)| match r {
                 Ok(rec) => rec,
-                Err(p) => {
-                    // Contained worker panic: a degraded all-failed record
-                    // keeps the corpus aligned with the suite.
-                    spmv_observe::counter("labeling.worker_panics", 1);
-                    let spec = &suite.specs[i];
-                    MatrixRecord {
-                        name: spec.name.clone(),
-                        bucket: suite.bucket_of[i],
-                        family: spec.kind.family().to_string(),
-                        shape: (0, 0, 0),
-                        features: FeatureVector::zeros(),
-                        times: [[[None; N_FORMATS]; 2]; 2],
-                        failures: vec![LabelFailure {
-                            format: None,
-                            env: None,
-                            reason: format!("label worker panicked: {}", p.message),
-                        }],
-                    }
-                }
+                // Contained worker panic: a degraded all-failed record
+                // keeps the corpus aligned with the suite.
+                Err(p) => panic_record(suite, i, &p.message),
             })
             .collect();
         LabeledCorpus {

@@ -40,6 +40,8 @@ pub mod observe;
 pub mod online;
 pub mod regress;
 pub mod report;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod scenario;
 pub mod slowdown;
 
 pub use ablation::ablations;
@@ -48,7 +50,7 @@ pub use advisor::{
 };
 pub use classify::{evaluate_classifier, xgboost_importance, EvalOutcome, ModelKind, SearchBudget};
 pub use dataset::{ClassificationTask, RegressionTask};
-pub use env::{Env, EnvSpec, LabelEnvironment, CPU_ARCH_LABELS};
+pub use env::{ArchSet, Env, EnvSpec, LabelEnvironment, Scenario, ScenarioOp, CPU_ARCH_LABELS};
 pub use experiments::{sweep_seed, ExperimentConfig, ExperimentResult};
 pub use extensions::extensions;
 pub use faults::{read_matrix_market_file_with, FaultPlan, FaultSite};
@@ -67,6 +69,8 @@ pub use online::{
     FeedbackError, FeedbackEvent, FeedbackOutcome, Generation, OnlineAdvisor, OnlineConfig,
     OnlineStatus, Reservoir, ShadowVerdict,
 };
+pub use scenario::measure_matrix_op_outcomes_in;
+
 pub use regress::{
     evaluate_regressor, train_time_predictor, RegModelKind, RegressOutcome, TimePredictor,
 };

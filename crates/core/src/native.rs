@@ -19,13 +19,14 @@ use spmv_corpus::SyntheticSuite;
 use spmv_exec::{
     synthetic_time, ExecMode, ExecScratch, Harness, MeasureConfig, PreparedMatrix, SimdKernels,
 };
-use spmv_features::{extract_with_stats, FeatureVector};
 use spmv_matrix::{CsrMatrix, Format, MatrixError, Precision, RowStats, Scalar};
 use spmv_ml::Executor;
 
 use crate::env::{Env, LabelEnvironment, CPU_ARCH_LABELS};
 use crate::faults::{FaultPlan, FaultSite};
-use crate::labels::{CellTimes, LabelFailure, LabeledCorpus, MatrixRecord, N_FORMATS};
+use crate::labels::{
+    panic_record, worker_features, CellTimes, LabelFailure, LabeledCorpus, MatrixRecord, N_FORMATS,
+};
 
 /// Per-worker scratch for native labeling: the exec buffers for both
 /// precisions plus the `x`/`y` product vectors, all reused across every
@@ -252,15 +253,20 @@ impl LabeledCorpus {
 
     /// [`LabeledCorpus::collect_native`] under a fault plan, mirroring
     /// [`LabeledCorpus::collect_with`]: per-worker scratch reuse, panic
-    /// containment, degraded records. A [`LabelEnvironment::Simulator`]
-    /// argument delegates to the simulator collector, so callers can
-    /// dispatch on the environment without special-casing.
+    /// containment, degraded records. Non-native environments delegate to
+    /// their own collectors — [`LabelEnvironment::Simulator`] to the
+    /// simulator path, [`LabelEnvironment::Scenario`] to the op-aware
+    /// scenario path — so callers can dispatch on the environment without
+    /// special-casing.
     pub fn collect_native_with(
         suite: &SyntheticSuite,
         env: LabelEnvironment,
         threads: usize,
         plan: &FaultPlan,
     ) -> LabeledCorpus {
+        if let Some(sc) = env.scenario() {
+            return Self::collect_scenario_with(suite, sc, threads, plan);
+        }
         if env.exec_mode().is_none() {
             return Self::collect_with(suite, &spmv_gpusim::Simulator::default(), threads, plan);
         }
@@ -276,26 +282,7 @@ impl LabeledCorpus {
             let _matrix_span = spmv_observe::span!("labeling/matrix", nnz = csr.nnz() as u64);
             let stats = RowStats::of(csr.row_ptr());
             let mut failures: Vec<LabelFailure> = Vec::new();
-            let features = if plan.should_fail(FaultSite::FeatureExtraction, &spec.name) {
-                failures.push(LabelFailure {
-                    format: None,
-                    env: None,
-                    reason: FaultPlan::reason(FaultSite::FeatureExtraction, &spec.name),
-                });
-                FeatureVector::zeros()
-            } else {
-                let f = extract_with_stats(&csr, &stats);
-                if f.is_finite() {
-                    f
-                } else {
-                    failures.push(LabelFailure {
-                        format: None,
-                        env: None,
-                        reason: "feature extraction produced non-finite values".to_string(),
-                    });
-                    FeatureVector::zeros()
-                }
-            };
+            let features = worker_features(&spec.name, &csr, &stats, plan, &mut failures);
             let (times, measure_failures) =
                 measure_matrix_native_outcomes_in(&csr, &stats, scratch, env, &spec.name, plan);
             failures.extend(measure_failures);
@@ -315,23 +302,7 @@ impl LabeledCorpus {
             .enumerate()
             .map(|(i, r)| match r {
                 Ok(rec) => rec,
-                Err(p) => {
-                    spmv_observe::counter("labeling.worker_panics", 1);
-                    let spec = &suite.specs[i];
-                    MatrixRecord {
-                        name: spec.name.clone(),
-                        bucket: suite.bucket_of[i],
-                        family: spec.kind.family().to_string(),
-                        shape: (0, 0, 0),
-                        features: FeatureVector::zeros(),
-                        times: [[[None; N_FORMATS]; 2]; 2],
-                        failures: vec![LabelFailure {
-                            format: None,
-                            env: None,
-                            reason: format!("label worker panicked: {}", p.message),
-                        }],
-                    }
-                }
+                Err(p) => panic_record(suite, i, &p.message),
             })
             .collect();
         LabeledCorpus {

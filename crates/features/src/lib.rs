@@ -33,4 +33,6 @@ pub mod extract;
 pub mod names;
 
 pub use extract::{extract, extract_with_stats, FeatureVector};
-pub use names::{FeatureId, FeatureSet, FEATURE_COUNT};
+pub use names::{
+    FeatureId, FeatureSet, FEATURE_COUNT, SCENARIO_DESCRIPTOR_COUNT, SCENARIO_DESCRIPTOR_NAMES,
+};

@@ -106,6 +106,29 @@ impl FeatureId {
     }
 }
 
+/// Number of scenario-descriptor features appended after a projected
+/// matrix-feature block in the feature-vector **v2** layout. The base 17
+/// matrix features (and their serialized form in label caches) are
+/// untouched; descriptors describe the *(operation, architecture,
+/// precision)* cell a row was labeled in, so one model can span scenario
+/// cells instead of one silo per cell (Misam, arXiv:2406.10166). Values
+/// are computed where the scenario definitions live (`spmv-core`); the
+/// count and names are pinned here so artifact arity checks and table
+/// headers agree with the layout.
+pub const SCENARIO_DESCRIPTOR_COUNT: usize = 8;
+
+/// Names of the scenario-descriptor features, in appended order.
+pub const SCENARIO_DESCRIPTOR_NAMES: [&str; SCENARIO_DESCRIPTOR_COUNT] = [
+    "op_k",          // dense-block width (1 for SpMV/solver)
+    "op_iters",      // products per solve (1 for SpMV/SpMM)
+    "arch_sms",      // core/tile count
+    "arch_simd",     // lanes per core (SIMT/SIMD width proxy)
+    "arch_l2_log2",  // log2 of last-level cache bytes
+    "arch_dram_gbs", // DRAM bandwidth
+    "arch_texture",  // 1 when a texture/read-only gather path exists
+    "prec_double",   // 1 for f64 labels
+];
+
 /// The feature subsets the paper's tables sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FeatureSet {

@@ -111,6 +111,61 @@ impl GpuArch {
     /// The two machines the paper's tables report (in table order).
     pub const PAPER_MACHINES: [GpuArch; 2] = [GpuArch::K80C, GpuArch::P100];
 
+    /// Many-core CPU-style preset 1: wide-SIMD, deep-cache (KNL-like —
+    /// many small tiles, 16-wide vector lanes, a large shared last-level
+    /// cache, moderate MCDRAM-class bandwidth). Format winners shift on
+    /// such machines (Chen et al., arXiv:1805.11938): the deep cache
+    /// absorbs scattered gathers that kill a GPU, while the narrow
+    /// "warp" leaves less divergence waste for padded formats to exploit.
+    /// `line_bytes` stays at the model's 32 B transaction granularity —
+    /// [`crate::profile::KernelProfile`] gather counts are taken at that
+    /// sector size, and the presets parameterize *timing only*.
+    pub const MANYCORE_WIDE: GpuArch = GpuArch {
+        name: "MC-wide",
+        sms: 64,
+        cores_per_sm: 16,
+        clock_mhz: 1300.0,
+        dram_bw_gbs: 400.0,
+        l2_bw_gbs: 1100.0,
+        l2_bytes: 33_554_432, // 32 MB deep LLC
+        warp_size: 16,
+        line_bytes: 32,
+        atomics_per_clock: 8.0,
+        launch_us: 0.8, // task spawn, not a driver round-trip
+        max_threads_per_sm: 256,
+        ipc_efficiency: 0.7,
+        fp64_derate: 1.0, // full-rate FP64 vector units
+        texture_gather: false,
+    };
+
+    /// Many-core CPU-style preset 2: narrow-SIMD, flat-cache (a modest
+    /// desktop-class part — few cores, 4-wide vectors, small last-level
+    /// cache, commodity DRAM). The opposite corner from
+    /// [`GpuArch::MANYCORE_WIDE`]: almost everything is bandwidth-bound
+    /// and the small cache makes gather locality decisive.
+    pub const MANYCORE_FLAT: GpuArch = GpuArch {
+        name: "MC-flat",
+        sms: 16,
+        cores_per_sm: 4,
+        clock_mhz: 2600.0,
+        dram_bw_gbs: 85.0,
+        l2_bw_gbs: 320.0,
+        l2_bytes: 524_288, // 512 KB flat LLC slice
+        warp_size: 4,
+        line_bytes: 32,
+        atomics_per_clock: 4.0,
+        launch_us: 0.3,
+        max_threads_per_sm: 128,
+        ipc_efficiency: 0.8,
+        fp64_derate: 1.0,
+        texture_gather: false,
+    };
+
+    /// The two many-core arch rows of the scenario grids, in `arch_idx`
+    /// order (wide-SIMD deep-cache, then narrow-SIMD flat-cache) — the
+    /// many-core counterpart of [`GpuArch::PAPER_MACHINES`].
+    pub const MANYCORE_MACHINES: [GpuArch; 2] = [GpuArch::MANYCORE_WIDE, GpuArch::MANYCORE_FLAT];
+
     /// Clock period in seconds.
     pub fn clock_period_s(&self) -> f64 {
         1.0 / (self.clock_mhz * 1e6)
@@ -180,5 +235,38 @@ mod tests {
     fn paper_machines_order() {
         assert_eq!(GpuArch::PAPER_MACHINES[0].name, "K80c");
         assert_eq!(GpuArch::PAPER_MACHINES[1].name, "P100");
+    }
+
+    #[test]
+    fn manycore_presets_occupy_opposite_corners() {
+        let wide = GpuArch::MANYCORE_WIDE;
+        let flat = GpuArch::MANYCORE_FLAT;
+        assert_eq!(GpuArch::MANYCORE_MACHINES[0].name, "MC-wide");
+        assert_eq!(GpuArch::MANYCORE_MACHINES[1].name, "MC-flat");
+        // Wide-SIMD deep-cache vs narrow-SIMD flat-cache.
+        assert!(wide.warp_size > flat.warp_size);
+        assert!(wide.l2_bytes > 8 * flat.l2_bytes);
+        assert!(wide.dram_bw_gbs > flat.dram_bw_gbs);
+        // Distinct names matter: cell seeds hash the arch name, so the
+        // many-core cells must draw jitter streams different from the
+        // GPU cells' (and from each other's).
+        let names = [
+            GpuArch::K80C.name,
+            GpuArch::P100.name,
+            wide.name,
+            flat.name,
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for b in names.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        // CPU-style parts: full-rate FP64, no texture path, but the
+        // gather accounting granularity stays the model's 32 B sector.
+        for a in [wide, flat] {
+            assert_eq!(a.fp64_derate, 1.0);
+            assert!(!a.texture_gather);
+            assert_eq!(a.line_bytes, 32);
+        }
     }
 }

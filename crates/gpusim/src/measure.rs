@@ -13,6 +13,7 @@ use rand_chacha::ChaCha8Rng;
 use spmv_matrix::{Format, Precision, Scalar, SparseMatrix};
 
 use crate::arch::GpuArch;
+use crate::op::{predict_op_seconds, SpOp};
 use crate::profile::KernelProfile;
 use crate::timing::{gflops, predict_seconds};
 
@@ -72,11 +73,40 @@ impl Simulator {
     ) -> Measurement {
         spmv_observe::counter("gpusim.measurements", 1);
         let base = predict_seconds(profile, arch, prec);
+        self.sample(base, profile.flops, seed)
+    }
+
+    /// [`Simulator::measure_profile`] generalized over the operation: the
+    /// base time comes from [`predict_op_seconds`] and the GFLOPS from the
+    /// op's useful work, while the jitter stream is the *same*
+    /// [`Simulator::sample`] path seeded identically — `SpOp::Spmv` (and
+    /// the degenerate `Spmm { k: 1 }` / `Solver { iters: 1 }`) therefore
+    /// reproduce `measure_profile` bit-for-bit. The operation is
+    /// deliberately not folded into `seed`: that identity is what the
+    /// differential tests pin.
+    pub fn measure_profile_op(
+        &self,
+        profile: &KernelProfile,
+        arch: &GpuArch,
+        prec: Precision,
+        op: SpOp,
+        seed: u64,
+    ) -> Measurement {
+        spmv_observe::counter("gpusim.measurements", 1);
+        let base = predict_op_seconds(profile, arch, prec, op);
+        self.sample(base, op.flops(profile), seed)
+    }
+
+    /// The repetition-averaging core shared by every measurement path:
+    /// deterministic log-normal jitter around `base`, or the clean value
+    /// when noise is disabled. Extracted (not duplicated) so the op-aware
+    /// path cannot drift from the SpMV path's arithmetic.
+    fn sample(&self, base: f64, flops: f64, seed: u64) -> Measurement {
         if self.noise_sigma == 0.0 || self.reps == 0 {
             return Measurement {
                 time_s: base,
                 std_s: 0.0,
-                gflops: gflops(profile.flops, base),
+                gflops: gflops(flops, base),
             };
         }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -95,7 +125,7 @@ impl Simulator {
         Measurement {
             time_s: mean,
             std_s: var.sqrt(),
-            gflops: gflops(profile.flops, mean),
+            gflops: gflops(flops, mean),
         }
     }
 

@@ -1,0 +1,297 @@
+//! Sparse operation model: SpMV, SpMM (multi-vector), and the iterative
+//! solver's repeated products.
+//!
+//! The simulator's [`KernelProfile`] describes one sparse-times-dense
+//! product. The two non-SpMV operations reuse that profile unchanged and
+//! transform only the counts the operation actually changes:
+//!
+//! * **SpMM** with `k` dense right-hand-side vectors (row-major dense
+//!   block): floating-point work, write traffic, and serialization scale
+//!   by `k`, but the *matrix* stream does not — the format data is read
+//!   once and reused against all `k` columns (the dense-block reuse that
+//!   makes SpMM much more arithmetic-dense than k independent SpMVs).
+//!   The `x`-gather grows sublinearly: one gathered line used to carry
+//!   `line/elem` distinct x entries; now each x row is `k * elem` bytes
+//!   wide, so the same distinct-line count costs
+//!   `max(1, k * elem / line)` transactions per former transaction.
+//! * **Solver**: `iters` back-to-back products with the same matrix and
+//!   an evolving `x`. After iteration 1 the tail of `x` the L2 could
+//!   retain is still resident, so warm iterations gather only the
+//!   capacity-missed fraction. The label is the *per-iteration average*,
+//!   which is what an iterative solver's format choice optimizes.
+//!
+//! `SpOp::Spmv` is the exact identity: every function here routes it to
+//! the untransformed SpMV path, bit-for-bit. `Spmm { k: 1 }` multiplies
+//! every scaled count by exactly `1.0` (and its gather factor is exactly
+//! `1.0`), so it is also bit-identical to SpMV — pinned by the
+//! differential tests downstream.
+
+use spmv_matrix::Precision;
+
+use crate::arch::GpuArch;
+use crate::profile::KernelProfile;
+use crate::timing::predict_seconds;
+
+/// Iterations the solver scenario simulates per label (a short Krylov
+/// run; the per-iteration average converges quickly in `iters`, so a
+/// small pinned count keeps labels stable and collection cheap).
+pub const SOLVER_DEFAULT_ITERS: u32 = 8;
+
+/// Which sparse operation a label measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpOp {
+    /// One sparse-matrix--vector product (the paper's operation).
+    Spmv,
+    /// Sparse-matrix--dense-block product with `k` right-hand sides.
+    Spmm {
+        /// Dense-block width (number of simultaneous vectors).
+        k: u32,
+    },
+    /// `iters` repeated products on the same matrix (iterative solver);
+    /// the label is the per-iteration average with a warm x-cache after
+    /// iteration 1.
+    Solver {
+        /// Products per solve.
+        iters: u32,
+    },
+}
+
+/// Bytes of one x element at `prec`.
+fn elem_bytes(prec: Precision) -> f64 {
+    match prec {
+        Precision::Single => 4.0,
+        Precision::Double => 8.0,
+    }
+}
+
+impl SpOp {
+    /// Useful floating-point work of one invocation of `profile` under
+    /// this operation. Solver counts one product (its label is the
+    /// per-iteration average time, so GFLOPS stays per-product).
+    pub fn flops(&self, profile: &KernelProfile) -> f64 {
+        match *self {
+            SpOp::Spmv | SpOp::Solver { .. } => profile.flops,
+            SpOp::Spmm { k } => profile.flops * k as f64,
+        }
+    }
+
+    /// The SpMM gather-transaction growth factor: each distinct gathered
+    /// line of the k=1 product becomes a `k * elem`-byte dense row, i.e.
+    /// `max(1, k * elem / line)` transactions. Exactly `1.0` whenever the
+    /// dense row still fits in one line — in particular at `k = 1`.
+    pub fn spmm_gather_factor(k: u32, prec: Precision, line_bytes: f64) -> f64 {
+        (k as f64 * elem_bytes(prec) / line_bytes).max(1.0)
+    }
+
+    /// Fraction of a warm iteration's x-gather served by the retained
+    /// cache: `min(1, l2/footprint)` — everything, once the footprint
+    /// fits. A zero footprint has nothing to re-gather, so it counts as
+    /// fully cached; a zero-sized cache retains nothing (`hit = 0`).
+    pub fn x_cache_hit(x_footprint_bytes: f64, l2_bytes: f64) -> f64 {
+        if x_footprint_bytes > 0.0 {
+            (l2_bytes / x_footprint_bytes).min(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Warm-iteration gather transactions given the cold count. The two
+    /// invariants the property tests pin: `warm <= cold` always, and
+    /// `warm == cold` exactly when the x-cache is sized to zero
+    /// (`1.0 - 0.0` multiplies the count by exactly one).
+    pub fn solver_warm_gather_tx(cold_tx: f64, x_footprint_bytes: f64, l2_bytes: f64) -> f64 {
+        cold_tx * (1.0 - Self::x_cache_hit(x_footprint_bytes, l2_bytes))
+    }
+}
+
+/// The k=1 profile scaled to a `k`-wide dense block. Matrix traffic is
+/// deliberately *not* scaled (streamed once, reused `k` times); gather
+/// transactions grow by [`SpOp::spmm_gather_factor`]; everything the
+/// lanes do per non-zero scales by `k`. At `k = 1` every multiplier is
+/// exactly `1.0`, so the result is bit-identical to the input.
+pub fn spmm_profile(profile: &KernelProfile, k: u32, line_bytes: f64) -> KernelProfile {
+    let kf = k as f64;
+    let factor = [
+        SpOp::spmm_gather_factor(k, Precision::Single, line_bytes),
+        SpOp::spmm_gather_factor(k, Precision::Double, line_bytes),
+    ];
+    KernelProfile {
+        flops: profile.flops * kf,
+        lane_work: profile.lane_work * kf,
+        critical_steps: profile.critical_steps * kf,
+        gather_tx: [
+            profile.gather_tx[0] * factor[0],
+            profile.gather_tx[1] * factor[1],
+        ],
+        write_bytes: [profile.write_bytes[0] * kf, profile.write_bytes[1] * kf],
+        atomics: profile.atomics * kf,
+        x_footprint: [profile.x_footprint[0] * kf, profile.x_footprint[1] * kf],
+        ..profile.clone()
+    }
+}
+
+/// The profile of a warm solver iteration on `arch`: gather transactions
+/// and the re-gathered footprint both shrink to the capacity-missed
+/// fraction `1 - hit`; everything else (matrix stream, lanes, writes) is
+/// unchanged — the solver re-reads the format data every product.
+pub fn solver_warm_profile(profile: &KernelProfile, l2_bytes: f64) -> KernelProfile {
+    let miss = [
+        1.0 - SpOp::x_cache_hit(profile.x_footprint[0], l2_bytes),
+        1.0 - SpOp::x_cache_hit(profile.x_footprint[1], l2_bytes),
+    ];
+    KernelProfile {
+        gather_tx: [
+            profile.gather_tx[0] * miss[0],
+            profile.gather_tx[1] * miss[1],
+        ],
+        x_footprint: [
+            profile.x_footprint[0] * miss[0],
+            profile.x_footprint[1] * miss[1],
+        ],
+        ..profile.clone()
+    }
+}
+
+/// Predicted time of one invocation of `profile` under `op`:
+/// the SpMV time itself, the dense-block product's time, or the solver's
+/// per-iteration average (`(cold + (iters-1) * warm) / iters`).
+/// `SpOp::Spmv` routes to [`predict_seconds`] untouched.
+pub fn predict_op_seconds(
+    profile: &KernelProfile,
+    arch: &GpuArch,
+    prec: Precision,
+    op: SpOp,
+) -> f64 {
+    match op {
+        SpOp::Spmv => predict_seconds(profile, arch, prec),
+        SpOp::Spmm { k } => {
+            predict_seconds(&spmm_profile(profile, k, arch.line_bytes as f64), arch, prec)
+        }
+        SpOp::Solver { iters } => {
+            let cold = predict_seconds(profile, arch, prec);
+            if iters <= 1 {
+                return cold;
+            }
+            let warm =
+                predict_seconds(&solver_warm_profile(profile, arch.l2_bytes as f64), arch, prec);
+            (cold + (iters as f64 - 1.0) * warm) / iters as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::Simulator;
+    use spmv_matrix::{Format, SparseMatrix, TripletBuilder};
+
+    fn profile_of(n: usize, w: usize, fmt: Format) -> KernelProfile {
+        let mut b = TripletBuilder::new(n, n);
+        for r in 0..n {
+            for c in r.saturating_sub(w)..(r + w + 1).min(n) {
+                b.push_unchecked(r as u32, c as u32, 1.0f64);
+            }
+        }
+        let csr = b.build().to_csr();
+        KernelProfile::of(&SparseMatrix::from_csr(&csr, fmt).unwrap())
+    }
+
+    #[test]
+    fn spmm_k1_is_the_exact_identity() {
+        for fmt in [Format::Csr, Format::Coo, Format::Ell, Format::MergeCsr] {
+            let p = profile_of(800, 4, fmt);
+            assert_eq!(spmm_profile(&p, 1, 32.0), p, "{fmt}");
+            for arch in [GpuArch::K80C, GpuArch::P100] {
+                for prec in Precision::ALL {
+                    let spmv = predict_seconds(&p, &arch, prec);
+                    let k1 = predict_op_seconds(&p, &arch, prec, SpOp::Spmm { k: 1 });
+                    assert_eq!(spmv.to_bits(), k1.to_bits(), "{fmt} {} {prec}", arch.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_reuses_the_matrix_stream() {
+        let p = profile_of(2000, 6, Format::Csr);
+        let p16 = spmm_profile(&p, 16, 32.0);
+        assert_eq!(p16.matrix_bytes, p.matrix_bytes, "matrix streamed once");
+        assert_eq!(p16.flops, 16.0 * p.flops);
+        // Gather grows strictly sublinearly in k: 16 doubles are 128 B =
+        // 4 lines, not 16.
+        assert_eq!(p16.gather_tx[1], 4.0 * p.gather_tx[1]);
+        assert_eq!(p16.gather_tx[0], 2.0 * p.gather_tx[0]);
+        // Dense SpMM is far more efficient per flop than 16 SpMVs.
+        let t1 = predict_op_seconds(&p, &GpuArch::P100, Precision::Double, SpOp::Spmv);
+        let t16 = predict_op_seconds(&p, &GpuArch::P100, Precision::Double, SpOp::Spmm { k: 16 });
+        assert!(t16 < 16.0 * t1, "reuse must show: {t16} vs {}", 16.0 * t1);
+        assert!(t16 > t1, "more work cannot be free");
+    }
+
+    #[test]
+    fn spmm_gather_factor_floors_at_one() {
+        assert_eq!(SpOp::spmm_gather_factor(1, Precision::Single, 32.0), 1.0);
+        assert_eq!(SpOp::spmm_gather_factor(1, Precision::Double, 32.0), 1.0);
+        assert_eq!(SpOp::spmm_gather_factor(4, Precision::Double, 32.0), 1.0);
+        assert_eq!(SpOp::spmm_gather_factor(16, Precision::Double, 32.0), 4.0);
+        assert_eq!(SpOp::spmm_gather_factor(16, Precision::Single, 32.0), 2.0);
+    }
+
+    #[test]
+    fn solver_warm_iteration_is_never_slower_and_zero_cache_is_exact() {
+        let p = profile_of(3000, 8, Format::Csr);
+        for arch in [GpuArch::K80C, GpuArch::P100] {
+            for prec in Precision::ALL {
+                let cold = predict_seconds(&p, &arch, prec);
+                let warm = predict_seconds(&solver_warm_profile(&p, arch.l2_bytes as f64), &arch, prec);
+                assert!(warm <= cold, "{} {prec}: warm {warm} > cold {cold}", arch.name);
+                let avg = predict_op_seconds(&p, &arch, prec, SpOp::Solver { iters: 8 });
+                assert!(warm <= avg && avg <= cold, "average brackets");
+                // A zero-sized x-cache retains nothing: warm == cold and
+                // the solver average collapses onto plain SpMV, exactly.
+                let no_cache = solver_warm_profile(&p, 0.0);
+                assert_eq!(no_cache, p);
+            }
+        }
+    }
+
+    #[test]
+    fn solver_single_iteration_is_spmv() {
+        let p = profile_of(500, 3, Format::MergeCsr);
+        let spmv = predict_seconds(&p, &GpuArch::P100, Precision::Double);
+        let s1 = predict_op_seconds(&p, &GpuArch::P100, Precision::Double, SpOp::Solver { iters: 1 });
+        assert_eq!(spmv.to_bits(), s1.to_bits());
+    }
+
+    #[test]
+    fn warm_gather_tx_properties_hold_pointwise() {
+        for &(tx, fp, l2) in &[
+            (1000.0, 4096.0, 1024.0),
+            (1000.0, 4096.0, 0.0),
+            (1000.0, 0.0, 1024.0),
+            (7.0, 1e9, 4e6),
+            (0.0, 10.0, 10.0),
+        ] {
+            let warm = SpOp::solver_warm_gather_tx(tx, fp, l2);
+            assert!(warm <= tx, "warm {warm} > cold {tx}");
+            assert!(warm >= 0.0);
+            if l2 == 0.0 {
+                assert_eq!(warm, tx, "zero cache must be the exact identity");
+            }
+            if fp > 0.0 && fp <= l2 {
+                assert_eq!(warm, 0.0, "fully resident footprint re-gathers nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn measured_op_noise_matches_spmv_noise_at_k1() {
+        let p = profile_of(600, 5, Format::Csr);
+        let sim = Simulator::default();
+        let a = sim.measure_profile(&p, &GpuArch::K80C, Precision::Single, 77);
+        let b = sim.measure_profile_op(&p, &GpuArch::K80C, Precision::Single, SpOp::Spmm { k: 1 }, 77);
+        assert_eq!(a, b, "k=1 must reuse the identical noise stream");
+        let c = sim.measure_profile_op(&p, &GpuArch::K80C, Precision::Single, SpOp::Spmv, 77);
+        assert_eq!(a, c);
+    }
+}

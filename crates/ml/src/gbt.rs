@@ -423,6 +423,13 @@ impl GbtClassifier {
         &self.importance
     }
 
+    /// Number of feature columns the classifier was fitted on (0 before
+    /// any fit). Persistence layers record this to verify that a loaded
+    /// model and the rows presented to it agree on arity.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
     fn scores(&self, row: &[f64]) -> Vec<f64> {
         let mut s = vec![0.0; self.n_classes];
         for round in &self.trees {

@@ -91,6 +91,38 @@ fn structural_collection_reproduces_the_checked_in_label_cache() {
 }
 
 #[test]
+fn scenario_cells_reproduce_their_committed_caches_at_any_thread_count() {
+    // The PR-9 golden sweep: every (op, arch) cell of the scenario grid
+    // has a committed env-tagged cache (written by `repro --tiny
+    // --scenario`), and a fresh collection reproduces it byte for byte
+    // at 1 and 4 threads. Together with the differential tests this pins
+    // the whole label space — drift in any op transform, machine preset,
+    // or the collection schedule changes committed bytes and fails here.
+    let suite = tiny_suite();
+    for sc in spmv_core::Scenario::ALL {
+        let cache = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join(format!("../../results/labels_tiny.{}.json", sc.tag()));
+        let committed = std::fs::read_to_string(&cache)
+            .unwrap_or_else(|e| panic!("read {}: {e}", cache.display()));
+        let serial =
+            serde_json::to_string(&LabeledCorpus::collect_scenario(&suite, sc, 1)).expect("json");
+        let threaded =
+            serde_json::to_string(&LabeledCorpus::collect_scenario(&suite, sc, 4)).expect("json");
+        assert_eq!(
+            serial, threaded,
+            "{}: scenario labels must not depend on the thread count",
+            sc.tag()
+        );
+        assert_eq!(
+            serial,
+            committed.trim_end(),
+            "{}: committed cache drifted from a fresh collection",
+            sc.tag()
+        );
+    }
+}
+
+#[test]
 fn profiling_path_never_materializes_a_value_plane() {
     // API-level statement of the no-value-allocation claim: the grid a
     // matrix labels through is reachable without `SparseMatrix::from_csr`

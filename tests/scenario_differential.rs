@@ -1,0 +1,233 @@
+//! Differential and property pinning for the multi-scenario label space
+//! (the PR-9 tentpole invariant): the `(SpMV, paper-GPUs)` corner of the
+//! scenario grid IS the simulator path — bit for bit, committed cache
+//! bytes included — and the op transforms obey their analytic envelopes
+//! on every generator family.
+//!
+//! Three layers of the same guarantee:
+//! 1. an `SpMM k=1` collection through the op-aware engine serializes
+//!    byte-identically to `results/labels_tiny.json` at 1 and 4 threads
+//!    (so the scenario engine cannot drift the pre-scenario artifacts);
+//! 2. the same collection matches a corpus rebuilt serially through
+//!    [`spmv_core::measure_matrix_outcomes_reference`], the retained
+//!    value-carrying oracle — on a seed the golden cache never saw;
+//! 3. at the identity points (`k = 1`, `iters = 1`) every profile count
+//!    and predicted time is bit-equal to plain SpMV, and the solver's
+//!    warm iteration obeys `warm <= cold` (with exact equality under a
+//!    zero-sized x-cache) for every generator family and architecture.
+
+use std::path::Path;
+
+use proptest::prelude::*;
+use spmv_core::{
+    measure_matrix_outcomes_reference, EnvSpec, FaultPlan, LabeledCorpus, MatrixRecord,
+};
+use spmv_corpus::{CorpusScale, SyntheticSuite};
+use spmv_features::extract;
+use spmv_gpusim::{
+    predict_op_seconds, predict_seconds, solver_warm_profile, spmm_profile, GpuArch, KernelProfile,
+    Simulator, SpOp,
+};
+use spmv_matrix::{CsrMatrix, Format, Precision, SparseMatrix};
+
+/// The exact suite behind `results/labels_tiny.json`.
+fn tiny_suite() -> SyntheticSuite {
+    SyntheticSuite::sample(CorpusScale::Tiny, 20180801)
+}
+
+/// The four machine models of the scenario grid.
+fn all_machines() -> impl Iterator<Item = &'static GpuArch> {
+    GpuArch::PAPER_MACHINES
+        .iter()
+        .chain(GpuArch::MANYCORE_MACHINES.iter())
+}
+
+/// Label `suite` through the op-aware engine at the SpMM k=1 identity
+/// point, with the simulator's own `EnvSpec` so even the serialized
+/// header matches a plain `collect`.
+fn spmm_k1_corpus(suite: &SyntheticSuite, threads: usize) -> LabeledCorpus {
+    LabeledCorpus::collect_op_with(
+        suite,
+        &Simulator::default(),
+        SpOp::Spmm { k: 1 },
+        &GpuArch::PAPER_MACHINES,
+        threads,
+        &FaultPlan::none(),
+        EnvSpec::default(),
+    )
+}
+
+#[test]
+fn spmm_k1_reproduces_the_committed_simulator_cache_byte_for_byte() {
+    let cache = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/labels_tiny.json");
+    let committed =
+        std::fs::read_to_string(&cache).unwrap_or_else(|e| panic!("read {}: {e}", cache.display()));
+
+    let suite = tiny_suite();
+    let serial = serde_json::to_string(&spmm_k1_corpus(&suite, 1)).expect("json");
+    let threaded = serde_json::to_string(&spmm_k1_corpus(&suite, 4)).expect("json");
+    assert_eq!(
+        serial, threaded,
+        "op-aware collection must not depend on the thread count"
+    );
+    assert_eq!(
+        serial,
+        committed.trim_end(),
+        "SpMM k=1 through the scenario engine must reproduce the committed \
+         pre-scenario cache byte for byte"
+    );
+}
+
+#[test]
+fn spmm_k1_matches_the_retained_value_carrying_oracle() {
+    // A seed the golden cache never saw, so this is a genuine second
+    // differential anchor rather than a re-read of the committed bytes.
+    let suite = SyntheticSuite::sample(CorpusScale::Tiny, 913);
+    let sim = Simulator::default();
+    let plan = FaultPlan::none();
+    let records: Vec<MatrixRecord> = suite
+        .specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let csr: CsrMatrix<f64> = spec.generate();
+            let (times, failures) =
+                measure_matrix_outcomes_reference(&csr, &sim, spec.seed, &spec.name, &plan);
+            MatrixRecord {
+                name: spec.name.clone(),
+                bucket: suite.bucket_of[i],
+                family: spec.kind.family().to_string(),
+                shape: (csr.n_rows(), csr.n_cols(), csr.nnz()),
+                features: extract(&csr),
+                times,
+                failures,
+            }
+        })
+        .collect();
+    let oracle = LabeledCorpus {
+        suite_seed: suite.seed,
+        model_version: spmv_gpusim::MODEL_VERSION,
+        env_spec: EnvSpec::default(),
+        records,
+    };
+    assert_eq!(
+        serde_json::to_string(&spmm_k1_corpus(&suite, 4)).expect("json"),
+        serde_json::to_string(&oracle).expect("json"),
+        "k=1 dense-block labels must equal the pre-structural oracle's"
+    );
+}
+
+#[test]
+fn identity_points_leave_every_profile_count_and_time_untouched() {
+    // Per-profile statement of the differential anchor, over real corpus
+    // structures and all four machine models: SpMM k=1 is the exact
+    // profile identity, and both it and a 1-iteration solve predict the
+    // plain SpMV time to the bit.
+    let suite = tiny_suite();
+    for spec in suite.specs.iter().step_by(7) {
+        let csr: CsrMatrix<f64> = spec.generate();
+        for fmt in Format::ALL {
+            let Ok(m) = SparseMatrix::from_csr(&csr, fmt) else {
+                continue;
+            };
+            let p = KernelProfile::of(&m);
+            for arch in all_machines() {
+                assert_eq!(
+                    spmm_profile(&p, 1, arch.line_bytes as f64),
+                    p,
+                    "{}/{fmt}/{}: k=1 must not touch a count",
+                    spec.name,
+                    arch.name
+                );
+                for prec in Precision::ALL {
+                    let spmv = predict_seconds(&p, arch, prec);
+                    let k1 = predict_op_seconds(&p, arch, prec, SpOp::Spmm { k: 1 });
+                    let s1 = predict_op_seconds(&p, arch, prec, SpOp::Solver { iters: 1 });
+                    assert_eq!(spmv.to_bits(), k1.to_bits(), "{}/{fmt}", spec.name);
+                    assert_eq!(spmv.to_bits(), s1.to_bits(), "{}/{fmt}", spec.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn solver_warm_iteration_never_exceeds_cold_on_any_generator_family() {
+    // One representative matrix per generator family, every format that
+    // converts, all four machines: the warm-iteration gather counts and
+    // times are bounded by the cold ones, and a zero-sized x-cache is the
+    // exact identity (nothing retained => nothing saved).
+    let suite = tiny_suite();
+    let mut families = std::collections::BTreeSet::new();
+    for spec in &suite.specs {
+        if !families.insert(spec.kind.family()) {
+            continue;
+        }
+        let csr: CsrMatrix<f64> = spec.generate();
+        for fmt in Format::ALL {
+            let Ok(m) = SparseMatrix::from_csr(&csr, fmt) else {
+                continue;
+            };
+            let p = KernelProfile::of(&m);
+            assert_eq!(
+                solver_warm_profile(&p, 0.0),
+                p,
+                "{}/{fmt}: zero x-cache must be the exact identity",
+                spec.name
+            );
+            for arch in all_machines() {
+                let warm_p = solver_warm_profile(&p, arch.l2_bytes as f64);
+                for i in 0..2 {
+                    assert!(
+                        warm_p.gather_tx[i] <= p.gather_tx[i],
+                        "{}/{fmt}/{}: warm gather exceeds cold",
+                        spec.name,
+                        arch.name
+                    );
+                }
+                for prec in Precision::ALL {
+                    let cold = predict_seconds(&p, arch, prec);
+                    let warm = predict_seconds(&warm_p, arch, prec);
+                    assert!(
+                        warm <= cold,
+                        "{}/{fmt}/{} {prec}: warm {warm} > cold {cold}",
+                        spec.name,
+                        arch.name
+                    );
+                    let avg = predict_op_seconds(&p, arch, prec, SpOp::Solver { iters: 8 });
+                    assert!(
+                        warm <= avg && avg <= cold,
+                        "per-iteration average must bracket between warm and cold"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        families.len() >= 4,
+        "the tiny suite must exercise several generator families, saw {families:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The analytic envelope of the warm-iteration transform, pointwise
+    /// over arbitrary (cold transactions, x footprint, L2 size) triples.
+    #[test]
+    fn warm_gather_count_is_bounded_by_cold_and_exact_at_zero_cache(
+        tx in 0.0f64..1e9,
+        fp in 1.0f64..1e9,
+        l2 in 0.0f64..1e8,
+    ) {
+        let warm = SpOp::solver_warm_gather_tx(tx, fp, l2);
+        prop_assert!(warm >= 0.0);
+        prop_assert!(warm <= tx, "warm {warm} > cold {tx}");
+        // An x-cache sized to zero retains nothing: bit-exact identity.
+        prop_assert_eq!(SpOp::solver_warm_gather_tx(tx, fp, 0.0), tx);
+        // A fully resident footprint re-gathers nothing.
+        if fp <= l2 {
+            prop_assert_eq!(warm, 0.0);
+        }
+    }
+}
