@@ -28,15 +28,19 @@
 //! vs measured winner structure) and `exec_oracle` (advisor-pick vs
 //! oracle throughput on the native labels).
 //!
-//! `--scenario` (simulator env only) adds the `cross_scenario` experiment:
-//! labels the suite under every (op, arch) cell of the scenario grid —
-//! SpMV / SpMM k=4 / SpMM k=16 / 8-iteration solver, each on the GPU pair
-//! and the many-core pair — caches each cell under
-//! `results/labels_<scale>.<tag>.json`, and trains one unified advisor
-//! (v2 feature layout with the scenario descriptor appended) against
-//! per-scenario experts, reporting the accuracy gap and worst unified
-//! slowdown per cell. Given alone it runs ONLY that experiment; combined
-//! with ids it rides along. Byte-identical at any `--threads`.
+//! `--scenario` (simulator env only) adds the `cross_scenario` and
+//! `spgemm_dataflow` experiments: labels the suite under every (op, arch)
+//! cell of the scenario grid — SpMV / SpMM k=4 / SpMM k=16 / 8-iteration
+//! solver plus the SpGEMM A·A and A·Aᵀ cells, each on the GPU pair and
+//! the many-core pair — caches each cell under
+//! `results/labels_<scale>.<tag>.json`. `cross_scenario` trains one
+//! unified advisor (v2 feature layout with the scenario descriptor
+//! appended) against per-scenario experts over the format cells,
+//! reporting the accuracy gap and worst unified slowdown per cell;
+//! `spgemm_dataflow` trains a per-cell dataflow advisor on the SpGEMM
+//! cells and scores its pick accuracy and %-of-oracle throughput against
+//! the rule-based heuristic. Given alone it runs ONLY those experiments;
+//! combined with ids they ride along. Byte-identical at any `--threads`.
 //!
 //! `--trace-out PATH` (or `SPMV_TRACE=PATH`) writes a run manifest: a JSON
 //! observability artifact whose deterministic section (counters, span
@@ -50,7 +54,8 @@ use std::time::Instant;
 use spmv_core::ablation::ablations;
 use spmv_core::experiments::{
     classification_tables, cross_scenario, exec_divergence, exec_oracle, fig2, fig3, fig6, fig7,
-    importance_figure, sec5a, slowdown_table, table1, table14, ExperimentConfig, ExperimentResult,
+    importance_figure, sec5a, slowdown_table, spgemm_dataflow, table1, table14, ExperimentConfig,
+    ExperimentResult,
 };
 use spmv_core::extensions::extensions;
 use spmv_core::{LabelEnvironment, ModelKind};
@@ -79,9 +84,12 @@ fn main() {
                 }));
             }
             "--exec-synthetic" => exec_synthetic = true,
-            // Shorthand for the cross-scenario experiment id: alone it
-            // runs only that experiment, alongside ids it rides along.
-            "--scenario" => ids.push("cross_scenario".to_string()),
+            // Shorthand for the scenario-grid experiment ids: alone it
+            // runs only those experiments, alongside ids they ride along.
+            "--scenario" => {
+                ids.push("cross_scenario".to_string());
+                ids.push("spgemm_dataflow".to_string());
+            }
             "--threads" => {
                 let n = it
                     .next()
@@ -100,7 +108,7 @@ fn main() {
                 trace_flag = Some(PathBuf::from(p));
             }
             "--help" | "-h" => {
-                eprintln!("usage: repro [--tiny|--quick|--full] [--paper-grids] [--env sim|cpu-native] [--exec-synthetic] [--scenario] [--threads N] [--trace-out PATH] [table1 fig2 fig3 table4..table14 fig4..fig7 ablation cross_scenario ...]");
+                eprintln!("usage: repro [--tiny|--quick|--full] [--paper-grids] [--env sim|cpu-native] [--exec-synthetic] [--scenario] [--threads N] [--trace-out PATH] [table1 fig2 fig3 table4..table14 fig4..fig7 ablation cross_scenario spgemm_dataflow ...]");
                 return;
             }
             other => ids.push(other.to_string()),
@@ -235,11 +243,23 @@ fn main() {
     if ids.iter().any(|x| x == "cross_scenario") {
         if cfg.env == LabelEnvironment::Simulator {
             // Collects (or loads) its own env-tagged label caches for the
-            // full (op, arch) grid; the main corpus above is untouched.
+            // format-cell (op, arch) grid; the main corpus above is untouched.
             run("cross_scenario", &mut || vec![cross_scenario(&cfg)]);
         } else {
             eprintln!(
                 "[repro] env {}: skipping cross_scenario (scenario cells are simulator-modeled)",
+                cfg.env.tag()
+            );
+        }
+    }
+    if ids.iter().any(|x| x == "spgemm_dataflow") {
+        if cfg.env == LabelEnvironment::Simulator {
+            // Same discipline for the SpGEMM cells: each gets its own
+            // env-tagged dataflow-label cache.
+            run("spgemm_dataflow", &mut || vec![spgemm_dataflow(&cfg)]);
+        } else {
+            eprintln!(
+                "[repro] env {}: skipping spgemm_dataflow (SpGEMM cells are simulator-modeled)",
                 cfg.env.tag()
             );
         }

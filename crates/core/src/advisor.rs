@@ -80,6 +80,14 @@ pub enum AdvisorError {
     },
     /// The time regressor predicted NaN or infinity for a format.
     NonFinitePrediction(Format),
+    /// The caller-supplied extra-feature block (the symbolic dataflow
+    /// features of an SpGEMM advisor) has the wrong width.
+    ExtraBlockMismatch {
+        /// Width the caller supplied.
+        got: usize,
+        /// Width the advisor was trained with.
+        expected: usize,
+    },
     /// A [`FaultPlan`] injected a failure at this site.
     Injected(String),
 }
@@ -103,6 +111,12 @@ impl std::fmt::Display for AdvisorError {
                 write!(
                     f,
                     "time regressor produced a non-finite prediction for {fmt}"
+                )
+            }
+            AdvisorError::ExtraBlockMismatch { got, expected } => {
+                write!(
+                    f,
+                    "extra-feature block has {got} values, the advisor consumes {expected}"
                 )
             }
             AdvisorError::Injected(why) => write!(f, "{why}"),
@@ -155,6 +169,16 @@ pub enum ArtifactError {
         /// Arity the payload's model actually consumes.
         expected: u32,
     },
+    /// The envelope's advisor kind is not the one the loader expects —
+    /// a dataflow artifact presented to the format loader or vice versa.
+    /// Pre-dataflow envelopes record no kind (read as `"format"`), so
+    /// every artifact saved before the field existed loads unchanged.
+    KindMismatch {
+        /// Kind recorded in the envelope.
+        artifact: String,
+        /// Kind this loader deserializes.
+        expected: &'static str,
+    },
     /// A [`FaultPlan`] injected a failure at the load site.
     Injected(String),
 }
@@ -192,6 +216,11 @@ impl std::fmt::Display for ArtifactError {
                  the payload's model consumes {expected} (legacy pre-scenario artifacts \
                  record 0; retrain and re-save)"
             ),
+            ArtifactError::KindMismatch { artifact, expected } => write!(
+                f,
+                "advisor-kind mismatch: envelope records a {artifact:?} advisor, \
+                 this loader reads {expected:?}"
+            ),
             ArtifactError::Injected(why) => write!(f, "{why}"),
         }
     }
@@ -212,25 +241,75 @@ impl From<std::io::Error> for ArtifactError {
     }
 }
 
+/// Envelope kind string of format-selection advisors (and, implicitly, of
+/// every artifact saved before the `kind` field existed).
+pub const ARTIFACT_KIND_FORMAT: &str = "format";
+/// Envelope kind string of SpGEMM dataflow advisors.
+pub const ARTIFACT_KIND_DATAFLOW: &str = "dataflow";
+
 /// The on-disk envelope. The payload is the advisor serialized to a JSON
 /// *string* so the checksum is over exact bytes, immune to key reordering
-/// or whitespace differences between serializer versions.
+/// or whitespace differences between serializer versions. Shared by every
+/// advisor kind: the `kind` field says which loader may parse the payload.
 #[derive(serde::Serialize, serde::Deserialize)]
-struct Artifact {
-    magic: String,
-    artifact_version: u32,
-    model_version: u32,
+pub(crate) struct Artifact {
+    pub(crate) magic: String,
+    pub(crate) artifact_version: u32,
+    pub(crate) model_version: u32,
     /// Number of input features the payload's classifier consumes (base
     /// feature-set columns plus any scenario-descriptor extras). Absent in
     /// pre-scenario envelopes (serde default 0), which is exactly how the
     /// widened loader detects and rejects them.
     #[serde(default)]
-    feature_arity: u32,
-    checksum: String,
-    payload: String,
+    pub(crate) feature_arity: u32,
+    /// Advisor kind the payload serializes. Absent in pre-dataflow
+    /// envelopes (serde default ""), read as [`ARTIFACT_KIND_FORMAT`], so
+    /// legacy format artifacts load unchanged.
+    #[serde(default)]
+    pub(crate) kind: String,
+    pub(crate) checksum: String,
+    pub(crate) payload: String,
 }
 
-fn checksum_of(payload: &str) -> String {
+impl Artifact {
+    /// The recorded kind, with the pre-dataflow default made explicit.
+    pub(crate) fn kind_or_default(&self) -> &str {
+        if self.kind.is_empty() {
+            ARTIFACT_KIND_FORMAT
+        } else {
+            &self.kind
+        }
+    }
+
+    /// Validate everything kind-independent about the envelope: magic,
+    /// envelope version, checksum, GPU-model staleness — in that pinned
+    /// order. Kind and arity stay with the per-kind loaders (the payload
+    /// must be parsed to know the expected arity).
+    pub(crate) fn validate_common(&self) -> Result<(), ArtifactError> {
+        if self.magic != ARTIFACT_MAGIC {
+            return Err(ArtifactError::WrongMagic(self.magic.clone()));
+        }
+        if self.artifact_version != ARTIFACT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion(self.artifact_version));
+        }
+        let found = checksum_of(&self.payload);
+        if found != self.checksum {
+            return Err(ArtifactError::ChecksumMismatch {
+                expected: self.checksum.clone(),
+                found,
+            });
+        }
+        if self.model_version != spmv_gpusim::MODEL_VERSION {
+            return Err(ArtifactError::StaleModel {
+                artifact: self.model_version,
+                current: spmv_gpusim::MODEL_VERSION,
+            });
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn checksum_of(payload: &str) -> String {
     format!("{:016x}", fnv1a_64(&[payload.as_bytes()]))
 }
 
@@ -608,6 +687,7 @@ impl FormatAdvisor {
             artifact_version: ARTIFACT_VERSION,
             model_version: self.model_version,
             feature_arity: self.feature_arity(),
+            kind: ARTIFACT_KIND_FORMAT.to_string(),
             checksum: checksum_of(&payload),
             payload,
         };
@@ -633,23 +713,13 @@ impl FormatAdvisor {
             .map_err(|e| ArtifactError::Malformed(format!("not utf-8: {e}")))?;
         let artifact: Artifact =
             serde_json::from_str(text).map_err(|e| ArtifactError::Malformed(e.to_string()))?;
-        if artifact.magic != ARTIFACT_MAGIC {
-            return Err(ArtifactError::WrongMagic(artifact.magic));
-        }
-        if artifact.artifact_version != ARTIFACT_VERSION {
-            return Err(ArtifactError::UnsupportedVersion(artifact.artifact_version));
-        }
-        let found = checksum_of(&artifact.payload);
-        if found != artifact.checksum {
-            return Err(ArtifactError::ChecksumMismatch {
-                expected: artifact.checksum,
-                found,
-            });
-        }
-        if artifact.model_version != spmv_gpusim::MODEL_VERSION {
-            return Err(ArtifactError::StaleModel {
-                artifact: artifact.model_version,
-                current: spmv_gpusim::MODEL_VERSION,
+        artifact.validate_common()?;
+        // Kind gate: a dataflow payload must never be parsed as a format
+        // advisor. Legacy kind-less envelopes read as "format" and pass.
+        if artifact.kind_or_default() != ARTIFACT_KIND_FORMAT {
+            return Err(ArtifactError::KindMismatch {
+                artifact: artifact.kind,
+                expected: ARTIFACT_KIND_FORMAT,
             });
         }
         let advisor: FormatAdvisor = serde_json::from_str(&artifact.payload)
@@ -738,6 +808,7 @@ impl FormatAdvisor {
             artifact_version: artifact.artifact_version,
             model_version: artifact.model_version,
             feature_arity: artifact.feature_arity,
+            kind: artifact.kind_or_default().to_string(),
             checksum: artifact.checksum,
             payload_bytes: artifact.payload.len(),
             stale: artifact.model_version != spmv_gpusim::MODEL_VERSION,
@@ -756,6 +827,9 @@ pub struct ArtifactInfo {
     /// Input-feature arity the envelope records (0 = legacy envelope
     /// predating feature-vector v2 — [`FormatAdvisor::load`] rejects it).
     pub feature_arity: u32,
+    /// Advisor kind the envelope records (`"format"` for kind-less
+    /// legacy envelopes, `"dataflow"` for SpGEMM dataflow advisors).
+    pub kind: String,
     /// Verified FNV-1a checksum of the payload.
     pub checksum: String,
     /// Payload size in bytes.
@@ -907,6 +981,7 @@ mod tests {
             artifact_version: pristine.artifact_version,
             model_version: 0,
             feature_arity: pristine.feature_arity,
+            kind: pristine.kind.clone(),
             checksum: pristine.checksum.clone(),
             payload: pristine.payload.clone(),
         };
@@ -969,6 +1044,41 @@ mod tests {
         assert_eq!(a.feature_arity(), 7);
         let info = FormatAdvisor::inspect_artifact(&path).unwrap();
         assert_eq!(info.feature_arity, 7);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn kindless_envelopes_load_as_format_and_foreign_kinds_are_rejected() {
+        let a = advisor();
+        let path = tmpfile("kinded.json");
+        a.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut pristine: Artifact = serde_json::from_str(&text).unwrap();
+        assert_eq!(pristine.kind, ARTIFACT_KIND_FORMAT);
+
+        // Strip the kind key entirely: a pre-dataflow envelope. It must
+        // still load — the default reads as "format".
+        let mut v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        match &mut v {
+            serde_json::Value::Map(entries) => entries.retain(|(k, _)| k != "kind"),
+            other => panic!("envelope must be a map, got {other:?}"),
+        }
+        std::fs::write(&path, serde_json::to_string(&v).unwrap()).unwrap();
+        assert!(FormatAdvisor::load(&path).is_ok(), "legacy kind-less loads");
+        let info = FormatAdvisor::inspect_artifact(&path).unwrap();
+        assert_eq!(info.kind, "format", "inspect normalizes the default");
+
+        // A dataflow-kinded envelope must be a typed rejection here.
+        pristine.kind = ARTIFACT_KIND_DATAFLOW.to_string();
+        std::fs::write(&path, serde_json::to_string(&pristine).unwrap()).unwrap();
+        match FormatAdvisor::load(&path) {
+            Err(ArtifactError::KindMismatch { artifact, expected }) => {
+                assert_eq!(artifact, "dataflow");
+                assert_eq!(expected, "format");
+            }
+            Err(e) => panic!("expected KindMismatch, got {e}"),
+            Ok(_) => panic!("a dataflow artifact must not load as a format advisor"),
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

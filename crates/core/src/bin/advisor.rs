@@ -31,13 +31,17 @@
 //! K80c/P100, so `--gpu k80c` selects the SIMD row and `--gpu p100` the
 //! scalar row; native label collection runs the `spmv-exec` kernels on
 //! first use and caches under an env-tagged name next to the simulator
-//! cache. Scenario tags (`gpu-spmv`, `gpu-spmm4`, `gpu-spmm16`,
-//! `gpu-solver`, `mc-spmv`, `mc-spmm4`, `mc-spmm16`, `mc-solver`) are
-//! also accepted: they label under the named (op, arch) cell and train a
-//! v2-layout advisor whose rows append the scenario's eight-number
-//! descriptor after the matrix features (DESIGN.md §4k); the envelope
-//! records the widened feature arity, so such artifacts are rejected
-//! (exit 4) by pre-scenario loaders and vice versa.
+//! cache. Scenario tags (`--list-envs` enumerates every accepted value)
+//! are also accepted: format-labeled cells (`gpu-spmv` .. `mc-solver`)
+//! train a v2-layout advisor whose rows append the scenario's
+//! eight-number descriptor after the matrix features (DESIGN.md §4k);
+//! the SpGEMM cells (`gpu-spgemm-aa` .. `mc-spgemm-aat`) instead train a
+//! **dataflow advisor** (DESIGN.md §4l): the matrix is pushed through
+//! the symbolic SpGEMM analysis, and the recommendation is one of the
+//! four dataflows (with per-dataflow predicted times) rather than a
+//! storage format. The envelope records the widened feature arity and
+//! the artifact kind, so format and dataflow artifacts are rejected
+//! (exit 4) by each other's loaders and by pre-scenario loaders.
 //! `--explain` additionally prints the GPU model's per-format timing
 //! breakdown (launch / compute / DRAM / L2 / critical-path / atomics and
 //! the binding bottleneck) — the "why" behind the recommendation.
@@ -61,11 +65,17 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use spmv_core::experiments::ExperimentConfig;
-use spmv_core::{Env, FormatAdvisor, LabelEnvironment, Recommendation, SearchBudget};
+use spmv_core::{
+    heuristic_dataflow, DataflowAdvisor, Env, FormatAdvisor, LabelEnvironment, Recommendation,
+    Scenario, SearchBudget,
+};
 use spmv_corpus::CorpusScale;
-use spmv_features::{extract, FeatureId};
-use spmv_gpusim::{predict, KernelProfile};
-use spmv_matrix::{mm, Format, Precision, SparseMatrix};
+use spmv_features::{extract, FeatureId, DATAFLOW_FEATURE_NAMES};
+use spmv_gpusim::{predict, Dataflow, KernelProfile, SpgemmProfile};
+use spmv_matrix::{
+    mm, CsrStructure, Format, Precision, SparseMatrix, SpgemmOperand, SpgemmSymbolic,
+    StructureScratch,
+};
 
 /// Usage error (exit 2).
 const EXIT_USAGE: u8 = 2;
@@ -80,8 +90,8 @@ const USAGE: &str = "usage: spmv-advisor <matrix.mtx> [--gpu k80c|p100] \
                      [--json] [--model <advisor.json>] [--save-model <advisor.json>] \
                      [--trace-out <trace.json>]\n\
                      \x20      spmv-advisor --model-info <advisor.json> [--json]\n\
-                     \x20      scenarios: gpu-spmv gpu-spmm4 gpu-spmm16 gpu-solver \
-                     mc-spmv mc-spmm4 mc-spmm16 mc-solver";
+                     \x20      spmv-advisor --list-envs\n\
+                     \x20      (--list-envs enumerates every accepted --train-env tag)";
 
 fn fail(code: u8, msg: &str) -> ExitCode {
     eprintln!("spmv-advisor: error: {msg}");
@@ -102,9 +112,16 @@ struct Opts {
     model_info: bool,
 }
 
-/// Parse argv. `Ok(None)` means `--help` was requested (exit 0);
-/// `Err(msg)` is a usage error (exit 2).
-fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String> {
+/// What a successful parse asks for: run the advisor, or one of the
+/// input-free informational modes.
+enum Parsed {
+    Help,
+    ListEnvs,
+    Run(Opts),
+}
+
+/// Parse argv. `Err(msg)` is a usage error (exit 2).
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
     let mut args = args;
     let mut path: Option<PathBuf> = None;
     let mut arch_idx = 1usize; // P100
@@ -159,7 +176,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
             "--explain" => explain = true,
             "--json" => json = true,
             "--model-info" => model_info = true,
-            "--help" | "-h" => return Ok(None),
+            "--list-envs" => return Ok(Parsed::ListEnvs),
+            "--help" | "-h" => return Ok(Parsed::Help),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag '{other}'; see --help"))
             }
@@ -181,7 +199,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
             "no input file; see --help".to_string()
         }
     })?;
-    Ok(Some(Opts {
+    Ok(Parsed::Run(Opts {
         path,
         arch_idx,
         precision,
@@ -196,11 +214,43 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Opts>, String
     }))
 }
 
+/// `--list-envs`: every tag `--train-env` accepts, one per line with the
+/// advisor kind it trains — the CLI's own answer to "what cells exist",
+/// kept in lockstep with [`Scenario::ALL`] so a new scenario cell shows
+/// up here without touching this function.
+fn list_envs() {
+    println!("{:<16} GPU-simulator labels (default)", "sim");
+    println!("{:<16} measured native CPU kernels", "cpu-native");
+    println!(
+        "{:<16} deterministic synthetic replay of the native pipeline",
+        "cpu-synthetic"
+    );
+    for sc in Scenario::ALL {
+        let m = sc.machines();
+        let kind = if sc.is_spgemm() {
+            "dataflow advisor"
+        } else {
+            "format advisor"
+        };
+        println!(
+            "{:<16} scenario cell: {} on {}/{} [{kind}]",
+            sc.tag(),
+            sc.op.label(),
+            m[0].name,
+            m[1].name,
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args(std::env::args().skip(1)) {
-        Ok(Some(o)) => o,
-        Ok(None) => {
+        Ok(Parsed::Run(o)) => o,
+        Ok(Parsed::Help) => {
             println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Ok(Parsed::ListEnvs) => {
+            list_envs();
             return ExitCode::SUCCESS;
         }
         Err(msg) => {
@@ -251,10 +301,11 @@ fn model_info(path: &Path, json: bool) -> ExitCode {
     if json {
         println!(
             "{{\"artifact_version\":{},\"model_version\":{},\"feature_arity\":{},\
-             \"checksum\":\"{}\",\"payload_bytes\":{},\"stale\":{}}}",
+             \"kind\":\"{}\",\"checksum\":\"{}\",\"payload_bytes\":{},\"stale\":{}}}",
             info.artifact_version,
             info.model_version,
             info.feature_arity,
+            info.kind,
             info.checksum,
             info.payload_bytes,
             info.stale
@@ -271,6 +322,7 @@ fn model_info(path: &Path, json: bool) -> ExitCode {
                 ""
             }
         );
+        println!("  kind             : {}", info.kind);
         println!("  feature arity    : {}", info.feature_arity);
         println!("  checksum         : {} (verified)", info.checksum);
         println!("  payload          : {} bytes", info.payload_bytes);
@@ -282,6 +334,13 @@ fn run(opts: &Opts) -> ExitCode {
     let _span = spmv_core::observe::span("advisor/run");
     if opts.model_info {
         return model_info(&opts.path, opts.json);
+    }
+    // SpGEMM scenario cells recommend a dataflow, not a storage format —
+    // a different advisor kind with its own input row, so its own path.
+    if let Some(sc) = opts.train_env.scenario() {
+        if sc.is_spgemm() {
+            return run_spgemm(opts, sc);
+        }
     }
     // 1. Load the matrix: exit 3 on anything the parser rejects.
     let coo = match mm::read_matrix_market_file::<f64, _>(&opts.path) {
@@ -360,7 +419,9 @@ fn run(opts: &Opts) -> ExitCode {
                 // Scenario cells train the v2-layout advisor: matrix
                 // features plus the cell's (op, arch, precision)
                 // descriptor, recorded in the envelope's feature arity.
-                Some(sc) => FormatAdvisor::train_for_scenario(&corpus, sc, env, SearchBudget::Quick),
+                Some(sc) => {
+                    FormatAdvisor::train_for_scenario(&corpus, sc, env, SearchBudget::Quick)
+                }
                 None => FormatAdvisor::train(&corpus, env, SearchBudget::Quick),
             }
         }
@@ -433,6 +494,164 @@ fn run(opts: &Opts) -> ExitCode {
                 Err(e) => println!("  {:<10} conversion fails: {e}", fmt.label()),
             }
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The SpGEMM path: `--train-env gpu-spgemm-aa` and friends. Pushes the
+/// input matrix through the symbolic output-structure analysis, obtains a
+/// [`DataflowAdvisor`] (loaded or trained on the cell's labeled corpus),
+/// and reports the recommended dataflow plus every dataflow's predicted
+/// time on the chosen machine row. The same exit-code contract as the
+/// format path; the model artifact carries kind `dataflow`.
+fn run_spgemm(opts: &Opts, sc: Scenario) -> ExitCode {
+    let coo = match mm::read_matrix_market_file::<f64, _>(&opts.path) {
+        Ok(m) => m,
+        Err(e) => {
+            return fail(
+                EXIT_MATRIX,
+                &format!("reading {}: {e}", opts.path.display()),
+            )
+        }
+    };
+    let csr = coo.to_csr();
+    let features = extract(&csr);
+    let operand = sc.op.spgemm_operand().unwrap_or(SpgemmOperand::AA);
+    let cfg = match opts.scale {
+        CorpusScale::Tiny => ExperimentConfig::tiny(),
+        _ => ExperimentConfig::quick(),
+    }
+    .with_env(LabelEnvironment::Scenario(sc));
+    // The sampling seed follows the labeling pipeline's convention (the
+    // suite seed stands in for a per-matrix seed on user input), so the
+    // symbolic block is deterministic across runs and thread counts.
+    let mut scratch = StructureScratch::new();
+    let sym = SpgemmSymbolic::analyze(
+        CsrStructure {
+            n_rows: csr.n_rows(),
+            n_cols: csr.n_cols(),
+            row_ptr: csr.row_ptr(),
+            col_idx: csr.col_idx(),
+        },
+        operand,
+        cfg.suite_seed,
+        &mut scratch,
+    );
+    let profile = SpgemmProfile::of_symbolic(&sym, csr.nnz());
+    let extra = profile.dataflow_features();
+
+    let env = Env {
+        arch_idx: opts.arch_idx,
+        precision: opts.precision,
+    };
+    let machines = sc.machines();
+    let advisor: Option<DataflowAdvisor> = match &opts.model {
+        Some(mp) => match DataflowAdvisor::load(mp) {
+            Ok(a) => {
+                if a.env() != env || a.scenario_tag() != sc.tag() {
+                    eprintln!(
+                        "spmv-advisor: note: artifact was trained for {} on {}, requested {} on {}",
+                        a.scenario_tag(),
+                        a.env().label(),
+                        sc.tag(),
+                        env.label()
+                    );
+                }
+                Some(a)
+            }
+            Err(e) => return fail(EXIT_ARTIFACT, &format!("loading {}: {e}", mp.display())),
+        },
+        None => {
+            eprintln!(
+                "\ntraining dataflow advisor for {} (corpus cached under results/)...",
+                sc.tag()
+            );
+            let corpus = cfg.corpus();
+            let trained =
+                DataflowAdvisor::train_for_scenario(&corpus, sc, env, SearchBudget::Quick);
+            if trained.is_none() {
+                eprintln!(
+                    "spmv-advisor: note: no usable training rows in {}; \
+                     falling back to the rule-based heuristic",
+                    sc.tag()
+                );
+            }
+            trained
+        }
+    };
+    if let Some(sp) = &opts.save_model {
+        match &advisor {
+            Some(a) => {
+                if let Err(e) = a.save(sp) {
+                    return fail(EXIT_ARTIFACT, &format!("saving {}: {e}", sp.display()));
+                }
+                eprintln!("spmv-advisor: saved model artifact to {}", sp.display());
+            }
+            None => {
+                return fail(
+                    EXIT_ARTIFACT,
+                    "no trained dataflow model to save (training produced no usable rows)",
+                )
+            }
+        }
+    }
+
+    let rec = advisor
+        .as_ref()
+        .map(|a| a.recommend(&features, &extra))
+        .unwrap_or_else(|| heuristic_dataflow(&extra));
+    let arch = &machines[opts.arch_idx];
+    if opts.json {
+        let mut times = String::new();
+        for (i, df) in Dataflow::ALL.into_iter().enumerate() {
+            if i > 0 {
+                times.push(',');
+            }
+            let t = profile.predict_seconds(df, arch, opts.precision);
+            times.push_str(&format!("\"{}\":{:.4}", df.label(), t * 1e6));
+        }
+        println!(
+            "{{\"scenario\":\"{}\",\"machine\":\"{}\",\"dataflow\":\"{}\",\
+             \"source\":\"{}\",\"confidence\":{:.4},\"times_us\":{{{times}}}}}",
+            sc.tag(),
+            arch.name,
+            rec.dataflow.label(),
+            rec.source,
+            rec.confidence,
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "{}: {} x {}, {} non-zeros ({} cell, operand {})",
+        opts.path.display(),
+        csr.n_rows(),
+        csr.n_cols(),
+        csr.nnz(),
+        sc.tag(),
+        sc.op.label(),
+    );
+    println!("\nsymbolic SpGEMM analysis:");
+    for (name, v) in DATAFLOW_FEATURE_NAMES.iter().zip(extra.iter()) {
+        println!("  {name:<16} = {v:>14.4}");
+    }
+    println!(
+        "\nrecommended dataflow ({} on {}): {}  [{} path, confidence {:.2}]",
+        sc.tag(),
+        arch.name,
+        rec.dataflow.label(),
+        rec.source,
+        rec.confidence
+    );
+    println!("\npredicted SpGEMM times:");
+    for df in Dataflow::ALL {
+        let t = profile.predict_seconds(df, arch, opts.precision);
+        let marker = if df == rec.dataflow {
+            "  <- advisor pick"
+        } else {
+            ""
+        };
+        println!("  {:<10} {:>10.2} us{}", df.label(), t * 1e6, marker);
     }
     ExitCode::SUCCESS
 }

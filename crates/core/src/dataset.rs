@@ -281,7 +281,8 @@ mod tests {
         for i in 0..c.len() {
             assert_eq!(&c.x.row(i)[7..10], &extra);
         }
-        let r = RegressionTask::build_with_extra(&corpus, env, &Format::ALL, FeatureSet::Set1, &extra);
+        let r =
+            RegressionTask::build_with_extra(&corpus, env, &Format::ALL, FeatureSet::Set1, &extra);
         assert_eq!(r.x.n_cols(), 5 + 3 + 6);
         for i in 0..r.len().min(24) {
             let row = r.x.row(i);

@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use spmv_exec::{ExecMode, SimdLevel};
 use spmv_features::SCENARIO_DESCRIPTOR_COUNT;
 use spmv_gpusim::{GpuArch, SpOp, SOLVER_DEFAULT_ITERS};
-use spmv_matrix::Precision;
+use spmv_matrix::{Precision, SpgemmOperand};
 
 /// One (machine, precision) cell of the paper's tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -68,15 +68,22 @@ pub enum ScenarioOp {
     Spmm16,
     /// Iterative-solver repeated products (warm x-cache after iter 1).
     Solver,
+    /// SpGEMM C = A·A (class label is the dataflow, not the format).
+    SpgemmAA,
+    /// SpGEMM C = A·Aᵀ.
+    SpgemmAAt,
 }
 
 impl ScenarioOp {
-    /// All operations in scenario-grid order.
-    pub const ALL: [ScenarioOp; 4] = [
+    /// All operations in scenario-grid order (SpMV family first, then the
+    /// SpGEMM dataflow cells).
+    pub const ALL: [ScenarioOp; 6] = [
         ScenarioOp::Spmv,
         ScenarioOp::Spmm4,
         ScenarioOp::Spmm16,
         ScenarioOp::Solver,
+        ScenarioOp::SpgemmAA,
+        ScenarioOp::SpgemmAAt,
     ];
 
     /// Stable label: env-spec `op` field, tags, table headers.
@@ -86,18 +93,32 @@ impl ScenarioOp {
             ScenarioOp::Spmm4 => "spmm4",
             ScenarioOp::Spmm16 => "spmm16",
             ScenarioOp::Solver => "solver",
+            ScenarioOp::SpgemmAA => "spgemm-aa",
+            ScenarioOp::SpgemmAAt => "spgemm-aat",
         }
     }
 
-    /// The simulator operation this cell measures.
-    pub fn op(self) -> SpOp {
+    /// The simulator operation for SpMV-family cells; `None` for SpGEMM,
+    /// whose times come from the dataflow cost models over the symbolic
+    /// output-structure pass, not from an [`SpOp`]-scaled kernel profile.
+    pub fn spmv_op(self) -> Option<SpOp> {
         match self {
-            ScenarioOp::Spmv => SpOp::Spmv,
-            ScenarioOp::Spmm4 => SpOp::Spmm { k: 4 },
-            ScenarioOp::Spmm16 => SpOp::Spmm { k: 16 },
-            ScenarioOp::Solver => SpOp::Solver {
+            ScenarioOp::Spmv => Some(SpOp::Spmv),
+            ScenarioOp::Spmm4 => Some(SpOp::Spmm { k: 4 }),
+            ScenarioOp::Spmm16 => Some(SpOp::Spmm { k: 16 }),
+            ScenarioOp::Solver => Some(SpOp::Solver {
                 iters: SOLVER_DEFAULT_ITERS,
-            },
+            }),
+            ScenarioOp::SpgemmAA | ScenarioOp::SpgemmAAt => None,
+        }
+    }
+
+    /// The SpGEMM operand shape, for the dataflow cells.
+    pub fn spgemm_operand(self) -> Option<SpgemmOperand> {
+        match self {
+            ScenarioOp::SpgemmAA => Some(SpgemmOperand::AA),
+            ScenarioOp::SpgemmAAt => Some(SpgemmOperand::AAt),
+            _ => None,
         }
     }
 }
@@ -147,32 +168,105 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// The full 4-op x 2-machine-pair grid, arch-major then op order —
-    /// the order `cross_scenario` tables and the CI matrix iterate.
-    pub const ALL: [Scenario; 8] = [
-        Scenario { op: ScenarioOp::Spmv, archs: ArchSet::PaperGpus },
-        Scenario { op: ScenarioOp::Spmm4, archs: ArchSet::PaperGpus },
-        Scenario { op: ScenarioOp::Spmm16, archs: ArchSet::PaperGpus },
-        Scenario { op: ScenarioOp::Solver, archs: ArchSet::PaperGpus },
-        Scenario { op: ScenarioOp::Spmv, archs: ArchSet::ManyCore },
-        Scenario { op: ScenarioOp::Spmm4, archs: ArchSet::ManyCore },
-        Scenario { op: ScenarioOp::Spmm16, archs: ArchSet::ManyCore },
-        Scenario { op: ScenarioOp::Solver, archs: ArchSet::ManyCore },
+    /// The format-selection cells: the 4-SpMV-family-op x 2-machine-pair
+    /// grid, arch-major then op order — the grid `cross_scenario` tables
+    /// iterate (its committed artifacts pin exactly these cells).
+    pub const FORMAT_CELLS: [Scenario; 8] = [
+        Scenario {
+            op: ScenarioOp::Spmv,
+            archs: ArchSet::PaperGpus,
+        },
+        Scenario {
+            op: ScenarioOp::Spmm4,
+            archs: ArchSet::PaperGpus,
+        },
+        Scenario {
+            op: ScenarioOp::Spmm16,
+            archs: ArchSet::PaperGpus,
+        },
+        Scenario {
+            op: ScenarioOp::Solver,
+            archs: ArchSet::PaperGpus,
+        },
+        Scenario {
+            op: ScenarioOp::Spmv,
+            archs: ArchSet::ManyCore,
+        },
+        Scenario {
+            op: ScenarioOp::Spmm4,
+            archs: ArchSet::ManyCore,
+        },
+        Scenario {
+            op: ScenarioOp::Spmm16,
+            archs: ArchSet::ManyCore,
+        },
+        Scenario {
+            op: ScenarioOp::Solver,
+            archs: ArchSet::ManyCore,
+        },
     ];
 
-    /// Stable tag, e.g. `"gpu-spmm4"` or `"mc-solver"`: cache suffixes,
-    /// CLI spellings, provenance strings.
+    /// The SpGEMM dataflow-selection cells: the class label in these is
+    /// the [`spmv_gpusim::Dataflow`], not the storage format.
+    pub const SPGEMM_CELLS: [Scenario; 4] = [
+        Scenario {
+            op: ScenarioOp::SpgemmAA,
+            archs: ArchSet::PaperGpus,
+        },
+        Scenario {
+            op: ScenarioOp::SpgemmAAt,
+            archs: ArchSet::PaperGpus,
+        },
+        Scenario {
+            op: ScenarioOp::SpgemmAA,
+            archs: ArchSet::ManyCore,
+        },
+        Scenario {
+            op: ScenarioOp::SpgemmAAt,
+            archs: ArchSet::ManyCore,
+        },
+    ];
+
+    /// Every scenario cell: the format cells (in their committed-artifact
+    /// order, first — golden caches index by position here) followed by
+    /// the SpGEMM dataflow cells.
+    pub const ALL: [Scenario; 12] = [
+        Self::FORMAT_CELLS[0],
+        Self::FORMAT_CELLS[1],
+        Self::FORMAT_CELLS[2],
+        Self::FORMAT_CELLS[3],
+        Self::FORMAT_CELLS[4],
+        Self::FORMAT_CELLS[5],
+        Self::FORMAT_CELLS[6],
+        Self::FORMAT_CELLS[7],
+        Self::SPGEMM_CELLS[0],
+        Self::SPGEMM_CELLS[1],
+        Self::SPGEMM_CELLS[2],
+        Self::SPGEMM_CELLS[3],
+    ];
+
+    /// Stable tag, e.g. `"gpu-spmm4"` or `"mc-spgemm-aat"`: cache
+    /// suffixes, CLI spellings, provenance strings.
     pub fn tag(self) -> &'static str {
         match (self.archs, self.op) {
             (ArchSet::PaperGpus, ScenarioOp::Spmv) => "gpu-spmv",
             (ArchSet::PaperGpus, ScenarioOp::Spmm4) => "gpu-spmm4",
             (ArchSet::PaperGpus, ScenarioOp::Spmm16) => "gpu-spmm16",
             (ArchSet::PaperGpus, ScenarioOp::Solver) => "gpu-solver",
+            (ArchSet::PaperGpus, ScenarioOp::SpgemmAA) => "gpu-spgemm-aa",
+            (ArchSet::PaperGpus, ScenarioOp::SpgemmAAt) => "gpu-spgemm-aat",
             (ArchSet::ManyCore, ScenarioOp::Spmv) => "mc-spmv",
             (ArchSet::ManyCore, ScenarioOp::Spmm4) => "mc-spmm4",
             (ArchSet::ManyCore, ScenarioOp::Spmm16) => "mc-spmm16",
             (ArchSet::ManyCore, ScenarioOp::Solver) => "mc-solver",
+            (ArchSet::ManyCore, ScenarioOp::SpgemmAA) => "mc-spgemm-aa",
+            (ArchSet::ManyCore, ScenarioOp::SpgemmAAt) => "mc-spgemm-aat",
         }
+    }
+
+    /// Whether this cell labels SpGEMM dataflows rather than formats.
+    pub fn is_spgemm(self) -> bool {
+        self.op.spgemm_operand().is_some()
     }
 
     /// Parse a scenario tag back (the inverse of [`Scenario::tag`]).
@@ -192,10 +286,18 @@ impl Scenario {
     /// [`spmv_features::SCENARIO_DESCRIPTOR_NAMES`].
     pub fn descriptor(self, env: Env) -> [f64; SCENARIO_DESCRIPTOR_COUNT] {
         let arch = &self.machines()[env.arch_idx];
-        let (k, iters) = match self.op.op() {
-            SpOp::Spmv => (1.0, 1.0),
-            SpOp::Spmm { k } => (k as f64, 1.0),
-            SpOp::Solver { iters } => (1.0, iters as f64),
+        // SpGEMM cells use k = 0 as the "not an SpMV-family op" marker
+        // (no dense block exists) and iters to separate the two operand
+        // shapes, keeping every (scenario, env) descriptor distinct while
+        // the layout stays pinned at SCENARIO_DESCRIPTOR_COUNT wide.
+        let (k, iters) = match self.op.spmv_op() {
+            Some(SpOp::Spmv) => (1.0, 1.0),
+            Some(SpOp::Spmm { k }) => (k as f64, 1.0),
+            Some(SpOp::Solver { iters }) => (1.0, iters as f64),
+            None => match self.op {
+                ScenarioOp::SpgemmAA => (0.0, 1.0),
+                _ => (0.0, 2.0),
+            },
         };
         [
             k,
@@ -205,7 +307,11 @@ impl Scenario {
             (arch.l2_bytes as f64).log2(),
             arch.dram_bw_gbs,
             if arch.texture_gather { 1.0 } else { 0.0 },
-            if env.precision == Precision::Double { 1.0 } else { 0.0 },
+            if env.precision == Precision::Double {
+                1.0
+            } else {
+                0.0
+            },
         ]
     }
 }
@@ -467,7 +573,7 @@ mod tests {
     }
 
     #[test]
-    fn scenario_grid_covers_eight_distinct_cells() {
+    fn scenario_grid_covers_twelve_distinct_cells() {
         let tags: Vec<&str> = Scenario::ALL.iter().map(|s| s.tag()).collect();
         assert_eq!(
             tags,
@@ -479,7 +585,11 @@ mod tests {
                 "mc-spmv",
                 "mc-spmm4",
                 "mc-spmm16",
-                "mc-solver"
+                "mc-solver",
+                "gpu-spgemm-aa",
+                "gpu-spgemm-aat",
+                "mc-spgemm-aa",
+                "mc-spgemm-aat",
             ]
         );
         for sc in Scenario::ALL {
@@ -491,6 +601,24 @@ mod tests {
             assert_eq!(le.exec_mode(), None, "scenario cells never run kernels");
         }
         assert_eq!(Scenario::parse("gpu-spmm8"), None);
+    }
+
+    #[test]
+    fn format_cells_are_the_committed_prefix_and_spgemm_cells_the_suffix() {
+        // cross_scenario's committed artifact iterates FORMAT_CELLS; the
+        // golden caches pin ALL's order. Neither may shift.
+        assert_eq!(&Scenario::ALL[..8], &Scenario::FORMAT_CELLS[..]);
+        assert_eq!(&Scenario::ALL[8..], &Scenario::SPGEMM_CELLS[..]);
+        for sc in Scenario::FORMAT_CELLS {
+            assert!(!sc.is_spgemm());
+            assert!(sc.op.spmv_op().is_some());
+            assert_eq!(sc.op.spgemm_operand(), None);
+        }
+        for sc in Scenario::SPGEMM_CELLS {
+            assert!(sc.is_spgemm());
+            assert_eq!(sc.op.spmv_op(), None);
+            assert!(sc.op.spgemm_operand().is_some());
+        }
     }
 
     #[test]
@@ -517,10 +645,8 @@ mod tests {
             assert_eq!(spec.op, sc.op.label());
             let json = serde_json::to_string(&spec).unwrap();
             assert!(seen.insert(json), "{} spec collides", sc.tag());
-            let back: EnvSpec = serde_json::from_str(
-                &serde_json::to_string(&spec).unwrap(),
-            )
-            .unwrap();
+            let back: EnvSpec =
+                serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
             assert_eq!(back, spec);
         }
         let mc = LabelEnvironment::Scenario(Scenario {
@@ -569,7 +695,12 @@ mod tests {
                 let d = sc.descriptor(env);
                 assert!(d.iter().all(|v| v.is_finite()));
                 let key: Vec<u64> = d.iter().map(|v| v.to_bits()).collect();
-                assert!(seen.insert(key), "{} {:?} descriptor collides", sc.tag(), env);
+                assert!(
+                    seen.insert(key),
+                    "{} {:?} descriptor collides",
+                    sc.tag(),
+                    env
+                );
             }
         }
     }

@@ -14,6 +14,7 @@ use spmv_ml::{
 
 use crate::advisor::FormatAdvisor;
 use crate::classify::{evaluate_classifier, xgboost_importance, ModelKind, SearchBudget};
+use crate::dataflow::{heuristic_dataflow, DataflowAdvisor};
 use crate::dataset::{ClassificationTask, RegressionTask};
 use crate::env::{Env, LabelEnvironment, Scenario};
 use crate::indirect::evaluate_indirect;
@@ -1102,11 +1103,14 @@ fn scenario_train_part(corpus: &LabeledCorpus) -> LabeledCorpus {
     }
 }
 
-/// Collect (or load from the env-tagged caches) every scenario cell's
-/// corpus and run the cross-scenario study on them.
+/// Collect (or load from the env-tagged caches) every format-scenario
+/// cell's corpus and run the cross-scenario study on them. The SpGEMM
+/// cells are excluded by construction — their class label is a dataflow,
+/// not a storage format, so they get their own study
+/// ([`spgemm_dataflow`]) instead of a row here.
 pub fn cross_scenario(cfg: &ExperimentConfig) -> ExperimentResult {
     let suite = SyntheticSuite::sample(cfg.scale, cfg.suite_seed);
-    let corpora: Vec<(Scenario, LabeledCorpus)> = Scenario::ALL
+    let corpora: Vec<(Scenario, LabeledCorpus)> = Scenario::FORMAT_CELLS
         .iter()
         .map(|&sc| {
             let path = cfg
@@ -1289,6 +1293,154 @@ pub fn cross_scenario_from(
     }
 }
 
+// ---------------------------------------------------------------------------
+// SpGEMM dataflow study: ML dataflow advisor vs rule-based heuristic
+// ---------------------------------------------------------------------------
+
+/// Collect (or load from the env-tagged caches) every SpGEMM scenario
+/// cell's corpus and run the dataflow-selection study on them.
+pub fn spgemm_dataflow(cfg: &ExperimentConfig) -> ExperimentResult {
+    let suite = SyntheticSuite::sample(cfg.scale, cfg.suite_seed);
+    let corpora: Vec<(Scenario, LabeledCorpus)> = Scenario::SPGEMM_CELLS
+        .iter()
+        .map(|&sc| {
+            let path = cfg
+                .clone()
+                .with_env(LabelEnvironment::Scenario(sc))
+                .env_cache_path();
+            (
+                sc,
+                LabeledCorpus::load_or_collect_scenario(&suite, sc, cfg.threads, &path),
+            )
+        })
+        .collect();
+    spgemm_dataflow_from(&corpora, cfg)
+}
+
+/// The format-selection thesis transferred to SpGEMM: per
+/// `(scenario, machine)` cell at double precision, a
+/// [`DataflowAdvisor`] trains on the mod-4 holdout's train part (matrix
+/// features plus each record's symbolic dataflow block) and is scored on
+/// the held-out quarter against the cell's oracle — pick accuracy,
+/// achieved fraction of oracle throughput, and worst-case slowdown. The
+/// rule-based [`heuristic_dataflow`] is the baseline column: the gap
+/// between the two is the value the learned model adds over the cost
+/// models' own dominant-term logic.
+pub fn spgemm_dataflow_from(
+    corpora: &[(Scenario, LabeledCorpus)],
+    cfg: &ExperimentConfig,
+) -> ExperimentResult {
+    use spmv_gpusim::N_DATAFLOWS;
+
+    let envs = [
+        Env {
+            arch_idx: 0,
+            precision: Precision::Double,
+        },
+        Env {
+            arch_idx: 1,
+            precision: Precision::Double,
+        },
+    ];
+
+    // Every cell is a pure function of its corpus and the run seed, so
+    // the sweep executor keeps result order (and bytes) thread-invariant.
+    let exec = Executor::new(cfg.threads);
+    let advisors: Vec<Option<DataflowAdvisor>> = exec.map(corpora.len() * envs.len(), |c| {
+        let (sc, corpus) = &corpora[c / envs.len()];
+        let env = envs[c % envs.len()];
+        DataflowAdvisor::train_for_scenario(&scenario_train_part(corpus), *sc, env, cfg.budget)
+    });
+
+    let mut rows = Vec::new();
+    let (mut h_acc_sum, mut m_acc_sum, mut oracle_sum, mut cells) =
+        (0.0f64, 0.0f64, 0.0f64, 0usize);
+    let mut worst_overall = 1.0f64;
+    for (ci, (sc, corpus)) in corpora.iter().enumerate() {
+        let test: Vec<&MatrixRecord> = corpus
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| i % 4 == 0 && r.complete_slots(N_DATAFLOWS))
+            .map(|(_, r)| r)
+            .collect();
+        for (ei, env) in envs.iter().enumerate() {
+            let advisor = advisors[ci * envs.len() + ei].as_ref();
+            let (mut h_hits, mut m_hits) = (0usize, 0usize);
+            let mut ratio_sum = 0.0f64;
+            let mut worst = 1.0f64;
+            for r in &test {
+                let best = r.best_slot(*env, N_DATAFLOWS);
+                if best == Some(heuristic_dataflow(&r.extra).dataflow.class_id()) {
+                    h_hits += 1;
+                }
+                let pick = advisor
+                    .map(|a| a.recommend(&r.features, &r.extra).dataflow)
+                    .unwrap_or_else(|| heuristic_dataflow(&r.extra).dataflow);
+                if best == Some(pick.class_id()) {
+                    m_hits += 1;
+                }
+                let ts = r.env_times(*env);
+                let t_pick = ts[pick.class_id()].unwrap_or(f64::INFINITY);
+                let t_best = ts[..N_DATAFLOWS]
+                    .iter()
+                    .flatten()
+                    .fold(f64::INFINITY, |m, &t| m.min(t));
+                ratio_sum += t_best / t_pick;
+                worst = worst.max(t_pick / t_best);
+            }
+            let n = test.len().max(1) as f64;
+            let (h_acc, m_acc) = (h_hits as f64 / n, m_hits as f64 / n);
+            h_acc_sum += h_acc;
+            m_acc_sum += m_acc;
+            oracle_sum += ratio_sum / n;
+            cells += 1;
+            worst_overall = worst_overall.max(worst);
+            rows.push(vec![
+                sc.tag().to_string(),
+                sc.machines()[env.arch_idx].name.to_string(),
+                test.len().to_string(),
+                pct(h_acc),
+                pct(m_acc),
+                format!("{:+.1}pp", 100.0 * (m_acc - h_acc)),
+                format!("{:.1}%", 100.0 * ratio_sum / n),
+                format!("{worst:.2}x"),
+            ]);
+        }
+    }
+    let mut body = render_table(
+        "SpGEMM dataflow selection: learned advisor vs rule-based heuristic \
+         (double precision, held-out quarter)",
+        &[
+            "scenario".into(),
+            "machine".into(),
+            "test n".into(),
+            "heuristic acc".into(),
+            "model acc".into(),
+            "gap".into(),
+            "model %oracle".into(),
+            "worst slowdown".into(),
+        ],
+        &rows,
+    );
+    let nc = cells.max(1) as f64;
+    body.push_str(&format!(
+        "\n{} cells; mean heuristic acc {}, mean model acc {}, mean gap {:+.1}pp, \
+         mean model %oracle {:.1}%, worst model slowdown {:.2}x\n",
+        cells,
+        pct(h_acc_sum / nc),
+        pct(m_acc_sum / nc),
+        100.0 * (m_acc_sum - h_acc_sum) / nc,
+        100.0 * oracle_sum / nc,
+        worst_overall,
+    ));
+    ExperimentResult {
+        id: "spgemm_dataflow",
+        title: "SpGEMM dataflow selection — learned advisor vs heuristic".into(),
+        body,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1449,6 +1601,32 @@ mod tests {
         assert!(serial.body.contains("K80c") && serial.body.contains("MC-wide"));
         assert!(serial.body.contains("mean gap"));
         assert!(serial.body.contains("pp"), "gap rendered in points");
+    }
+
+    #[test]
+    fn spgemm_dataflow_table_is_thread_invariant_and_scores_the_advisor() {
+        // One GPU and one many-core SpGEMM cell keep the test cheap; the
+        // full 4-cell grid runs through `repro --scenario` and CI.
+        let suite = SyntheticSuite::sample(CorpusScale::Tiny, 71);
+        let subset = [Scenario::SPGEMM_CELLS[0], Scenario::SPGEMM_CELLS[3]];
+        let corpora: Vec<(Scenario, LabeledCorpus)> = subset
+            .iter()
+            .map(|&sc| (sc, LabeledCorpus::collect_scenario(&suite, sc, 2)))
+            .collect();
+        let mut cfg = ExperimentConfig::tiny();
+        cfg.threads = 1;
+        let serial = spgemm_dataflow_from(&corpora, &cfg);
+        cfg.threads = 4;
+        let par = spgemm_dataflow_from(&corpora, &cfg);
+        assert_eq!(
+            serial.body, par.body,
+            "spgemm-dataflow bytes must not depend on the thread count"
+        );
+        assert_eq!(serial.id, "spgemm_dataflow");
+        assert!(serial.body.contains("gpu-spgemm-aa") && serial.body.contains("mc-spgemm-aat"));
+        assert!(serial.body.contains("K80c") && serial.body.contains("MC-wide"));
+        assert!(serial.body.contains("model %oracle"));
+        assert!(serial.body.contains("mean gap"));
     }
 
     #[test]

@@ -310,6 +310,47 @@ mod tests {
     }
 
     #[test]
+    fn dataflow_artifact_degrades_with_the_kind_named() {
+        // The serving boundary is format-kinded: a dataflow artifact must
+        // degrade the handle (not misload), and the reason must name the
+        // kind gate so `/healthz`-style disclosure says what happened.
+        use crate::dataflow::DataflowAdvisor;
+        use crate::env::{ArchSet, Env, Scenario, ScenarioOp};
+        use crate::faults::FaultPlan;
+        use spmv_corpus::{CorpusScale, SyntheticSuite};
+
+        let sc = Scenario {
+            op: ScenarioOp::SpgemmAA,
+            archs: ArchSet::PaperGpus,
+        };
+        let suite = SyntheticSuite::sample(CorpusScale::Tiny, 47);
+        let corpus =
+            crate::labels::LabeledCorpus::collect_scenario_with(&suite, sc, 2, &FaultPlan::none());
+        let advisor = DataflowAdvisor::train_for_scenario(
+            &corpus,
+            sc,
+            Env::ALL[1],
+            crate::classify::SearchBudget::Quick,
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join("spmv_handle_dataflow_artifact.json");
+        advisor.save(&path).unwrap();
+
+        assert!(matches!(
+            AdvisorHandle::try_from_artifact(&path),
+            Err(ArtifactError::KindMismatch { .. })
+        ));
+        let h = AdvisorHandle::from_artifact(&path);
+        assert_eq!(h.mode(), "heuristic");
+        let reason = h.degraded_reason().unwrap_or_default();
+        assert!(
+            reason.contains("advisor-kind mismatch"),
+            "degraded reason must name the kind gate, got: {reason}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn corrupt_artifact_degrades_but_try_errors() {
         let path = std::env::temp_dir().join("spmv_handle_corrupt_artifact.json");
         std::fs::write(&path, b"{not an artifact").unwrap();

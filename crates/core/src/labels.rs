@@ -90,6 +90,13 @@ pub struct MatrixRecord {
     /// to the pre-failure-model format.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub failures: Vec<LabelFailure>,
+    /// Op-specific extra features beyond the seventeen matrix features.
+    /// SpGEMM dataflow cells store the symbolic-phase dataflow block here
+    /// (width [`spmv_features::DATAFLOW_FEATURE_COUNT`], names in
+    /// `DATAFLOW_FEATURE_NAMES`); every other environment leaves it empty,
+    /// which serializes as nothing — old caches are byte-unchanged.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub extra: Vec<f64>,
 }
 
 impl MatrixRecord {
@@ -110,6 +117,30 @@ impl MatrixRecord {
             }
         }
         best.map(|(f, _)| f)
+    }
+
+    /// The fastest of the first `n_slots` cells for `env` (`None` if any
+    /// needed time is missing). Environments whose class labels are not
+    /// storage formats — the SpGEMM dataflow cells, where slot i holds
+    /// `Dataflow::ALL[i]` — read their oracle label through this instead
+    /// of [`MatrixRecord::best_format`].
+    pub fn best_slot(&self, env: Env, n_slots: usize) -> Option<usize> {
+        let ts = self.env_times(env);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, cell) in ts.iter().enumerate().take(n_slots) {
+            let t = (*cell)?;
+            if best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((i, t));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Whether the first `n_slots` cells are measured in every env.
+    pub fn complete_slots(&self, n_slots: usize) -> bool {
+        Env::ALL
+            .iter()
+            .all(|&e| self.env_times(e).iter().take(n_slots).all(Option::is_some))
     }
 
     /// Whether all formats in the subset were measurable.
@@ -369,6 +400,7 @@ pub(crate) fn panic_record(suite: &SyntheticSuite, i: usize, message: &str) -> M
             env: None,
             reason: format!("label worker panicked: {message}"),
         }],
+        extra: Vec::new(),
     }
 }
 
@@ -424,6 +456,7 @@ impl LabeledCorpus {
                 features,
                 times,
                 failures,
+                extra: Vec::new(),
             }
         });
         let records = results
@@ -696,6 +729,7 @@ mod tests {
             features: extract(&csr),
             times,
             failures,
+            extra: Vec::new(),
         };
         for env in Env::ALL {
             match record.outcome(env, Format::Ell) {

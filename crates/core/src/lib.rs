@@ -19,6 +19,8 @@ pub mod ablation;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod advisor;
 pub mod classify;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod dataflow;
 pub mod dataset;
 pub mod env;
 pub mod experiments;
@@ -47,8 +49,10 @@ pub mod slowdown;
 pub use ablation::ablations;
 pub use advisor::{
     AdvisorError, ArtifactError, ArtifactInfo, FormatAdvisor, Recommendation, RecommendationSource,
+    ARTIFACT_KIND_DATAFLOW, ARTIFACT_KIND_FORMAT,
 };
 pub use classify::{evaluate_classifier, xgboost_importance, EvalOutcome, ModelKind, SearchBudget};
+pub use dataflow::{heuristic_dataflow, DataflowAdvisor, DataflowRecommendation};
 pub use dataset::{ClassificationTask, RegressionTask};
 pub use env::{ArchSet, Env, EnvSpec, LabelEnvironment, Scenario, ScenarioOp, CPU_ARCH_LABELS};
 pub use experiments::{sweep_seed, ExperimentConfig, ExperimentResult};
@@ -69,7 +73,7 @@ pub use online::{
     FeedbackError, FeedbackEvent, FeedbackOutcome, Generation, OnlineAdvisor, OnlineConfig,
     OnlineStatus, Reservoir, ShadowVerdict,
 };
-pub use scenario::measure_matrix_op_outcomes_in;
+pub use scenario::{measure_matrix_op_outcomes_in, measure_matrix_spgemm_outcomes_in};
 
 pub use regress::{
     evaluate_regressor, train_time_predictor, RegModelKind, RegressOutcome, TimePredictor,

@@ -295,6 +295,7 @@ impl LabeledCorpus {
                 features,
                 times,
                 failures,
+                extra: Vec::new(),
             }
         });
         let records = results

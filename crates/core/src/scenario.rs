@@ -17,8 +17,14 @@
 use std::path::Path;
 
 use spmv_corpus::SyntheticSuite;
-use spmv_gpusim::{cell_seed, GpuArch, KernelProfile, ProfileCache, Simulator, SpOp};
-use spmv_matrix::{CsrMatrix, Format, Precision, RowStats, StructureScratch};
+use spmv_gpusim::{
+    cell_seed, spgemm_cell_seed, Dataflow, GpuArch, KernelProfile, ProfileCache, Simulator, SpOp,
+    SpgemmProfile,
+};
+use spmv_matrix::{
+    CsrMatrix, CsrStructure, Format, Precision, RowStats, SpgemmOperand, SpgemmSymbolic,
+    StructureScratch,
+};
 use spmv_ml::Executor;
 
 use crate::env::{Env, EnvSpec, Scenario};
@@ -99,6 +105,79 @@ pub fn measure_matrix_op_outcomes_in(
     (times, failures)
 }
 
+/// Measure every (dataflow, arch, precision) cell of one SpGEMM — the
+/// dataflow analog of [`measure_matrix_op_outcomes_in`]. One symbolic
+/// pass over the value-free structure feeds all four dataflow models;
+/// dataflow `i` lands in cell-times slot `i` (slots beyond
+/// [`spmv_gpusim::N_DATAFLOWS`] stay empty), so the record/corpus serialization is
+/// shared with the format cells unchanged. Fault keys mirror the format
+/// path with the dataflow label in the format position
+/// (`{name}/{dataflow}` and `{name}/{dataflow}/{arch}/{prec}`); the
+/// symbolic phase itself never fails (it is a pure counting pass), so
+/// there is no conversion-failure analog outside fault injection.
+/// Returns the dataflow-feature block alongside times and failures.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_matrix_spgemm_outcomes_in(
+    csr: &CsrMatrix<f64>,
+    stats: &RowStats,
+    scratch: &mut StructureScratch,
+    sim: &Simulator,
+    operand: SpgemmOperand,
+    machines: &[GpuArch; 2],
+    noise_seed: u64,
+    name: &str,
+    plan: &FaultPlan,
+) -> (CellTimes, Vec<LabelFailure>, Vec<f64>) {
+    let _ = stats; // same signature family as the op path; the symbolic
+                   // pass derives its own row distribution from row_ptr
+    let mut times: CellTimes = [[[None; N_FORMATS]; 2]; 2];
+    let mut failures: Vec<LabelFailure> = Vec::new();
+    let view = CsrStructure {
+        n_rows: csr.n_rows(),
+        n_cols: csr.n_cols(),
+        row_ptr: csr.row_ptr(),
+        col_idx: csr.col_idx(),
+    };
+    // The sampling seed is the matrix seed: deterministic per matrix,
+    // independent of thread count and of the per-cell jitter streams.
+    let sym = SpgemmSymbolic::analyze(view, operand, noise_seed, scratch);
+    let profile = SpgemmProfile::of_symbolic(&sym, csr.nnz());
+    let extra = profile.dataflow_features().to_vec();
+    for df in Dataflow::ALL {
+        let conv_key = format!("{name}/{df}");
+        if plan.should_fail(FaultSite::Conversion, &conv_key) {
+            failures.push(LabelFailure {
+                format: None,
+                env: None,
+                reason: FaultPlan::reason(FaultSite::Conversion, &conv_key),
+            });
+            continue;
+        }
+        for (ai, arch) in machines.iter().enumerate() {
+            for prec in Precision::ALL {
+                let env = Env {
+                    arch_idx: ai,
+                    precision: prec,
+                };
+                let cell_key = format!("{name}/{df}/{}/{}", arch.name, prec.label());
+                if plan.should_fail(FaultSite::Measurement, &cell_key) {
+                    failures.push(LabelFailure {
+                        format: None,
+                        env: Some(env),
+                        reason: FaultPlan::reason(FaultSite::Measurement, &cell_key),
+                    });
+                    continue;
+                }
+                let seed = spgemm_cell_seed(noise_seed, df, arch, prec);
+                let meas = sim.measure_spgemm(&profile, df, arch, prec, seed);
+                times[ai][prec.idx()][df.class_id()] = Some(meas.time_s);
+                spmv_observe::counter("labeling.cells_measured", 1);
+            }
+        }
+    }
+    (times, failures, extra)
+}
+
 impl LabeledCorpus {
     /// Label every matrix of `suite` under an arbitrary (op, machine-pair)
     /// cell, recording `env_spec` verbatim on the corpus. This is the
@@ -141,6 +220,66 @@ impl LabeledCorpus {
                 features,
                 times,
                 failures,
+                extra: Vec::new(),
+            }
+        });
+        let records = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                Ok(rec) => rec,
+                Err(p) => panic_record(suite, i, &p.message),
+            })
+            .collect();
+        LabeledCorpus {
+            suite_seed: suite.seed,
+            model_version: spmv_gpusim::MODEL_VERSION,
+            env_spec,
+            records,
+        }
+    }
+
+    /// Label every matrix of `suite` under an SpGEMM operand shape over
+    /// an explicit machine pair — the dataflow counterpart of
+    /// [`LabeledCorpus::collect_op_with`]. The class label lives in cell
+    /// slots `0..N_DATAFLOWS` and each record's `extra` carries the
+    /// symbolic dataflow-feature block.
+    pub fn collect_spgemm_with(
+        suite: &SyntheticSuite,
+        sim: &Simulator,
+        operand: SpgemmOperand,
+        machines: &'static [GpuArch; 2],
+        threads: usize,
+        plan: &FaultPlan,
+        env_spec: EnvSpec,
+    ) -> LabeledCorpus {
+        let n = suite.specs.len();
+        let _collect_span = spmv_observe::span!("labeling/collect-spgemm", matrices = n as u64);
+        let exec = Executor::new(threads.clamp(1, n.max(1)));
+        let results = exec.try_map_with(n, StructureScratch::new, |scratch, i| {
+            let spec = &suite.specs[i];
+            if plan.should_fail(FaultSite::WorkerPanic, &spec.name) {
+                panic!("{}", FaultPlan::reason(FaultSite::WorkerPanic, &spec.name));
+            }
+            let csr: CsrMatrix<f64> = spec.generate();
+            let _matrix_span = spmv_observe::span!("labeling/matrix", nnz = csr.nnz() as u64);
+            let stats = RowStats::of(csr.row_ptr());
+            let mut failures: Vec<LabelFailure> = Vec::new();
+            let features = worker_features(&spec.name, &csr, &stats, plan, &mut failures);
+            let (times, measure_failures, extra) = measure_matrix_spgemm_outcomes_in(
+                &csr, &stats, scratch, sim, operand, machines, spec.seed, &spec.name, plan,
+            );
+            failures.extend(measure_failures);
+            spmv_observe::counter("labeling.failures", failures.len() as u64);
+            MatrixRecord {
+                name: spec.name.clone(),
+                bucket: suite.bucket_of[i],
+                family: spec.kind.family().to_string(),
+                shape: (csr.n_rows(), csr.n_cols(), csr.nnz()),
+                features,
+                times,
+                failures,
+                extra,
             }
         });
         let records = results
@@ -160,30 +299,44 @@ impl LabeledCorpus {
     }
 
     /// Label every matrix of `suite` in one scenario cell.
-    pub fn collect_scenario(
-        suite: &SyntheticSuite,
-        sc: Scenario,
-        threads: usize,
-    ) -> LabeledCorpus {
+    pub fn collect_scenario(suite: &SyntheticSuite, sc: Scenario, threads: usize) -> LabeledCorpus {
         Self::collect_scenario_with(suite, sc, threads, &FaultPlan::none())
     }
 
-    /// [`LabeledCorpus::collect_scenario`] under a fault plan.
+    /// [`LabeledCorpus::collect_scenario`] under a fault plan: SpMV-family
+    /// cells go through the op-aware simulator, SpGEMM cells through the
+    /// symbolic-phase dataflow models.
     pub fn collect_scenario_with(
         suite: &SyntheticSuite,
         sc: Scenario,
         threads: usize,
         plan: &FaultPlan,
     ) -> LabeledCorpus {
-        Self::collect_op_with(
-            suite,
-            &Simulator::default(),
-            sc.op.op(),
-            sc.machines(),
-            threads,
-            plan,
-            EnvSpec::scenario(sc),
-        )
+        match sc.op.spmv_op() {
+            Some(op) => Self::collect_op_with(
+                suite,
+                &Simulator::default(),
+                op,
+                sc.machines(),
+                threads,
+                plan,
+                EnvSpec::scenario(sc),
+            ),
+            None => {
+                // Non-SpMV cells are SpGEMM by construction of ScenarioOp;
+                // degrade to A·A if a future op forgets its operand.
+                let operand = sc.op.spgemm_operand().unwrap_or(SpgemmOperand::AA);
+                Self::collect_spgemm_with(
+                    suite,
+                    &Simulator::default(),
+                    operand,
+                    sc.machines(),
+                    threads,
+                    plan,
+                    EnvSpec::scenario(sc),
+                )
+            }
+        }
     }
 
     /// Load a scenario corpus from cache if it matches (suite seed,
@@ -293,6 +446,93 @@ mod tests {
         );
         for (rs, rn) in sim.records.iter().zip(&scen.records) {
             assert_eq!(rs.failures, rn.failures, "{}", rs.name);
+        }
+    }
+
+    #[test]
+    fn spgemm_cells_label_dataflows_thread_invariantly() {
+        let suite = SyntheticSuite::sample(CorpusScale::Tiny, 8);
+        let sc = Scenario {
+            op: ScenarioOp::SpgemmAAt,
+            archs: ArchSet::PaperGpus,
+        };
+        let a = LabeledCorpus::collect_scenario(&suite, sc, 1);
+        let b = LabeledCorpus::collect_scenario(&suite, sc, 4);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "spgemm labels must not depend on the thread count"
+        );
+        use spmv_gpusim::N_DATAFLOWS;
+        for r in &a.records {
+            assert_eq!(
+                r.extra.len(),
+                spmv_features::DATAFLOW_FEATURE_COUNT,
+                "{} carries the dataflow-feature block",
+                r.name
+            );
+            for env in Env::ALL {
+                let ts = r.env_times(env);
+                for (i, t) in ts.iter().enumerate() {
+                    if i < N_DATAFLOWS {
+                        assert!(t.is_some(), "{} slot {i} measured", r.name);
+                    } else {
+                        assert!(t.is_none(), "{} slot {i} must stay empty", r.name);
+                    }
+                }
+            }
+            assert!(r.complete_slots(N_DATAFLOWS));
+            assert!(r.best_slot(Env::ALL[0], N_DATAFLOWS).is_some());
+        }
+        // The two operand shapes are different label distributions. For a
+        // symmetric matrix A·A and A·Aᵀ legitimately coincide, so assert
+        // over the corpus, not any single record.
+        let aa = LabeledCorpus::collect_scenario(
+            &suite,
+            Scenario {
+                op: ScenarioOp::SpgemmAA,
+                archs: ArchSet::PaperGpus,
+            },
+            2,
+        );
+        assert!(
+            aa.records
+                .iter()
+                .zip(&a.records)
+                .any(|(x, y)| x.times != y.times),
+            "AA and AAt must differ on some matrix"
+        );
+    }
+
+    #[test]
+    fn spgemm_fault_keys_use_the_dataflow_label() {
+        let suite = SyntheticSuite::sample(CorpusScale::Tiny, 9);
+        let plan = FaultPlan::new(5)
+            .inject(FaultSite::Conversion, 0.3)
+            .inject(FaultSite::Measurement, 0.2);
+        let c = LabeledCorpus::collect_scenario_with(
+            &suite,
+            Scenario {
+                op: ScenarioOp::SpgemmAA,
+                archs: ArchSet::PaperGpus,
+            },
+            2,
+            &plan,
+        );
+        let injected: Vec<&LabelFailure> = c
+            .records
+            .iter()
+            .flat_map(|r| &r.failures)
+            .filter(|f| f.reason.contains("injected"))
+            .collect();
+        assert!(!injected.is_empty(), "plan should hit some dataflow cells");
+        for f in injected {
+            assert_eq!(f.format, None, "dataflow failures carry no format");
+            assert!(
+                Dataflow::ALL.iter().any(|d| f.reason.contains(d.label())),
+                "key names a dataflow: {}",
+                f.reason
+            );
         }
     }
 

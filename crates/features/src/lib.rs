@@ -34,5 +34,6 @@ pub mod names;
 
 pub use extract::{extract, extract_with_stats, FeatureVector};
 pub use names::{
-    FeatureId, FeatureSet, FEATURE_COUNT, SCENARIO_DESCRIPTOR_COUNT, SCENARIO_DESCRIPTOR_NAMES,
+    FeatureId, FeatureSet, DATAFLOW_FEATURE_COUNT, DATAFLOW_FEATURE_NAMES, FEATURE_COUNT,
+    SCENARIO_DESCRIPTOR_COUNT, SCENARIO_DESCRIPTOR_NAMES,
 };

@@ -129,6 +129,27 @@ pub const SCENARIO_DESCRIPTOR_NAMES: [&str; SCENARIO_DESCRIPTOR_COUNT] = [
     "prec_double",   // 1 for f64 labels
 ];
 
+/// Width of the SpGEMM dataflow-feature block. These features come from
+/// the symbolic output-structure pass (`spmv-gpusim`'s `SpgemmProfile`),
+/// not from the matrix-feature extractor: SpGEMM cost is governed by the
+/// *output* C = A·B, which only the symbolic flop/nnz analysis can see.
+/// A dataflow-advisor row is `Important` (7 matrix features) + this block,
+/// so artifact arity checks and importance tables pin the count here.
+pub const DATAFLOW_FEATURE_COUNT: usize = 8;
+
+/// Names of the dataflow features, in the order `SpgemmProfile`'s
+/// extractor emits them.
+pub const DATAFLOW_FEATURE_NAMES: [&str; DATAFLOW_FEATURE_COUNT] = [
+    "flops_log2",     // log2(1 + total multiply-add pairs)
+    "row_flops_log2", // log2(1 + mean pairs per output row)
+    "row_flops_cv",   // sigma / mean of the per-row pair counts
+    "row_flops_skew", // max / mean of the per-row pair counts
+    "compression",    // sampled flops / nnz(C) estimate (>= 1)
+    "ub_tightness",   // sampled nnz(C) / upper bound (in [0, 1])
+    "out_nnz_log2",   // log2(1 + estimated nnz(C))
+    "out_ub_density", // nnz(C) upper bound / (n_rows * n_cols_out)
+];
+
 /// The feature subsets the paper's tables sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FeatureSet {
@@ -237,6 +258,20 @@ mod tests {
             "nnz_mu",
         ] {
             assert!(names.contains(&expect), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn dataflow_feature_names_are_unique_and_match_the_count() {
+        let mut names = DATAFLOW_FEATURE_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DATAFLOW_FEATURE_COUNT);
+        // No collision with the matrix-feature or descriptor namespaces:
+        // importance tables mix all three blocks in one listing.
+        for n in DATAFLOW_FEATURE_NAMES {
+            assert!(FeatureId::ALL.iter().all(|f| f.name() != n), "clash: {n}");
+            assert!(!SCENARIO_DESCRIPTOR_NAMES.contains(&n), "clash: {n}");
         }
     }
 

@@ -250,12 +250,7 @@ mod tests {
         // Distinct names matter: cell seeds hash the arch name, so the
         // many-core cells must draw jitter streams different from the
         // GPU cells' (and from each other's).
-        let names = [
-            GpuArch::K80C.name,
-            GpuArch::P100.name,
-            wide.name,
-            flat.name,
-        ];
+        let names = [GpuArch::K80C.name, GpuArch::P100.name, wide.name, flat.name];
         for (i, a) in names.iter().enumerate() {
             for b in names.iter().skip(i + 1) {
                 assert_ne!(a, b);

@@ -38,12 +38,12 @@ pub mod measure;
 pub mod memory;
 pub mod op;
 pub mod profile;
+pub mod spgemm;
 pub mod timing;
 
 pub use arch::GpuArch;
-pub use measure::{cell_seed, Measurement, Simulator, DEFAULT_REPS, NOISE_SIGMA};
-pub use op::{
-    predict_op_seconds, solver_warm_profile, spmm_profile, SpOp, SOLVER_DEFAULT_ITERS,
-};
+pub use measure::{cell_seed, spgemm_cell_seed, Measurement, Simulator, DEFAULT_REPS, NOISE_SIGMA};
+pub use op::{predict_op_seconds, solver_warm_profile, spmm_profile, SpOp, SOLVER_DEFAULT_ITERS};
 pub use profile::{profile_csr_scalar, profile_dia, KernelProfile, ProfileCache};
+pub use spgemm::{Dataflow, SpgemmProfile, N_DATAFLOWS, N_DATAFLOW_FEATURES};
 pub use timing::{gflops, predict, predict_seconds, TimeBreakdown};

@@ -15,6 +15,7 @@ use spmv_matrix::{Format, Precision, Scalar, SparseMatrix};
 use crate::arch::GpuArch;
 use crate::op::{predict_op_seconds, SpOp};
 use crate::profile::KernelProfile;
+use crate::spgemm::{Dataflow, SpgemmProfile};
 use crate::timing::{gflops, predict_seconds};
 
 /// Repetitions averaged per measurement (the paper uses 50).
@@ -129,6 +130,25 @@ impl Simulator {
         }
     }
 
+    /// Measure an SpGEMM under one dataflow: the base time comes from the
+    /// dataflow cost model over the symbolic profile, the useful work is
+    /// the profile's multiply+add count, and the jitter stream is the
+    /// *same* [`Simulator::sample`] path as every SpMV-family measurement
+    /// — seed with [`spgemm_cell_seed`] so dataflow cells draw jitter
+    /// independent of the format cells of the same matrix.
+    pub fn measure_spgemm(
+        &self,
+        profile: &SpgemmProfile,
+        dataflow: Dataflow,
+        arch: &GpuArch,
+        prec: Precision,
+        seed: u64,
+    ) -> Measurement {
+        spmv_observe::counter("gpusim.measurements", 1);
+        let base = profile.predict_seconds(dataflow, arch, prec);
+        self.sample(base, profile.flops(), seed)
+    }
+
     /// Profile + measure a concrete matrix in its format.
     pub fn measure<T: Scalar>(
         &self,
@@ -148,6 +168,28 @@ pub fn cell_seed(matrix_seed: u64, format: Format, arch: &GpuArch, prec: Precisi
     h = h
         .wrapping_mul(0x100000001b3)
         .wrapping_add(format.class_id() as u64);
+    let arch_id = arch
+        .name
+        .bytes()
+        .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
+    h = h.wrapping_mul(0x100000001b3).wrapping_add(arch_id);
+    h.wrapping_mul(0x100000001b3)
+        .wrapping_add(prec.idx() as u64)
+}
+
+/// Stable seed for one SpGEMM dataflow cell. Mirrors [`cell_seed`]'s
+/// mixing but offsets the class index so dataflows `0..N_DATAFLOWS` never
+/// share a jitter stream with formats `0..6` of the same matrix.
+pub fn spgemm_cell_seed(
+    matrix_seed: u64,
+    dataflow: Dataflow,
+    arch: &GpuArch,
+    prec: Precision,
+) -> u64 {
+    let mut h = matrix_seed ^ 0x9e37_79b9_7f4a_7c15;
+    h = h
+        .wrapping_mul(0x100000001b3)
+        .wrapping_add(0x5bd1 + dataflow.class_id() as u64);
     let arch_id = arch
         .name
         .bytes()
@@ -220,6 +262,84 @@ mod tests {
             }
         }
         assert_eq!(seeds.len(), 6 * 2 * 2, "seed collisions");
+    }
+
+    #[test]
+    fn spgemm_cell_seeds_are_distinct_and_disjoint_from_format_seeds() {
+        let mut seeds = std::collections::HashSet::new();
+        for f in Format::ALL {
+            for arch in &GpuArch::PAPER_MACHINES {
+                for p in Precision::ALL {
+                    seeds.insert(cell_seed(42, f, arch, p));
+                }
+            }
+        }
+        for df in Dataflow::ALL {
+            for arch in &GpuArch::PAPER_MACHINES {
+                for p in Precision::ALL {
+                    assert!(
+                        seeds.insert(spgemm_cell_seed(42, df, arch, p)),
+                        "dataflow {df} collides with a format jitter stream"
+                    );
+                }
+            }
+        }
+        assert_eq!(seeds.len(), (6 + 4) * 2 * 2, "seed collisions");
+    }
+
+    #[test]
+    fn spgemm_measurement_is_deterministic_and_centered() {
+        let mut b = TripletBuilder::<f64>::new(300, 300);
+        for r in 0..300u32 {
+            for k in 0..4u32 {
+                b.push_unchecked(r, (r * 7 + k * 31) % 300, 1.0);
+            }
+        }
+        let csr = b.build().to_csr();
+        let view = spmv_matrix::CsrStructure {
+            n_rows: csr.n_rows(),
+            n_cols: csr.n_cols(),
+            row_ptr: csr.row_ptr(),
+            col_idx: csr.col_idx(),
+        };
+        let sym = spmv_matrix::SpgemmSymbolic::analyze(
+            view,
+            spmv_matrix::SpgemmOperand::AA,
+            9,
+            &mut spmv_matrix::StructureScratch::new(),
+        );
+        let p = SpgemmProfile::of_symbolic(&sym, csr.nnz());
+        let sim = Simulator::default();
+        let seed = spgemm_cell_seed(
+            42,
+            Dataflow::GustavsonHash,
+            &GpuArch::P100,
+            Precision::Double,
+        );
+        let a = sim.measure_spgemm(
+            &p,
+            Dataflow::GustavsonHash,
+            &GpuArch::P100,
+            Precision::Double,
+            seed,
+        );
+        let b2 = sim.measure_spgemm(
+            &p,
+            Dataflow::GustavsonHash,
+            &GpuArch::P100,
+            Precision::Double,
+            seed,
+        );
+        assert_eq!(a, b2);
+        let clean = Simulator::noiseless().measure_spgemm(
+            &p,
+            Dataflow::GustavsonHash,
+            &GpuArch::P100,
+            Precision::Double,
+            seed,
+        );
+        assert!((a.time_s / clean.time_s - 1.0).abs() < 0.05);
+        assert!(a.gflops > 0.0);
     }
 
     #[test]

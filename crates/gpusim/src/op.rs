@@ -164,16 +164,21 @@ pub fn predict_op_seconds(
 ) -> f64 {
     match op {
         SpOp::Spmv => predict_seconds(profile, arch, prec),
-        SpOp::Spmm { k } => {
-            predict_seconds(&spmm_profile(profile, k, arch.line_bytes as f64), arch, prec)
-        }
+        SpOp::Spmm { k } => predict_seconds(
+            &spmm_profile(profile, k, arch.line_bytes as f64),
+            arch,
+            prec,
+        ),
         SpOp::Solver { iters } => {
             let cold = predict_seconds(profile, arch, prec);
             if iters <= 1 {
                 return cold;
             }
-            let warm =
-                predict_seconds(&solver_warm_profile(profile, arch.l2_bytes as f64), arch, prec);
+            let warm = predict_seconds(
+                &solver_warm_profile(profile, arch.l2_bytes as f64),
+                arch,
+                prec,
+            );
             (cold + (iters as f64 - 1.0) * warm) / iters as f64
         }
     }
@@ -243,8 +248,13 @@ mod tests {
         for arch in [GpuArch::K80C, GpuArch::P100] {
             for prec in Precision::ALL {
                 let cold = predict_seconds(&p, &arch, prec);
-                let warm = predict_seconds(&solver_warm_profile(&p, arch.l2_bytes as f64), &arch, prec);
-                assert!(warm <= cold, "{} {prec}: warm {warm} > cold {cold}", arch.name);
+                let warm =
+                    predict_seconds(&solver_warm_profile(&p, arch.l2_bytes as f64), &arch, prec);
+                assert!(
+                    warm <= cold,
+                    "{} {prec}: warm {warm} > cold {cold}",
+                    arch.name
+                );
                 let avg = predict_op_seconds(&p, &arch, prec, SpOp::Solver { iters: 8 });
                 assert!(warm <= avg && avg <= cold, "average brackets");
                 // A zero-sized x-cache retains nothing: warm == cold and
@@ -259,7 +269,12 @@ mod tests {
     fn solver_single_iteration_is_spmv() {
         let p = profile_of(500, 3, Format::MergeCsr);
         let spmv = predict_seconds(&p, &GpuArch::P100, Precision::Double);
-        let s1 = predict_op_seconds(&p, &GpuArch::P100, Precision::Double, SpOp::Solver { iters: 1 });
+        let s1 = predict_op_seconds(
+            &p,
+            &GpuArch::P100,
+            Precision::Double,
+            SpOp::Solver { iters: 1 },
+        );
         assert_eq!(spmv.to_bits(), s1.to_bits());
     }
 
@@ -289,7 +304,13 @@ mod tests {
         let p = profile_of(600, 5, Format::Csr);
         let sim = Simulator::default();
         let a = sim.measure_profile(&p, &GpuArch::K80C, Precision::Single, 77);
-        let b = sim.measure_profile_op(&p, &GpuArch::K80C, Precision::Single, SpOp::Spmm { k: 1 }, 77);
+        let b = sim.measure_profile_op(
+            &p,
+            &GpuArch::K80C,
+            Precision::Single,
+            SpOp::Spmm { k: 1 },
+            77,
+        );
         assert_eq!(a, b, "k=1 must reuse the identical noise stream");
         let c = sim.measure_profile_op(&p, &GpuArch::K80C, Precision::Single, SpOp::Spmv, 77);
         assert_eq!(a, c);

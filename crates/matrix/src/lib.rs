@@ -45,6 +45,7 @@ pub mod merge;
 pub mod mm;
 pub mod parallel;
 pub mod scalar;
+pub mod spgemm;
 pub mod structure;
 
 pub use builder::TripletBuilder;
@@ -58,6 +59,7 @@ pub use format::{Format, SparseMatrix};
 pub use hyb::HybMatrix;
 pub use merge::{merge_path_search, MergeCoordinate, MergeCsrMatrix, SegmentCarry};
 pub use scalar::{Precision, Scalar};
+pub use spgemm::{SpgemmOperand, SpgemmSymbolic, SPGEMM_SAMPLE_CAP};
 pub use structure::{
     CooStructure, Csr5Structure, CsrStructure, EllStructure, FormatStructure, HybStructure,
     RowStats, StructureScratch,

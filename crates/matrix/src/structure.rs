@@ -131,6 +131,13 @@ pub struct StructureScratch {
     tail_cols: Vec<u32>,
     /// CSR5 transposed tile column indices.
     cols_t: Vec<u32>,
+    /// SpGEMM symbolic phase: transpose row pointer (counting sort).
+    pub(crate) t_row_ptr: Vec<u32>,
+    /// SpGEMM symbolic phase: transpose column indices.
+    pub(crate) t_col_idx: Vec<u32>,
+    /// SpGEMM symbolic phase: epoch-stamped distinct-column marker for the
+    /// sampled exact-nnz pass (one slot per output column).
+    pub(crate) marker: Vec<u32>,
 }
 
 impl StructureScratch {

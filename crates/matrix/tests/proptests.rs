@@ -203,3 +203,98 @@ proptest! {
         }
     }
 }
+
+/// Brute-force `nnz(C)` for `C = A·B` over the same value-free structure
+/// view the symbolic pass reads — the oracle for the exhaustive-sample
+/// exactness property below.
+fn brute_force_out_nnz(csr: &CsrMatrix<f64>, operand: spmv_matrix::SpgemmOperand) -> f64 {
+    use spmv_matrix::SpgemmOperand;
+    let (rp, ci) = (csr.row_ptr(), csr.col_idx());
+    // For AAt, transpose row k lists the A-rows containing column k.
+    let mut t_rows: Vec<Vec<u32>> = vec![Vec::new(); csr.n_cols()];
+    for r in 0..csr.n_rows() {
+        for &k in &ci[rp[r] as usize..rp[r + 1] as usize] {
+            t_rows[k as usize].push(r as u32);
+        }
+    }
+    let mut nnz = 0usize;
+    for r in 0..csr.n_rows() {
+        let mut out = std::collections::BTreeSet::<u32>::new();
+        for &k in &ci[rp[r] as usize..rp[r + 1] as usize] {
+            match operand {
+                SpgemmOperand::AA => {
+                    let k = k as usize;
+                    if k < csr.n_rows() {
+                        out.extend(&ci[rp[k] as usize..rp[k + 1] as usize]);
+                    }
+                }
+                SpgemmOperand::AAt => out.extend(&t_rows[k as usize]),
+            }
+        }
+        nnz += out.len();
+    }
+    nnz as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The symbolic SpGEMM pass is a pure function of the structure and
+    /// the seed — scratch state (fresh or dirty from another operand)
+    /// never leaks into the result, which is what makes label collection
+    /// thread-count-invariant — and its estimates obey the analytic
+    /// envelope: `est_nnz <= ub_total`, `compression >= 1`,
+    /// `tightness ∈ [0, 1]`. On matrices at or under the sample cap the
+    /// sample is exhaustive, so `est_nnz` is *exact* (matches the
+    /// brute-force output nnz) and seed-independent.
+    #[test]
+    fn spgemm_symbolic_is_deterministic_and_bounded(
+        (r, c, entries) in arb_matrix(),
+        seed in 0u64..1000,
+    ) {
+        use spmv_matrix::{CsrStructure, SpgemmOperand, SpgemmSymbolic, StructureScratch};
+        let csr = build(r, c, &entries);
+        let view = CsrStructure {
+            n_rows: csr.n_rows(),
+            n_cols: csr.n_cols(),
+            row_ptr: csr.row_ptr(),
+            col_idx: csr.col_idx(),
+        };
+        let mut fresh = StructureScratch::new();
+        let mut dirty = StructureScratch::new();
+        // Dirty the second scratch with the *other* operand first.
+        for operand in [SpgemmOperand::AA, SpgemmOperand::AAt] {
+            let other = if operand == SpgemmOperand::AA {
+                SpgemmOperand::AAt
+            } else {
+                SpgemmOperand::AA
+            };
+            let _ = SpgemmSymbolic::analyze(view, other, seed ^ 0x5bd1, &mut dirty);
+
+            let sym = SpgemmSymbolic::analyze(view, operand, seed, &mut fresh);
+            let again = SpgemmSymbolic::analyze(view, operand, seed, &mut dirty);
+            prop_assert_eq!(sym, again, "{:?}: scratch state leaked", operand);
+
+            prop_assert!(sym.est_nnz() <= sym.ub_total + 1e-9);
+            prop_assert!(sym.est_nnz() >= 0.0);
+            prop_assert!(sym.compression() >= 1.0);
+            prop_assert!((0.0..=1.0).contains(&sym.tightness()));
+            prop_assert!(sym.flops_max <= sym.flops_total + 1e-9);
+
+            // r < 40 < SPGEMM_SAMPLE_CAP: the sample is exhaustive, so
+            // the ratio estimate collapses to the exact output nnz and
+            // the seed cannot matter.
+            prop_assert_eq!(sym.sample_rows, csr.n_rows());
+            let exact = brute_force_out_nnz(&csr, operand);
+            prop_assert!(
+                (sym.est_nnz() - exact).abs() <= 1e-9 * exact.max(1.0),
+                "{:?}: est {} vs exact {}",
+                operand,
+                sym.est_nnz(),
+                exact
+            );
+            let reseeded = SpgemmSymbolic::analyze(view, operand, seed.wrapping_add(17), &mut fresh);
+            prop_assert_eq!(sym, reseeded, "{:?}: exhaustive sample must ignore the seed", operand);
+        }
+    }
+}

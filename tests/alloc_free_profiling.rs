@@ -9,8 +9,11 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use spmv_gpusim::KernelProfile;
-use spmv_matrix::{CsrMatrix, Format, FormatStructure, RowStats, StructureScratch, TripletBuilder};
+use spmv_gpusim::{Dataflow, KernelProfile, SpgemmProfile};
+use spmv_matrix::{
+    CsrMatrix, CsrStructure, Format, FormatStructure, Precision, RowStats, SpgemmOperand,
+    SpgemmSymbolic, StructureScratch, TripletBuilder,
+};
 
 /// Counts allocations (and growth reallocations) while armed; frees are
 /// intentionally not counted — returning warm capacity is the whole point.
@@ -90,5 +93,40 @@ fn warm_scratch_profiles_every_format_with_zero_allocations() {
     assert_eq!(
         n, 0,
         "structural profiling with warm scratch must be allocation-free"
+    );
+
+    // Same discipline for the SpGEMM symbolic phase (the PR-10 tentpole
+    // extension of this pin): once the transpose and marker scratch are
+    // warm, the exact-flops pass, the sampled compression estimate, and
+    // every dataflow's cost prediction are counting passes over borrowed
+    // index slices — zero heap blocks for both operands.
+    let view = CsrStructure {
+        n_rows: csr.n_rows(),
+        n_cols: csr.n_cols(),
+        row_ptr: csr.row_ptr(),
+        col_idx: csr.col_idx(),
+    };
+    for operand in [SpgemmOperand::AA, SpgemmOperand::AAt] {
+        std::hint::black_box(SpgemmSymbolic::analyze(view, operand, 7, &mut scratch));
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for operand in [SpgemmOperand::AA, SpgemmOperand::AAt] {
+        let sym = SpgemmSymbolic::analyze(view, operand, 7, &mut scratch);
+        let profile = SpgemmProfile::of_symbolic(&sym, csr.nnz());
+        std::hint::black_box(profile.dataflow_features());
+        for df in Dataflow::ALL {
+            for arch in spmv_gpusim::GpuArch::PAPER_MACHINES.iter() {
+                std::hint::black_box(profile.predict_seconds(df, arch, Precision::Double));
+            }
+        }
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n, 0,
+        "symbolic SpGEMM analysis with warm scratch must be allocation-free"
     );
 }

@@ -29,7 +29,11 @@ fn strip_arity(path: &std::path::Path) {
     };
     let before = entries.len();
     entries.retain(|(k, _)| k != "feature_arity");
-    assert_eq!(entries.len(), before - 1, "arity key present in current envelopes");
+    assert_eq!(
+        entries.len(),
+        before - 1,
+        "arity key present in current envelopes"
+    );
     std::fs::write(path, serde_json::to_string(&v).expect("json")).expect("write artifact");
 }
 
@@ -47,7 +51,10 @@ fn pr7_era_envelope_is_rejected_with_a_typed_arity_mismatch() {
     match FormatAdvisor::load(&path) {
         Err(ArtifactError::FeatureArityMismatch { artifact, expected }) => {
             assert_eq!(artifact, 0, "absent arity field must read as 0");
-            assert_eq!(expected, 7, "the payload's model consumes the 7-feature projection");
+            assert_eq!(
+                expected, 7,
+                "the payload's model consumes the 7-feature projection"
+            );
         }
         Err(e) => panic!("expected FeatureArityMismatch, got {e}"),
         Ok(_) => panic!("a legacy envelope must not load"),
@@ -110,7 +117,10 @@ fn scenario_artifact_round_trips_with_widened_arity() {
     let path = tmpdir("scenario").join("advisor.json");
     advisor.save(&path).expect("save");
     let info = FormatAdvisor::inspect_artifact(&path).expect("inspect");
-    assert_eq!(info.feature_arity, 15, "envelope must record the widened arity");
+    assert_eq!(
+        info.feature_arity, 15,
+        "envelope must record the widened arity"
+    );
     assert!(!info.stale);
 
     // The deployed copy behaves identically on unseen structures.

@@ -46,6 +46,7 @@ fn reference_corpus(suite: &SyntheticSuite, sim: &Simulator) -> LabeledCorpus {
                 features: extract(&csr),
                 times,
                 failures,
+                extra: Vec::new(),
             }
         })
         .collect();
@@ -109,7 +110,8 @@ fn scenario_cells_reproduce_their_committed_caches_at_any_thread_count() {
         let threaded =
             serde_json::to_string(&LabeledCorpus::collect_scenario(&suite, sc, 4)).expect("json");
         assert_eq!(
-            serial, threaded,
+            serial,
+            threaded,
             "{}: scenario labels must not depend on the thread count",
             sc.tag()
         );

@@ -101,6 +101,7 @@ fn spmm_k1_matches_the_retained_value_carrying_oracle() {
                 features: extract(&csr),
                 times,
                 failures,
+                extra: Vec::new(),
             }
         })
         .collect();
